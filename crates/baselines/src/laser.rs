@@ -1,0 +1,214 @@
+//! The LASER baseline (Luo et al., HPCA '16), as characterized in §2 and
+//! §4.3 of the TMI paper.
+//!
+//! LASER detects contention with the same PEBS HITM events as TMI but
+//! repairs it with a *software store buffer*: stores to contended lines are
+//! emulated into a thread-private buffer and drained in batches, which
+//! removes the coherence ping-pong while preserving TSO (and hence
+//! single-copy atomicity). The price:
+//!
+//! * every access to a repaired line pays an emulation tax, so LASER
+//!   "attains only 24 % of the manual speedup on the benchmarks it
+//!   repairs";
+//! * TSO forces a full drain at every synchronization or ordering
+//!   operation, so workloads with frequent synchronization (the Boost
+//!   microbenchmarks) never activate repair at all.
+
+use std::collections::HashSet;
+
+use tmi::{AppLayout, FalseSharingDetector, SharingKind};
+use tmi_machine::{AccessOutcome, LatencyModel, VAddr, LINE_SIZE};
+use tmi_os::Tid;
+use tmi_perf::{PerfConfig, PerfMonitor};
+use tmi_sim::{AccessInfo, EngineCtl, PreAccess, RegionEvent, Route, RuntimeHooks, SyncEvent};
+
+/// LASER configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LaserConfig {
+    /// PEBS sampling configuration.
+    pub perf: PerfConfig,
+    /// Detection threshold (scaled HITM events per second per line).
+    pub fs_threshold_per_sec: f64,
+    /// Emulation cycles per buffered store.
+    pub store_emulation_cycles: u64,
+    /// Emulation cycles per load that must consult the store buffer.
+    pub load_check_cycles: u64,
+    /// One in `drain_every` buffered stores performs a real coherent write
+    /// (the batched drain).
+    pub drain_every: u64,
+    /// Repair is declined when the program synchronizes more often than
+    /// this (events per second per thread): TSO drains would dominate.
+    pub max_sync_rate_for_repair: f64,
+}
+
+impl Default for LaserConfig {
+    fn default() -> Self {
+        LaserConfig {
+            perf: PerfConfig::default(),
+            fs_threshold_per_sec: 100_000.0,
+            store_emulation_cycles: 12,
+            load_check_cycles: 6,
+            drain_every: 32,
+            max_sync_rate_for_repair: 200_000.0,
+        }
+    }
+}
+
+/// LASER runtime statistics.
+#[derive(Clone, Debug, Default)]
+pub struct LaserStats {
+    /// Lines under store-buffer repair.
+    pub repaired_lines: usize,
+    /// Repairs declined because the sync rate exceeded the TSO budget.
+    pub repairs_declined_tso: u64,
+    /// Stores emulated through the buffer.
+    pub emulated_stores: u64,
+    /// Full drains forced by synchronization/ordering operations.
+    pub drains: u64,
+}
+
+/// The LASER runtime.
+#[derive(Debug)]
+pub struct LaserRuntime {
+    config: LaserConfig,
+    layout: AppLayout,
+    perf: PerfMonitor,
+    detector: FalseSharingDetector,
+    repaired: HashSet<u64>,
+    store_seq: u64,
+    sync_events_window: u64,
+    last_tick: u64,
+    stats: LaserStats,
+}
+
+impl LaserRuntime {
+    /// Creates a LASER runtime over the given layout.
+    pub fn new(config: LaserConfig, layout: AppLayout) -> Self {
+        let ranges = vec![
+            (layout.app_start, layout.app_len),
+            (layout.internal_start, layout.internal_len),
+        ];
+        LaserRuntime {
+            perf: PerfMonitor::new(config.perf),
+            detector: FalseSharingDetector::new(config.perf, ranges),
+            repaired: HashSet::new(),
+            store_seq: 0,
+            sync_events_window: 0,
+            last_tick: 0,
+            stats: LaserStats::default(),
+            config,
+            layout,
+        }
+    }
+
+    /// Runtime statistics.
+    pub fn stats(&self) -> &LaserStats {
+        &self.stats
+    }
+
+    /// True once any line is under repair.
+    pub fn repaired(&self) -> bool {
+        !self.repaired.is_empty()
+    }
+
+    fn is_repaired(&self, addr: VAddr) -> bool {
+        !self.repaired.is_empty() && self.repaired.contains(&(addr.raw() / LINE_SIZE))
+    }
+}
+
+impl RuntimeHooks for LaserRuntime {
+    fn on_start(&mut self, ctl: &mut dyn EngineCtl) {
+        for tid in ctl.tids() {
+            self.perf.open_thread(tid);
+        }
+    }
+
+    fn pre_access(&mut self, _ctl: &mut dyn EngineCtl, _tid: Tid, acc: &AccessInfo) -> PreAccess {
+        if !self.is_repaired(acc.vaddr) {
+            return PreAccess::default();
+        }
+        if acc.kind.is_write() {
+            self.stats.emulated_stores += 1;
+            self.store_seq += 1;
+            if self.store_seq.is_multiple_of(self.config.drain_every) {
+                // The batched drain performs a real coherent store.
+                PreAccess {
+                    extra_cycles: self.config.store_emulation_cycles,
+                    route: Route::Normal,
+                }
+            } else {
+                PreAccess {
+                    extra_cycles: self.config.store_emulation_cycles,
+                    route: Route::Uncached,
+                }
+            }
+        } else {
+            PreAccess {
+                extra_cycles: self.config.load_check_cycles,
+                route: Route::Normal,
+            }
+        }
+    }
+
+    fn post_access(
+        &mut self,
+        _ctl: &mut dyn EngineCtl,
+        tid: Tid,
+        acc: &AccessInfo,
+        outcome: &AccessOutcome,
+    ) -> u64 {
+        let Some(hitm) = &outcome.hitm else { return 0 };
+        if !self.layout.in_app(acc.vaddr) && !self.layout.in_internal(acc.vaddr) {
+            return 0;
+        }
+        self.perf.on_hitm(tid, acc.pc, acc.vaddr, hitm.kind)
+    }
+
+    fn on_sync(&mut self, _ctl: &mut dyn EngineCtl, _tid: Tid, _ev: SyncEvent) -> u64 {
+        self.sync_events_window += 1;
+        if self.repaired.is_empty() {
+            return 0;
+        }
+        // TSO: a sync forces a full ordered drain of the store buffer.
+        self.stats.drains += 1;
+        self.config.store_emulation_cycles * self.config.drain_every / 2
+    }
+
+    fn on_region(&mut self, _ctl: &mut dyn EngineCtl, _tid: Tid, ev: RegionEvent) -> u64 {
+        // Ordering fences drain too.
+        match ev {
+            RegionEvent::Fence(o) if o.is_ordering() && !self.repaired.is_empty() => {
+                self.stats.drains += 1;
+                self.config.store_emulation_cycles * self.config.drain_every / 2
+            }
+            _ => 0,
+        }
+    }
+
+    fn on_tick(&mut self, ctl: &mut dyn EngineCtl, now: u64) {
+        let records = self.perf.drain();
+        self.detector.ingest(&records, ctl.code());
+        let window_secs =
+            LatencyModel::cycles_to_secs(now.saturating_sub(self.last_tick).max(1));
+        self.last_tick = now;
+        let reports = self
+            .detector
+            .analyze_window(window_secs, self.config.fs_threshold_per_sec);
+        let threads = ctl.tids().len().max(1) as f64;
+        let sync_rate = self.sync_events_window as f64 / threads / window_secs;
+        self.sync_events_window = 0;
+        for r in reports {
+            if r.kind != SharingKind::FalseSharing {
+                continue;
+            }
+            if sync_rate > self.config.max_sync_rate_for_repair {
+                // TSO consistency is too restrictive for sync-heavy code
+                // (the Boost microbenchmark case, §4.3).
+                self.stats.repairs_declined_tso += 1;
+                continue;
+            }
+            self.repaired.insert(r.vline);
+        }
+        self.stats.repaired_lines = self.repaired.len();
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the PTSB machinery: COW breaks and the
+//! diff-and-merge commit — the operations whose (simulated) cost model
+//! §4.4 discusses, measured here in *host* time to keep the simulator
+//! usable at suite scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tmi::{CommitCostModel, TwinStore};
+use tmi_machine::{VAddr, Width, FRAME_SIZE};
+use tmi_os::{AsId, Kernel, MapRequest};
+
+const BASE: u64 = 0x10000;
+
+fn armed_dirty_page() -> (Kernel, AsId, TwinStore) {
+    let mut k = Kernel::new();
+    let obj = k.create_object(4 * FRAME_SIZE);
+    let a = k.create_aspace();
+    k.map(a, MapRequest::object(VAddr::new(BASE), 4 * FRAME_SIZE, obj, 0))
+        .unwrap();
+    k.force_write(a, VAddr::new(BASE), Width::W8, 1).unwrap();
+    k.protect_page_cow(a, VAddr::new(BASE).vpn()).unwrap();
+    k.handle_fault(a, VAddr::new(BASE), true).unwrap();
+    let mut tw = TwinStore::new();
+    tw.snapshot(&k, a, VAddr::new(BASE).vpn());
+    k.force_write(a, VAddr::new(BASE), Width::W8, 2).unwrap();
+    (k, a, tw)
+}
+
+fn bench_ptsb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ptsb");
+    g.bench_function("cow_break", |b| {
+        b.iter_batched(
+            || {
+                let mut k = Kernel::new();
+                let obj = k.create_object(FRAME_SIZE);
+                let a = k.create_aspace();
+                k.map(a, MapRequest::object(VAddr::new(BASE), FRAME_SIZE, obj, 0))
+                    .unwrap();
+                k.force_write(a, VAddr::new(BASE), Width::W8, 1).unwrap();
+                k.protect_page_cow(a, VAddr::new(BASE).vpn()).unwrap();
+                (k, a)
+            },
+            |(mut k, a)| {
+                k.handle_fault(a, VAddr::new(BASE), true).unwrap();
+                k
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("commit_one_dirty_page", |b| {
+        b.iter_batched(
+            armed_dirty_page,
+            |(mut k, a, mut tw)| {
+                tw.commit_page(&mut k, a, VAddr::new(BASE).vpn(), &CommitCostModel::standard(), false);
+                k
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("twin_snapshot", |b| {
+        b.iter_batched(
+            || {
+                let mut k = Kernel::new();
+                let obj = k.create_object(FRAME_SIZE);
+                let a = k.create_aspace();
+                k.map(a, MapRequest::object(VAddr::new(BASE), FRAME_SIZE, obj, 0))
+                    .unwrap();
+                k.protect_page_cow(a, VAddr::new(BASE).vpn()).unwrap();
+                k.handle_fault(a, VAddr::new(BASE), true).unwrap();
+                (k, a)
+            },
+            |(k, a)| {
+                let mut tw = TwinStore::new();
+                tw.snapshot(&k, a, VAddr::new(BASE).vpn());
+                tw
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ptsb);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmarks of full end-to-end simulation: dynamic-ops-per-
+//! host-second for representative workload/runtime pairs. These are the
+//! numbers that size the experiment binaries' scale factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tmi_bench::{run, RunConfig, RuntimeKind};
+
+fn bench_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    for (name, rt) in [
+        ("histogram", RuntimeKind::Pthreads),
+        ("histogram", RuntimeKind::TmiProtect),
+        ("lreg", RuntimeKind::TmiProtect),
+        ("leveldb", RuntimeKind::TmiDetect),
+        ("canneal", RuntimeKind::Pthreads),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new(rt.label(), name),
+            &(name, rt),
+            |b, &(name, rt)| {
+                let cfg = RunConfig::repair(rt).scale(0.05).misaligned();
+                b.iter(|| run(name, &cfg));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_runs);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Internal probe: times each suite workload under the baseline at small
+//! scale. Used during development; kept as a diagnostic.
+use std::time::Instant;
+use tmi_bench::{run, RunConfig, RuntimeKind};
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.03);
+    for name in tmi_workloads::SUITE {
+        let t0 = Instant::now();
+        let r = run(name, &RunConfig::new(RuntimeKind::Pthreads).scale(scale));
+        println!(
+            "{name:15} host={:6.2}s ops={:9} cycles={:12} hitm={:9} ok={}",
+            t0.elapsed().as_secs_f64(),
+            r.ops,
+            r.cycles,
+            r.hitm_events,
+            r.ok()
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Internal probe: detector visibility on one workload.
+use tmi_bench::{run, RunConfig, RuntimeKind};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "shptr-relaxed".into());
+    let r = run(&name, &RunConfig::repair(RuntimeKind::TmiProtect).scale(0.5).misaligned());
+    println!(
+        "{name}: cycles={} hitm(machine)={} perf_events={} perf_records={} repaired={} commits={} conv={:?} halt={:?}",
+        r.cycles, r.hitm_events, r.perf_events, r.perf_records, r.repaired, r.commits, r.converted_at, r.halt
+    );
+}

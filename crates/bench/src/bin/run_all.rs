@@ -1,0 +1,43 @@
+//! Runs every experiment binary's logic in sequence, printing each table —
+//! the one-shot regeneration of the paper's full evaluation. Pass a scale
+//! factor (default 1.0) to shrink or grow every workload.
+//!
+//! Equivalent to running: fig3 fig4 fig7 fig8 fig9 table3 fig10 fig11
+//! fig12 ablate_ptsb_everywhere table1 — see those binaries for focused
+//! runs; this one shells out to each so their output stays identical.
+
+use std::process::Command;
+
+fn main() {
+    let scale = std::env::args().nth(1).unwrap_or_else(|| "1.0".to_string());
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("exe dir");
+    let bins = [
+        ("fig3", None),
+        ("fig4", Some(scale.as_str())),
+        ("fig7", Some(scale.as_str())),
+        ("fig8", Some(scale.as_str())),
+        ("fig9", Some("2.0")),
+        ("table3", Some("2.0")),
+        ("fig10", Some(scale.as_str())),
+        ("fig11", Some("1.0")),
+        ("fig12", None),
+        ("ablate_ptsb_everywhere", Some("2.0")),
+        ("sweep_threads", None),
+        ("table1", Some("0.5")),
+    ];
+    for (bin, arg) in bins {
+        println!("\n================================================================");
+        println!("== {bin}");
+        println!("================================================================\n");
+        let mut cmd = Command::new(dir.join(bin));
+        if let Some(a) = arg {
+            cmd.arg(a);
+        }
+        let status = cmd.status().unwrap_or_else(|e| panic!("running {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+}

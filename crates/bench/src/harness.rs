@@ -1,0 +1,588 @@
+//! The experiment harness: builds a full simulation for one (workload,
+//! runtime) pair, runs it, verifies the output, and collects every metric
+//! the paper's tables and figures report.
+
+use tmi::{AppLayout, MemoryBreakdown, TmiConfig, TmiRuntime};
+use tmi_alloc::{AllocConfig, AllocPolicy, SimAllocator};
+use tmi_baselines::{
+    LaserConfig, LaserRuntime, PlasticConfig, PlasticRuntime, SheriffConfig, SheriffRuntime,
+};
+use tmi_machine::{LatencyModel, VAddr, FRAME_SIZE};
+use tmi_os::MapRequest;
+use tmi_perf::PerfConfig;
+use tmi_sim::{Engine, EngineConfig, Halt, NullRuntime, RuntimeHooks};
+use tmi_workloads::{SetupCtx, Workload, WorkloadParams};
+
+/// Base of the primary application mapping.
+pub const APP_START: u64 = 0x40_0000 * 16; // 64 MiB mark, 2 MiB aligned
+/// Base of TMI's internal shared region.
+pub const INTERNAL_START: u64 = 0x4000_0000;
+/// Internal region size.
+pub const INTERNAL_LEN: u64 = 8 * 1024 * 1024;
+
+/// Which runtime system supervises the run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RuntimeKind {
+    /// Plain pthreads with the Lockless-style allocator (the baseline all
+    /// figures normalize to). Anonymous memory, cheap faults.
+    Pthreads,
+    /// Baseline execution but with all allocations redirected to TMI's
+    /// process-shared memory (the `tmi-alloc` bars of Fig. 7).
+    TmiAlloc,
+    /// TMI monitoring without repair (`tmi-detect`).
+    TmiDetect,
+    /// Full TMI (`TMI-protect`).
+    TmiProtect,
+    /// TMI with targeted protection disabled — the PTSB-everywhere
+    /// ablation of §4.3.
+    TmiPtsbEverywhere,
+    /// TMI with code-centric consistency disabled (Figs. 11–12 ablation).
+    TmiNoCodeCentric,
+    /// Sheriff's detection tool.
+    SheriffDetect,
+    /// Sheriff's prevention tool.
+    SheriffProtect,
+    /// LASER.
+    Laser,
+    /// The Plastic-style comparator.
+    Plastic,
+}
+
+impl RuntimeKind {
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeKind::Pthreads => "pthreads",
+            RuntimeKind::TmiAlloc => "tmi-alloc",
+            RuntimeKind::TmiDetect => "tmi-detect",
+            RuntimeKind::TmiProtect => "tmi-protect",
+            RuntimeKind::TmiPtsbEverywhere => "tmi-ptsb-everywhere",
+            RuntimeKind::TmiNoCodeCentric => "tmi-no-ccc",
+            RuntimeKind::SheriffDetect => "sheriff-detect",
+            RuntimeKind::SheriffProtect => "sheriff-protect",
+            RuntimeKind::Laser => "laser",
+            RuntimeKind::Plastic => "plastic",
+        }
+    }
+
+    /// Whether this runtime ships its own allocator (and therefore escapes
+    /// allocator-induced false sharing like lu-ncb's, §4.3).
+    pub fn has_own_allocator(self) -> bool {
+        !matches!(
+            self,
+            RuntimeKind::Pthreads | RuntimeKind::Laser | RuntimeKind::Plastic
+        )
+    }
+
+    /// Whether application memory must be backed by a shared object.
+    /// Process-based runtimes need this to survive T2P; the harness also
+    /// uses object backing for the baseline so that cold-start demand
+    /// paging behaves uniformly (anonymous memory cannot survive the
+    /// residency reset between setup and simulation).
+    pub fn needs_shared_backing(self) -> bool {
+        true
+    }
+}
+
+/// Full configuration for one run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunConfig {
+    /// The runtime supervising the run.
+    pub runtime: RuntimeKind,
+    /// Worker threads (= cores).
+    pub threads: usize,
+    /// Work scale (1.0 = benchmark size).
+    pub scale: f64,
+    /// Apply the manual source fix.
+    pub fixed: bool,
+    /// Force misaligned allocation (repair experiments, §4.3).
+    pub misaligned: bool,
+    /// Map application memory with 2 MiB huge pages (§4.4).
+    pub huge_pages: bool,
+    /// perf sampling period (Fig. 4 sweeps this).
+    pub period: u64,
+    /// Detection-tick interval in cycles.
+    pub tick_interval: u64,
+    /// Livelock backstop in dynamic ops.
+    pub max_ops: u64,
+}
+
+impl RunConfig {
+    /// Defaults: 8 threads (the detection machine), benchmark scale,
+    /// period 100, 0.5 ms ticks.
+    pub fn new(runtime: RuntimeKind) -> Self {
+        RunConfig {
+            runtime,
+            threads: 8,
+            scale: 1.0,
+            fixed: false,
+            misaligned: false,
+            huge_pages: false,
+            period: 100,
+            tick_interval: 1_700_000,
+            max_ops: 80_000_000,
+        }
+    }
+
+    /// The 4-thread configuration of the repair experiments (§4.1), with a
+    /// faster detection tick so that detection latency occupies the same
+    /// small fraction of these shorter runs as the paper's 1 Hz analysis
+    /// does of its minute-long ones.
+    pub fn repair(runtime: RuntimeKind) -> Self {
+        RunConfig {
+            threads: 4,
+            tick_interval: 400_000,
+            ..Self::new(runtime)
+        }
+    }
+
+    /// Scales the work (tests use small scales).
+    pub fn scale(mut self, s: f64) -> Self {
+        self.scale = s;
+        self
+    }
+
+    /// Applies the manual fix.
+    pub fn fixed(mut self) -> Self {
+        self.fixed = true;
+        self
+    }
+
+    /// Forces misaligned allocation.
+    pub fn misaligned(mut self) -> Self {
+        self.misaligned = true;
+        self
+    }
+
+    /// Uses huge pages for application memory.
+    pub fn huge_pages(mut self) -> Self {
+        self.huge_pages = true;
+        self
+    }
+
+    /// Sets the perf sampling period.
+    pub fn period(mut self, p: u64) -> Self {
+        self.period = p;
+        self
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Runtime label.
+    pub runtime: &'static str,
+    /// How the run ended.
+    pub halt: Halt,
+    /// Wall time in cycles (max thread clock).
+    pub cycles: u64,
+    /// Wall time in simulated seconds.
+    pub seconds: f64,
+    /// Dynamic ops executed.
+    pub ops: u64,
+    /// Output verification outcome.
+    pub verified: Result<(), String>,
+    /// HITM events observed by the machine.
+    pub hitm_events: u64,
+    /// PEBS records captured by the runtime's perf monitor (0 for
+    /// runtimes without one).
+    pub perf_records: u64,
+    /// HITM events seen by the runtime's perf monitor.
+    pub perf_events: u64,
+    /// Whether online repair activated.
+    pub repaired: bool,
+    /// PTSB commit events.
+    pub commits: u64,
+    /// Cycle at which threads became processes, if they did.
+    pub converted_at: Option<u64>,
+    /// Stop-the-world conversion cost in cycles.
+    pub t2p_cycles: u64,
+    /// Total memory footprint in bytes (app + runtime overheads).
+    pub memory_bytes: u64,
+    /// App-only memory in bytes.
+    pub app_bytes: u64,
+    /// Demand page faults taken.
+    pub faults: u64,
+}
+
+impl RunResult {
+    /// True if the run completed and verified.
+    pub fn ok(&self) -> bool {
+        self.halt == Halt::Completed && self.verified.is_ok()
+    }
+
+    /// Wall time in seconds (alias).
+    pub fn runtime_secs(&self) -> f64 {
+        self.seconds
+    }
+
+    /// Commits per simulated second (Table 3).
+    pub fn commits_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.commits as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// T2P cost in microseconds (Table 3).
+    pub fn t2p_micros(&self) -> f64 {
+        self.t2p_cycles as f64 / (LatencyModel::CLOCK_HZ as f64 / 1e6)
+    }
+}
+
+fn alloc_config(cfg: &RunConfig, allocator_sensitive: bool) -> AllocConfig {
+    let mut ac = AllocConfig::default();
+    if allocator_sensitive && !cfg.fixed && !cfg.runtime.has_own_allocator() {
+        // The glibc-style layout that packs cross-thread allocations, the
+        // condition under which lu-ncb exhibits false sharing.
+        ac.policy = AllocPolicy::Glibc;
+        if cfg.misaligned {
+            ac.misalign = 8;
+        }
+    }
+    ac
+}
+
+struct Built<R: RuntimeHooks> {
+    engine: Engine<R>,
+    workload: Box<dyn Workload>,
+    layout: AppLayout,
+    aspace: tmi_os::AsId,
+}
+
+fn build<R: RuntimeHooks>(
+    name: &str,
+    cfg: &RunConfig,
+    make_runtime: impl FnOnce(AppLayout) -> R,
+) -> Built<R> {
+    let mut workload = tmi_workloads::by_name(name)
+        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let spec = workload.spec();
+
+    let app_len: u64 = if spec.big_memory { 64 << 20 } else { 16 << 20 };
+    let mut engine_cfg = EngineConfig::with_cores(cfg.threads.max(1));
+    engine_cfg.tick_interval = cfg.tick_interval;
+    engine_cfg.max_ops = cfg.max_ops;
+    engine_cfg.max_cycles = 60_000_000_000;
+
+    // The runtime is constructed against the layout before the engine
+    // exists (TMI sets its memory up at program start, §3.2).
+    let layout_proto = AppLayout {
+        app_obj: tmi_os::ObjId(0),
+        app_start: VAddr::new(APP_START),
+        app_len,
+        internal_obj: tmi_os::ObjId(1),
+        internal_start: VAddr::new(INTERNAL_START),
+        internal_len: INTERNAL_LEN,
+        huge_pages: cfg.huge_pages,
+    };
+    let mut engine = Engine::new(engine_cfg, make_runtime(layout_proto));
+
+    // Map the application region (object- or anon-backed) and the internal
+    // region.
+    let kernel = &mut engine.core_mut().kernel;
+    let app_obj = kernel.create_object(app_len);
+    let internal_obj = kernel.create_object(INTERNAL_LEN);
+    let aspace = kernel.create_aspace();
+    let mut layout = layout_proto;
+    layout.app_obj = app_obj;
+    layout.internal_obj = internal_obj;
+
+    debug_assert!(cfg.runtime.needs_shared_backing());
+    let mut req = MapRequest::object(VAddr::new(APP_START), app_len, app_obj, 0);
+    if cfg.huge_pages {
+        req = req.huge();
+    }
+    kernel.map(aspace, req).expect("map app object");
+    kernel
+        .map(
+            aspace,
+            MapRequest::object(VAddr::new(INTERNAL_START), INTERNAL_LEN, internal_obj, 0),
+        )
+        .expect("map internal");
+
+    engine.create_root_process(aspace);
+
+    // Build the workload.
+    let mut alloc = SimAllocator::new(
+        VAddr::new(APP_START),
+        app_len,
+        alloc_config(cfg, spec.allocator_sensitive),
+    );
+    let params = WorkloadParams {
+        threads: cfg.threads,
+        scale: cfg.scale,
+        fixed: cfg.fixed,
+        misaligned: cfg.misaligned,
+    };
+    let core = engine.core_mut();
+    let programs = {
+        // Split borrows of the engine core for the setup context.
+        let EngineCoreView { kernel, code } = split_core(core);
+        let mut ctx = SetupCtx::new(kernel, code, &mut alloc, aspace);
+        workload.build(&mut ctx, &params)
+    };
+    for p in programs {
+        engine.add_thread(p);
+    }
+
+    // Cold start: drop residency so first touches fault during simulation
+    // (the page-fault behaviour Fig. 10 measures).
+    engine.core_mut().kernel.drop_residency(aspace);
+
+    Built {
+        engine,
+        workload,
+        layout,
+        aspace,
+    }
+}
+
+struct EngineCoreView<'a> {
+    kernel: &'a mut tmi_os::Kernel,
+    code: &'a mut tmi_program::CodeRegistry,
+}
+
+fn split_core(core: &mut tmi_sim::EngineCore) -> EngineCoreView<'_> {
+    // `kernel` and `code` are distinct public fields; reborrow them.
+    let tmi_sim::EngineCore { kernel, code, .. } = core;
+    EngineCoreView { kernel, code }
+}
+
+fn base_result(name: &str, cfg: &RunConfig) -> RunResult {
+    RunResult {
+        workload: name.to_owned(),
+        runtime: cfg.runtime.label(),
+        halt: Halt::Completed,
+        cycles: 0,
+        seconds: 0.0,
+        ops: 0,
+        verified: Ok(()),
+        hitm_events: 0,
+        perf_records: 0,
+        perf_events: 0,
+        repaired: false,
+        commits: 0,
+        converted_at: None,
+        t2p_cycles: 0,
+        memory_bytes: 0,
+        app_bytes: 0,
+        faults: 0,
+    }
+}
+
+fn finish<R: RuntimeHooks>(
+    name: &str,
+    cfg: &RunConfig,
+    mut built: Built<R>,
+    fill: impl FnOnce(&R, &tmi_sim::EngineCore, &mut RunResult),
+) -> RunResult {
+    let report = built.engine.run();
+    let mut r = base_result(name, cfg);
+    r.halt = report.halt.clone();
+    r.cycles = report.cycles;
+    r.seconds = report.seconds();
+    r.ops = report.ops;
+    r.hitm_events = built.engine.core().machine.stats().hitm_events;
+    r.faults = built.engine.core().kernel.stats().total_demand_faults();
+    r.app_bytes =
+        built.engine.core().kernel.physmem().peak_allocated_frames() as u64 * FRAME_SIZE;
+    r.memory_bytes = r.app_bytes;
+
+    // Verification (only meaningful if the run completed).
+    if report.halt == Halt::Completed {
+        let core = built.engine.core_mut();
+        let EngineCoreView { kernel, code } = split_core(core);
+        let mut alloc = SimAllocator::new(VAddr::new(APP_START), 1 << 20, AllocConfig::default());
+        let mut ctx = SetupCtx::new(kernel, code, &mut alloc, built.aspace);
+        r.verified = built.workload.verify(&mut ctx);
+    } else {
+        r.verified = Err(format!("run did not complete: {:?}", report.halt));
+    }
+
+    let _ = built.layout;
+    fill(built.engine.runtime(), built.engine.core(), &mut r);
+    r
+}
+
+/// Runs one workload under one configuration and returns all metrics.
+///
+/// # Panics
+///
+/// Panics on unknown workload names; simulation errors are reported in
+/// [`RunResult::halt`].
+pub fn run(name: &str, cfg: &RunConfig) -> RunResult {
+    let tmi_cfg = |preset: TmiConfig| TmiConfig {
+        perf: PerfConfig::with_period(cfg.period),
+        ..preset
+    };
+    match cfg.runtime {
+        RuntimeKind::Pthreads | RuntimeKind::TmiAlloc => {
+            let built = build(name, cfg, |_| NullRuntime);
+            finish(name, cfg, built, |_rt, _core, _r| {})
+        }
+        RuntimeKind::TmiDetect => {
+            let c = tmi_cfg(TmiConfig::detect_only());
+            let built = build(name, cfg, |l| TmiRuntime::new(c, l));
+            finish(name, cfg, built, fill_tmi)
+        }
+        RuntimeKind::TmiProtect => {
+            let c = tmi_cfg(TmiConfig::protect());
+            let built = build(name, cfg, |l| TmiRuntime::new(c, l));
+            finish(name, cfg, built, fill_tmi)
+        }
+        RuntimeKind::TmiPtsbEverywhere => {
+            let c = tmi_cfg(TmiConfig::ptsb_everywhere());
+            let built = build(name, cfg, |l| TmiRuntime::new(c, l));
+            finish(name, cfg, built, fill_tmi)
+        }
+        RuntimeKind::TmiNoCodeCentric => {
+            let c = TmiConfig {
+                code_centric: false,
+                ..tmi_cfg(TmiConfig::protect())
+            };
+            let built = build(name, cfg, |l| TmiRuntime::new(c, l));
+            finish(name, cfg, built, fill_tmi)
+        }
+        RuntimeKind::SheriffDetect => {
+            let built = build(name, cfg, |l| SheriffRuntime::new(SheriffConfig::detect(), l));
+            finish(name, cfg, built, fill_sheriff)
+        }
+        RuntimeKind::SheriffProtect => {
+            let built = build(name, cfg, |l| {
+                SheriffRuntime::new(SheriffConfig::protect(), l)
+            });
+            finish(name, cfg, built, fill_sheriff)
+        }
+        RuntimeKind::Laser => {
+            let c = LaserConfig {
+                perf: PerfConfig::with_period(cfg.period),
+                ..Default::default()
+            };
+            let built = build(name, cfg, |l| LaserRuntime::new(c, l));
+            finish(name, cfg, built, |rt, _core, r| {
+                r.repaired = rt.repaired();
+                r.perf_events = rt.stats().emulated_stores; // proxy
+            })
+        }
+        RuntimeKind::Plastic => {
+            let c = PlasticConfig {
+                perf: PerfConfig::with_period(cfg.period),
+                ..Default::default()
+            };
+            let built = build(name, cfg, |l| PlasticRuntime::new(c, l));
+            finish(name, cfg, built, |rt, _core, r| {
+                r.repaired = rt.stats().remapped_lines > 0;
+            })
+        }
+    }
+}
+
+fn fill_tmi(rt: &TmiRuntime, core: &tmi_sim::EngineCore, r: &mut RunResult) {
+    let kernel = &core.kernel;
+    r.perf_records = rt.perf().records_taken();
+    r.perf_events = rt.perf().events_seen();
+    r.repaired = rt.repaired();
+    r.commits = rt.repair().stats().commits;
+    r.converted_at = rt.repair().stats().converted_at_cycle;
+    r.t2p_cycles = rt.repair().stats().t2p_cycles;
+    let mem: MemoryBreakdown = rt.memory(kernel);
+    r.memory_bytes = mem.total();
+    r.app_bytes = mem.app_bytes;
+}
+
+fn fill_sheriff(rt: &SheriffRuntime, _core: &tmi_sim::EngineCore, r: &mut RunResult) {
+    r.repaired = true;
+    r.commits = rt.repair().stats().commits;
+    r.t2p_cycles = rt.repair().stats().t2p_cycles;
+    // Sheriff's overhead: twins + protection state, no perf buffers.
+    r.memory_bytes = r.app_bytes + rt.repair().twins().peak_bytes();
+}
+
+/// Runs a workload under `tmi-detect` and additionally returns the
+/// perf-c2c-style [`tmi::ContentionReport`] plus the Cheetah-style
+/// predicted manual-fix speedup.
+pub fn run_detect_report(name: &str, cfg: &RunConfig) -> (RunResult, tmi::ContentionReport, f64) {
+    let mut cfg = *cfg;
+    cfg.runtime = RuntimeKind::TmiDetect;
+    let c = TmiConfig {
+        perf: PerfConfig::with_period(cfg.period),
+        ..TmiConfig::detect_only()
+    };
+    let built = build(name, &cfg, |l| TmiRuntime::new(c, l));
+    let mut report = tmi::ContentionReport::default();
+    let r = finish(name, &cfg, built, |rt, core, res| {
+        fill_tmi(rt, core, res);
+        report = tmi::ContentionReport::build(rt.detector(), &core.code, 16);
+    });
+    let predicted =
+        report.predict_manual_speedup_calibrated(r.cycles, cfg.threads, Some(r.perf_events));
+    (r, report, predicted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_kind_properties() {
+        assert!(RuntimeKind::TmiProtect.has_own_allocator());
+        assert!(RuntimeKind::SheriffProtect.has_own_allocator());
+        assert!(!RuntimeKind::Pthreads.has_own_allocator());
+        assert!(!RuntimeKind::Laser.has_own_allocator());
+        for rt in [
+            RuntimeKind::Pthreads,
+            RuntimeKind::TmiDetect,
+            RuntimeKind::SheriffDetect,
+        ] {
+            assert!(rt.needs_shared_backing());
+            assert!(!rt.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn run_config_builders_compose() {
+        let c = RunConfig::repair(RuntimeKind::TmiProtect)
+            .scale(0.5)
+            .fixed()
+            .misaligned()
+            .huge_pages()
+            .period(10);
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.scale, 0.5);
+        assert!(c.fixed && c.misaligned && c.huge_pages);
+        assert_eq!(c.period, 10);
+        assert!(c.tick_interval < RunConfig::new(RuntimeKind::TmiProtect).tick_interval);
+    }
+
+    #[test]
+    fn alloc_config_selects_glibc_only_for_sensitive_baselines() {
+        let base = RunConfig::repair(RuntimeKind::Pthreads).misaligned();
+        let ac = alloc_config(&base, true);
+        assert_eq!(ac.policy, AllocPolicy::Glibc);
+        assert_eq!(ac.misalign, 8);
+        // Runtimes with their own allocator escape the bad layout.
+        let tmi = RunConfig::repair(RuntimeKind::TmiProtect).misaligned();
+        assert_eq!(alloc_config(&tmi, true).policy, AllocPolicy::Lockless);
+        // Non-sensitive workloads keep the default even on baselines.
+        assert_eq!(alloc_config(&base, false).policy, AllocPolicy::Lockless);
+        // The manual fix also escapes it.
+        let fixed = RunConfig::repair(RuntimeKind::Pthreads).fixed();
+        assert_eq!(alloc_config(&fixed, true).policy, AllocPolicy::Lockless);
+    }
+
+    #[test]
+    fn result_time_conversions() {
+        let mut r = base_result("x", &RunConfig::new(RuntimeKind::Pthreads));
+        r.cycles = 3_400_000;
+        r.seconds = 1e-3;
+        r.commits = 34;
+        r.t2p_cycles = 340_000;
+        assert!((r.commits_per_sec() - 34_000.0).abs() < 1.0);
+        assert!((r.t2p_micros() - 100.0).abs() < 1e-6);
+        assert!(r.ok());
+    }
+}

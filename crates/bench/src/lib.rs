@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # tmi-bench — experiment harness for every table and figure
+//!
+//! One binary per table/figure of the paper's evaluation (§4), each
+//! printing the same rows/series the paper reports, regenerated from the
+//! simulation:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `table1` | Table 1 — requirements matrix |
+//! | `fig3`   | Fig. 3 — AMBSA word-tearing litmus |
+//! | `fig4`   | Fig. 4 — runtime & HITM records vs perf period |
+//! | `fig7`   | Fig. 7 — detection overhead across the suite |
+//! | `fig8`   | Fig. 8 — memory overhead across the suite |
+//! | `fig9`   | Fig. 9 — repair speedups vs manual/Sheriff/LASER |
+//! | `table3` | Table 3 — repair characterization |
+//! | `fig10`  | Fig. 10 — 4 KiB vs 2 MiB huge pages |
+//! | `fig11`  | Fig. 11 — canneal corruption without code-centric consistency |
+//! | `fig12`  | Fig. 12 — cholesky hang without code-centric consistency |
+//! | `ablate_ptsb_everywhere` | §4.3 — targeted repair vs PTSB-everywhere |
+//! | `sweep_threads` | extension: FS penalty & repair quality vs thread count |
+//! | `run_all` | all of the above, writing EXPERIMENTS data |
+//!
+//! The [`harness`] module is the library behind them: it assembles a
+//! simulated machine, kernel, allocator and runtime for one (workload,
+//! runtime) pair and returns a [`harness::RunResult`].
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{run, run_detect_report, RunConfig, RunResult, RuntimeKind};

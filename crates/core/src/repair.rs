@@ -1,0 +1,338 @@
+//! The repair manager: thread-to-process conversion and targeted page
+//! protection (§3.2, §3.3).
+
+use std::collections::BTreeSet;
+
+use tmi_machine::addr::FRAMES_PER_HUGE_PAGE;
+use tmi_machine::Vpn;
+use tmi_os::Tid;
+use tmi_sim::EngineCtl;
+
+use crate::config::TmiConfig;
+use crate::layout::AppLayout;
+use crate::twins::TwinStore;
+
+/// Repair bookkeeping for Table 3 and the EXPERIMENTS report.
+#[derive(Clone, Debug, Default)]
+pub struct RepairStats {
+    /// Cycle at which threads were converted to processes (detection
+    /// latency: the "Unrepaired" column of Table 3).
+    pub converted_at_cycle: Option<u64>,
+    /// Total cycles charged for the stop-the-world conversion (the T2P
+    /// column of Table 3).
+    pub t2p_cycles: u64,
+    /// Number of repair rounds (each may add pages).
+    pub repair_rounds: u64,
+    /// PTSB commit events (the Commits/s column of Table 3 divides this by
+    /// runtime).
+    pub commits: u64,
+    /// Pages committed across all commits.
+    pub committed_pages: u64,
+    /// Cycles spent in commits.
+    pub commit_cycles: u64,
+    /// Bytes merged into shared memory.
+    pub bytes_merged: u64,
+}
+
+/// Converts threads into processes on demand and arms the PTSB on exactly
+/// the pages the detector incriminated.
+#[derive(Debug, Default)]
+pub struct RepairManager {
+    active: bool,
+    protected: BTreeSet<Vpn>,
+    twins: TwinStore,
+    stats: RepairStats,
+}
+
+impl RepairManager {
+    /// Creates an inactive manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once repair has been triggered (threads are processes).
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// True if `vpn` is PTSB-armed.
+    pub fn is_protected(&self, vpn: Vpn) -> bool {
+        self.protected.contains(&vpn)
+    }
+
+    /// Number of protected pages.
+    pub fn protected_pages(&self) -> usize {
+        self.protected.len()
+    }
+
+    /// Repair statistics.
+    pub fn stats(&self) -> &RepairStats {
+        &self.stats
+    }
+
+    /// The twin store (for memory accounting).
+    pub fn twins(&self) -> &TwinStore {
+        &self.twins
+    }
+
+    /// Triggers (or extends) repair: on the first call, stops the world
+    /// and converts every application thread into a process via injected
+    /// `fork()` (§3.2); then arms copy-on-write protection for `pages` in
+    /// every process (§3.3). Pages in huge-page mappings are expanded to
+    /// whole 2 MiB chunks.
+    pub fn trigger(
+        &mut self,
+        ctl: &mut dyn EngineCtl,
+        cfg: &TmiConfig,
+        layout: &AppLayout,
+        pages: &[Vpn],
+    ) {
+        let tids: Vec<Tid> = ctl.tids();
+        if !self.active {
+            self.active = true;
+            self.stats.converted_at_cycle = Some(ctl.now());
+            for &tid in &tids {
+                // The root process keeps its (unscheduled) main thread, so
+                // every worker can convert; a sole-thread error would mean
+                // the workload had one thread and conversion is moot.
+                let _ = ctl.kernel().convert_thread_to_process(tid);
+            }
+            let cost = cfg.stop_world_cycles + cfg.t2p_cycles_per_thread * tids.len() as u64;
+            self.stats.t2p_cycles = cost;
+            ctl.add_cycles_all(cost);
+        }
+        self.stats.repair_rounds += 1;
+
+        let mut targets: BTreeSet<Vpn> = BTreeSet::new();
+        for &vpn in pages {
+            if layout.huge_pages {
+                let base = vpn.huge_base();
+                for i in 0..FRAMES_PER_HUGE_PAGE {
+                    targets.insert(Vpn(base.0 + i));
+                }
+            } else {
+                targets.insert(vpn);
+            }
+        }
+        for vpn in targets {
+            if !self.protected.insert(vpn) {
+                continue;
+            }
+            for &tid in &tids {
+                let aspace = ctl.kernel().thread_aspace(tid);
+                ctl.kernel()
+                    .protect_page_cow(aspace, vpn)
+                    .expect("PTSB pages must be shared-object backed");
+            }
+        }
+    }
+
+    /// Records the twin for a page that just COW-broke, if we armed it.
+    /// `first` and `pages` come from the fault resolution (512 for a huge
+    /// break).
+    pub fn on_cow(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, first: Vpn, pages: u64) {
+        let aspace = ctl.kernel().thread_aspace(tid);
+        for i in 0..pages {
+            let vpn = Vpn(first.0 + i);
+            if self.protected.contains(&vpn) {
+                self.twins.snapshot(ctl.kernel(), aspace, vpn);
+            }
+        }
+    }
+
+    /// True if `tid`'s process has buffered (uncommitted) pages.
+    pub fn has_dirty(&self, ctl: &mut dyn EngineCtl, tid: Tid) -> bool {
+        let aspace = ctl.kernel().thread_aspace(tid);
+        self.twins.has_dirty(aspace)
+    }
+
+    /// Commits every dirty page of `tid`'s process: the PTSB flush at a
+    /// synchronization operation. Returns the cycles it cost.
+    pub fn commit_thread(
+        &mut self,
+        ctl: &mut dyn EngineCtl,
+        tid: Tid,
+        cfg: &TmiConfig,
+        layout: &AppLayout,
+    ) -> u64 {
+        let aspace = ctl.kernel().thread_aspace(tid);
+        let dirty = self.twins.dirty_pages(aspace);
+        if dirty.is_empty() {
+            return 0;
+        }
+        let mut cycles = 0;
+        for vpn in dirty {
+            let pc = self.twins.commit_page(
+                ctl.kernel(),
+                aspace,
+                vpn,
+                &cfg.commit,
+                layout.huge_pages,
+            );
+            cycles += pc.cycles;
+            self.stats.bytes_merged += pc.bytes_merged;
+            self.stats.committed_pages += 1;
+        }
+        self.stats.commits += 1;
+        self.stats.commit_cycles += cycles;
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmi_machine::{VAddr, Width, FRAME_SIZE};
+    use tmi_os::{Kernel, MapRequest, ObjId};
+    use tmi_program::CodeRegistry;
+
+    /// A minimal EngineCtl for unit-testing the manager without a full
+    /// engine.
+    struct FakeCtl {
+        kernel: Kernel,
+        tids: Vec<Tid>,
+        code: CodeRegistry,
+        cycles_added: u64,
+    }
+
+    impl EngineCtl for FakeCtl {
+        fn kernel(&mut self) -> &mut Kernel {
+            &mut self.kernel
+        }
+        fn tids(&self) -> Vec<Tid> {
+            self.tids.clone()
+        }
+        fn add_cycles(&mut self, _tid: Tid, cycles: u64) {
+            self.cycles_added += cycles;
+        }
+        fn add_cycles_all(&mut self, cycles: u64) {
+            self.cycles_added += cycles;
+        }
+        fn now(&self) -> u64 {
+            12345
+        }
+        fn code(&self) -> &CodeRegistry {
+            &self.code
+        }
+    }
+
+    fn setup(threads: usize) -> (FakeCtl, AppLayout) {
+        let mut kernel = Kernel::new();
+        let obj = kernel.create_object(16 * FRAME_SIZE);
+        let internal = kernel.create_object(FRAME_SIZE);
+        let aspace = kernel.create_aspace();
+        let base = VAddr::new(0x10000);
+        kernel
+            .map(aspace, MapRequest::object(base, 16 * FRAME_SIZE, obj, 0))
+            .unwrap();
+        kernel
+            .map(
+                aspace,
+                MapRequest::object(VAddr::new(0x80_0000), FRAME_SIZE, internal, 0),
+            )
+            .unwrap();
+        let (pid, _main) = kernel.create_process(aspace);
+        let tids: Vec<Tid> = (0..threads).map(|_| kernel.spawn_thread(pid)).collect();
+        let layout = AppLayout {
+            app_obj: obj,
+            app_start: base,
+            app_len: 16 * FRAME_SIZE,
+            internal_obj: ObjId(1),
+            internal_start: VAddr::new(0x80_0000),
+            internal_len: FRAME_SIZE,
+            huge_pages: false,
+        };
+        (
+            FakeCtl {
+                kernel,
+                tids,
+                code: CodeRegistry::new(),
+                cycles_added: 0,
+            },
+            layout,
+        )
+    }
+
+    #[test]
+    fn trigger_converts_threads_and_protects_pages() {
+        let (mut ctl, layout) = setup(2);
+        let cfg = TmiConfig::default();
+        let mut rm = RepairManager::new();
+        let hot = VAddr::new(0x10000).vpn();
+        rm.trigger(&mut ctl, &cfg, &layout, &[hot]);
+
+        assert!(rm.active());
+        assert!(rm.is_protected(hot));
+        assert_eq!(ctl.kernel.stats().conversions, 2);
+        assert!(ctl.cycles_added >= cfg.t2p_cycles_per_thread * 2);
+        // Both processes have the page armed.
+        let tids = ctl.tids();
+        for tid in tids {
+            let a = ctl.kernel.thread_aspace(tid);
+            assert!(ctl.kernel.translate(a, hot.base(), true).is_err());
+        }
+        assert_eq!(rm.stats().converted_at_cycle, Some(12345));
+    }
+
+    #[test]
+    fn second_trigger_only_adds_pages() {
+        let (mut ctl, layout) = setup(2);
+        let cfg = TmiConfig::default();
+        let mut rm = RepairManager::new();
+        rm.trigger(&mut ctl, &cfg, &layout, &[VAddr::new(0x10000).vpn()]);
+        let conversions = ctl.kernel.stats().conversions;
+        rm.trigger(&mut ctl, &cfg, &layout, &[VAddr::new(0x11000).vpn()]);
+        assert_eq!(ctl.kernel.stats().conversions, conversions, "no re-convert");
+        assert_eq!(rm.protected_pages(), 2);
+        assert_eq!(rm.stats().repair_rounds, 2);
+    }
+
+    #[test]
+    fn cow_snapshot_and_commit_roundtrip() {
+        let (mut ctl, layout) = setup(2);
+        let cfg = TmiConfig::default();
+        let mut rm = RepairManager::new();
+        let base = VAddr::new(0x10000);
+        ctl.kernel.force_write(ctl.tids[0].into_aspace(&ctl.kernel), base, Width::W8, 1)
+            .unwrap();
+        rm.trigger(&mut ctl, &cfg, &layout, &[base.vpn()]);
+
+        let t0 = ctl.tids[0];
+        let a0 = ctl.kernel.thread_aspace(t0);
+        // Simulate the engine's fault path: break COW, notify, write.
+        ctl.kernel.handle_fault(a0, base, true).unwrap();
+        rm.on_cow(&mut ctl, t0, base.vpn(), 1);
+        assert!(rm.has_dirty(&mut ctl, t0));
+        ctl.kernel.force_write(a0, base, Width::W8, 42).unwrap();
+
+        let cycles = rm.commit_thread(&mut ctl, t0, &cfg, &layout);
+        assert!(cycles > 0);
+        assert!(!rm.has_dirty(&mut ctl, t0));
+        assert_eq!(rm.stats().commits, 1);
+        assert!(rm.stats().bytes_merged >= 1);
+        // The other process sees the committed value through shared memory.
+        let t1 = ctl.tids[1];
+        let a1 = ctl.kernel.thread_aspace(t1);
+        assert_eq!(ctl.kernel.force_read(a1, base, Width::W8).unwrap(), 42);
+    }
+
+    #[test]
+    fn commit_without_dirty_pages_is_free() {
+        let (mut ctl, layout) = setup(1);
+        let cfg = TmiConfig::default();
+        let mut rm = RepairManager::new();
+        let t0 = ctl.tids[0];
+        assert_eq!(rm.commit_thread(&mut ctl, t0, &cfg, &layout), 0);
+        assert_eq!(rm.stats().commits, 0);
+    }
+
+    /// Helper used in a test above.
+    trait IntoAspace {
+        fn into_aspace(self, k: &Kernel) -> tmi_os::AsId;
+    }
+    impl IntoAspace for Tid {
+        fn into_aspace(self, k: &Kernel) -> tmi_os::AsId {
+            k.thread_aspace(self)
+        }
+    }
+}

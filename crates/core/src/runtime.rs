@@ -1,0 +1,244 @@
+//! The TMI runtime: the composition of detector, repair manager, lock
+//! redirector and consistency policy behind the [`tmi_sim::RuntimeHooks`]
+//! interface.
+
+use std::collections::BTreeSet;
+
+use tmi_machine::{AccessOutcome, LatencyModel, VAddr, Vpn, LINE_SIZE};
+use tmi_os::{FaultResolution, Kernel, Tid};
+use tmi_perf::PerfMonitor;
+use tmi_sim::{AccessInfo, EngineCtl, PreAccess, RegionEvent, RuntimeHooks, SyncEvent};
+
+use crate::config::TmiConfig;
+use crate::consistency;
+use crate::detect::{FalseSharingDetector, SharingKind, SharingReport};
+use crate::layout::AppLayout;
+use crate::locks::LockRedirector;
+use crate::memstats::MemoryBreakdown;
+use crate::repair::RepairManager;
+
+/// Summary counters exposed after a run.
+#[derive(Clone, Debug, Default)]
+pub struct TmiStats {
+    /// Distinct lines ever reported as falsely shared.
+    pub fs_lines: BTreeSet<u64>,
+    /// Distinct lines ever reported as truly shared.
+    pub ts_lines: BTreeSet<u64>,
+    /// Cycle of the first threshold-crossing false-sharing report.
+    pub first_detection_cycle: Option<u64>,
+    /// Lock re-padding repairs performed.
+    pub lock_repads: u64,
+    /// Detection-thread analysis passes.
+    pub ticks: u64,
+}
+
+/// The TMI runtime system (the paper's primary contribution).
+///
+/// Construct with a [`TmiConfig`] (detect-only or protect) and the
+/// [`AppLayout`] describing where the application's shared-object memory
+/// lives, then hand it to [`tmi_sim::Engine::new`].
+#[derive(Debug)]
+pub struct TmiRuntime {
+    config: TmiConfig,
+    layout: AppLayout,
+    perf: PerfMonitor,
+    detector: FalseSharingDetector,
+    repair: RepairManager,
+    locks: LockRedirector,
+    stats: TmiStats,
+    last_tick: u64,
+}
+
+impl TmiRuntime {
+    /// Creates a runtime for the given configuration and layout.
+    pub fn new(config: TmiConfig, layout: AppLayout) -> Self {
+        let ranges = vec![
+            (layout.app_start, layout.app_len),
+            (layout.internal_start, layout.internal_len),
+        ];
+        TmiRuntime {
+            perf: PerfMonitor::new(config.perf),
+            detector: FalseSharingDetector::new(config.perf, ranges),
+            repair: RepairManager::new(),
+            // The lock area starts one line in, leaving line 0 for TMI
+            // state, and uses the first quarter of the internal region.
+            locks: LockRedirector::new(
+                VAddr::new(layout.internal_start.raw() + LINE_SIZE),
+                layout.internal_len / 4,
+            ),
+            stats: TmiStats::default(),
+            last_tick: 0,
+            config,
+            layout,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &TmiConfig {
+        &self.config
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> &TmiStats {
+        &self.stats
+    }
+
+    /// The repair manager (T2P and commit statistics, Table 3).
+    pub fn repair(&self) -> &RepairManager {
+        &self.repair
+    }
+
+    /// The detector (line profiles and record counts).
+    pub fn detector(&self) -> &FalseSharingDetector {
+        &self.detector
+    }
+
+    /// The perf monitor (records/events, Fig. 4).
+    pub fn perf(&self) -> &PerfMonitor {
+        &self.perf
+    }
+
+    /// The lock redirector.
+    pub fn locks(&self) -> &LockRedirector {
+        &self.locks
+    }
+
+    /// Whether repair has been activated during the run.
+    pub fn repaired(&self) -> bool {
+        self.repair.active() || self.stats.lock_repads > 0
+    }
+
+    /// Memory breakdown for Fig. 8. `app_bytes` is the peak physical
+    /// memory of the application (from the kernel).
+    pub fn memory(&self, kernel: &Kernel) -> MemoryBreakdown {
+        MemoryBreakdown {
+            app_bytes: kernel.physmem().peak_allocated_frames() as u64 * tmi_machine::FRAME_SIZE,
+            perf_bytes: self.perf.buffer_bytes(),
+            detector_bytes: self.detector.table_bytes() + self.config.detector_fixed_bytes,
+            twin_bytes: self.repair.twins().peak_bytes(),
+            lock_bytes: self.locks.bytes_used(),
+        }
+    }
+
+    fn flush_cost(&mut self, ctl: &mut dyn EngineCtl, tid: Tid) -> u64 {
+        if !self.repair.active() {
+            return 0;
+        }
+        self.repair.commit_thread(ctl, tid, &self.config, &self.layout)
+    }
+
+    fn handle_reports(&mut self, ctl: &mut dyn EngineCtl, reports: &[SharingReport], now: u64) {
+        let mut app_pages: Vec<Vpn> = Vec::new();
+        let mut lock_region_fs = false;
+        for r in reports {
+            match r.kind {
+                SharingKind::FalseSharing => {
+                    self.stats.fs_lines.insert(r.vline);
+                    self.stats.first_detection_cycle.get_or_insert(now);
+                    if self.layout.internal_line(r.vline) {
+                        lock_region_fs = true;
+                    } else if self.layout.app_line(r.vline) {
+                        app_pages.push(self.layout.line_page(r.vline));
+                    }
+                }
+                SharingKind::TrueSharing => {
+                    self.stats.ts_lines.insert(r.vline);
+                }
+                SharingKind::Private => {}
+            }
+        }
+        if !self.config.repair_enabled {
+            return;
+        }
+        if lock_region_fs && !self.locks.padded() {
+            // Stop the world briefly and re-pad the shared lock objects.
+            self.locks.repad();
+            self.stats.lock_repads += 1;
+            ctl.add_cycles_all(self.config.stop_world_cycles);
+        }
+        if !app_pages.is_empty() {
+            let pages: Vec<Vpn> = if self.config.targeted {
+                app_pages
+            } else {
+                self.layout.all_app_pages().collect()
+            };
+            self.repair.trigger(ctl, &self.config, &self.layout, &pages);
+        }
+    }
+}
+
+impl RuntimeHooks for TmiRuntime {
+    fn on_start(&mut self, ctl: &mut dyn EngineCtl) {
+        for tid in ctl.tids() {
+            self.perf.open_thread(tid);
+        }
+    }
+
+    fn pre_access(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, acc: &AccessInfo) -> PreAccess {
+        if !self.repair.active() {
+            // Compatible-by-default: before repair, the callbacks are NOPs
+            // and accesses run at native speed.
+            return PreAccess::default();
+        }
+        let d = consistency::access_decision(self.config.code_centric, acc);
+        let mut extra = 0;
+        if d.flush {
+            extra += self.flush_cost(ctl, tid);
+        }
+        PreAccess {
+            extra_cycles: extra,
+            route: consistency::route_of(d),
+        }
+    }
+
+    fn post_access(
+        &mut self,
+        _ctl: &mut dyn EngineCtl,
+        tid: Tid,
+        acc: &AccessInfo,
+        outcome: &AccessOutcome,
+    ) -> u64 {
+        let Some(hitm) = &outcome.hitm else { return 0 };
+        if !self.layout.in_app(acc.vaddr) && !self.layout.in_internal(acc.vaddr) {
+            return 0;
+        }
+        self.perf.on_hitm(tid, acc.pc, acc.vaddr, hitm.kind)
+    }
+
+    fn on_fault(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, res: &FaultResolution) {
+        if let FaultResolution::CowBroken { vpn, pages, .. } = *res {
+            self.repair.on_cow(ctl, tid, vpn, pages);
+        }
+    }
+
+    fn on_sync(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, _ev: SyncEvent) -> u64 {
+        self.flush_cost(ctl, tid)
+    }
+
+    fn on_region(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, ev: RegionEvent) -> u64 {
+        if consistency::region_flush(self.config.code_centric, ev) {
+            self.flush_cost(ctl, tid)
+        } else {
+            0
+        }
+    }
+
+    fn map_lock(&mut self, _ctl: &mut dyn EngineCtl, _tid: Tid, lock: VAddr) -> (VAddr, u64) {
+        if !self.config.lock_redirect {
+            return (lock, 0);
+        }
+        (self.locks.redirect(lock), self.config.lock_indirect_cycles)
+    }
+
+    fn on_tick(&mut self, ctl: &mut dyn EngineCtl, now: u64) {
+        self.stats.ticks += 1;
+        let records = self.perf.drain();
+        self.detector.ingest(&records, ctl.code());
+        let window_secs = LatencyModel::cycles_to_secs(now.saturating_sub(self.last_tick).max(1));
+        self.last_tick = now;
+        let reports = self
+            .detector
+            .analyze_window(window_secs, self.config.fs_threshold_per_sec);
+        self.handle_reports(ctl, &reports, now);
+    }
+}

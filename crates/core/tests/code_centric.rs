@@ -1,0 +1,227 @@
+//! Engine-level litmus tests for the Table 2 code-centric consistency
+//! matrix: with repair active, each kind of code region must interact
+//! with the PTSB exactly as §3.4 specifies.
+//!
+//! Setup: thread 0 first hammers a falsely-shared line against thread 1 to
+//! trigger repair, then both meet at a barrier and run the litmus phase on
+//! the (now protected) page.
+
+use tmi::{AppLayout, TmiConfig, TmiRuntime};
+use tmi_machine::{VAddr, Width, FRAME_SIZE};
+use tmi_os::MapRequest;
+use tmi_program::{InstrKind, MemOrder, Op, Pc, SequenceProgram};
+use tmi_sim::{Engine, EngineConfig, RuntimeHooks};
+
+const APP: u64 = 0x10_0000;
+const APP_LEN: u64 = 64 * FRAME_SIZE;
+const INTERNAL: u64 = 0x100_0000;
+const INTERNAL_LEN: u64 = 16 * FRAME_SIZE;
+
+struct Fixture {
+    engine: Engine<TmiRuntime>,
+    aspace: tmi_os::AsId,
+    st: Pc,
+    ld: Pc,
+    ast: Pc,
+    asm_st: Pc,
+}
+
+fn fixture(code_centric: bool) -> Fixture {
+    let mut cfg = EngineConfig::with_cores(2);
+    cfg.tick_interval = 150_000;
+    let layout = AppLayout {
+        app_obj: tmi_os::ObjId(0),
+        app_start: VAddr::new(APP),
+        app_len: APP_LEN,
+        internal_obj: tmi_os::ObjId(1),
+        internal_start: VAddr::new(INTERNAL),
+        internal_len: INTERNAL_LEN,
+        huge_pages: false,
+    };
+    let tmi_cfg = TmiConfig {
+        code_centric,
+        ..TmiConfig::protect()
+    };
+    let mut engine = Engine::new(cfg, TmiRuntime::new(tmi_cfg, layout));
+    let k = &mut engine.core_mut().kernel;
+    let app = k.create_object(APP_LEN);
+    let internal = k.create_object(INTERNAL_LEN);
+    let aspace = k.create_aspace();
+    k.map(aspace, MapRequest::object(VAddr::new(APP), APP_LEN, app, 0)).unwrap();
+    k.map(aspace, MapRequest::object(VAddr::new(INTERNAL), INTERNAL_LEN, internal, 0))
+        .unwrap();
+    engine.create_root_process(aspace);
+    let st = engine.core_mut().code.instr("lit::st", InstrKind::Store, Width::W8);
+    let ld = engine.core_mut().code.instr("lit::ld", InstrKind::Load, Width::W8);
+    let ast = engine.core_mut().code.atomic_instr("lit::atomic_st", InstrKind::Store, Width::W8);
+    let asm_st = engine.core_mut().code.asm_instr("lit::asm_st", InstrKind::Store, Width::W8);
+    Fixture {
+        engine,
+        aspace,
+        st,
+        ld,
+        ast,
+        asm_st,
+    }
+}
+
+/// The FS warm-up phase: `iters` load/store pairs on thread-private words
+/// packed into one line of the litmus page.
+fn warmup_ops(f: &Fixture, thread: u64, iters: usize) -> Vec<Op> {
+    let addr = VAddr::new(APP + thread * 8);
+    let mut ops = Vec::new();
+    for n in 0..iters {
+        ops.push(Op::Load { pc: f.ld, addr, width: Width::W8 });
+        ops.push(Op::Store { pc: f.st, addr, width: Width::W8, value: n as u64 });
+    }
+    ops
+}
+
+const BARRIER: u64 = APP + 8 * FRAME_SIZE;
+
+fn run_litmus(
+    f: &mut Fixture,
+    t0_tail: Vec<Op>,
+    t1_tail: Vec<Op>,
+) -> (tmi_sim::RunReport, Vec<Option<u64>>) {
+    let mut ops0 = warmup_ops(f, 0, 120_000);
+    ops0.push(Op::BarrierWait { barrier: VAddr::new(BARRIER) });
+    ops0.extend(t0_tail);
+    let mut ops1 = warmup_ops(f, 1, 120_000);
+    ops1.push(Op::BarrierWait { barrier: VAddr::new(BARRIER) });
+    ops1.extend(t1_tail);
+    let p0 = SequenceProgram::new(ops0);
+    let p1 = SequenceProgram::new(ops1);
+    let log1 = p1.log();
+    f.engine.add_thread(Box::new(p0));
+    f.engine.add_thread(Box::new(p1));
+    let r = f.engine.run();
+    let observed = log1.borrow().clone();
+    (r, observed)
+}
+
+fn shared_value(f: &mut Fixture, addr: VAddr) -> u64 {
+    let aspace = f.aspace;
+    let pa = f.engine.core_mut().kernel.object_paddr(aspace, addr).unwrap();
+    f.engine.core_mut().kernel.physmem().read(pa, Width::W8)
+}
+
+/// Case 2 (atomic × atomic): an ordering atomic store must flush the PTSB
+/// and land in shared memory immediately.
+#[test]
+fn ordering_atomic_store_is_immediately_shared() {
+    let mut f = fixture(true);
+    let x = VAddr::new(APP + 16); // same protected line as the counters
+    let t0 = vec![
+        // A plain (bufferable) store, then a SeqCst atomic: the atomic
+        // must flush the plain store and itself hit shared memory.
+        Op::Store { pc: f.st, addr: x, width: Width::W8, value: 41 },
+        Op::AtomicStore { pc: f.ast, addr: x.offset(8), width: Width::W8, value: 42, order: MemOrder::SeqCst },
+    ];
+    let (r, _) = run_litmus(&mut f, t0, vec![Op::Compute { cycles: 1000 }]);
+    assert!(r.completed());
+    assert!(f.engine.runtime().repair().active(), "warm-up must trigger repair");
+    assert_eq!(shared_value(&mut f, x), 41, "flushed by the atomic");
+    assert_eq!(shared_value(&mut f, x.offset(8)), 42, "atomic went to shared memory");
+}
+
+/// Relaxed refinement: a relaxed atomic bypasses to shared memory but does
+/// NOT flush buffered plain stores.
+#[test]
+fn relaxed_atomic_bypasses_without_flushing() {
+    let mut f = fixture(true);
+    let x = VAddr::new(APP + 16);
+    let t0 = vec![
+        Op::Store { pc: f.st, addr: x, width: Width::W8, value: 41 },
+        Op::AtomicStore { pc: f.ast, addr: x.offset(8), width: Width::W8, value: 42, order: MemOrder::Relaxed },
+        // Park so thread 1 can observe before our exit-commit runs.
+        Op::Compute { cycles: 500_000 },
+    ];
+    let t1 = vec![
+        Op::Compute { cycles: 100_000 },
+        Op::Load { pc: f.ld, addr: x.offset(8), width: Width::W8 },
+    ];
+    let (r, observed) = run_litmus(&mut f, t0, t1);
+    assert!(r.completed());
+    assert!(f.engine.runtime().repair().active());
+    let seen = observed.last().copied().flatten().unwrap();
+    assert_eq!(seen, 42, "relaxed atomic visible to the other process at once");
+    // The plain store eventually commits (thread exit), but the relaxed
+    // atomic must not have forced an early flush: commits at most at sync
+    // points. We can't observe "not flushed" directly here beyond the
+    // commit counter staying at the sync-point count.
+    assert!(f.engine.runtime().repair().stats().commits <= 4);
+}
+
+/// Case 5 (asm × asm): stores inside assembly regions get TSO semantics —
+/// they bypass the PTSB and are immediately visible.
+#[test]
+fn asm_region_stores_are_immediately_shared() {
+    let mut f = fixture(true);
+    let x = VAddr::new(APP + 24);
+    let t0 = vec![
+        Op::AsmEnter,
+        Op::Store { pc: f.asm_st, addr: x, width: Width::W8, value: 7 },
+        Op::AsmExit,
+        Op::Compute { cycles: 500_000 },
+    ];
+    let t1 = vec![
+        Op::Compute { cycles: 100_000 },
+        Op::Load { pc: f.ld, addr: x, width: Width::W8 },
+    ];
+    let (r, observed) = run_litmus(&mut f, t0, t1);
+    assert!(r.completed());
+    assert_eq!(observed.last().copied().flatten(), Some(7));
+}
+
+/// Case 1 (regular × regular, racy): plain stores to a protected page ARE
+/// buffered — a concurrent reader in another process sees the stale value
+/// until a synchronization commits (undefined behaviour territory, where
+/// the PTSB is permitted).
+#[test]
+fn plain_racy_stores_are_buffered_until_sync() {
+    let mut f = fixture(true);
+    let x = VAddr::new(APP + 32);
+    let t0 = vec![
+        Op::Store { pc: f.st, addr: x, width: Width::W8, value: 9 },
+        Op::Compute { cycles: 500_000 },
+    ];
+    let t1 = vec![
+        Op::Compute { cycles: 100_000 },
+        Op::Load { pc: f.ld, addr: x, width: Width::W8 },
+    ];
+    let (r, observed) = run_litmus(&mut f, t0, t1);
+    assert!(r.completed());
+    assert!(f.engine.runtime().repair().active());
+    assert_eq!(
+        observed.last().copied().flatten(),
+        Some(0),
+        "racy plain store may hide in the PTSB until commit"
+    );
+    // After thread exit, the commit made it durable.
+    assert_eq!(shared_value(&mut f, x), 9);
+}
+
+/// The ablation: with code-centric consistency OFF, even a SeqCst atomic
+/// store hides in the private page — the Sheriff-style semantic breakage.
+#[test]
+fn without_code_centric_atomics_lose_their_semantics() {
+    let mut f = fixture(false);
+    let x = VAddr::new(APP + 40);
+    let t0 = vec![
+        Op::AtomicStore { pc: f.ast, addr: x, width: Width::W8, value: 13, order: MemOrder::SeqCst },
+        Op::Compute { cycles: 500_000 },
+    ];
+    let t1 = vec![
+        Op::Compute { cycles: 100_000 },
+        Op::Load { pc: f.ld, addr: x, width: Width::W8 },
+    ];
+    let (r, observed) = run_litmus(&mut f, t0, t1);
+    assert!(r.completed());
+    assert!(f.engine.runtime().repair().active());
+    assert_eq!(
+        observed.last().copied().flatten(),
+        Some(0),
+        "the guard-less PTSB buffers even SeqCst atomics (the Sheriff flaw)"
+    );
+}

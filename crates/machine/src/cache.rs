@@ -1,0 +1,293 @@
+//! Set-associative cache tag arrays with MESI state per line.
+//!
+//! Only *metadata* lives here (tags, MESI states, LRU order) — line data is
+//! in [`crate::PhysMem`]. That is sufficient because the execution engine
+//! linearizes memory operations, so the value plane never diverges from what
+//! a real coherent machine would observe for the interleaving being
+//! simulated.
+
+use crate::addr::LineAddr;
+
+/// Coherence state of a line in a private cache (the MESI protocol, §2).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MesiState {
+    /// Writable, dirty; SWMR guarantees no other cache holds the line.
+    Modified,
+    /// Writable-on-upgrade, clean, exclusive.
+    Exclusive,
+    /// Read-only, possibly replicated in other caches.
+    Shared,
+}
+
+/// Geometry of a cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets; must be a power of two.
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// A 32 KiB, 8-way L1-like private cache (64 sets × 8 ways × 64 B).
+    pub const fn l1() -> Self {
+        CacheConfig { sets: 64, ways: 8 }
+    }
+
+    /// A 256 KiB, 8-way L2-like private cache. We model one level of
+    /// private cache; using L2 capacity keeps working sets resident the way
+    /// they are on the paper's Haswell parts.
+    pub const fn private_default() -> Self {
+        CacheConfig {
+            sets: 512,
+            ways: 8,
+        }
+    }
+
+    /// An 8 MiB, 16-way shared LLC.
+    pub const fn llc_default() -> Self {
+        CacheConfig {
+            sets: 8192,
+            ways: 16,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub const fn capacity_bytes(&self) -> u64 {
+        (self.sets * self.ways) as u64 * crate::addr::LINE_SIZE
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    tag: LineAddr,
+    state: MesiState,
+    /// Monotone stamp for LRU replacement.
+    stamp: u64,
+}
+
+/// A set-associative tag array.
+#[derive(Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+}
+
+/// What happened when a line was inserted into a cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Insertion {
+    /// There was room (or the line was already present and was updated).
+    Placed,
+    /// A victim line was evicted to make room.
+    Evicted {
+        /// The evicted line.
+        line: LineAddr,
+        /// Whether the victim was dirty (Modified) and thus written back.
+        dirty: bool,
+    },
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(config.ways > 0, "ways must be positive");
+        Cache {
+            config,
+            sets: (0..config.sets).map(|_| Vec::new()).collect(),
+            tick: 0,
+        }
+    }
+
+    /// Returns the cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() as usize) & (self.config.sets - 1)
+    }
+
+    /// Returns the MESI state of `line`, if present, refreshing its LRU
+    /// position.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<MesiState> {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        for way in set.iter_mut() {
+            if way.tag == line {
+                way.stamp = tick;
+                return Some(way.state);
+            }
+        }
+        None
+    }
+
+    /// Returns the MESI state of `line` without touching LRU state (used by
+    /// snoop probes from other cores, which do not constitute a use).
+    pub fn peek(&self, line: LineAddr) -> Option<MesiState> {
+        let idx = self.set_index(line);
+        self.sets[idx]
+            .iter()
+            .find(|w| w.tag == line)
+            .map(|w| w.state)
+    }
+
+    /// Sets the state of a line already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not present.
+    pub fn set_state(&mut self, line: LineAddr, state: MesiState) {
+        let idx = self.set_index(line);
+        let way = self.sets[idx]
+            .iter_mut()
+            .find(|w| w.tag == line)
+            .expect("set_state on absent line");
+        way.state = state;
+    }
+
+    /// Removes a line (snoop invalidation), returning its former state.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<MesiState> {
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        set.iter().position(|w| w.tag == line).map(|pos| set.swap_remove(pos).state)
+    }
+
+    /// Inserts `line` with `state`, updating in place if already present.
+    /// Returns whether a victim had to be evicted.
+    pub fn insert(&mut self, line: LineAddr, state: MesiState) -> Insertion {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.config.ways;
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        if let Some(way) = set.iter_mut().find(|w| w.tag == line) {
+            way.state = state;
+            way.stamp = tick;
+            return Insertion::Placed;
+        }
+        if set.len() < ways {
+            set.push(Way {
+                tag: line,
+                state,
+                stamp: tick,
+            });
+            return Insertion::Placed;
+        }
+        // Evict the LRU way.
+        let (victim_pos, _) = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.stamp)
+            .expect("non-empty set");
+        let victim = set[victim_pos];
+        set[victim_pos] = Way {
+            tag: line,
+            state,
+            stamp: tick,
+        };
+        Insertion::Evicted {
+            line: victim.tag,
+            dirty: victim.state == MesiState::Modified,
+        }
+    }
+
+    /// Number of resident lines (for memory accounting and tests).
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Drops every resident line (e.g. when a simulated process is torn
+    /// down in tests). Dirty data is already in physical memory, so no
+    /// writeback is needed.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut c = Cache::new(CacheConfig { sets: 4, ways: 2 });
+        assert_eq!(c.lookup(line(5)), None);
+        c.insert(line(5), MesiState::Exclusive);
+        assert_eq!(c.lookup(line(5)), Some(MesiState::Exclusive));
+    }
+
+    #[test]
+    fn state_transitions() {
+        let mut c = Cache::new(CacheConfig { sets: 4, ways: 2 });
+        c.insert(line(1), MesiState::Shared);
+        c.set_state(line(1), MesiState::Modified);
+        assert_eq!(c.peek(line(1)), Some(MesiState::Modified));
+        assert_eq!(c.invalidate(line(1)), Some(MesiState::Modified));
+        assert_eq!(c.peek(line(1)), None);
+    }
+
+    #[test]
+    fn lru_eviction_picks_least_recent() {
+        let mut c = Cache::new(CacheConfig { sets: 1, ways: 2 });
+        c.insert(line(1), MesiState::Exclusive);
+        c.insert(line(2), MesiState::Modified);
+        // Touch line 1 so line 2 is LRU.
+        assert!(c.lookup(line(1)).is_some());
+        let ins = c.insert(line(3), MesiState::Exclusive);
+        assert_eq!(
+            ins,
+            Insertion::Evicted {
+                line: line(2),
+                dirty: true
+            }
+        );
+        assert!(c.peek(line(1)).is_some());
+        assert!(c.peek(line(2)).is_none());
+    }
+
+    #[test]
+    fn insert_existing_updates_in_place() {
+        let mut c = Cache::new(CacheConfig { sets: 1, ways: 1 });
+        c.insert(line(1), MesiState::Shared);
+        assert_eq!(c.insert(line(1), MesiState::Modified), Insertion::Placed);
+        assert_eq!(c.peek(line(1)), Some(MesiState::Modified));
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn sets_partition_lines() {
+        let mut c = Cache::new(CacheConfig { sets: 2, ways: 1 });
+        // Lines 0 and 2 map to set 0; line 1 maps to set 1.
+        c.insert(line(0), MesiState::Exclusive);
+        c.insert(line(1), MesiState::Exclusive);
+        let ins = c.insert(line(2), MesiState::Exclusive);
+        assert!(matches!(ins, Insertion::Evicted { line: l, .. } if l == line(0)));
+        assert!(c.peek(line(1)).is_some(), "other set is untouched");
+    }
+
+    #[test]
+    fn capacity_bytes() {
+        assert_eq!(CacheConfig::l1().capacity_bytes(), 32 * 1024);
+        assert_eq!(CacheConfig::private_default().capacity_bytes(), 256 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        let _ = Cache::new(CacheConfig { sets: 3, ways: 1 });
+    }
+}

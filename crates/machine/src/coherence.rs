@@ -1,0 +1,570 @@
+//! The coherent multicore: per-core private caches, a shared LLC, and the
+//! MESI protocol with snooping.
+//!
+//! [`Machine::access`] is the single entry point: given a core, a physical
+//! address and an access kind it plays the coherence protocol forward,
+//! returning the latency of the access and the [`HitmEvent`] it generated,
+//! if any. The single-writer/multiple-reader invariant (§2) is enforced
+//! structurally: granting a writable copy invalidates every other copy.
+
+use std::collections::HashMap;
+
+use crate::addr::{CoreId, LineAddr, PhysAddr, Width};
+use crate::cache::{Cache, CacheConfig, Insertion, MesiState};
+use crate::hitm::{HitmEvent, HitmKind};
+use crate::latency::LatencyModel;
+use crate::stats::MachineStats;
+
+/// The kind of a memory access, as the cache hierarchy sees it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    /// A read.
+    Load,
+    /// A write (issues a request-for-ownership on a miss).
+    Store,
+    /// An atomic read-modify-write (locked instruction).
+    Rmw,
+}
+
+impl AccessKind {
+    /// Whether the access needs a writable (M) copy.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Store | AccessKind::Rmw)
+    }
+}
+
+/// Which level of the memory system serviced an access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServiceLevel {
+    /// Hit in the requester's private cache.
+    Local,
+    /// Clean line forwarded from a sibling private cache.
+    RemoteClean,
+    /// Dirty line forwarded from a sibling private cache — the HITM case.
+    RemoteDirty,
+    /// Hit in the shared last-level cache.
+    Llc,
+    /// Serviced from DRAM.
+    Dram,
+}
+
+/// The result of one memory access.
+#[derive(Clone, Copy, Debug)]
+pub struct AccessOutcome {
+    /// Cycles this access took.
+    pub latency: u64,
+    /// The HITM event generated, if the access hit a remote modified line.
+    pub hitm: Option<HitmEvent>,
+    /// Where the line was found.
+    pub level: ServiceLevel,
+}
+
+/// Geometry and latency configuration for a [`Machine`].
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Geometry of each private cache.
+    pub private_cache: CacheConfig,
+    /// Geometry of the shared LLC.
+    pub llc: CacheConfig,
+    /// The latency model.
+    pub latency: LatencyModel,
+}
+
+impl MachineConfig {
+    /// A machine with `cores` cores and default Haswell-like caches.
+    pub fn with_cores(cores: usize) -> Self {
+        MachineConfig {
+            cores,
+            private_cache: CacheConfig::private_default(),
+            llc: CacheConfig::llc_default(),
+            latency: LatencyModel::haswell(),
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::with_cores(4)
+    }
+}
+
+/// The simulated coherent multicore (tag arrays only; data lives in
+/// [`crate::PhysMem`]).
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    private: Vec<Cache>,
+    llc: Cache,
+    stats: MachineStats,
+    /// Per-line HITM streak state for the queuing penalty: (sequence
+    /// number of the last HITM, current streak length).
+    hitm_streaks: HashMap<LineAddr, (u64, u64)>,
+}
+
+impl Machine {
+    /// Creates a machine with all caches empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.cores` is zero.
+    pub fn new(config: MachineConfig) -> Self {
+        assert!(config.cores > 0, "machine needs at least one core");
+        Machine {
+            private: (0..config.cores)
+                .map(|_| Cache::new(config.private_cache))
+                .collect(),
+            llc: Cache::new(config.llc),
+            stats: MachineStats::default(),
+            hitm_streaks: HashMap::new(),
+            config,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.config.cores
+    }
+
+    /// The latency model in effect.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.config.latency
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Performs one coherent memory access from `core` at physical address
+    /// `paddr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(
+        &mut self,
+        core: CoreId,
+        paddr: PhysAddr,
+        kind: AccessKind,
+        width: Width,
+    ) -> AccessOutcome {
+        assert!(core < self.config.cores, "core {core} out of range");
+        let line = paddr.line();
+        let lat = self.config.latency;
+        self.stats.accesses += 1;
+        if kind.is_write() {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+
+        let mut outcome = if kind.is_write() {
+            self.access_write(core, line, paddr, kind, width)
+        } else {
+            self.access_read(core, line, paddr, width)
+        };
+        if kind == AccessKind::Rmw {
+            outcome.latency += lat.atomic_extra;
+        }
+        outcome
+    }
+
+    fn access_read(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        paddr: PhysAddr,
+        width: Width,
+    ) -> AccessOutcome {
+        let lat = self.config.latency;
+        if self.private[core].lookup(line).is_some() {
+            self.stats.local_hits += 1;
+            return AccessOutcome {
+                latency: lat.local_hit,
+                hitm: None,
+                level: ServiceLevel::Local,
+            };
+        }
+        // Snoop the sibling caches.
+        if let Some(owner) = self.find_remote(core, line, MesiState::Modified) {
+            // HITM: the owner supplies the dirty line and downgrades to S;
+            // the dirty data is considered written back to the LLC.
+            self.private[owner].set_state(line, MesiState::Shared);
+            self.stats.writebacks += 1;
+            self.fill_llc(line);
+            self.fill_private(core, line, MesiState::Shared);
+            self.stats.hitm_events += 1;
+            self.stats.hitm_loads += 1;
+            let queuing = self.hitm_queuing(line);
+            return AccessOutcome {
+                latency: lat.hitm + queuing,
+                hitm: Some(HitmEvent {
+                    requester: core,
+                    owner,
+                    line,
+                    paddr,
+                    width,
+                    kind: HitmKind::Load,
+                }),
+                level: ServiceLevel::RemoteDirty,
+            };
+        }
+        if let Some(owner) = self.find_remote_any_clean(core, line) {
+            // Clean forward; an E owner downgrades to S.
+            if self.private[owner].peek(line) == Some(MesiState::Exclusive) {
+                self.private[owner].set_state(line, MesiState::Shared);
+            }
+            self.fill_private(core, line, MesiState::Shared);
+            self.stats.remote_clean_transfers += 1;
+            return AccessOutcome {
+                latency: lat.remote_clean,
+                hitm: None,
+                level: ServiceLevel::RemoteClean,
+            };
+        }
+        if self.llc.lookup(line).is_some() {
+            self.fill_private(core, line, MesiState::Exclusive);
+            self.stats.llc_hits += 1;
+            return AccessOutcome {
+                latency: lat.llc_hit,
+                hitm: None,
+                level: ServiceLevel::Llc,
+            };
+        }
+        self.fill_llc(line);
+        self.fill_private(core, line, MesiState::Exclusive);
+        self.stats.dram_accesses += 1;
+        AccessOutcome {
+            latency: lat.dram,
+            hitm: None,
+            level: ServiceLevel::Dram,
+        }
+    }
+
+    fn access_write(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        paddr: PhysAddr,
+        kind: AccessKind,
+        width: Width,
+    ) -> AccessOutcome {
+        let lat = self.config.latency;
+        match self.private[core].lookup(line) {
+            Some(MesiState::Modified) => {
+                self.stats.local_hits += 1;
+                return AccessOutcome {
+                    latency: lat.local_hit,
+                    hitm: None,
+                    level: ServiceLevel::Local,
+                };
+            }
+            Some(MesiState::Exclusive) => {
+                // Silent E→M upgrade.
+                self.private[core].set_state(line, MesiState::Modified);
+                self.stats.local_hits += 1;
+                return AccessOutcome {
+                    latency: lat.local_hit,
+                    hitm: None,
+                    level: ServiceLevel::Local,
+                };
+            }
+            Some(MesiState::Shared) => {
+                // Invalidating upgrade: kill every other copy.
+                let n = self.invalidate_others(core, line);
+                self.private[core].set_state(line, MesiState::Modified);
+                self.stats.local_hits += 1;
+                self.stats.invalidations += n;
+                return AccessOutcome {
+                    latency: lat.local_hit + lat.invalidate,
+                    hitm: None,
+                    level: ServiceLevel::Local,
+                };
+            }
+            None => {}
+        }
+        // Miss: request for ownership.
+        if let Some(owner) = self.find_remote(core, line, MesiState::Modified) {
+            // The dirty owner forwards the line and is invalidated.
+            self.private[owner].invalidate(line);
+            self.stats.writebacks += 1;
+            self.stats.invalidations += 1;
+            self.fill_llc(line);
+            self.fill_private(core, line, MesiState::Modified);
+            self.stats.hitm_events += 1;
+            self.stats.hitm_stores += 1;
+            let queuing = self.hitm_queuing(line);
+            let hitm_kind = if kind == AccessKind::Rmw {
+                // RMWs are reported as loads by the HITM load event (the
+                // load half of the RMW performs the snoop).
+                HitmKind::Load
+            } else {
+                HitmKind::Store
+            };
+            return AccessOutcome {
+                latency: lat.hitm + lat.invalidate + queuing,
+                hitm: Some(HitmEvent {
+                    requester: core,
+                    owner,
+                    line,
+                    paddr,
+                    width,
+                    kind: hitm_kind,
+                }),
+                level: ServiceLevel::RemoteDirty,
+            };
+        }
+        let had_clean_remote = self.find_remote_any_clean(core, line).is_some();
+        if had_clean_remote {
+            let n = self.invalidate_others(core, line);
+            self.stats.invalidations += n;
+            self.fill_private(core, line, MesiState::Modified);
+            self.stats.remote_clean_transfers += 1;
+            return AccessOutcome {
+                latency: lat.remote_clean + lat.invalidate,
+                hitm: None,
+                level: ServiceLevel::RemoteClean,
+            };
+        }
+        if self.llc.lookup(line).is_some() {
+            self.fill_private(core, line, MesiState::Modified);
+            self.stats.llc_hits += 1;
+            return AccessOutcome {
+                latency: lat.llc_hit,
+                hitm: None,
+                level: ServiceLevel::Llc,
+            };
+        }
+        self.fill_llc(line);
+        self.fill_private(core, line, MesiState::Modified);
+        self.stats.dram_accesses += 1;
+        AccessOutcome {
+            latency: lat.dram,
+            hitm: None,
+            level: ServiceLevel::Dram,
+        }
+    }
+
+    /// Queuing penalty for a HITM on `line`: grows with the current
+    /// back-to-back transfer streak, modeling coherence-fabric saturation
+    /// under sustained ping-pong.
+    fn hitm_queuing(&mut self, line: LineAddr) -> u64 {
+        let seq = self.stats.accesses;
+        let lat = self.config.latency;
+        let e = self.hitm_streaks.entry(line).or_insert((seq, 0));
+        if seq.saturating_sub(e.0) < 2_000 {
+            e.1 += 1;
+        } else {
+            e.1 = 0;
+        }
+        e.0 = seq;
+        lat.hitm_queuing_step * e.1.min(lat.hitm_queuing_cap)
+    }
+
+    /// Finds a sibling cache (not `core`) holding `line` in exactly `state`.
+    fn find_remote(&self, core: CoreId, line: LineAddr, state: MesiState) -> Option<CoreId> {
+        (0..self.config.cores)
+            .filter(|&c| c != core)
+            .find(|&c| self.private[c].peek(line) == Some(state))
+    }
+
+    /// Finds a sibling cache holding `line` clean (E or S).
+    fn find_remote_any_clean(&self, core: CoreId, line: LineAddr) -> Option<CoreId> {
+        (0..self.config.cores).filter(|&c| c != core).find(|&c| {
+            matches!(
+                self.private[c].peek(line),
+                Some(MesiState::Exclusive) | Some(MesiState::Shared)
+            )
+        })
+    }
+
+    /// Invalidates `line` in every cache except `core`, returning the count.
+    fn invalidate_others(&mut self, core: CoreId, line: LineAddr) -> u64 {
+        let mut n = 0;
+        for c in 0..self.config.cores {
+            if c != core && self.private[c].invalidate(line).is_some() {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    fn fill_private(&mut self, core: CoreId, line: LineAddr, state: MesiState) {
+        if let Insertion::Evicted { line: v, dirty } = self.private[core].insert(line, state) {
+            if dirty {
+                self.stats.writebacks += 1;
+                self.llc.insert(v, MesiState::Modified);
+            }
+        }
+    }
+
+    fn fill_llc(&mut self, line: LineAddr) {
+        // LLC victims just fall to memory; nothing to track.
+        let _ = self.llc.insert(line, MesiState::Shared);
+    }
+
+    /// Read-only view of one core's private cache (tests, memory stats).
+    pub fn private_cache(&self, core: CoreId) -> &Cache {
+        &self.private[core]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine(cores: usize) -> Machine {
+        Machine::new(MachineConfig::with_cores(cores))
+    }
+
+    fn a(x: u64) -> PhysAddr {
+        PhysAddr::new(x)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut m = machine(2);
+        let o1 = m.access(0, a(0x1000), AccessKind::Load, Width::W8);
+        assert_eq!(o1.level, ServiceLevel::Dram);
+        let o2 = m.access(0, a(0x1008), AccessKind::Load, Width::W8);
+        assert_eq!(o2.level, ServiceLevel::Local);
+        assert!(o2.latency < o1.latency);
+    }
+
+    #[test]
+    fn load_after_remote_store_is_hitm() {
+        let mut m = machine(2);
+        m.access(0, a(0x2000), AccessKind::Store, Width::W8);
+        let o = m.access(1, a(0x2008), AccessKind::Load, Width::W8);
+        assert_eq!(o.level, ServiceLevel::RemoteDirty);
+        let hitm = o.hitm.expect("HITM event");
+        assert_eq!(hitm.requester, 1);
+        assert_eq!(hitm.owner, 0);
+        assert_eq!(hitm.kind, HitmKind::Load);
+        assert_eq!(hitm.paddr, a(0x2008));
+        assert_eq!(m.stats().hitm_events, 1);
+    }
+
+    #[test]
+    fn store_after_remote_store_is_store_hitm() {
+        let mut m = machine(2);
+        m.access(0, a(0x3000), AccessKind::Store, Width::W4);
+        let o = m.access(1, a(0x3010), AccessKind::Store, Width::W4);
+        let hitm = o.hitm.expect("HITM event");
+        assert_eq!(hitm.kind, HitmKind::Store);
+        assert_eq!(m.stats().hitm_stores, 1);
+    }
+
+    #[test]
+    fn false_sharing_ping_pong_generates_stream_of_hitms() {
+        // Two cores repeatedly writing disjoint bytes of one line: every
+        // access after warmup must pay a HITM — the pathology of §1.
+        let mut m = machine(2);
+        let mut hitms = 0;
+        for _ in 0..100 {
+            if m.access(0, a(0x4000), AccessKind::Store, Width::W8).hitm.is_some() {
+                hitms += 1;
+            }
+            if m.access(1, a(0x4008), AccessKind::Store, Width::W8).hitm.is_some() {
+                hitms += 1;
+            }
+        }
+        assert!(hitms >= 198, "expected ping-pong, got {hitms} HITMs");
+    }
+
+    #[test]
+    fn disjoint_lines_do_not_ping_pong() {
+        let mut m = machine(2);
+        // Warm up.
+        m.access(0, a(0x5000), AccessKind::Store, Width::W8);
+        m.access(1, a(0x5040), AccessKind::Store, Width::W8);
+        let before = m.stats().hitm_events;
+        for _ in 0..100 {
+            m.access(0, a(0x5000), AccessKind::Store, Width::W8);
+            m.access(1, a(0x5040), AccessKind::Store, Width::W8);
+        }
+        assert_eq!(m.stats().hitm_events, before);
+    }
+
+    #[test]
+    fn shared_reads_do_not_invalidate() {
+        let mut m = machine(4);
+        m.access(0, a(0x6000), AccessKind::Load, Width::W8);
+        for c in 1..4 {
+            let o = m.access(c, a(0x6000), AccessKind::Load, Width::W8);
+            assert!(o.hitm.is_none());
+        }
+        // All four cores hold the line; further reads are local hits.
+        for c in 0..4 {
+            let o = m.access(c, a(0x6000), AccessKind::Load, Width::W8);
+            assert_eq!(o.level, ServiceLevel::Local);
+        }
+    }
+
+    #[test]
+    fn write_to_shared_line_invalidates_other_readers() {
+        let mut m = machine(3);
+        for c in 0..3 {
+            m.access(c, a(0x7000), AccessKind::Load, Width::W8);
+        }
+        let o = m.access(0, a(0x7000), AccessKind::Store, Width::W8);
+        assert!(o.hitm.is_none(), "clean upgrade is not a HITM");
+        assert!(m.stats().invalidations >= 2);
+        // Core 1 must now re-fetch and sees the dirty line: HITM.
+        let o = m.access(1, a(0x7000), AccessKind::Load, Width::W8);
+        assert!(o.hitm.is_some());
+    }
+
+    #[test]
+    fn rmw_pays_atomic_premium() {
+        let mut m = machine(1);
+        m.access(0, a(0x8000), AccessKind::Store, Width::W8);
+        let plain = m.access(0, a(0x8000), AccessKind::Store, Width::W8).latency;
+        let locked = m.access(0, a(0x8000), AccessKind::Rmw, Width::W8).latency;
+        assert!(locked > plain);
+    }
+
+    #[test]
+    fn different_physical_frames_same_virtual_pattern_no_hitm() {
+        // The repair mechanism in one picture: move one thread's byte to a
+        // different physical frame and the ping-pong disappears.
+        let mut m = machine(2);
+        m.access(0, a(0x9000), AccessKind::Store, Width::W8);
+        m.access(1, a(0x20_9008), AccessKind::Store, Width::W8); // other frame
+        let before = m.stats().hitm_events;
+        for _ in 0..50 {
+            m.access(0, a(0x9000), AccessKind::Store, Width::W8);
+            m.access(1, a(0x20_9008), AccessKind::Store, Width::W8);
+        }
+        assert_eq!(m.stats().hitm_events, before);
+    }
+
+    #[test]
+    fn llc_services_reread_after_eviction() {
+        let cfg = MachineConfig {
+            cores: 1,
+            private_cache: CacheConfig { sets: 1, ways: 1 },
+            llc: CacheConfig::llc_default(),
+            latency: LatencyModel::haswell(),
+        };
+        let mut m = Machine::new(cfg);
+        m.access(0, a(0), AccessKind::Load, Width::W8);
+        m.access(0, a(64), AccessKind::Load, Width::W8); // evicts line 0
+        let o = m.access(0, a(0), AccessKind::Load, Width::W8);
+        assert_eq!(o.level, ServiceLevel::Llc);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut m = machine(2);
+        m.access(0, a(0x1000), AccessKind::Load, Width::W8);
+        m.access(0, a(0x1000), AccessKind::Store, Width::W8);
+        m.access(1, a(0x1000), AccessKind::Rmw, Width::W8);
+        let s = m.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! HITM coherence events.
+//!
+//! On Intel hardware, `MEM_LOAD_UOPS_LLC_HIT_RETIRED.XSNP_HITM` fires when a
+//! core's request snoop-hits a line that a *remote* private cache holds in
+//! the Modified state (§2.1). These events are the raw signal TMI's detector
+//! consumes; the `tmi-perf` crate layers PEBS-style sampling on top.
+
+use crate::addr::{CoreId, LineAddr, PhysAddr, Width};
+
+/// Whether the access that triggered the HITM was a load or a store.
+///
+/// The PEBS record itself does not say (§2.1) — the detector recovers it by
+/// disassembling the PC — but the machine knows, and the perf layer uses it
+/// to model the lower record rate for store-triggered events.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum HitmKind {
+    /// A load snoop-hit a remote modified line.
+    Load,
+    /// A store (RFO) snoop-hit a remote modified line. Real PEBS records
+    /// these at a lower rate than loads (§2.1).
+    Store,
+}
+
+/// A single HITM coherence event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HitmEvent {
+    /// The core whose request triggered the event.
+    pub requester: CoreId,
+    /// The core whose private cache held the line modified.
+    pub owner: CoreId,
+    /// The physical cache line involved.
+    pub line: LineAddr,
+    /// The exact physical address accessed.
+    pub paddr: PhysAddr,
+    /// Width of the triggering access.
+    pub width: Width,
+    /// Load- or store-triggered.
+    pub kind: HitmKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_fields_cohere() {
+        let e = HitmEvent {
+            requester: 1,
+            owner: 0,
+            line: PhysAddr::new(0x1040).line(),
+            paddr: PhysAddr::new(0x1048),
+            width: Width::W4,
+            kind: HitmKind::Load,
+        };
+        assert_eq!(e.paddr.line(), e.line);
+        assert_ne!(e.requester, e.owner);
+    }
+}

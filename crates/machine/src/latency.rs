@@ -1,0 +1,101 @@
+//! The access latency model, in core cycles.
+//!
+//! Values approximate the paper's 3.4 GHz Haswell (i7-4770K): a private
+//! cache hit costs a handful of cycles, an LLC hit tens, a cache-to-cache
+//! transfer of a remote-modified line (the HITM case) roughly 70, and DRAM
+//! low hundreds. The absolute values matter less than their *ratios* — the
+//! order-of-magnitude gap between a local hit and a HITM transfer is what
+//! makes false sharing an order-of-magnitude slowdown (§1).
+
+/// Cycle costs for each kind of memory-system outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Hit in the local private cache.
+    pub local_hit: u64,
+    /// Clean transfer from a sibling private cache (remote E/S).
+    pub remote_clean: u64,
+    /// Dirty transfer from a sibling private cache (remote M — the HITM).
+    pub hitm: u64,
+    /// Hit in the shared LLC.
+    pub llc_hit: u64,
+    /// Full miss to DRAM.
+    pub dram: u64,
+    /// Extra cost of an invalidating upgrade (S→M) or RFO broadcast.
+    pub invalidate: u64,
+    /// Extra cost of a locked/atomic operation (bus-lock-free LOCK prefix).
+    pub atomic_extra: u64,
+    /// Cost of a full memory fence.
+    pub fence: u64,
+    /// Queuing penalty added per unit of HITM *streak* on a line: sustained
+    /// ping-pong saturates the coherence fabric, so each transfer in a
+    /// storm costs more than an isolated one (this is what makes false
+    /// sharing "slow memory accesses by an order of magnitude", §1).
+    pub hitm_queuing_step: u64,
+    /// Streak cap for the queuing penalty.
+    pub hitm_queuing_cap: u64,
+}
+
+impl LatencyModel {
+    /// The default Haswell-like model used in all experiments.
+    pub const fn haswell() -> Self {
+        LatencyModel {
+            local_hit: 4,
+            remote_clean: 45,
+            hitm: 70,
+            llc_hit: 30,
+            dram: 180,
+            invalidate: 20,
+            atomic_extra: 18,
+            fence: 25,
+            hitm_queuing_step: 40,
+            hitm_queuing_cap: 8,
+        }
+    }
+
+    /// Simulated clock frequency in Hz (3.4 GHz, matching the repair
+    /// machine in §4.1). Used to convert cycles to seconds in reports.
+    pub const CLOCK_HZ: u64 = 3_400_000_000;
+
+    /// Converts a cycle count to seconds at [`Self::CLOCK_HZ`].
+    pub fn cycles_to_secs(cycles: u64) -> f64 {
+        cycles as f64 / Self::CLOCK_HZ as f64
+    }
+
+    /// Converts seconds to cycles at [`Self::CLOCK_HZ`].
+    pub fn secs_to_cycles(secs: f64) -> u64 {
+        (secs * Self::CLOCK_HZ as f64) as u64
+    }
+
+    /// Converts microseconds to cycles.
+    pub fn micros_to_cycles(us: f64) -> u64 {
+        Self::secs_to_cycles(us * 1e-6)
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self::haswell()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hitm_is_order_of_magnitude_slower_than_hit() {
+        let m = LatencyModel::haswell();
+        assert!(m.hitm >= 10 * m.local_hit);
+        assert!(m.dram > m.llc_hit);
+        assert!(m.llc_hit > m.local_hit);
+    }
+
+    #[test]
+    fn time_conversions_roundtrip() {
+        let cycles = 3_400_000; // 1 ms
+        let secs = LatencyModel::cycles_to_secs(cycles);
+        assert!((secs - 1e-3).abs() < 1e-12);
+        assert_eq!(LatencyModel::secs_to_cycles(secs), cycles);
+        assert_eq!(LatencyModel::micros_to_cycles(1000.0), cycles);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the coherence protocol: for *any* access sequence,
+//! the machine must uphold the single-writer/multiple-reader invariant,
+//! never lose data, and only report HITM when a remote modified copy
+//! actually existed.
+
+use proptest::prelude::*;
+use tmi_machine::cache::MesiState;
+use tmi_machine::{AccessKind, Machine, MachineConfig, PhysAddr, PhysMem, Width};
+
+#[derive(Clone, Copy, Debug)]
+struct Step {
+    core: usize,
+    line: u64,
+    offset: u64,
+    write: bool,
+    value: u64,
+}
+
+fn step_strategy(cores: usize, lines: u64) -> impl Strategy<Value = Step> {
+    (
+        0..cores,
+        0..lines,
+        0..8u64,
+        any::<bool>(),
+        any::<u64>(),
+    )
+        .prop_map(|(core, line, off, write, value)| Step {
+            core,
+            line,
+            offset: off * 8,
+            write,
+            value,
+        })
+}
+
+proptest! {
+    /// SWMR: after every access, at most one private cache holds a line in
+    /// M or E state, and if one does, no other cache holds it at all
+    /// (M/E are exclusive states).
+    #[test]
+    fn single_writer_multiple_reader_invariant(
+        steps in proptest::collection::vec(step_strategy(4, 16), 1..400)
+    ) {
+        let mut m = Machine::new(MachineConfig::with_cores(4));
+        for s in &steps {
+            let addr = PhysAddr::new(s.line * 64 + s.offset);
+            let kind = if s.write { AccessKind::Store } else { AccessKind::Load };
+            m.access(s.core, addr, kind, Width::W8);
+
+            for line_no in 0..16u64 {
+                let line = PhysAddr::new(line_no * 64).line();
+                let states: Vec<(usize, MesiState)> = (0..4)
+                    .filter_map(|c| m.private_cache(c).peek(line).map(|st| (c, st)))
+                    .collect();
+                let exclusive = states
+                    .iter()
+                    .filter(|(_, st)| matches!(st, MesiState::Modified | MesiState::Exclusive))
+                    .count();
+                prop_assert!(exclusive <= 1, "line {line_no}: {states:?}");
+                if exclusive == 1 {
+                    prop_assert_eq!(
+                        states.len(), 1,
+                        "exclusive copy must be the only copy: {:?}", states
+                    );
+                }
+            }
+        }
+    }
+
+    /// The data plane is a plain memory: a read always returns the most
+    /// recently written value for the address, regardless of what the
+    /// coherence metadata did (the engine linearizes accesses).
+    #[test]
+    fn data_plane_is_sequentially_consistent(
+        steps in proptest::collection::vec(step_strategy(4, 8), 1..300)
+    ) {
+        let mut m = Machine::new(MachineConfig::with_cores(4));
+        let mut pm = PhysMem::new();
+        for _ in 0..8 * 64 / 4096 + 1 {
+            pm.alloc_frame();
+        }
+        let mut shadow = std::collections::HashMap::new();
+        for s in &steps {
+            let addr = PhysAddr::new(s.line * 64 + s.offset);
+            if s.write {
+                m.access(s.core, addr, AccessKind::Store, Width::W8);
+                pm.write(addr, Width::W8, s.value);
+                shadow.insert(addr, s.value);
+            } else {
+                m.access(s.core, addr, AccessKind::Load, Width::W8);
+                let got = pm.read(addr, Width::W8);
+                let want = shadow.get(&addr).copied().unwrap_or(0);
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+
+    /// A HITM event is reported iff some *other* core held the line
+    /// modified immediately before the access; and the victim never ends
+    /// up still holding a modified copy.
+    #[test]
+    fn hitm_reported_exactly_when_remote_modified(
+        steps in proptest::collection::vec(step_strategy(3, 8), 1..300)
+    ) {
+        let mut m = Machine::new(MachineConfig::with_cores(3));
+        for s in &steps {
+            let addr = PhysAddr::new(s.line * 64 + s.offset);
+            let line = addr.line();
+            let remote_m: Vec<usize> = (0..3)
+                .filter(|&c| c != s.core && m.private_cache(c).peek(line) == Some(MesiState::Modified))
+                .collect();
+            let local_hit = m.private_cache(s.core).peek(line).is_some();
+            let kind = if s.write { AccessKind::Store } else { AccessKind::Load };
+            let out = m.access(s.core, addr, kind, Width::W8);
+            match out.hitm {
+                Some(h) => {
+                    prop_assert!(remote_m.contains(&h.owner), "owner {} not in {remote_m:?}", h.owner);
+                    prop_assert!(!local_hit, "local hit cannot HITM");
+                    prop_assert_eq!(h.requester, s.core);
+                    // Victim no longer holds M.
+                    prop_assert_ne!(
+                        m.private_cache(h.owner).peek(line),
+                        Some(MesiState::Modified)
+                    );
+                }
+                None => {
+                    prop_assert!(
+                        remote_m.is_empty() || local_hit,
+                        "missed HITM: remote M at {remote_m:?}, local_hit={local_hit}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Writes always leave the writer with the only copy, in M state.
+    #[test]
+    fn writes_acquire_exclusive_ownership(
+        steps in proptest::collection::vec(step_strategy(4, 8), 1..200)
+    ) {
+        let mut m = Machine::new(MachineConfig::with_cores(4));
+        for s in &steps {
+            let addr = PhysAddr::new(s.line * 64 + s.offset);
+            let kind = if s.write { AccessKind::Store } else { AccessKind::Load };
+            m.access(s.core, addr, kind, Width::W8);
+            if s.write {
+                prop_assert_eq!(
+                    m.private_cache(s.core).peek(addr.line()),
+                    Some(MesiState::Modified)
+                );
+                for c in 0..4 {
+                    if c != s.core {
+                        prop_assert_eq!(m.private_cache(c).peek(addr.line()), None);
+                    }
+                }
+            }
+        }
+    }
+}

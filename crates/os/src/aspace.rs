@@ -1,0 +1,134 @@
+//! Address spaces: a VMA list plus a page table.
+
+use std::collections::BTreeMap;
+
+use tmi_machine::{FrameId, PhysAddr, VAddr, Vpn};
+
+use crate::vma::Vma;
+
+/// Identifier of an [`AddressSpace`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AsId(pub u32);
+
+/// A page-table entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Pte {
+    /// Backing frame.
+    pub frame: FrameId,
+    /// Whether writes are allowed through this entry.
+    pub writable: bool,
+    /// Whether a write fault should be resolved by copy-on-write. This is
+    /// how both `fork()` semantics and TMI's page-twinning store buffer are
+    /// expressed: a PTSB-armed page is exactly a read-only COW mapping of a
+    /// shared frame (§3.3).
+    pub cow: bool,
+    /// Whether this address space owns the frame (a private COW copy that
+    /// must be freed when the entry is replaced), as opposed to a frame
+    /// owned by a shared object.
+    pub owned: bool,
+}
+
+/// One simulated address space: the analogue of an `mm_struct`.
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    vmas: Vec<Vma>,
+    ptes: BTreeMap<Vpn, Pte>,
+}
+
+impl AddressSpace {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// The VMA covering `addr`, if any.
+    pub fn vma_for(&self, addr: VAddr) -> Option<&Vma> {
+        self.vmas.iter().find(|v| v.contains(addr))
+    }
+
+    /// All VMAs, in insertion order (the simulated `/proc/pid/maps`).
+    pub fn vmas(&self) -> &[Vma] {
+        &self.vmas
+    }
+
+    pub(crate) fn push_vma(&mut self, vma: Vma) {
+        self.vmas.push(vma);
+    }
+
+    pub(crate) fn any_overlap(&self, start: VAddr, len: u64) -> bool {
+        self.vmas.iter().any(|v| v.overlaps(start, len))
+    }
+
+    /// The page-table entry for `vpn`, if present.
+    pub fn pte(&self, vpn: Vpn) -> Option<Pte> {
+        self.ptes.get(&vpn).copied()
+    }
+
+    pub(crate) fn set_pte(&mut self, vpn: Vpn, pte: Pte) -> Option<Pte> {
+        self.ptes.insert(vpn, pte)
+    }
+
+    pub(crate) fn remove_pte(&mut self, vpn: Vpn) -> Option<Pte> {
+        self.ptes.remove(&vpn)
+    }
+
+    /// Number of resident (mapped) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.ptes.len()
+    }
+
+    /// Iterates over all present page-table entries.
+    pub fn ptes(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
+        self.ptes.iter().map(|(&v, &p)| (v, p))
+    }
+
+    /// Translates `addr` through the page table without faulting: returns
+    /// the physical address if present and, for writes, writable.
+    pub fn translate(&self, addr: VAddr, is_write: bool) -> Option<PhysAddr> {
+        let pte = self.ptes.get(&addr.vpn())?;
+        if is_write && !pte.writable {
+            return None;
+        }
+        Some(pte.frame.base().offset(addr.page_offset()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vma::{Backing, PageSize, Perms};
+    use tmi_machine::FRAME_SIZE;
+
+    #[test]
+    fn translate_respects_writable_bit() {
+        let mut a = AddressSpace::new();
+        a.set_pte(
+            Vpn(4),
+            Pte {
+                frame: FrameId(9),
+                writable: false,
+                cow: true,
+                owned: false,
+            },
+        );
+        let addr = VAddr::new(4 * FRAME_SIZE + 100);
+        let pa = a.translate(addr, false).expect("read ok");
+        assert_eq!(pa.raw(), 9 * FRAME_SIZE + 100);
+        assert_eq!(a.translate(addr, true), None, "write must fault");
+    }
+
+    #[test]
+    fn vma_lookup() {
+        let mut a = AddressSpace::new();
+        a.push_vma(Vma {
+            start: VAddr::new(0x10000),
+            len: 0x4000,
+            backing: Backing::Anon,
+            perms: Perms::rw(),
+            page_size: PageSize::Small,
+        });
+        assert!(a.vma_for(VAddr::new(0x10004)).is_some());
+        assert!(a.vma_for(VAddr::new(0x14000)).is_none());
+        assert!(a.any_overlap(VAddr::new(0x13000), 0x2000));
+        assert!(!a.any_overlap(VAddr::new(0x14000), 0x1000));
+    }
+}

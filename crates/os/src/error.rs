@@ -1,0 +1,104 @@
+//! OS-layer error type.
+
+use std::error::Error;
+use std::fmt;
+
+use tmi_machine::{VAddr, Vpn};
+
+use crate::aspace::AsId;
+use crate::object::ObjId;
+use crate::task::{Pid, Tid};
+
+/// Errors returned by [`crate::Kernel`] operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OsError {
+    /// The address is not covered by any mapping (SIGSEGV).
+    UnmappedAddress {
+        /// The offending address space.
+        aspace: AsId,
+        /// The faulting address.
+        addr: VAddr,
+    },
+    /// A write hit a page that is read-only and not copy-on-write.
+    ProtectionViolation {
+        /// The offending address space.
+        aspace: AsId,
+        /// The faulting address.
+        addr: VAddr,
+    },
+    /// The requested mapping overlaps an existing one.
+    MappingOverlap {
+        /// Start of the requested range.
+        addr: VAddr,
+        /// Length of the requested range.
+        len: u64,
+    },
+    /// A mapping request was malformed (zero length, misaligned, or the
+    /// object range is out of bounds).
+    InvalidMapping(&'static str),
+    /// An identifier referred to a nonexistent kernel entity.
+    NoSuchEntity(&'static str),
+    /// `protect_page_cow` targeted a page that is not shared-object-backed.
+    NotProtectable {
+        /// The page that could not be protected.
+        vpn: Vpn,
+    },
+    /// Access to an object page that has never been written or demand-paged.
+    ObjectPageAbsent {
+        /// The backing object.
+        obj: ObjId,
+        /// The page index within the object.
+        page: u64,
+    },
+    /// Thread-to-process conversion was asked of a thread that is already
+    /// alone in its process with a private address space.
+    AlreadyConverted {
+        /// The thread in question.
+        tid: Tid,
+        /// Its current process.
+        pid: Pid,
+    },
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsError::UnmappedAddress { aspace, addr } => {
+                write!(f, "unmapped address {addr} in address space {aspace:?}")
+            }
+            OsError::ProtectionViolation { aspace, addr } => {
+                write!(f, "write protection violation at {addr} in {aspace:?}")
+            }
+            OsError::MappingOverlap { addr, len } => {
+                write!(f, "mapping [{addr}, +{len:#x}) overlaps an existing mapping")
+            }
+            OsError::InvalidMapping(why) => write!(f, "invalid mapping request: {why}"),
+            OsError::NoSuchEntity(what) => write!(f, "no such {what}"),
+            OsError::NotProtectable { vpn } => {
+                write!(f, "page {vpn:?} is not backed by a shared object")
+            }
+            OsError::ObjectPageAbsent { obj, page } => {
+                write!(f, "object {obj:?} page {page} has not been populated")
+            }
+            OsError::AlreadyConverted { tid, pid } => {
+                write!(f, "thread {tid:?} already owns process {pid:?}")
+            }
+        }
+    }
+}
+
+impl Error for OsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = OsError::InvalidMapping("zero length");
+        let s = e.to_string();
+        assert!(s.starts_with("invalid mapping"));
+        assert!(!s.ends_with('.'));
+    }
+}

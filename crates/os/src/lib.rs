@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # tmi-os — simulated Linux-like virtual-memory substrate
+//!
+//! TMI (DeLozier et al., MICRO-50 2017) is built out of stock Linux
+//! mechanisms: `shm_open` shared-memory objects, double `mmap`-ings of the
+//! same object, per-process page tables, copy-on-write, `mprotect`,
+//! `fork()` injected via `ptrace` to convert a running thread into a
+//! process, and optional 2 MiB huge pages. This crate provides all of those
+//! as a deterministic in-process model around [`tmi_machine::PhysMem`].
+//!
+//! The [`Kernel`] is the single façade: it owns physical memory, memory
+//! objects, address spaces, processes and threads, and resolves page faults.
+//! The execution engine (`tmi-sim`) calls [`Kernel::translate`] on every
+//! memory access and [`Kernel::handle_fault`] when translation fails; the
+//! TMI runtime (`tmi`) uses the protection API ([`Kernel::protect_page_cow`]
+//! and friends) to arm the page-twinning store buffer on exactly the pages
+//! the detector incriminated (§3.3 "targeted page protection").
+//!
+//! ```
+//! use tmi_os::{Kernel, MapRequest, Perms};
+//! use tmi_machine::{VAddr, Width, FRAME_SIZE};
+//!
+//! let mut k = Kernel::new();
+//! let obj = k.create_object(16 * FRAME_SIZE);
+//! let aspace = k.create_aspace();
+//! k.map(aspace, MapRequest::object(VAddr::new(0x10000), 16 * FRAME_SIZE, obj, 0)
+//!     .perms(Perms::rw()))?;
+//! // First touch demand-pages the frame in; after that translation succeeds.
+//! let addr = VAddr::new(0x10008);
+//! assert!(k.translate(aspace, addr, true).is_err());
+//! k.handle_fault(aspace, addr, true)?;
+//! let pa = k.fault_in(aspace, addr, true)?;
+//! k.physmem_mut().write(pa, Width::W8, 42);
+//! # Ok::<(), tmi_os::OsError>(())
+//! ```
+
+pub mod aspace;
+pub mod error;
+pub mod kernel;
+pub mod object;
+pub mod stats;
+pub mod task;
+pub mod vma;
+
+pub use aspace::{AddressSpace, AsId, Pte};
+pub use error::OsError;
+pub use kernel::{FaultResolution, Kernel, PageFault};
+pub use object::{MemObject, ObjId};
+pub use stats::OsStats;
+pub use task::{Pid, Process, Thread, Tid};
+pub use vma::{Backing, MapRequest, PageSize, Perms, Vma};

@@ -1,0 +1,159 @@
+//! Shared-memory objects — the simulated analogue of `shm_open` files.
+//!
+//! TMI backs *all* application memory (heap, globals, stacks) with a shared
+//! file so that after threads become processes, every process can still map
+//! the same physical pages (§3.2, Fig. 6). Objects allocate their backing
+//! frames lazily, which is what makes first-touch page faults (and their
+//! cost, Fig. 10) observable.
+
+use tmi_machine::{FrameId, PhysMem, FRAME_SIZE};
+
+/// Identifier of a [`MemObject`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjId(pub u32);
+
+/// A shared-memory object: a logical array of pages, each lazily backed by a
+/// physical frame on first touch.
+#[derive(Debug)]
+pub struct MemObject {
+    id: ObjId,
+    len: u64,
+    /// One slot per 4 KiB page; `None` until first touch.
+    frames: Vec<Option<FrameId>>,
+    /// Number of pages that have been populated.
+    populated: usize,
+}
+
+impl MemObject {
+    pub(crate) fn new(id: ObjId, len: u64) -> Self {
+        assert!(len.is_multiple_of(FRAME_SIZE), "object length must be page aligned");
+        MemObject {
+            id,
+            len,
+            frames: vec![None; (len / FRAME_SIZE) as usize],
+            populated: 0,
+        }
+    }
+
+    /// The object's identifier.
+    pub fn id(&self) -> ObjId {
+        self.id
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the object has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages in the object.
+    pub fn pages(&self) -> u64 {
+        self.len / FRAME_SIZE
+    }
+
+    /// Number of pages that have a backing frame.
+    pub fn populated_pages(&self) -> usize {
+        self.populated
+    }
+
+    /// Returns the frame backing page `page`, if populated.
+    pub fn frame(&self, page: u64) -> Option<FrameId> {
+        self.frames.get(page as usize).copied().flatten()
+    }
+
+    /// Returns the frame backing `page`, populating it (and charging a major
+    /// fault to the caller) if absent. Returns `(frame, was_populated)`.
+    pub(crate) fn frame_or_populate(&mut self, page: u64, pm: &mut PhysMem) -> (FrameId, bool) {
+        let slot = &mut self.frames[page as usize];
+        match *slot {
+            Some(f) => (f, false),
+            None => {
+                let f = pm.alloc_frame();
+                *slot = Some(f);
+                self.populated += 1;
+                (f, true)
+            }
+        }
+    }
+
+    /// Populates a contiguous run of pages with physically contiguous
+    /// frames — the huge-page fill path. Pages already populated keep their
+    /// frames; the run is only contiguous if none were. Returns how many
+    /// pages were newly populated.
+    pub(crate) fn populate_run(&mut self, first_page: u64, n: u64, pm: &mut PhysMem) -> u64 {
+        let all_absent = (first_page..first_page + n).all(|p| self.frames[p as usize].is_none());
+        if all_absent {
+            let base = pm.alloc_contiguous(n as usize);
+            for i in 0..n {
+                self.frames[(first_page + i) as usize] = Some(FrameId(base.0 + i as u32));
+            }
+            self.populated += n as usize;
+            n
+        } else {
+            let mut fresh = 0;
+            for p in first_page..first_page + n {
+                if self.frames[p as usize].is_none() {
+                    let f = pm.alloc_frame();
+                    self.frames[p as usize] = Some(f);
+                    self.populated += 1;
+                    fresh += 1;
+                }
+            }
+            fresh
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_population() {
+        let mut pm = PhysMem::new();
+        let mut obj = MemObject::new(ObjId(0), 4 * FRAME_SIZE);
+        assert_eq!(obj.pages(), 4);
+        assert_eq!(obj.populated_pages(), 0);
+        assert_eq!(obj.frame(2), None);
+        let (f, fresh) = obj.frame_or_populate(2, &mut pm);
+        assert!(fresh);
+        assert_eq!(obj.frame(2), Some(f));
+        let (f2, fresh2) = obj.frame_or_populate(2, &mut pm);
+        assert_eq!(f, f2);
+        assert!(!fresh2);
+        assert_eq!(obj.populated_pages(), 1);
+    }
+
+    #[test]
+    fn populate_run_is_contiguous_when_untouched() {
+        let mut pm = PhysMem::new();
+        let mut obj = MemObject::new(ObjId(0), 8 * FRAME_SIZE);
+        let fresh = obj.populate_run(0, 8, &mut pm);
+        assert_eq!(fresh, 8);
+        let first = obj.frame(0).unwrap();
+        for i in 0..8u64 {
+            assert_eq!(obj.frame(i), Some(FrameId(first.0 + i as u32)));
+        }
+    }
+
+    #[test]
+    fn populate_run_respects_existing_frames() {
+        let mut pm = PhysMem::new();
+        let mut obj = MemObject::new(ObjId(0), 4 * FRAME_SIZE);
+        let (f1, _) = obj.frame_or_populate(1, &mut pm);
+        let fresh = obj.populate_run(0, 4, &mut pm);
+        assert_eq!(fresh, 3);
+        assert_eq!(obj.frame(1), Some(f1), "existing frame preserved");
+        assert_eq!(obj.populated_pages(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "page aligned")]
+    fn unaligned_length_rejected() {
+        let _ = MemObject::new(ObjId(0), 100);
+    }
+}

@@ -1,0 +1,34 @@
+//! OS-layer statistics: page-fault counts by kind.
+//!
+//! The 4 KiB-vs-huge-page experiment (Fig. 10) is driven by these counters:
+//! shared file-backed mappings fault once per page on first touch, so huge
+//! pages cut the fault count by 512×.
+
+/// Fault and conversion counters maintained by [`crate::Kernel`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OsStats {
+    /// Demand faults that found the object page already populated.
+    pub minor_faults: u64,
+    /// Demand faults that had to populate a file-backed object page.
+    pub major_faults: u64,
+    /// Demand faults on anonymous memory (demand-zero).
+    pub anon_faults: u64,
+    /// Copy-on-write breaks (one per 4 KiB page; a huge-page break counts
+    /// its 512 constituent pages once as a single huge break too).
+    pub cow_breaks: u64,
+    /// COW breaks that copied a whole 2 MiB huge page.
+    pub huge_cow_breaks: u64,
+    /// Huge-page demand faults (each populates 512 frames).
+    pub huge_faults: u64,
+    /// Thread-to-process conversions performed.
+    pub conversions: u64,
+    /// Address-space forks performed.
+    pub forks: u64,
+}
+
+impl OsStats {
+    /// Total demand-paging faults of all kinds.
+    pub fn total_demand_faults(&self) -> u64 {
+        self.minor_faults + self.major_faults + self.anon_faults + self.huge_faults
+    }
+}

@@ -1,0 +1,37 @@
+//! Processes and threads.
+//!
+//! The distinction between the two is the heart of the paper: threads share
+//! an address space, processes do not — so converting a thread into a
+//! process (§3.2) is what gives TMI per-thread control over virtual-to-
+//! physical mappings.
+
+use crate::aspace::AsId;
+
+/// Process identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(pub u32);
+
+/// Thread identifier. Stable across thread-to-process conversion, so the
+/// engine and runtimes can keep indexing state by `Tid`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Tid(pub u32);
+
+/// A process: an address space plus its member threads.
+#[derive(Clone, Debug)]
+pub struct Process {
+    /// This process's identifier.
+    pub pid: Pid,
+    /// The address space all member threads share.
+    pub aspace: AsId,
+    /// Member threads.
+    pub threads: Vec<Tid>,
+}
+
+/// A thread of execution.
+#[derive(Clone, Copy, Debug)]
+pub struct Thread {
+    /// This thread's identifier.
+    pub tid: Tid,
+    /// Owning process (changes on thread-to-process conversion).
+    pub pid: Pid,
+}

@@ -1,0 +1,73 @@
+//! The engine's OS-event cost model, in core cycles.
+//!
+//! Memory-access latencies come from [`tmi_machine::LatencyModel`]; this
+//! model covers the software costs the engine charges: page faults of
+//! various kinds (which drive the 4 KiB-vs-huge-page comparison, Fig. 10),
+//! copy-on-write breaks, and synchronization primitives.
+
+/// Cycle costs for kernel-mediated events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Demand-zero fault on anonymous memory (the cheap `sbrk`-style path
+    /// standard allocators get).
+    pub fault_anon: u64,
+    /// Fault on a shared file-backed page that is already populated
+    /// (minor). Shared file mappings "must carry their changes through to
+    /// the underlying file" (§4.4) and fault more expensively.
+    pub fault_file_minor: u64,
+    /// Fault on a shared file-backed page needing fresh backing (major).
+    pub fault_file_major: u64,
+    /// One 2 MiB huge-page fault (populates 512 frames at once).
+    pub fault_huge: u64,
+    /// Fixed cost of a copy-on-write break.
+    pub cow_base: u64,
+    /// Additional COW cost per 4 KiB page copied.
+    pub cow_per_page: u64,
+    /// Software overhead of an uncontended mutex lock/unlock beyond its
+    /// memory traffic.
+    pub mutex_op: u64,
+    /// Software overhead of a barrier arrival.
+    pub barrier_op: u64,
+    /// Latency from a wake-up (futex-style) to the woken thread resuming.
+    pub wake: u64,
+    /// Cycles burned per failed spinlock attempt before retrying.
+    pub spin_retry: u64,
+}
+
+impl CostModel {
+    /// Default model (see field docs for rationale).
+    pub const fn standard() -> Self {
+        CostModel {
+            fault_anon: 1_200,
+            fault_file_minor: 2_600,
+            fault_file_major: 4_800,
+            fault_huge: 9_000,
+            cow_base: 3_000,
+            cow_per_page: 700,
+            mutex_op: 40,
+            barrier_op: 120,
+            wake: 250,
+            spin_retry: 35,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_faults_cost_more_than_anon() {
+        let c = CostModel::standard();
+        assert!(c.fault_file_minor > c.fault_anon);
+        assert!(c.fault_file_major > c.fault_file_minor);
+        // A huge fault is far cheaper than 512 small file faults.
+        assert!(c.fault_huge < 512 * c.fault_file_minor);
+    }
+}

@@ -1,0 +1,147 @@
+//! Synchronization-object state: mutexes, spinlocks and barriers, keyed by
+//! the virtual address of the lock object.
+//!
+//! Keying by address matters: a lock *is* data, its word lives on a cache
+//! line, and arrays of small locks falsely share lines (the boost
+//! `spinlock_pool` bug, §4.3). The engine issues real RMW traffic at the
+//! lock's (possibly runtime-redirected) address, so lock contention shows
+//! up in the coherence statistics as true sharing and lock-array false
+//! sharing as false sharing.
+
+use std::collections::{HashMap, VecDeque};
+
+use tmi_machine::VAddr;
+use tmi_os::Tid;
+
+/// State of one mutex.
+#[derive(Debug, Default)]
+pub struct MutexState {
+    /// Current owner, if held.
+    pub owner: Option<Tid>,
+    /// FIFO wait queue.
+    pub waiters: VecDeque<Tid>,
+}
+
+/// State of one barrier.
+#[derive(Debug)]
+pub struct BarrierState {
+    /// Threads that must arrive before the barrier opens.
+    pub parties: usize,
+    /// Threads currently waiting.
+    pub arrived: Vec<Tid>,
+}
+
+/// All synchronization objects known to the engine.
+#[derive(Debug, Default)]
+pub struct SyncTable {
+    mutexes: HashMap<VAddr, MutexState>,
+    spins: HashMap<VAddr, Option<Tid>>,
+    barriers: HashMap<VAddr, BarrierState>,
+}
+
+impl SyncTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The mutex at `addr`, created on first use (pthread objects are
+    /// usable after zero-initialization).
+    pub fn mutex(&mut self, addr: VAddr) -> &mut MutexState {
+        self.mutexes.entry(addr).or_default()
+    }
+
+    /// Attempts to take the spinlock at `addr` for `tid`. Returns whether
+    /// the acquisition succeeded.
+    pub fn try_spin_lock(&mut self, addr: VAddr, tid: Tid) -> bool {
+        let slot = self.spins.entry(addr).or_default();
+        if slot.is_none() {
+            *slot = Some(tid);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases the spinlock at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` does not hold the lock — that is a bug in the
+    /// workload program.
+    pub fn spin_unlock(&mut self, addr: VAddr, tid: Tid) {
+        let slot = self.spins.get_mut(&addr).expect("unlock of unknown spinlock");
+        assert_eq!(*slot, Some(tid), "spin unlock by non-owner");
+        *slot = None;
+    }
+
+    /// Declares a barrier at `addr` for `parties` threads. Called by the
+    /// engine when threads are added, or explicitly by a workload.
+    pub fn register_barrier(&mut self, addr: VAddr, parties: usize) {
+        self.barriers.insert(
+            addr,
+            BarrierState {
+                parties,
+                arrived: Vec::new(),
+            },
+        );
+    }
+
+    /// The barrier at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no barrier was registered there (a `pthread_barrier_wait`
+    /// without `pthread_barrier_init` — a workload bug).
+    pub fn barrier(&mut self, addr: VAddr) -> &mut BarrierState {
+        self.barriers
+            .get_mut(&addr)
+            .expect("barrier_wait on unregistered barrier")
+    }
+
+    /// True if a barrier is registered at `addr`.
+    pub fn has_barrier(&self, addr: VAddr) -> bool {
+        self.barriers.contains_key(&addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: VAddr = VAddr::new(0x1000);
+
+    #[test]
+    fn mutex_default_is_free() {
+        let mut t = SyncTable::new();
+        assert_eq!(t.mutex(A).owner, None);
+        t.mutex(A).owner = Some(Tid(1));
+        assert_eq!(t.mutex(A).owner, Some(Tid(1)));
+    }
+
+    #[test]
+    fn spinlock_mutual_exclusion() {
+        let mut t = SyncTable::new();
+        assert!(t.try_spin_lock(A, Tid(0)));
+        assert!(!t.try_spin_lock(A, Tid(1)));
+        t.spin_unlock(A, Tid(0));
+        assert!(t.try_spin_lock(A, Tid(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-owner")]
+    fn spin_unlock_by_non_owner_panics() {
+        let mut t = SyncTable::new();
+        t.try_spin_lock(A, Tid(0));
+        t.spin_unlock(A, Tid(1));
+    }
+
+    #[test]
+    fn barrier_registration() {
+        let mut t = SyncTable::new();
+        assert!(!t.has_barrier(A));
+        t.register_barrier(A, 4);
+        assert!(t.has_barrier(A));
+        assert_eq!(t.barrier(A).parties, 4);
+    }
+}

@@ -1,0 +1,164 @@
+//! The workload catalog: every benchmark of the paper's evaluation, in the
+//! order of Fig. 7, plus the repair suite of Fig. 9 and the consistency
+//! case studies.
+
+use crate::env::Workload;
+use crate::leveldb::LevelDb;
+use crate::micro::{SharedPtr, SpinlockPool};
+use crate::parsec::{
+    Blackscholes, Bodytrack, Canneal, Dedup, Facesim, Ferret, Fluidanimate, Streamcluster,
+    Swaptions,
+};
+use crate::phoenix::{
+    Histogram, Kmeans, LinearRegression, MatrixMultiply, Pca, ReverseIndex, StringMatch, WordCount,
+};
+use crate::splash::{
+    Barnes, Cholesky, Fft, Fmm, LuCb, LuNcb, OceanCp, OceanNcp, Radiosity, Radix, Raytrace,
+    Volrend, WaterNsquare, WaterSpatial,
+};
+
+/// Constructs a workload by catalog name.
+///
+/// Names follow the paper's labels; `"leveldb-fs"` is leveldb with the
+/// §4.3 injected false-sharing bug, and `"cholesky"` is the Fig. 12 case
+/// study (excluded from the 35-workload timing suite).
+pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+    Some(match name {
+        "blackscholes" => Box::new(Blackscholes),
+        "bodytrack" => Box::new(Bodytrack),
+        "canneal" => Box::new(Canneal::new()),
+        "dedup" => Box::new(Dedup),
+        "facesim" => Box::new(Facesim),
+        "ferret" => Box::new(Ferret),
+        "fluidanimate" => Box::new(Fluidanimate),
+        "streamcluster" => Box::new(Streamcluster),
+        "swaptions" => Box::new(Swaptions),
+        "histogram" => Box::new(Histogram::standard()),
+        "histogramfs" => Box::new(Histogram::accentuated()),
+        "kmeans" => Box::new(Kmeans),
+        "lreg" => Box::new(LinearRegression::new()),
+        "matrix" => Box::new(MatrixMultiply),
+        "pca" => Box::new(Pca),
+        "reverse" => Box::new(ReverseIndex),
+        "stringmatch" => Box::new(StringMatch::new()),
+        "wordcount" => Box::new(WordCount),
+        "barnes" => Box::new(Barnes),
+        "fft" => Box::new(Fft),
+        "fmm" => Box::new(Fmm),
+        "lu-cb" => Box::new(LuCb),
+        "lu-ncb" => Box::new(LuNcb),
+        "ocean-cp" => Box::new(OceanCp),
+        "ocean-ncp" => Box::new(OceanNcp),
+        "radiosity" => Box::new(Radiosity),
+        "radix" => Box::new(Radix),
+        "raytrace" => Box::new(Raytrace),
+        "volrend" => Box::new(Volrend),
+        "water-nsquare" => Box::new(WaterNsquare),
+        "water-spatial" => Box::new(WaterSpatial),
+        "leveldb" => Box::new(LevelDb::pristine()),
+        "leveldb-fs" => Box::new(LevelDb::with_injected_bug()),
+        "spinlockpool" => Box::new(SpinlockPool),
+        "shptr-relaxed" => Box::new(SharedPtr::relaxed()),
+        "shptr-lock" => Box::new(SharedPtr::locked()),
+        "cholesky" => Box::new(Cholesky::new()),
+        _ => return None,
+    })
+}
+
+/// The 35 workloads of Figs. 7 and 8, in the paper's x-axis order.
+pub const SUITE: [&str; 35] = [
+    "blackscholes",
+    "bodytrack",
+    "canneal",
+    "dedup",
+    "facesim",
+    "ferret",
+    "fluidanimate",
+    "streamcluster",
+    "swaptions",
+    "histogram",
+    "histogramfs",
+    "kmeans",
+    "lreg",
+    "matrix",
+    "pca",
+    "reverse",
+    "stringmatch",
+    "wordcount",
+    "barnes",
+    "fft",
+    "fmm",
+    "lu-cb",
+    "lu-ncb",
+    "ocean-cp",
+    "ocean-ncp",
+    "radiosity",
+    "radix",
+    "raytrace",
+    "volrend",
+    "water-nsquare",
+    "water-spatial",
+    "leveldb",
+    "spinlockpool",
+    "shptr-relaxed",
+    "shptr-lock",
+];
+
+/// The repair suite of Fig. 9 / Table 3 (leveldb runs with the injected
+/// bug there).
+pub const REPAIR_SUITE: [&str; 9] = [
+    "histogram",
+    "histogramfs",
+    "lreg",
+    "stringmatch",
+    "lu-ncb",
+    "leveldb-fs",
+    "spinlockpool",
+    "shptr-relaxed",
+    "shptr-lock",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_suite_name_resolves() {
+        for name in SUITE {
+            let w = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(w.spec().name, name);
+        }
+    }
+
+    #[test]
+    fn repair_suite_names_resolve_and_have_false_sharing() {
+        for name in REPAIR_SUITE {
+            let w = by_name(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(w.spec().false_sharing, "{name} should exhibit FS");
+        }
+    }
+
+    #[test]
+    fn suite_has_35_workloads_like_the_paper() {
+        assert_eq!(SUITE.len(), 35);
+    }
+
+    #[test]
+    fn cholesky_is_available_but_not_in_the_suite() {
+        assert!(by_name("cholesky").is_some());
+        assert!(!SUITE.contains(&"cholesky"));
+    }
+
+    #[test]
+    fn sheriff_works_on_a_minority_of_the_suite() {
+        let compatible = SUITE
+            .iter()
+            .filter(|n| by_name(n).unwrap().spec().sheriff_compatible)
+            .count();
+        // The paper: "Sheriff works with just 11 of our 35 workloads."
+        assert!(
+            (9..=13).contains(&compatible),
+            "got {compatible} sheriff-compatible workloads"
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Code-centric consistency in action (§3.4): the same false-sharing
+//! repair is sound or unsound depending on what *kind of code* touches the
+//! buffered pages — and relaxed atomics are the case where knowing the
+//! memory order buys real performance.
+//!
+//! Three demonstrations:
+//!   1. shptr-relaxed vs shptr-lock: identical work, different refcount
+//!      synchronization; relaxed atomics don't flush the PTSB.
+//!   2. canneal: atomic/assembly swaps corrupt under a guard-less PTSB.
+//!   3. cholesky: a legacy volatile flag hangs under a guard-less PTSB.
+//!
+//! ```sh
+//! cargo run --release --example code_centric_consistency
+//! ```
+
+use tmi_bench::{run, RunConfig, RuntimeKind};
+
+fn main() {
+    // 1. The relaxed-atomic optimization.
+    println!("1. relaxed atomics need atomicity, not ordering — so they bypass the PTSB");
+    println!("   without flushing it (Table 2 refinement):\n");
+    for name in ["shptr-relaxed", "shptr-lock"] {
+        let cfg = |rt| RunConfig::repair(rt).scale(2.0);
+        let base = run(name, &cfg(RuntimeKind::Pthreads));
+        let tmi = run(name, &cfg(RuntimeKind::TmiProtect));
+        println!(
+            "   {name:14} TMI speedup {:.2}x  (commits: {})",
+            base.cycles as f64 / tmi.cycles as f64,
+            tmi.commits
+        );
+    }
+    println!(
+        "\n   The lock variant flushes (and re-twins) on every mutex operation, so the\n\
+        \x20  repair's benefit evaporates — the paper measures 4.43x vs 1.04x (§4.3).\n"
+    );
+
+    // 2. canneal's atomic swaps.
+    println!("2. canneal's lock-free element swaps, with and without the guard:\n");
+    for rt in [RuntimeKind::TmiProtect, RuntimeKind::SheriffProtect] {
+        let mut cfg = RunConfig::repair(rt).scale(0.5);
+        cfg.max_ops = 20_000_000;
+        let r = run("canneal", &cfg);
+        println!(
+            "   {:16} {}",
+            rt.label(),
+            match &r.verified {
+                Ok(()) => "netlist intact (every element exactly once)".to_string(),
+                Err(e) => format!("CORRUPTED: {e}"),
+            }
+        );
+    }
+
+    // 3. cholesky's volatile flag.
+    println!("\n3. cholesky's volatile-flag handshake (Fig. 12):\n");
+    for rt in [RuntimeKind::TmiProtect, RuntimeKind::SheriffProtect] {
+        let mut cfg = RunConfig::repair(rt);
+        cfg.max_ops = 6_000_000;
+        let r = run("cholesky", &cfg);
+        println!(
+            "   {:16} {}",
+            rt.label(),
+            if r.ok() { "completes" } else { "HANGS on a stale private flag" }
+        );
+    }
+}

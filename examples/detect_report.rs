@@ -1,0 +1,35 @@
+//! A `perf c2c`-style contention report (§5 compares TMI's HITM machinery
+//! to Intel VTune and Linux `perf c2c`, which report but do not repair),
+//! plus a Cheetah-style prediction of the manual-fix speedup — validated
+//! against the actually measured manual fix.
+//!
+//! ```sh
+//! cargo run --release --example detect_report [workload]
+//! ```
+
+use tmi_repro::bench::{run, run_detect_report, RunConfig, RuntimeKind};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "lreg".to_string());
+    let cfg = RunConfig::repair(RuntimeKind::TmiDetect).scale(1.0).misaligned();
+
+    let (result, report, predicted) = run_detect_report(&name, &cfg);
+    assert!(result.ok(), "{name}: {:?}", result.verified);
+
+    println!("{}", report.render());
+    println!(
+        "true-sharing : false-sharing event ratio = {:.2}",
+        report.true_to_false_ratio()
+    );
+    println!("\npredicted manual-fix speedup (Cheetah-style): {predicted:.2}x");
+
+    // Validate the prediction against reality.
+    let base = run(&name, &RunConfig::repair(RuntimeKind::Pthreads).scale(1.0).misaligned());
+    let fixed = run(&name, &RunConfig::repair(RuntimeKind::Pthreads).scale(1.0).fixed());
+    if base.ok() && fixed.ok() {
+        println!(
+            "measured manual-fix speedup:                  {:.2}x",
+            base.cycles as f64 / fixed.cycles as f64
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! The paper's flagship real-world scenario (§4.3): Google's leveldb
+//! key-value store with an injected false-sharing bug — per-thread
+//! operation counters packed into one cache line — repaired online by TMI
+//! with no source access and no downtime.
+//!
+//! ```sh
+//! cargo run --release --example leveldb_repair
+//! ```
+
+use tmi_bench::{run, RunConfig, RuntimeKind};
+
+fn main() {
+    let scale = 2.0;
+    println!("leveldb (readwhilewriting-style, 4 threads) with the injected counter bug\n");
+
+    let base = run("leveldb-fs", &RunConfig::repair(RuntimeKind::Pthreads).scale(scale));
+    println!(
+        "pthreads, buggy      : {:>12} cycles  ({} HITM events)",
+        base.cycles, base.hitm_events
+    );
+
+    let manual = run(
+        "leveldb-fs",
+        &RunConfig::repair(RuntimeKind::Pthreads).scale(scale).fixed(),
+    );
+    println!(
+        "pthreads, source fix : {:>12} cycles  ({:.2}x)",
+        manual.cycles,
+        base.cycles as f64 / manual.cycles as f64
+    );
+
+    let tmi = run("leveldb-fs", &RunConfig::repair(RuntimeKind::TmiProtect).scale(scale));
+    assert!(tmi.ok(), "leveldb under TMI must verify: {:?}", tmi.verified);
+    println!(
+        "TMI, online repair   : {:>12} cycles  ({:.2}x, {:.0}% of manual)",
+        tmi.cycles,
+        base.cycles as f64 / tmi.cycles as f64,
+        100.0 * (base.cycles as f64 / tmi.cycles as f64) / (base.cycles as f64 / manual.cycles as f64)
+    );
+    println!(
+        "  threads became processes at cycle {:?}; {} PTSB commits ({:.2}/s); every\n\
+        \x20 operation counter verified intact through diff-and-merge.",
+        tmi.converted_at,
+        tmi.commits,
+        tmi.commits_per_sec()
+    );
+
+    // The pristine store for contrast: mostly true sharing, nothing for
+    // TMI to repair (§4.2).
+    let pristine = run("leveldb", &RunConfig::repair(RuntimeKind::TmiDetect).scale(scale));
+    println!(
+        "\npristine leveldb under tmi-detect: repaired={}, {} HITM events observed\n\
+         (the queue's head/tail contention is true sharing — repair would not help)",
+        pristine.repaired, pristine.perf_events
+    );
+}

@@ -1,0 +1,131 @@
+//! Workspace integration tests for the paper's quantitative claims, at
+//! reduced scale: repair helps where it should, stays out of the way where
+//! it shouldn't, and the comparison systems order the way Table 1 says.
+
+use tmi_repro::bench::{run, RunConfig, RuntimeKind};
+
+fn repair_cfg(rt: RuntimeKind) -> RunConfig {
+    RunConfig::repair(rt).scale(1.0).misaligned()
+}
+
+#[test]
+fn tmi_recovers_most_of_the_manual_speedup_on_lreg() {
+    let base = run("lreg", &repair_cfg(RuntimeKind::Pthreads));
+    let manual = run("lreg", &RunConfig::repair(RuntimeKind::Pthreads).fixed());
+    let tmi = run("lreg", &repair_cfg(RuntimeKind::TmiProtect));
+    assert!(base.ok() && manual.ok() && tmi.ok());
+    assert!(tmi.repaired, "repair must trigger");
+    let manual_speedup = base.cycles as f64 / manual.cycles as f64;
+    let tmi_speedup = base.cycles as f64 / tmi.cycles as f64;
+    assert!(manual_speedup > 2.0, "lreg FS must be substantial: {manual_speedup:.2}x");
+    assert!(
+        tmi_speedup > 0.7 * manual_speedup,
+        "TMI {tmi_speedup:.2}x vs manual {manual_speedup:.2}x"
+    );
+}
+
+#[test]
+fn laser_repair_is_much_weaker_than_tmi() {
+    let base = run("stringmatch", &repair_cfg(RuntimeKind::Pthreads));
+    let tmi = run("stringmatch", &repair_cfg(RuntimeKind::TmiProtect));
+    let laser = run("stringmatch", &repair_cfg(RuntimeKind::Laser));
+    assert!(base.ok() && tmi.ok() && laser.ok());
+    let s_tmi = base.cycles as f64 / tmi.cycles as f64;
+    let s_laser = base.cycles as f64 / laser.cycles as f64;
+    assert!(
+        s_tmi > 1.8 * s_laser,
+        "TMI ({s_tmi:.2}x) should far outrepair LASER ({s_laser:.2}x)"
+    );
+}
+
+#[test]
+fn relaxed_atomics_keep_repair_effective_but_locks_do_not() {
+    // §4.3's shptr pair: the headline result for code-centric consistency.
+    let speedup = |name: &str| {
+        let base = run(name, &repair_cfg(RuntimeKind::Pthreads));
+        let tmi = run(name, &repair_cfg(RuntimeKind::TmiProtect));
+        assert!(base.ok() && tmi.ok(), "{name}");
+        base.cycles as f64 / tmi.cycles as f64
+    };
+    let relaxed = speedup("shptr-relaxed");
+    let locked = speedup("shptr-lock");
+    assert!(relaxed > 2.5, "shptr-relaxed: {relaxed:.2}x");
+    assert!(locked < 1.5, "shptr-lock: {locked:.2}x");
+    assert!(relaxed > 2.0 * locked);
+}
+
+#[test]
+fn lu_ncb_is_fixed_by_tmis_allocator_without_page_protection() {
+    let base = run("lu-ncb", &repair_cfg(RuntimeKind::Pthreads));
+    let tmi = run("lu-ncb", &repair_cfg(RuntimeKind::TmiProtect));
+    assert!(base.ok() && tmi.ok());
+    assert!(
+        tmi.cycles as f64 <= base.cycles as f64 * 0.8,
+        "allocator change should repair lu-ncb: {} vs {}",
+        tmi.cycles,
+        base.cycles
+    );
+}
+
+#[test]
+fn spinlockpool_is_repaired_by_lock_repadding() {
+    let base = run("spinlockpool", &repair_cfg(RuntimeKind::Pthreads));
+    let tmi = run("spinlockpool", &repair_cfg(RuntimeKind::TmiProtect));
+    assert!(base.ok() && tmi.ok());
+    assert!(tmi.repaired, "the lock-array FS must be detected and repadded");
+    assert!(
+        tmi.cycles < base.cycles,
+        "repadding should help: {} vs {}",
+        tmi.cycles,
+        base.cycles
+    );
+}
+
+#[test]
+fn no_contention_means_no_intervention() {
+    for name in ["blackscholes", "swaptions", "matrix"] {
+        let base = run(name, &RunConfig::repair(RuntimeKind::Pthreads).scale(0.2));
+        let tmi = run(name, &RunConfig::repair(RuntimeKind::TmiProtect).scale(0.2));
+        assert!(base.ok() && tmi.ok());
+        assert!(!tmi.repaired, "{name} must not trigger repair");
+        let over = tmi.cycles as f64 / base.cycles as f64 - 1.0;
+        assert!(over < 0.06, "{name}: {:.1}% overhead", over * 100.0);
+    }
+}
+
+#[test]
+fn detection_classifies_leveldbs_queue_as_true_sharing() {
+    // §4.2: TMI sees the pristine store's contention but declines to
+    // repair it (true sharing dominates).
+    let r = run("leveldb", &RunConfig::new(RuntimeKind::TmiProtect).scale(0.4));
+    assert!(r.ok());
+    assert!(r.perf_events > 1_000, "contention must be visible: {}", r.perf_events);
+    assert!(r.converted_at.is_none(), "no T2P for true sharing");
+}
+
+#[test]
+fn huge_pages_cut_fault_counts_by_orders_of_magnitude() {
+    let small = run("ocean-cp", &RunConfig::new(RuntimeKind::TmiDetect).scale(0.2));
+    let huge = run("ocean-cp", &RunConfig::new(RuntimeKind::TmiDetect).scale(0.2).huge_pages());
+    assert!(small.ok() && huge.ok());
+    assert!(
+        huge.faults * 50 < small.faults,
+        "huge pages: {} vs {} faults",
+        huge.faults,
+        small.faults
+    );
+}
+
+#[test]
+fn ptsb_everywhere_is_worse_than_targeted_on_histogram() {
+    let cfg = |rt| RunConfig::repair(rt).scale(2.0).misaligned();
+    let targeted = run("histogram", &cfg(RuntimeKind::TmiProtect));
+    let everywhere = run("histogram", &cfg(RuntimeKind::TmiPtsbEverywhere));
+    assert!(targeted.ok() && everywhere.ok());
+    assert!(
+        everywhere.cycles > targeted.cycles,
+        "PTSB-everywhere {} should be slower than targeted {}",
+        everywhere.cycles,
+        targeted.cycles
+    );
+}

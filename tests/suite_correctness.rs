@@ -1,0 +1,90 @@
+//! Workspace integration tests: every workload × every runtime that claims
+//! compatibility must complete and verify; known-broken combinations must
+//! fail in exactly the way the paper describes.
+
+use tmi_repro::bench::{run, RunConfig, RuntimeKind};
+use tmi_repro::sim::Halt;
+
+fn small(rt: RuntimeKind) -> RunConfig {
+    let mut cfg = RunConfig::new(rt).scale(0.05);
+    cfg.tick_interval = 300_000;
+    cfg.max_ops = 30_000_000;
+    cfg
+}
+
+#[test]
+fn whole_suite_verifies_under_pthreads() {
+    for name in tmi_repro::workloads::SUITE {
+        let r = run(name, &small(RuntimeKind::Pthreads));
+        assert!(r.ok(), "{name}: halt={:?} verify={:?}", r.halt, r.verified);
+    }
+}
+
+#[test]
+fn whole_suite_verifies_under_tmi_detect() {
+    for name in tmi_repro::workloads::SUITE {
+        let r = run(name, &small(RuntimeKind::TmiDetect));
+        assert!(r.ok(), "{name}: halt={:?} verify={:?}", r.halt, r.verified);
+    }
+}
+
+#[test]
+fn whole_suite_verifies_under_tmi_protect() {
+    // The paper's core compatibility claim: TMI's repair machinery never
+    // breaks a program, whether or not it triggers.
+    for name in tmi_repro::workloads::SUITE {
+        let r = run(name, &small(RuntimeKind::TmiProtect));
+        assert!(r.ok(), "{name}: halt={:?} verify={:?}", r.halt, r.verified);
+    }
+}
+
+#[test]
+fn cholesky_is_safe_under_tmi_but_hangs_under_sheriff() {
+    let tmi = run("cholesky", &small(RuntimeKind::TmiProtect));
+    assert!(tmi.ok(), "{:?}", tmi.halt);
+    let mut cfg = small(RuntimeKind::SheriffProtect);
+    cfg.max_ops = 3_000_000;
+    let sheriff = run("cholesky", &cfg);
+    assert_eq!(sheriff.halt, Halt::Hang, "Sheriff must hang (Fig. 12)");
+}
+
+#[test]
+fn canneal_corrupts_under_sheriff_only() {
+    let mut cfg = small(RuntimeKind::SheriffProtect);
+    cfg.scale = 0.3;
+    let sheriff = run("canneal", &cfg);
+    assert!(
+        sheriff.verified.is_err(),
+        "Sheriff's guard-less PTSB must corrupt canneal (Fig. 11)"
+    );
+    let mut tcfg = small(RuntimeKind::TmiProtect);
+    tcfg.scale = 0.3;
+    let tmi = run("canneal", &tcfg);
+    assert!(tmi.ok(), "{:?} {:?}", tmi.halt, tmi.verified);
+}
+
+#[test]
+fn laser_and_plastic_preserve_correctness() {
+    // Their store buffers/remaps are TSO-preserving, so the consistency
+    // case studies must pass (Table 1's "memory consistency" row).
+    for rt in [RuntimeKind::Laser, RuntimeKind::Plastic] {
+        for name in ["canneal", "cholesky", "leveldb-fs"] {
+            let mut cfg = small(rt);
+            cfg.scale = 0.2;
+            let r = run(name, &cfg);
+            assert!(r.ok(), "{name} under {}: {:?} {:?}", rt.label(), r.halt, r.verified);
+        }
+    }
+}
+
+#[test]
+fn sheriff_compatible_workloads_run_correctly_under_sheriff() {
+    for name in tmi_repro::workloads::SUITE {
+        let spec = tmi_repro::workloads::by_name(name).unwrap().spec();
+        if !spec.sheriff_compatible {
+            continue;
+        }
+        let r = run(name, &small(RuntimeKind::SheriffDetect));
+        assert!(r.ok(), "{name} under sheriff-detect: {:?} {:?}", r.halt, r.verified);
+    }
+}
