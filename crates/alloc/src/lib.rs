@@ -144,8 +144,14 @@ impl SimAllocator {
     /// not a multiple of 8 (it would break natural alignment of 8-byte
     /// fields).
     pub fn new(start: VAddr, len: u64, config: AllocConfig) -> Self {
-        assert!(start.raw().is_multiple_of(LINE_SIZE), "region must be line aligned");
-        assert!(config.misalign.is_multiple_of(8), "misalign must preserve 8B alignment");
+        assert!(
+            start.raw().is_multiple_of(LINE_SIZE),
+            "region must be line aligned"
+        );
+        assert!(
+            config.misalign.is_multiple_of(8),
+            "misalign must preserve 8B alignment"
+        );
         SimAllocator {
             config,
             start,
@@ -380,11 +386,19 @@ mod tests {
         let mut g = alloc(AllocPolicy::Glibc, 0);
         let a0 = g.alloc(0, 24);
         let a1 = g.alloc(1, 24);
-        assert_eq!(a0.raw() / LINE_SIZE, a1.raw() / LINE_SIZE, "glibc: same line");
+        assert_eq!(
+            a0.raw() / LINE_SIZE,
+            a1.raw() / LINE_SIZE,
+            "glibc: same line"
+        );
 
         let mut l = alloc(AllocPolicy::Lockless, 0);
         let b0 = l.alloc(0, 24);
         let b1 = l.alloc(1, 24);
-        assert_ne!(b0.raw() / LINE_SIZE, b1.raw() / LINE_SIZE, "lockless: separate");
+        assert_ne!(
+            b0.raw() / LINE_SIZE,
+            b1.raw() / LINE_SIZE,
+            "lockless: separate"
+        );
     }
 }

@@ -8,8 +8,15 @@ use tmi_machine::{VAddr, LINE_SIZE};
 
 #[derive(Clone, Copy, Debug)]
 enum AllocOp {
-    Alloc { arena: usize, size: u64, align_pow: u32 },
-    Padded { arena: usize, size: u64 },
+    Alloc {
+        arena: usize,
+        size: u64,
+        align_pow: u32,
+    },
+    Padded {
+        arena: usize,
+        size: u64,
+    },
     FreeOldest,
 }
 

@@ -137,8 +137,7 @@ impl RuntimeHooks for PlasticRuntime {
     fn on_tick(&mut self, ctl: &mut dyn EngineCtl, now: u64) {
         let records = self.perf.drain();
         self.detector.ingest(&records, ctl.code());
-        let window_secs =
-            LatencyModel::cycles_to_secs(now.saturating_sub(self.last_tick).max(1));
+        let window_secs = LatencyModel::cycles_to_secs(now.saturating_sub(self.last_tick).max(1));
         self.last_tick = now;
         for r in self
             .detector

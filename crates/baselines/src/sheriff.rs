@@ -138,6 +138,9 @@ impl RuntimeHooks for SheriffRuntime {
     }
 
     fn map_lock(&mut self, _ctl: &mut dyn EngineCtl, _tid: Tid, lock: VAddr) -> (VAddr, u64) {
-        (self.locks.redirect(lock), self.config.tmi.lock_indirect_cycles)
+        (
+            self.locks.redirect(lock),
+            self.config.tmi.lock_indirect_cycles,
+        )
     }
 }

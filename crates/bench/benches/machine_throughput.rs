@@ -26,7 +26,12 @@ fn bench_local_hits(c: &mut Criterion) {
             || (Machine::new(MachineConfig::with_cores(4)), 0u64),
             |(mut m, _)| {
                 for i in 0..512u64 {
-                    m.access((i % 4) as usize, PhysAddr::new(i * 64), AccessKind::Load, Width::W8);
+                    m.access(
+                        (i % 4) as usize,
+                        PhysAddr::new(i * 64),
+                        AccessKind::Load,
+                        Width::W8,
+                    );
                 }
                 m
             },

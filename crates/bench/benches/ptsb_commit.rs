@@ -14,8 +14,11 @@ fn armed_dirty_page() -> (Kernel, AsId, TwinStore) {
     let mut k = Kernel::new();
     let obj = k.create_object(4 * FRAME_SIZE);
     let a = k.create_aspace();
-    k.map(a, MapRequest::object(VAddr::new(BASE), 4 * FRAME_SIZE, obj, 0))
-        .unwrap();
+    k.map(
+        a,
+        MapRequest::object(VAddr::new(BASE), 4 * FRAME_SIZE, obj, 0),
+    )
+    .unwrap();
     k.force_write(a, VAddr::new(BASE), Width::W8, 1).unwrap();
     k.protect_page_cow(a, VAddr::new(BASE).vpn()).unwrap();
     k.handle_fault(a, VAddr::new(BASE), true).unwrap();
@@ -50,7 +53,13 @@ fn bench_ptsb(c: &mut Criterion) {
         b.iter_batched(
             armed_dirty_page,
             |(mut k, a, mut tw)| {
-                tw.commit_page(&mut k, a, VAddr::new(BASE).vpn(), &CommitCostModel::standard(), false);
+                tw.commit_page(
+                    &mut k,
+                    a,
+                    VAddr::new(BASE).vpn(),
+                    &CommitCostModel::standard(),
+                    false,
+                );
                 k
             },
             BatchSize::SmallInput,

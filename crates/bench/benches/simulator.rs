@@ -3,7 +3,7 @@
 //! numbers that size the experiment binaries' scale factors.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::{Experiment, RuntimeKind};
 
 fn bench_runs(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator");
@@ -19,8 +19,11 @@ fn bench_runs(c: &mut Criterion) {
             BenchmarkId::new(rt.label(), name),
             &(name, rt),
             |b, &(name, rt)| {
-                let cfg = RunConfig::repair(rt).scale(0.05).misaligned();
-                b.iter(|| run(name, &cfg));
+                let e = Experiment::repair(name)
+                    .runtime(rt)
+                    .scale(0.05)
+                    .misaligned();
+                b.iter(|| e.clone().run());
             },
         );
     }

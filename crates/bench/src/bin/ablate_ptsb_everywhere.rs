@@ -1,41 +1,15 @@
 //! §4.3 ablation — targeted page protection vs PTSB-everywhere.
-//!
-//! "histogram suffers a 36% slowdown with PTSB-everywhere, instead of a
-//! 29% speedup with Tmi. histogramfs exhibits a 3.26x speedup with
-//! PTSB-everywhere but Tmi achieves a 6.27x speedup instead."
-//!
-//! Runs the repair suite under TMI-protect (targeted) and under the
-//! PTSB-everywhere configuration, which arms copy-on-write on *every*
-//! application page once repair triggers, so cold pages pay twinning and
-//! per-sync diffs for nothing.
+//! Rendering lives in [`tmi_bench::figures::ablate_ptsb_everywhere`].
 
-use tmi_bench::report::{ratio, Table};
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::Executor;
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(2.0);
-    let mut table = Table::new(&["workload", "TMI (targeted)", "PTSB-everywhere"]);
-
-    for name in ["histogram", "histogramfs", "lreg", "stringmatch", "shptr-relaxed"] {
-        let cfg = |rt| RunConfig::repair(rt).scale(scale).misaligned();
-        let base = run(name, &cfg(RuntimeKind::Pthreads));
-        let targeted = run(name, &cfg(RuntimeKind::TmiProtect));
-        let everywhere = run(name, &cfg(RuntimeKind::TmiPtsbEverywhere));
-        assert!(base.ok() && targeted.ok() && everywhere.ok(), "{name}");
-        table.row(vec![
-            name.to_string(),
-            ratio(base.cycles as f64 / targeted.cycles as f64),
-            ratio(base.cycles as f64 / everywhere.cycles as f64),
-        ]);
-    }
-
-    println!("PTSB-everywhere ablation: speedup over pthreads (4 threads, scale {scale})\n");
-    table.print();
-    println!(
-        "\n(paper: indiscriminate PTSB use turns histogram's 1.29x speedup into a 0.74x\n\
-         slowdown and halves histogramfs's benefit — motivating targeted repair, §4.3)"
+    print!(
+        "{}",
+        tmi_bench::figures::ablate_ptsb_everywhere(&Executor::from_env(), scale)
     );
 }

@@ -1,47 +1,16 @@
-//! Fig. 10 — "Performance overheads (lower is better) of using 4KB
-//! standard sized pages versus 2MB huge pages for process-shared,
-//! file-backed memory allocation."
-//!
-//! Runs every workload under tmi-detect with 4 KiB pages and with 2 MiB
-//! huge pages and reports the 4 KiB run's overhead relative to the huge-
-//! page run. Large-footprint workloads fault once per 4 KiB page of their
-//! working set, so huge pages (1 fault per 2 MiB) win there; the paper
-//! reports a 6 % mean improvement from huge pages.
+//! Fig. 10 — "4KB standard sized pages versus 2MB huge pages for
+//! process-shared, file-backed memory allocation." Rendering lives in
+//! [`tmi_bench::figures::fig10`].
 
-use tmi_bench::report::{mean, pct, Table};
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::Executor;
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
-    let mut table = Table::new(&["workload", "4KB faults", "2MB faults", "4KB overhead"]);
-    let mut overheads = Vec::new();
-
-    for name in tmi_workloads::SUITE {
-        let small = run(name, &RunConfig::new(RuntimeKind::TmiDetect).scale(scale));
-        let huge = run(
-            name,
-            &RunConfig::new(RuntimeKind::TmiDetect).scale(scale).huge_pages(),
-        );
-        assert!(small.ok() && huge.ok(), "{name}");
-        let over = small.cycles as f64 / huge.cycles as f64 - 1.0;
-        overheads.push(over);
-        table.row(vec![
-            name.to_string(),
-            small.faults.to_string(),
-            huge.faults.to_string(),
-            pct(over),
-        ]);
-    }
-
-    println!("Fig. 10: 4 KiB vs 2 MiB huge pages for the shared file-backed app memory\n");
-    table.print();
-    println!();
-    println!(
-        "mean 4KB overhead vs huge pages: {}   (paper: huge pages a 6% overall win,\n\
-         dominated by canneal/reverse/fft/fmm/ocean-ncp/radix class workloads)",
-        pct(mean(&overheads))
+    print!(
+        "{}",
+        tmi_bench::figures::fig10(&Executor::from_env(), scale)
     );
 }

@@ -1,48 +1,15 @@
-//! Fig. 11 — "Atomic swaps in canneal that require code-centric
-//! consistency. In the pictured example, element c is replicated and
-//! element b is lost."
-//!
-//! Runs canneal (whose element swaps use atomics and inline assembly)
-//! under four runtimes and verifies the permutation invariant: every
-//! element present exactly once. A PTSB without code-centric consistency
-//! buffers the swap stores and busy-flag atomics in private pages, so
-//! elements get lost and replicated — exactly the corruption the paper
-//! shows for Sheriff ("On the simlarge input, sheriff-detect causes
-//! canneal to produce an incorrect result", §4.5).
+//! Fig. 11 — canneal's atomic swaps that require code-centric
+//! consistency. Rendering lives in [`tmi_bench::figures::fig11`].
 
-use tmi_bench::report::Table;
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::Executor;
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
-    let mut table = Table::new(&["runtime", "completed", "result"]);
-
-    for rt in [
-        RuntimeKind::Pthreads,
-        RuntimeKind::TmiProtect,
-        RuntimeKind::SheriffProtect,
-        RuntimeKind::SheriffDetect,
-    ] {
-        let mut cfg = RunConfig::repair(rt).scale(scale);
-        cfg.max_ops = 30_000_000; // bound broken runs
-        let r = run("canneal", &cfg);
-        table.row(vec![
-            rt.label().to_string(),
-            format!("{:?}", r.halt),
-            match &r.verified {
-                Ok(()) => "correct (all elements present exactly once)".to_string(),
-                Err(e) => format!("CORRUPTED: {e}"),
-            },
-        ]);
-    }
-
-    println!("Fig. 11: canneal's atomic swaps under different runtimes (scale {scale})\n");
-    table.print();
-    println!(
-        "\n(paper: Sheriff corrupts canneal because its PTSB has no consistency guard;\n\
-         TMI routes the atomic/assembly swap code to shared memory and stays correct)"
+    print!(
+        "{}",
+        tmi_bench::figures::fig11(&Executor::from_env(), scale)
     );
 }

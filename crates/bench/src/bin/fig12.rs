@@ -1,51 +1,9 @@
-//! Fig. 12 — "Racy code in cholesky that executes incorrectly without
-//! code-centric consistency. T0's version of flag never updates ... the
-//! program hangs."
-//!
-//! cholesky's legacy `volatile`-flag synchronization: thread 0 writes the
-//! flag's page (dirtying it) and then polls the flag that thread 1
-//! eventually sets. Under a whole-heap PTSB with no consistency guard the
-//! polling thread reads its stale private copy forever — the run hangs
-//! (the paper: "sheriff-detect and sheriff-protect hang on cholesky").
-//! TMI's code-centric consistency honors the volatile intent and routes
-//! the polls to shared memory.
+//! Fig. 12 — cholesky's racy volatile-flag synchronization that hangs
+//! without code-centric consistency. Rendering lives in
+//! [`tmi_bench::figures::fig12`].
 
-use tmi_bench::report::Table;
-use tmi_bench::{run, RunConfig, RuntimeKind};
-use tmi_sim::Halt;
+use tmi_bench::Executor;
 
 fn main() {
-    let mut table = Table::new(&["runtime", "outcome", "flag visible"]);
-
-    for rt in [
-        RuntimeKind::Pthreads,
-        RuntimeKind::TmiDetect,
-        RuntimeKind::TmiProtect,
-        RuntimeKind::SheriffProtect,
-        RuntimeKind::SheriffDetect,
-    ] {
-        let mut cfg = RunConfig::repair(rt);
-        cfg.max_ops = 8_000_000; // bound the hang
-        let r = run("cholesky", &cfg);
-        let outcome = match r.halt {
-            Halt::Completed => "completed".to_string(),
-            Halt::Hang => "HANGS (stale private flag)".to_string(),
-            Halt::Fault(ref e) => format!("fault: {e}"),
-        };
-        table.row(vec![
-            rt.label().to_string(),
-            outcome,
-            match &r.verified {
-                Ok(()) => "yes".to_string(),
-                Err(e) => e.clone(),
-            },
-        ]);
-    }
-
-    println!("Fig. 12: cholesky's volatile-flag synchronization under different runtimes\n");
-    table.print();
-    println!(
-        "\n(paper: Sheriff hangs on cholesky; TMI performs detection on all of these\n\
-         benchmarks without causing incorrect results, §4.5)"
-    );
+    print!("{}", tmi_bench::figures::fig12(&Executor::from_env()));
 }

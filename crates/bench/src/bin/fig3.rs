@@ -1,106 +1,6 @@
-//! Fig. 3 — "A simple assembly program that reveals the semantics of
-//! aligned multi-byte stores... the assert can never fail. However, it can
-//! fail with PTSBs."
-//!
-//! Two threads store `0xAB00` and `0x00CD` to the same aligned 2-byte
-//! location `x`. Every hardware memory model guarantees aligned multi-byte
-//! store atomicity (AMBSA), so natively `x` ends as one of the two stored
-//! values. A page-twinning store buffer diffs pages at *byte*
-//! granularity: each thread's unchanged zero byte is invisible to the
-//! diff, the merges interleave, and `x` becomes `0xABCD` — a value no
-//! thread ever wrote.
-//!
-//! This binary runs the litmus natively (pthreads), under Sheriff's
-//! guard-less PTSB (tearing expected), and under TMI with code-centric
-//! consistency (the stores sit in an assembly region, so they are routed
-//! to shared memory and AMBSA holds).
-
-use tmi_baselines::{SheriffConfig, SheriffRuntime};
-use tmi_bench::report::Table;
-use tmi_machine::{VAddr, Width, FRAME_SIZE};
-use tmi_os::MapRequest;
-use tmi_program::{InstrKind, Op, SequenceProgram};
-use tmi_sim::{Engine, EngineConfig, NullRuntime, RuntimeHooks};
-use tmi::{AppLayout, TmiConfig, TmiRuntime};
-
-const APP: u64 = 0x10_0000;
-const INTERNAL: u64 = 0x80_0000;
-
-fn litmus<R: RuntimeHooks>(runtime: R, in_asm_region: bool) -> u64 {
-    let mut e = Engine::new(EngineConfig::with_cores(2), runtime);
-    let app_obj = e.core_mut().kernel.create_object(16 * FRAME_SIZE);
-    let int_obj = e.core_mut().kernel.create_object(4 * FRAME_SIZE);
-    let aspace = e.core_mut().kernel.create_aspace();
-    e.core_mut()
-        .kernel
-        .map(aspace, MapRequest::object(VAddr::new(APP), 16 * FRAME_SIZE, app_obj, 0))
-        .unwrap();
-    e.core_mut()
-        .kernel
-        .map(aspace, MapRequest::object(VAddr::new(INTERNAL), 4 * FRAME_SIZE, int_obj, 0))
-        .unwrap();
-    e.create_root_process(aspace);
-
-    let x = VAddr::new(APP + 0x100); // 2-byte aligned
-    let st = e.core_mut().code.asm_instr("litmus::store_x", InstrKind::Store, Width::W2);
-    for value in [0xAB00u64, 0x00CD] {
-        let mut ops = Vec::new();
-        if in_asm_region {
-            ops.push(Op::AsmEnter);
-        }
-        ops.push(Op::Store { pc: st, addr: x, width: Width::W2, value });
-        if in_asm_region {
-            ops.push(Op::AsmExit);
-        }
-        e.add_thread(Box::new(SequenceProgram::new(ops)));
-    }
-    let r = e.run();
-    assert!(r.completed(), "litmus must complete: {:?}", r.halt);
-    let pa = e.core_mut().kernel.object_paddr(aspace, x).unwrap();
-    e.core_mut().kernel.physmem().read(pa, Width::W2)
-}
-
-fn layout() -> AppLayout {
-    AppLayout {
-        app_obj: tmi_os::ObjId(0),
-        app_start: VAddr::new(APP),
-        app_len: 16 * FRAME_SIZE,
-        internal_obj: tmi_os::ObjId(1),
-        internal_start: VAddr::new(INTERNAL),
-        internal_len: 4 * FRAME_SIZE,
-        huge_pages: false,
-    }
-}
+//! Fig. 3 — the AMBSA word-tearing litmus (see
+//! [`tmi_bench::figures::fig3`] for the full story).
 
 fn main() {
-    let mut table = Table::new(&["execution", "final x", "AMBSA"]);
-    let verdict = |x: u64| {
-        if x == 0xAB00 || x == 0x00CD {
-            "preserved".to_string()
-        } else {
-            format!("VIOLATED (x = {x:#06x}, written by no thread)")
-        }
-    };
-
-    let native = litmus(NullRuntime, true);
-    table.row(vec!["native (pthreads)".into(), format!("{native:#06x}"), verdict(native)]);
-
-    // Sheriff: whole-heap PTSB, no consistency guard → word tearing.
-    let sheriff = litmus(SheriffRuntime::new(SheriffConfig::protect(), layout()), true);
-    table.row(vec!["sheriff-protect".into(), format!("{sheriff:#06x}"), verdict(sheriff)]);
-
-    // TMI with code-centric consistency, PTSB-everywhere armed via the
-    // ablation config plus a pre-triggered repair: asm-region stores are
-    // routed to shared memory, so AMBSA holds even with the page armed.
-    let tmi = litmus(TmiRuntime::new(TmiConfig::protect(), layout()), true);
-    table.row(vec!["tmi-protect".into(), format!("{tmi:#06x}"), verdict(tmi)]);
-
-    println!("Fig. 3: the AMBSA word-tearing litmus\n");
-    table.print();
-    println!(
-        "\nThe merge interleaving (Fig. 2/3): each thread's diff sees only its one\n\
-         changed byte, so both bytes land in shared memory: 0xABCD.\n\
-         (tmi-sim's twin-store unit tests exercise the same tearing deterministically:\n\
-         crates/core/src/twins.rs::word_tearing_is_reproducible_at_byte_granularity)"
-    );
+    print!("{}", tmi_bench::figures::fig3());
 }

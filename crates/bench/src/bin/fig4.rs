@@ -1,43 +1,13 @@
 //! Fig. 4 — "Performance and precision of HITM events reported by perf
-//! with various sampling periods on leveldb."
-//!
-//! Sweeps the perf period over {1, 5, 10, 50, 100, 1000} on the
-//! (contention-heavy) leveldb workload under tmi-detect and reports the
-//! runtime and the number of HITM records captured, plus the total event
-//! count the hardware actually produced. The paper's shape: small periods
-//! hurt runtime; large periods capture proportionally fewer records.
+//! with various sampling periods on leveldb." Rendering lives in
+//! [`tmi_bench::figures::fig4`].
 
-use tmi_bench::report::Table;
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::Executor;
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
-    let mut table = Table::new(&["period", "runtime (ms sim)", "HITM records", "scaled estimate"]);
-    let mut total_events = 0u64;
-
-    for period in [1u64, 5, 10, 50, 100, 1000] {
-        let r = run(
-            "leveldb",
-            &RunConfig::new(RuntimeKind::TmiDetect).scale(scale).period(period),
-        );
-        assert!(r.ok(), "leveldb @ period {period}: {:?}", r.verified);
-        total_events = r.perf_events;
-        table.row(vec![
-            period.to_string(),
-            format!("{:.2}", r.seconds * 1e3),
-            r.perf_records.to_string(),
-            format!("{:.0}", r.perf_records as f64 * period as f64),
-        ]);
-    }
-
-    println!("Fig. 4: runtime and HITM records vs perf sampling period (leveldb, scale {scale})\n");
-    table.print();
-    println!("\nTotal HITM events generated by the hardware: {total_events}");
-    println!(
-        "(paper: runtime inflates at small periods; record counts fall roughly as 1/period,\n\
-         so TMI scales each record by the period to estimate true event counts, §3.1)"
-    );
+    print!("{}", tmi_bench::figures::fig4(&Executor::from_env(), scale));
 }

@@ -1,68 +1,13 @@
 //! Fig. 7 — "Performance of TMI's allocator and false sharing detection
-//! compared to sheriff-detect. All bars are normalized to pthreads
-//! execution using the Lockless allocator (lower is better)."
-//!
-//! Runs all 35 workloads at 8 threads under: sheriff-detect (where
-//! compatible), tmi-alloc (allocations redirected to process-shared
-//! memory), and tmi-detect (full monitoring, no repair). The paper reports
-//! a 2 % mean overhead for tmi-detect with a 17 % maximum on kmeans, and
-//! Sheriff compatible with only 11 of 35 workloads.
+//! compared to sheriff-detect." Rendering lives in
+//! [`tmi_bench::figures::fig7`].
 
-use tmi_bench::report::{mean, Table};
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::Executor;
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
-    let mut table = Table::new(&["workload", "sheriff-detect", "tmi-alloc", "tmi-detect"]);
-    let mut detect_over = Vec::new();
-    let mut sheriff_compat = 0usize;
-
-    for name in tmi_workloads::SUITE {
-        let spec = tmi_workloads::by_name(name).unwrap().spec();
-        let base = run(name, &RunConfig::new(RuntimeKind::Pthreads).scale(scale));
-        assert!(base.ok(), "{name} baseline: {:?}", base.verified);
-        let norm = |r: &tmi_bench::RunResult| r.cycles as f64 / base.cycles as f64;
-
-        let sheriff_cell = if spec.sheriff_compatible {
-            sheriff_compat += 1;
-            let r = run(name, &RunConfig::new(RuntimeKind::SheriffDetect).scale(scale));
-            if r.ok() {
-                format!("{:.2}", norm(&r))
-            } else {
-                "broken".to_string()
-            }
-        } else {
-            "x".to_string()
-        };
-        let alloc = run(name, &RunConfig::new(RuntimeKind::TmiAlloc).scale(scale));
-        let detect = run(name, &RunConfig::new(RuntimeKind::TmiDetect).scale(scale));
-        assert!(detect.ok(), "{name} tmi-detect: {:?}", detect.verified);
-        detect_over.push(norm(&detect));
-
-        table.row(vec![
-            name.to_string(),
-            sheriff_cell,
-            format!("{:.2}", norm(&alloc)),
-            format!("{:.2}", norm(&detect)),
-        ]);
-    }
-
-    println!("Fig. 7: detection overhead, normalized to pthreads (8 threads, scale {scale})\n");
-    table.print();
-    println!();
-    println!(
-        "tmi-detect mean overhead: {:+.1}%   (paper: +2% mean, +17% max)",
-        (mean(&detect_over) - 1.0) * 100.0
-    );
-    println!(
-        "tmi-detect max overhead:  {:+.1}%",
-        (detect_over.iter().cloned().fold(f64::MIN, f64::max) - 1.0) * 100.0
-    );
-    println!(
-        "sheriff-compatible workloads: {sheriff_compat} of {}   (paper: 11 of 35)",
-        tmi_workloads::SUITE.len()
-    );
+    print!("{}", tmi_bench::figures::fig7(&Executor::from_env(), scale));
 }

@@ -1,47 +1,12 @@
-//! Fig. 8 — "Memory overheads for TMI. Bars are absolute value in MB (log
-//! scale). Lower is better."
-//!
-//! Compares peak memory under plain pthreads against TMI-full (detection +
-//! repair): application frames plus perf event buffers, detector
-//! structures (≈90 MB floor for the small benchmarks), twin pages and
-//! process-shared lock objects.
+//! Fig. 8 — "Memory overheads for TMI." Rendering lives in
+//! [`tmi_bench::figures::fig8`].
 
-use tmi_bench::report::{mb, Table};
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::Executor;
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
-    let mut table = Table::new(&["workload", "pthreads MB", "TMI-full MB", "overhead MB"]);
-    let mut ratios = Vec::new();
-
-    for name in tmi_workloads::SUITE {
-        let base = run(name, &RunConfig::new(RuntimeKind::Pthreads).scale(scale));
-        let tmi = run(name, &RunConfig::new(RuntimeKind::TmiProtect).scale(scale));
-        let over = tmi.memory_bytes.saturating_sub(base.memory_bytes);
-        if base.memory_bytes > 32 << 20 {
-            ratios.push(tmi.memory_bytes as f64 / base.memory_bytes as f64);
-        }
-        table.row(vec![
-            name.to_string(),
-            mb(base.memory_bytes),
-            mb(tmi.memory_bytes),
-            mb(over),
-        ]);
-    }
-
-    println!("Fig. 8: peak memory usage in MB (8 threads, scale {scale})\n");
-    table.print();
-    println!();
-    println!(
-        "Small-footprint workloads carry a fixed ~90 MB of perf buffers and detector\n\
-         structures (paper: \"about 90MB of memory overhead\"); for larger workloads the\n\
-         relative overhead is modest (paper: 19% beyond the small-memory cases)."
-    );
-    if !ratios.is_empty() {
-        let gm = tmi_bench::report::geomean(&ratios);
-        println!("geomean TMI/pthreads over larger workloads: {gm:.2}x");
-    }
+    print!("{}", tmi_bench::figures::fig8(&Executor::from_env(), scale));
 }

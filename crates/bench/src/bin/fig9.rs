@@ -1,77 +1,13 @@
-//! Fig. 9 — "Speedup over pthreads (higher is better) for benchmarks where
-//! TMI automatically repairs false sharing."
-//!
-//! For each workload of the repair suite, runs: the buggy baseline
-//! (pthreads, with the misaligned allocation that exposes the bug, §4.3),
-//! the manual source fix, Sheriff-protect (where compatible), LASER, and
-//! TMI-protect, all at 4 threads (§4.1). Prints speedups over the buggy
-//! baseline and the average fraction of the manual speedup TMI attains
-//! (the paper reports 88 %, and a 5.2× mean TMI speedup).
+//! Fig. 9 — "Speedup over pthreads for benchmarks where TMI automatically
+//! repairs false sharing." Rendering lives in
+//! [`tmi_bench::figures::fig9`].
 
-use tmi_bench::report::{mean, ratio, Table};
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::Executor;
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(2.0);
-    let mut table = Table::new(&["workload", "manual", "sheriff-protect", "LASER", "TMI-protect"]);
-    let mut tmi_speedups = Vec::new();
-    let mut manual_fracs = Vec::new();
-
-    for name in tmi_workloads::REPAIR_SUITE {
-        let spec = tmi_workloads::by_name(name).unwrap().spec();
-        let cfg = |rt| RunConfig::repair(rt).scale(scale).misaligned();
-        let base = run(name, &cfg(RuntimeKind::Pthreads));
-        assert!(base.ok(), "{name} baseline failed: {:?}", base.verified);
-        let speedup = |r: &tmi_bench::RunResult| {
-            if r.ok() {
-                base.cycles as f64 / r.cycles as f64
-            } else {
-                f64::NAN
-            }
-        };
-
-        let manual = run(name, &RunConfig::repair(RuntimeKind::Pthreads).scale(scale).fixed());
-        let tmi = run(name, &cfg(RuntimeKind::TmiProtect));
-        let laser = run(name, &cfg(RuntimeKind::Laser));
-        let sheriff = spec
-            .sheriff_compatible
-            .then(|| run(name, &cfg(RuntimeKind::SheriffProtect)));
-
-        let s_manual = speedup(&manual);
-        let s_tmi = speedup(&tmi);
-        tmi_speedups.push(s_tmi);
-        manual_fracs.push(s_tmi / s_manual);
-
-        table.row(vec![
-            name.to_string(),
-            ratio(s_manual),
-            sheriff
-                .as_ref()
-                .map(|r| {
-                    if r.ok() {
-                        ratio(speedup(r))
-                    } else {
-                        "broken".to_string()
-                    }
-                })
-                .unwrap_or_else(|| "incompatible".to_string()),
-            ratio(speedup(&laser)),
-            ratio(s_tmi),
-        ]);
-    }
-
-    println!("Fig. 9: repair speedups over pthreads (4 threads, scale {scale})\n");
-    table.print();
-    println!();
-    println!(
-        "TMI mean speedup: {:.2}x   (paper: 5.2x mean across the repaired programs)",
-        mean(&tmi_speedups)
-    );
-    println!(
-        "TMI fraction of manual speedup: {:.0}%   (paper: 88%)",
-        mean(&manual_fracs) * 100.0
-    );
+    print!("{}", tmi_bench::figures::fig9(&Executor::from_env(), scale));
 }

@@ -1,13 +1,16 @@
 //! Internal probe: times each suite workload under the baseline at small
 //! scale. Used during development; kept as a diagnostic.
 use std::time::Instant;
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::Experiment;
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.03);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.03);
     for name in tmi_workloads::SUITE {
         let t0 = Instant::now();
-        let r = run(name, &RunConfig::new(RuntimeKind::Pthreads).scale(scale));
+        let r = Experiment::new(name).scale(scale).run();
         println!(
             "{name:15} host={:6.2}s ops={:9} cycles={:12} hitm={:9} ok={}",
             t0.elapsed().as_secs_f64(),

@@ -1,9 +1,15 @@
 //! Internal probe: detector visibility on one workload.
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::{Experiment, RuntimeKind};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "shptr-relaxed".into());
-    let r = run(&name, &RunConfig::repair(RuntimeKind::TmiProtect).scale(0.5).misaligned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "shptr-relaxed".into());
+    let r = Experiment::repair(&name)
+        .runtime(RuntimeKind::TmiProtect)
+        .scale(0.5)
+        .misaligned()
+        .run();
     println!(
         "{name}: cycles={} hitm(machine)={} perf_events={} perf_records={} repaired={} commits={} conv={:?} halt={:?}",
         r.cycles, r.hitm_events, r.perf_events, r.perf_records, r.repaired, r.commits, r.converted_at, r.halt

@@ -1,15 +1,24 @@
 //! Internal probe: repair effectiveness across the Fig. 9 suite.
 use std::time::Instant;
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::{Experiment, RuntimeKind};
 
 fn main() {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
     for name in tmi_workloads::REPAIR_SUITE {
+        let cfg = |rt| {
+            Experiment::repair(name)
+                .runtime(rt)
+                .scale(scale)
+                .misaligned()
+        };
         let t0 = Instant::now();
-        let base = run(name, &RunConfig::repair(RuntimeKind::Pthreads).scale(scale).misaligned());
-        let manual = run(name, &RunConfig::repair(RuntimeKind::Pthreads).scale(scale).fixed());
-        let tmi = run(name, &RunConfig::repair(RuntimeKind::TmiProtect).scale(scale).misaligned());
-        let laser = run(name, &RunConfig::repair(RuntimeKind::Laser).scale(scale).misaligned());
+        let base = cfg(RuntimeKind::Pthreads).run();
+        let manual = Experiment::repair(name).scale(scale).fixed().run();
+        let tmi = cfg(RuntimeKind::TmiProtect).run();
+        let laser = cfg(RuntimeKind::Laser).run();
         let sp = |r: &tmi_bench::RunResult| base.cycles as f64 / r.cycles as f64;
         println!(
             "{name:14} manual={:5.2}x tmi={:5.2}x (rep={} commits={}) laser={:5.2}x (rep={}) ok={}{}{} host={:.1}s",

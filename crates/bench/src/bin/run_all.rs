@@ -1,42 +1,84 @@
-//! Runs every experiment binary's logic in sequence, printing each table —
-//! the one-shot regeneration of the paper's full evaluation. Pass a scale
-//! factor (default 1.0) to shrink or grow every workload.
+//! Regenerates the paper's full evaluation in one process: every section
+//! of [`tmi_bench::figures`] renders on one shared [`Executor`], so the
+//! (workload × runtime) cells fan out over a worker pool and repeated
+//! cells — most prominently the pthreads baselines that several figures
+//! normalize against — are simulated once.
 //!
-//! Equivalent to running: fig3 fig4 fig7 fig8 fig9 table3 fig10 fig11
-//! fig12 ablate_ptsb_everywhere table1 — see those binaries for focused
-//! runs; this one shells out to each so their output stays identical.
+//! Pass a scale factor (default 1.0) to shrink or grow the sweep
+//! sections, or `--quick` for a reduced smoke run (used by
+//! `scripts/check.sh`). `TMI_BENCH_JOBS=N` bounds the pool; the printed
+//! report is byte-identical for every pool size. A machine-readable
+//! per-job timing log is written to `BENCH_harness.json` at the end.
 
-use std::process::Command;
+use tmi_bench::{figures, Executor};
 
 fn main() {
-    let scale = std::env::args().nth(1).unwrap_or_else(|| "1.0".to_string());
-    let exe = std::env::current_exe().expect("current exe");
-    let dir = exe.parent().expect("exe dir");
-    let bins = [
-        ("fig3", None),
-        ("fig4", Some(scale.as_str())),
-        ("fig7", Some(scale.as_str())),
-        ("fig8", Some(scale.as_str())),
-        ("fig9", Some("2.0")),
-        ("table3", Some("2.0")),
-        ("fig10", Some(scale.as_str())),
-        ("fig11", Some("1.0")),
-        ("fig12", None),
-        ("ablate_ptsb_everywhere", Some("2.0")),
-        ("sweep_threads", None),
-        ("table1", Some("0.5")),
-    ];
-    for (bin, arg) in bins {
-        println!("\n================================================================");
-        println!("== {bin}");
-        println!("================================================================\n");
-        let mut cmd = Command::new(dir.join(bin));
-        if let Some(a) = arg {
-            cmd.arg(a);
+    let mut quick = false;
+    let mut scale_arg: Option<f64> = None;
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else if let Ok(s) = arg.parse::<f64>() {
+            scale_arg = Some(s);
+        } else {
+            eprintln!("usage: run_all [--quick] [scale]");
+            std::process::exit(2);
         }
-        let status = cmd.status().unwrap_or_else(|e| panic!("running {bin}: {e}"));
-        if !status.success() {
-            eprintln!("{bin} exited with {status}");
+    }
+    let scale = scale_arg.unwrap_or(if quick { 0.05 } else { 1.0 });
+
+    let exec = Executor::from_env();
+    type Section<'a> = (&'a str, Box<dyn FnOnce(&Executor) -> String + 'a>);
+    let sections: Vec<Section> = if quick {
+        vec![
+            ("fig3", Box::new(|_| figures::fig3())),
+            ("fig4", Box::new(move |e| figures::fig4(e, scale))),
+            ("fig7", Box::new(move |e| figures::fig7(e, scale))),
+            ("fig8", Box::new(move |e| figures::fig8(e, scale))),
+            ("fig9", Box::new(|e| figures::fig9(e, 0.25))),
+            ("table3", Box::new(|e| figures::table3(e, 0.25))),
+            ("fig10", Box::new(move |e| figures::fig10(e, scale))),
+            ("fig12", Box::new(figures::fig12)),
+            (
+                "ablate_ptsb_everywhere",
+                Box::new(|e| figures::ablate_ptsb_everywhere(e, 0.25)),
+            ),
+        ]
+    } else {
+        vec![
+            ("fig3", Box::new(|_| figures::fig3())),
+            ("fig4", Box::new(move |e| figures::fig4(e, scale))),
+            ("fig7", Box::new(move |e| figures::fig7(e, scale))),
+            ("fig8", Box::new(move |e| figures::fig8(e, scale))),
+            ("fig9", Box::new(|e| figures::fig9(e, 2.0))),
+            ("table3", Box::new(|e| figures::table3(e, 2.0))),
+            ("fig10", Box::new(move |e| figures::fig10(e, scale))),
+            ("fig11", Box::new(|e| figures::fig11(e, 1.0))),
+            ("fig12", Box::new(figures::fig12)),
+            (
+                "ablate_ptsb_everywhere",
+                Box::new(|e| figures::ablate_ptsb_everywhere(e, 2.0)),
+            ),
+            (
+                "sweep_threads",
+                Box::new(|e| figures::sweep_threads(e, "lreg", 1.0)),
+            ),
+            ("table1", Box::new(|e| figures::table1(e, 0.5))),
+        ]
+    };
+
+    for (name, render) in sections {
+        println!("\n================================================================");
+        println!("== {name}");
+        println!("================================================================\n");
+        print!("{}", render(&exec));
+    }
+
+    let path = std::path::Path::new("BENCH_harness.json");
+    match exec.write_json(path) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
             std::process::exit(1);
         }
     }

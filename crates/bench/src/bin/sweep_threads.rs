@@ -1,46 +1,19 @@
-//! Extension ablation (not a paper figure): how false-sharing cost and
-//! TMI's recovered fraction scale with thread count. The paper evaluates
-//! at fixed 4 (repair) and 8 (detection) threads; this sweep shows the
-//! contention growing superlinearly with sharers and TMI tracking the
-//! manual fix across the range.
+//! Extension ablation (not a paper figure): false-sharing cost and TMI's
+//! recovered fraction vs thread count. Rendering lives in
+//! [`tmi_bench::figures::sweep_threads`].
 
-use tmi_bench::report::{ratio, Table};
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::Executor;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "lreg".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "lreg".to_string());
     let scale: f64 = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(1.0);
-    let mut table = Table::new(&["threads", "FS slowdown (buggy/fixed)", "TMI speedup", "TMI % of manual"]);
-
-    for threads in [2usize, 4, 8, 16] {
-        let cfg = |rt| {
-            let mut c = RunConfig::repair(rt).scale(scale).misaligned();
-            c.threads = threads;
-            c
-        };
-        let base = run(&name, &cfg(RuntimeKind::Pthreads));
-        let fixed = {
-            let mut c = RunConfig::repair(RuntimeKind::Pthreads).scale(scale).fixed();
-            c.threads = threads;
-            run(&name, &c)
-        };
-        let tmi = run(&name, &cfg(RuntimeKind::TmiProtect));
-        assert!(base.ok() && fixed.ok() && tmi.ok(), "{name} @ {threads}");
-        let manual = base.cycles as f64 / fixed.cycles as f64;
-        let s_tmi = base.cycles as f64 / tmi.cycles as f64;
-        table.row(vec![
-            threads.to_string(),
-            ratio(manual),
-            ratio(s_tmi),
-            format!("{:.0}%", 100.0 * s_tmi / manual),
-        ]);
-    }
-
-    println!("Thread-count sweep on {name} (scale {scale})\n");
-    table.print();
-    println!("\n(extension: more sharers per line → more invalidation traffic per write →");
-    println!(" larger false-sharing penalty; TMI's repair tracks the manual fix throughout)");
+    print!(
+        "{}",
+        tmi_bench::figures::sweep_threads(&Executor::from_env(), &name, scale)
+    );
 }

@@ -1,176 +1,16 @@
-//! Table 1 — "Requirements for effective false sharing repair":
-//! compatibility, memory consistency, overhead without contention, and
-//! fraction of the manual speedup attained, for Sheriff, Plastic, LASER
-//! and TMI.
-//!
-//! Every cell is *measured* from this reproduction (Plastic's column
-//! reflects our model of its published behaviour — its source was never
-//! released):
-//!
-//! * **compatible** — fraction of the 35-workload suite the system runs
-//!   correctly (Sheriff fails on most; the paper reports 11/35);
-//! * **memory consistency** — whether canneal/cholesky (atomics, inline
-//!   assembly, racy flags) execute correctly;
-//! * **overhead w/o contention** — mean overhead across contention-free
-//!   workloads;
-//! * **% of manual speedup** — across the Fig. 9 repair suite.
+//! Table 1 — "Requirements for effective false sharing repair", every
+//! cell measured from this reproduction. Rendering lives in
+//! [`tmi_bench::figures::table1`].
 
-use tmi_bench::report::{mean, Table};
-use tmi_bench::{run, RunConfig, RuntimeKind};
-
-const QUIET: [&str; 5] = ["blackscholes", "swaptions", "matrix", "pca", "streamcluster"];
-
-fn overhead(rt: RuntimeKind, scale: f64) -> f64 {
-    // Fixed stop-the-world costs amortize over realistic run lengths, so
-    // measure contention-free overhead at full benchmark scale.
-    let scale = scale.max(2.0);
-    let mut overs = Vec::new();
-    for name in QUIET {
-        let base = run(name, &RunConfig::new(RuntimeKind::Pthreads).scale(scale));
-        let r = run(name, &RunConfig::new(rt).scale(scale));
-        if r.ok() && base.ok() {
-            overs.push(r.cycles as f64 / base.cycles as f64 - 1.0);
-        }
-    }
-    mean(&overs)
-}
-
-fn manual_fraction(rt: RuntimeKind, scale: f64) -> (f64, usize) {
-    // The same metric as fig9: mean over the repair suite of
-    // speedup / manual_speedup, at fig9's scale.
-    let scale = scale.max(2.0);
-    let mut fracs = Vec::new();
-    let mut incompatible = 0;
-    for name in tmi_workloads::REPAIR_SUITE {
-        let spec = tmi_workloads::by_name(name).unwrap().spec();
-        if rt == RuntimeKind::SheriffProtect && !spec.sheriff_compatible {
-            incompatible += 1;
-            continue;
-        }
-        let cfg = |k| RunConfig::repair(k).scale(scale).misaligned();
-        let base = run(name, &cfg(RuntimeKind::Pthreads));
-        let manual = run(name, &RunConfig::repair(RuntimeKind::Pthreads).scale(scale).fixed());
-        let mut rcfg = cfg(rt);
-        rcfg.max_ops = 60_000_000;
-        let r = run(name, &rcfg);
-        if !r.ok() {
-            incompatible += 1;
-            continue;
-        }
-        let manual_speedup = base.cycles as f64 / manual.cycles as f64;
-        let speedup = base.cycles as f64 / r.cycles as f64;
-        fracs.push(speedup / manual_speedup);
-    }
-    (mean(&fracs), incompatible)
-}
-
-fn consistency_ok(rt: RuntimeKind) -> bool {
-    let mut canneal_cfg = RunConfig::repair(rt).scale(0.5);
-    canneal_cfg.max_ops = 20_000_000;
-    let canneal = run("canneal", &canneal_cfg);
-    let mut chol_cfg = RunConfig::repair(rt);
-    chol_cfg.max_ops = 6_000_000;
-    let cholesky = run("cholesky", &chol_cfg);
-    canneal.ok() && cholesky.ok()
-}
-
-fn suite_compat(rt: RuntimeKind, scale: f64) -> usize {
-    tmi_workloads::SUITE
-        .iter()
-        .filter(|name| {
-            let spec = tmi_workloads::by_name(name).unwrap().spec();
-            if matches!(rt, RuntimeKind::SheriffDetect | RuntimeKind::SheriffProtect)
-                && !spec.sheriff_compatible
-            {
-                return false;
-            }
-            let mut cfg = RunConfig::new(rt).scale(scale);
-            cfg.max_ops = 40_000_000;
-            run(name, &cfg).ok()
-        })
-        .count()
-}
+use tmi_bench::Executor;
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.5);
-    let n = tmi_workloads::SUITE.len();
-
-    let mut table = Table::new(&["requirement", "Sheriff", "Plastic", "LASER", "TMI"]);
-
-    let compat: Vec<String> = [
-        RuntimeKind::SheriffDetect,
-        RuntimeKind::Plastic,
-        RuntimeKind::Laser,
-        RuntimeKind::TmiDetect,
-    ]
-    .iter()
-    .map(|&rt| format!("{}/{n}", suite_compat(rt, scale)))
-    .collect();
-    table.row({
-        let mut v = vec!["compatible (suite coverage)".to_string()];
-        v.extend(compat);
-        v
-    });
-
-    let cons: Vec<String> = [
-        RuntimeKind::SheriffProtect,
-        RuntimeKind::Plastic,
-        RuntimeKind::Laser,
-        RuntimeKind::TmiProtect,
-    ]
-    .iter()
-    .map(|&rt| if consistency_ok(rt) { "yes".into() } else { "NO".into() })
-    .collect();
-    table.row({
-        let mut v = vec!["memory consistency preserved".to_string()];
-        v.extend(cons);
-        v
-    });
-
-    let overs: Vec<String> = [
-        RuntimeKind::SheriffDetect,
-        RuntimeKind::Plastic,
-        RuntimeKind::Laser,
-        RuntimeKind::TmiDetect,
-    ]
-    .iter()
-    .map(|&rt| format!("{:+.0}%", overhead(rt, scale) * 100.0))
-    .collect();
-    table.row({
-        let mut v = vec!["overhead w/o contention".to_string()];
-        v.extend(overs);
-        v
-    });
-
-    let fracs: Vec<String> = [
-        RuntimeKind::SheriffProtect,
-        RuntimeKind::Plastic,
-        RuntimeKind::Laser,
-        RuntimeKind::TmiProtect,
-    ]
-    .iter()
-    .map(|&rt| {
-        let (f, skipped) = manual_fraction(rt, scale);
-        if skipped > 0 {
-            format!("{:.0}% ({skipped} n/a)", f * 100.0)
-        } else {
-            format!("{:.0}%", f * 100.0)
-        }
-    })
-    .collect();
-    table.row({
-        let mut v = vec!["% of manual speedup".to_string()];
-        v.extend(fracs);
-        v
-    });
-
-    println!("Table 1: requirements matrix, measured from this reproduction (scale {scale})\n");
-    table.print();
-    println!(
-        "\n(paper: Sheriff 27% overhead / 92% of manual / consistency broken;\n\
-         Plastic 6% / ~30%; LASER 2% / 24%; TMI 2% / 88%)"
+    print!(
+        "{}",
+        tmi_bench::figures::table1(&Executor::from_env(), scale)
     );
 }

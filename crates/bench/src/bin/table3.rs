@@ -1,44 +1,15 @@
-//! Table 3 — "Characterization of TMI's false sharing repair": how long
-//! the program ran unrepaired (detection latency), the thread-to-process
-//! conversion cost, and the PTSB commit rate.
+//! Table 3 — "Characterization of TMI's false sharing repair". Rendering
+//! lives in [`tmi_bench::figures::table3`].
 
-use tmi_bench::report::Table;
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::Executor;
 
 fn main() {
     let scale: f64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(2.0);
-    let mut table = Table::new(&["app", "unrepaired (ms sim)", "T2P (us)", "commits/s"]);
-
-    for name in tmi_workloads::REPAIR_SUITE {
-        let r = run(
-            name,
-            &RunConfig::repair(RuntimeKind::TmiProtect).scale(scale).misaligned(),
-        );
-        assert!(r.ok(), "{name}: {:?}", r.verified);
-        let unrepaired_ms = r
-            .converted_at
-            .map(|c| c as f64 / 3.4e6)
-            .unwrap_or(f64::NAN);
-        table.row(vec![
-            name.to_string(),
-            if unrepaired_ms.is_nan() {
-                "no T2P (allocator/lock repair)".to_string()
-            } else {
-                format!("{unrepaired_ms:.2}")
-            },
-            format!("{:.0}", r.t2p_micros()),
-            format!("{:.2}", r.commits_per_sec()),
-        ]);
-    }
-
-    println!("Table 3: TMI repair characterization (4 threads, scale {scale})\n");
-    table.print();
-    println!(
-        "\n(paper: detection within 1-2 s of its 1 Hz analysis — here scaled to the\n\
-         simulator's tick; T2P under 200 us for all applications; commit rates span\n\
-         0.38-34 per second across the suite)"
+    print!(
+        "{}",
+        tmi_bench::figures::table3(&Executor::from_env(), scale)
     );
 }

@@ -1,0 +1,1030 @@
+//! Rendered reproductions of every table and figure of the paper's
+//! evaluation (§4).
+//!
+//! Each function submits its (workload × runtime) matrix through an
+//! [`Executor`] and returns the finished report as a `String` — the
+//! experiment binaries are one-line wrappers that print it, and `run_all`
+//! renders every section in-process on one shared executor so repeated
+//! cells (most prominently the pthreads baselines) are simulated once.
+//!
+//! Determinism contract: a figure's string depends only on its inputs,
+//! never on the executor's pool size — cells are consumed by submission
+//! index and every simulation is deterministic. A cell whose simulation
+//! panicked renders as `failed` instead of aborting the whole figure,
+//! except where the old binaries asserted success (baselines), where the
+//! panic message is propagated.
+
+use std::fmt::Write as _;
+
+use crate::exec::{Executor, Experiment, ExperimentSet, JobResult};
+use crate::report::{mean, pct, SpeedupTable, Table};
+use crate::{RunResult, RuntimeKind};
+
+/// The run behind a non-asserted cell, if it neither panicked nor ran
+/// afoul of the harness.
+fn completed(jr: &JobResult) -> Option<&RunResult> {
+    jr.outcome.as_ref().ok()
+}
+
+/// Fig. 3 — the AMBSA word-tearing litmus.
+///
+/// Unlike the other figures this one drives a two-thread litmus engine
+/// directly (no workload suite, so no [`Executor`]): two threads store
+/// `0xAB00` and `0x00CD` to the same aligned 2-byte location. Aligned
+/// multi-byte store atomicity means the final value is one of the two
+/// stored values natively; a guard-less PTSB merges at byte granularity
+/// and fabricates `0xABCD`.
+pub fn fig3() -> String {
+    use tmi::{AppLayout, TmiConfig, TmiRuntime};
+    use tmi_baselines::{SheriffConfig, SheriffRuntime};
+    use tmi_machine::{VAddr, Width, FRAME_SIZE};
+    use tmi_os::MapRequest;
+    use tmi_program::{InstrKind, Op, SequenceProgram};
+    use tmi_sim::{Engine, EngineConfig, NullRuntime, RuntimeHooks};
+
+    const APP: u64 = 0x10_0000;
+    const INTERNAL: u64 = 0x80_0000;
+
+    fn litmus<R: RuntimeHooks>(runtime: R, in_asm_region: bool) -> u64 {
+        let mut e = Engine::new(EngineConfig::with_cores(2), runtime);
+        let app_obj = e.core_mut().kernel.create_object(16 * FRAME_SIZE);
+        let int_obj = e.core_mut().kernel.create_object(4 * FRAME_SIZE);
+        let aspace = e.core_mut().kernel.create_aspace();
+        e.core_mut()
+            .kernel
+            .map(
+                aspace,
+                MapRequest::object(VAddr::new(APP), 16 * FRAME_SIZE, app_obj, 0),
+            )
+            .unwrap();
+        e.core_mut()
+            .kernel
+            .map(
+                aspace,
+                MapRequest::object(VAddr::new(INTERNAL), 4 * FRAME_SIZE, int_obj, 0),
+            )
+            .unwrap();
+        e.create_root_process(aspace);
+
+        let x = VAddr::new(APP + 0x100); // 2-byte aligned
+        let st = e
+            .core_mut()
+            .code
+            .asm_instr("litmus::store_x", InstrKind::Store, Width::W2);
+        for value in [0xAB00u64, 0x00CD] {
+            let mut ops = Vec::new();
+            if in_asm_region {
+                ops.push(Op::AsmEnter);
+            }
+            ops.push(Op::Store {
+                pc: st,
+                addr: x,
+                width: Width::W2,
+                value,
+            });
+            if in_asm_region {
+                ops.push(Op::AsmExit);
+            }
+            e.add_thread(Box::new(SequenceProgram::new(ops)));
+        }
+        let r = e.run();
+        assert!(r.completed(), "litmus must complete: {:?}", r.halt);
+        let pa = e.core_mut().kernel.object_paddr(aspace, x).unwrap();
+        e.core_mut().kernel.physmem().read(pa, Width::W2)
+    }
+
+    fn layout() -> AppLayout {
+        AppLayout {
+            app_obj: tmi_os::ObjId(0),
+            app_start: VAddr::new(APP),
+            app_len: 16 * FRAME_SIZE,
+            internal_obj: tmi_os::ObjId(1),
+            internal_start: VAddr::new(INTERNAL),
+            internal_len: 4 * FRAME_SIZE,
+            huge_pages: false,
+        }
+    }
+
+    let mut table = Table::new(&["execution", "final x", "AMBSA"]);
+    let verdict = |x: u64| {
+        if x == 0xAB00 || x == 0x00CD {
+            "preserved".to_string()
+        } else {
+            format!("VIOLATED (x = {x:#06x}, written by no thread)")
+        }
+    };
+
+    let native = litmus(NullRuntime, true);
+    table.row(vec![
+        "native (pthreads)".into(),
+        format!("{native:#06x}"),
+        verdict(native),
+    ]);
+
+    // Sheriff: whole-heap PTSB, no consistency guard → word tearing.
+    let sheriff = litmus(
+        SheriffRuntime::new(SheriffConfig::protect(), layout()),
+        true,
+    );
+    table.row(vec![
+        "sheriff-protect".into(),
+        format!("{sheriff:#06x}"),
+        verdict(sheriff),
+    ]);
+
+    // TMI with code-centric consistency, PTSB-everywhere armed via the
+    // ablation config plus a pre-triggered repair: asm-region stores are
+    // routed to shared memory, so AMBSA holds even with the page armed.
+    let tmi = litmus(TmiRuntime::new(TmiConfig::protect(), layout()), true);
+    table.row(vec![
+        "tmi-protect".into(),
+        format!("{tmi:#06x}"),
+        verdict(tmi),
+    ]);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Fig. 3: the AMBSA word-tearing litmus\n");
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\nThe merge interleaving (Fig. 2/3): each thread's diff sees only its one\n\
+         changed byte, so both bytes land in shared memory: 0xABCD.\n\
+         (tmi-sim's twin-store unit tests exercise the same tearing deterministically:\n\
+         crates/core/src/twins.rs::word_tearing_is_reproducible_at_byte_granularity)"
+    );
+    out
+}
+
+/// Fig. 4 — runtime and HITM records vs perf sampling period on leveldb.
+pub fn fig4(exec: &Executor, scale: f64) -> String {
+    const PERIODS: [u64; 6] = [1, 5, 10, 50, 100, 1000];
+    let mut set = ExperimentSet::new();
+    let jobs: Vec<usize> = PERIODS
+        .iter()
+        .map(|&p| {
+            set.push(
+                Experiment::new("leveldb")
+                    .runtime(RuntimeKind::TmiDetect)
+                    .scale(scale)
+                    .period(p),
+            )
+        })
+        .collect();
+    let results = set.run_on(exec);
+
+    let mut table = SpeedupTable::new(
+        "period",
+        &["runtime (ms sim)", "HITM records", "scaled estimate"],
+    );
+    let mut total_events = 0u64;
+    for (&period, &job) in PERIODS.iter().zip(&jobs) {
+        let r = results[job].result();
+        assert!(r.ok(), "leveldb @ period {period}: {:?}", r.verified);
+        total_events = r.perf_events;
+        let row = period.to_string();
+        table.set(&row, "runtime (ms sim)", format!("{:.2}", r.seconds * 1e3));
+        table.count(&row, "HITM records", r.perf_records);
+        table.set(
+            &row,
+            "scaled estimate",
+            format!("{:.0}", r.perf_records as f64 * period as f64),
+        );
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 4: runtime and HITM records vs perf sampling period (leveldb, scale {scale})\n"
+    );
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\nTotal HITM events generated by the hardware: {total_events}"
+    );
+    let _ = writeln!(
+        out,
+        "(paper: runtime inflates at small periods; record counts fall roughly as 1/period,\n\
+         so TMI scales each record by the period to estimate true event counts, §3.1)"
+    );
+    out
+}
+
+/// Fig. 7 — detection overhead across the suite, normalized to pthreads.
+pub fn fig7(exec: &Executor, scale: f64) -> String {
+    struct Row {
+        name: &'static str,
+        base: usize,
+        sheriff: Option<usize>,
+        alloc: usize,
+        detect: usize,
+    }
+    let mut set = ExperimentSet::new();
+    let mut rows = Vec::new();
+    let mut sheriff_compat = 0usize;
+    for name in tmi_workloads::SUITE {
+        let spec = tmi_workloads::by_name(name).unwrap().spec();
+        let base = set.push(Experiment::new(name).scale(scale));
+        let sheriff = spec.sheriff_compatible.then(|| {
+            sheriff_compat += 1;
+            set.push(
+                Experiment::new(name)
+                    .runtime(RuntimeKind::SheriffDetect)
+                    .scale(scale),
+            )
+        });
+        let alloc = set.push(
+            Experiment::new(name)
+                .runtime(RuntimeKind::TmiAlloc)
+                .scale(scale),
+        );
+        let detect = set.push(
+            Experiment::new(name)
+                .runtime(RuntimeKind::TmiDetect)
+                .scale(scale),
+        );
+        rows.push(Row {
+            name,
+            base,
+            sheriff,
+            alloc,
+            detect,
+        });
+    }
+    let results = set.run_on(exec);
+
+    let mut table = SpeedupTable::new("workload", &["sheriff-detect", "tmi-alloc", "tmi-detect"]);
+    let mut detect_over = Vec::new();
+    for row in &rows {
+        let name = row.name;
+        let base = results[row.base].result();
+        assert!(base.ok(), "{name} baseline: {:?}", base.verified);
+        let norm = |r: &RunResult| r.cycles as f64 / base.cycles as f64;
+
+        match row.sheriff {
+            Some(job) => match completed(&results[job]) {
+                Some(r) if r.ok() => table.norm(name, "sheriff-detect", norm(r)),
+                Some(_) => table.set(name, "sheriff-detect", "broken"),
+                None => table.set(name, "sheriff-detect", "failed"),
+            },
+            None => table.set(name, "sheriff-detect", "x"),
+        }
+        match completed(&results[row.alloc]) {
+            Some(r) => table.norm(name, "tmi-alloc", norm(r)),
+            None => table.set(name, "tmi-alloc", "failed"),
+        }
+        let detect = results[row.detect].result();
+        assert!(detect.ok(), "{name} tmi-detect: {:?}", detect.verified);
+        detect_over.push(norm(detect));
+        table.norm(name, "tmi-detect", norm(detect));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 7: detection overhead, normalized to pthreads (8 threads, scale {scale})\n"
+    );
+    out.push_str(&table.render());
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "tmi-detect mean overhead: {:+.1}%   (paper: +2% mean, +17% max)",
+        (mean(&detect_over) - 1.0) * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "tmi-detect max overhead:  {:+.1}%",
+        (detect_over.iter().cloned().fold(f64::MIN, f64::max) - 1.0) * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "sheriff-compatible workloads: {sheriff_compat} of {}   (paper: 11 of 35)",
+        tmi_workloads::SUITE.len()
+    );
+    out
+}
+
+/// Fig. 8 — peak memory usage, pthreads vs TMI-full.
+pub fn fig8(exec: &Executor, scale: f64) -> String {
+    let mut set = ExperimentSet::new();
+    let jobs: Vec<(&str, usize, usize)> = tmi_workloads::SUITE
+        .iter()
+        .map(|&name| {
+            let base = set.push(Experiment::new(name).scale(scale));
+            let tmi = set.push(
+                Experiment::new(name)
+                    .runtime(RuntimeKind::TmiProtect)
+                    .scale(scale),
+            );
+            (name, base, tmi)
+        })
+        .collect();
+    let results = set.run_on(exec);
+
+    let mut table = SpeedupTable::new("workload", &["pthreads MB", "TMI-full MB", "overhead MB"]);
+    let mut ratios = Vec::new();
+    for &(name, base_job, tmi_job) in &jobs {
+        match (completed(&results[base_job]), completed(&results[tmi_job])) {
+            (Some(base), Some(tmi)) => {
+                let over = tmi.memory_bytes.saturating_sub(base.memory_bytes);
+                if base.memory_bytes > 32 << 20 {
+                    ratios.push(tmi.memory_bytes as f64 / base.memory_bytes as f64);
+                }
+                table.mb(name, "pthreads MB", base.memory_bytes);
+                table.mb(name, "TMI-full MB", tmi.memory_bytes);
+                table.mb(name, "overhead MB", over);
+            }
+            _ => {
+                table.set(name, "pthreads MB", "failed");
+                table.set(name, "TMI-full MB", "failed");
+                table.set(name, "overhead MB", "failed");
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 8: peak memory usage in MB (8 threads, scale {scale})\n"
+    );
+    out.push_str(&table.render());
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "Small-footprint workloads carry a fixed ~90 MB of perf buffers and detector\n\
+         structures (paper: \"about 90MB of memory overhead\"); for larger workloads the\n\
+         relative overhead is modest (paper: 19% beyond the small-memory cases)."
+    );
+    if !ratios.is_empty() {
+        let gm = crate::report::geomean(&ratios);
+        let _ = writeln!(out, "geomean TMI/pthreads over larger workloads: {gm:.2}x");
+    }
+    out
+}
+
+/// Fig. 9 — repair speedups over the buggy pthreads baseline.
+pub fn fig9(exec: &Executor, scale: f64) -> String {
+    struct Row {
+        name: &'static str,
+        base: usize,
+        manual: usize,
+        sheriff: Option<usize>,
+        laser: usize,
+        tmi: usize,
+    }
+    let mut set = ExperimentSet::new();
+    let mut rows = Vec::new();
+    for name in tmi_workloads::REPAIR_SUITE {
+        let spec = tmi_workloads::by_name(name).unwrap().spec();
+        let cfg = |rt| {
+            Experiment::repair(name)
+                .runtime(rt)
+                .scale(scale)
+                .misaligned()
+        };
+        rows.push(Row {
+            name,
+            base: set.push(cfg(RuntimeKind::Pthreads)),
+            manual: set.push(Experiment::repair(name).scale(scale).fixed()),
+            sheriff: spec
+                .sheriff_compatible
+                .then(|| set.push(cfg(RuntimeKind::SheriffProtect))),
+            laser: set.push(cfg(RuntimeKind::Laser)),
+            tmi: set.push(cfg(RuntimeKind::TmiProtect)),
+        });
+    }
+    let results = set.run_on(exec);
+
+    let mut table = SpeedupTable::new(
+        "workload",
+        &["manual", "sheriff-protect", "LASER", "TMI-protect"],
+    );
+    let mut tmi_speedups = Vec::new();
+    let mut manual_fracs = Vec::new();
+    for row in &rows {
+        let name = row.name;
+        let base = results[row.base].result();
+        assert!(base.ok(), "{name} baseline failed: {:?}", base.verified);
+        let speedup = |r: &RunResult| {
+            if r.ok() {
+                base.cycles as f64 / r.cycles as f64
+            } else {
+                f64::NAN
+            }
+        };
+
+        match (
+            completed(&results[row.manual]),
+            completed(&results[row.tmi]),
+        ) {
+            (Some(manual), Some(tmi)) => {
+                let s_manual = speedup(manual);
+                let s_tmi = speedup(tmi);
+                tmi_speedups.push(s_tmi);
+                manual_fracs.push(s_tmi / s_manual);
+                table.ratio(name, "manual", s_manual);
+                table.ratio(name, "TMI-protect", s_tmi);
+            }
+            (manual, tmi) => {
+                match manual {
+                    Some(r) => table.ratio(name, "manual", speedup(r)),
+                    None => table.set(name, "manual", "failed"),
+                }
+                match tmi {
+                    Some(r) => table.ratio(name, "TMI-protect", speedup(r)),
+                    None => table.set(name, "TMI-protect", "failed"),
+                }
+            }
+        }
+        match row.sheriff {
+            Some(job) => match completed(&results[job]) {
+                Some(r) if r.ok() => table.ratio(name, "sheriff-protect", speedup(r)),
+                Some(_) => table.set(name, "sheriff-protect", "broken"),
+                None => table.set(name, "sheriff-protect", "failed"),
+            },
+            None => table.set(name, "sheriff-protect", "incompatible"),
+        }
+        match completed(&results[row.laser]) {
+            Some(r) => table.ratio(name, "LASER", speedup(r)),
+            None => table.set(name, "LASER", "failed"),
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 9: repair speedups over pthreads (4 threads, scale {scale})\n"
+    );
+    out.push_str(&table.render());
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "TMI mean speedup: {:.2}x   (paper: 5.2x mean across the repaired programs)",
+        mean(&tmi_speedups)
+    );
+    let _ = writeln!(
+        out,
+        "TMI fraction of manual speedup: {:.0}%   (paper: 88%)",
+        mean(&manual_fracs) * 100.0
+    );
+    out
+}
+
+/// Table 3 — repair characterization: detection latency, T2P cost,
+/// commit rate.
+pub fn table3(exec: &Executor, scale: f64) -> String {
+    let mut set = ExperimentSet::new();
+    let jobs: Vec<(&str, usize)> = tmi_workloads::REPAIR_SUITE
+        .iter()
+        .map(|&name| {
+            let job = set.push(
+                Experiment::repair(name)
+                    .runtime(RuntimeKind::TmiProtect)
+                    .scale(scale)
+                    .misaligned(),
+            );
+            (name, job)
+        })
+        .collect();
+    let results = set.run_on(exec);
+
+    let mut table = SpeedupTable::new("app", &["unrepaired (ms sim)", "T2P (us)", "commits/s"]);
+    for &(name, job) in &jobs {
+        let r = results[job].result();
+        assert!(r.ok(), "{name}: {:?}", r.verified);
+        let unrepaired_ms = r.converted_at.map(|c| c as f64 / 3.4e6).unwrap_or(f64::NAN);
+        table.set(
+            name,
+            "unrepaired (ms sim)",
+            if unrepaired_ms.is_nan() {
+                "no T2P (allocator/lock repair)".to_string()
+            } else {
+                format!("{unrepaired_ms:.2}")
+            },
+        );
+        table.set(name, "T2P (us)", format!("{:.0}", r.t2p_micros()));
+        table.set(name, "commits/s", format!("{:.2}", r.commits_per_sec()));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 3: TMI repair characterization (4 threads, scale {scale})\n"
+    );
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\n(paper: detection within 1-2 s of its 1 Hz analysis — here scaled to the\n\
+         simulator's tick; T2P under 200 us for all applications; commit rates span\n\
+         0.38-34 per second across the suite)"
+    );
+    out
+}
+
+/// Fig. 10 — 4 KiB vs 2 MiB huge pages for the shared app memory.
+pub fn fig10(exec: &Executor, scale: f64) -> String {
+    let mut set = ExperimentSet::new();
+    let jobs: Vec<(&str, usize, usize)> = tmi_workloads::SUITE
+        .iter()
+        .map(|&name| {
+            let small = set.push(
+                Experiment::new(name)
+                    .runtime(RuntimeKind::TmiDetect)
+                    .scale(scale),
+            );
+            let huge = set.push(
+                Experiment::new(name)
+                    .runtime(RuntimeKind::TmiDetect)
+                    .scale(scale)
+                    .huge_pages(),
+            );
+            (name, small, huge)
+        })
+        .collect();
+    let results = set.run_on(exec);
+
+    let mut table = SpeedupTable::new("workload", &["4KB faults", "2MB faults", "4KB overhead"]);
+    let mut overheads = Vec::new();
+    for &(name, small_job, huge_job) in &jobs {
+        let small = results[small_job].result();
+        let huge = results[huge_job].result();
+        assert!(small.ok() && huge.ok(), "{name}");
+        let over = small.cycles as f64 / huge.cycles as f64 - 1.0;
+        overheads.push(over);
+        table.count(name, "4KB faults", small.faults);
+        table.count(name, "2MB faults", huge.faults);
+        table.pct(name, "4KB overhead", over);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 10: 4 KiB vs 2 MiB huge pages for the shared file-backed app memory\n"
+    );
+    out.push_str(&table.render());
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "mean 4KB overhead vs huge pages: {}   (paper: huge pages a 6% overall win,\n\
+         dominated by canneal/reverse/fft/fmm/ocean-ncp/radix class workloads)",
+        pct(mean(&overheads))
+    );
+    out
+}
+
+/// Fig. 11 — canneal's atomic element swaps under different runtimes.
+pub fn fig11(exec: &Executor, scale: f64) -> String {
+    const RUNTIMES: [RuntimeKind; 4] = [
+        RuntimeKind::Pthreads,
+        RuntimeKind::TmiProtect,
+        RuntimeKind::SheriffProtect,
+        RuntimeKind::SheriffDetect,
+    ];
+    let mut set = ExperimentSet::new();
+    let jobs: Vec<usize> = RUNTIMES
+        .iter()
+        .map(|&rt| {
+            set.push(
+                Experiment::repair("canneal")
+                    .runtime(rt)
+                    .scale(scale)
+                    .max_ops(30_000_000), // bound broken runs
+            )
+        })
+        .collect();
+    let results = set.run_on(exec);
+
+    let mut table = Table::new(&["runtime", "completed", "result"]);
+    for (&rt, &job) in RUNTIMES.iter().zip(&jobs) {
+        match completed(&results[job]) {
+            Some(r) => table.row(vec![
+                rt.label().to_string(),
+                format!("{:?}", r.halt),
+                match &r.verified {
+                    Ok(()) => "correct (all elements present exactly once)".to_string(),
+                    Err(e) => format!("CORRUPTED: {e}"),
+                },
+            ]),
+            None => table.row(vec![
+                rt.label().to_string(),
+                "failed".to_string(),
+                "failed".to_string(),
+            ]),
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 11: canneal's atomic swaps under different runtimes (scale {scale})\n"
+    );
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\n(paper: Sheriff corrupts canneal because its PTSB has no consistency guard;\n\
+         TMI routes the atomic/assembly swap code to shared memory and stays correct)"
+    );
+    out
+}
+
+/// Fig. 12 — cholesky's volatile-flag synchronization under different
+/// runtimes.
+pub fn fig12(exec: &Executor) -> String {
+    const RUNTIMES: [RuntimeKind; 5] = [
+        RuntimeKind::Pthreads,
+        RuntimeKind::TmiDetect,
+        RuntimeKind::TmiProtect,
+        RuntimeKind::SheriffProtect,
+        RuntimeKind::SheriffDetect,
+    ];
+    let mut set = ExperimentSet::new();
+    let jobs: Vec<usize> = RUNTIMES
+        .iter()
+        .map(|&rt| {
+            set.push(
+                Experiment::repair("cholesky")
+                    .runtime(rt)
+                    .max_ops(8_000_000), // bound the hang
+            )
+        })
+        .collect();
+    let results = set.run_on(exec);
+
+    let mut table = Table::new(&["runtime", "outcome", "flag visible"]);
+    for (&rt, &job) in RUNTIMES.iter().zip(&jobs) {
+        match completed(&results[job]) {
+            Some(r) => {
+                let outcome = match r.halt {
+                    tmi_sim::Halt::Completed => "completed".to_string(),
+                    tmi_sim::Halt::Hang => "HANGS (stale private flag)".to_string(),
+                    tmi_sim::Halt::Fault(ref e) => format!("fault: {e}"),
+                };
+                table.row(vec![
+                    rt.label().to_string(),
+                    outcome,
+                    match &r.verified {
+                        Ok(()) => "yes".to_string(),
+                        Err(e) => e.clone(),
+                    },
+                ]);
+            }
+            None => table.row(vec![
+                rt.label().to_string(),
+                "failed".to_string(),
+                "failed".to_string(),
+            ]),
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Fig. 12: cholesky's volatile-flag synchronization under different runtimes\n"
+    );
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\n(paper: Sheriff hangs on cholesky; TMI performs detection on all of these\n\
+         benchmarks without causing incorrect results, §4.5)"
+    );
+    out
+}
+
+/// §4.3 ablation — targeted page protection vs PTSB-everywhere.
+pub fn ablate_ptsb_everywhere(exec: &Executor, scale: f64) -> String {
+    const WORKLOADS: [&str; 5] = [
+        "histogram",
+        "histogramfs",
+        "lreg",
+        "stringmatch",
+        "shptr-relaxed",
+    ];
+    let mut set = ExperimentSet::new();
+    let jobs: Vec<(&str, usize, usize, usize)> = WORKLOADS
+        .iter()
+        .map(|&name| {
+            let cfg = |rt| {
+                Experiment::repair(name)
+                    .runtime(rt)
+                    .scale(scale)
+                    .misaligned()
+            };
+            (
+                name,
+                set.push(cfg(RuntimeKind::Pthreads)),
+                set.push(cfg(RuntimeKind::TmiProtect)),
+                set.push(cfg(RuntimeKind::TmiPtsbEverywhere)),
+            )
+        })
+        .collect();
+    let results = set.run_on(exec);
+
+    let mut table = SpeedupTable::new("workload", &["TMI (targeted)", "PTSB-everywhere"]);
+    for &(name, base_job, targeted_job, everywhere_job) in &jobs {
+        let base = results[base_job].result();
+        let targeted = results[targeted_job].result();
+        let everywhere = results[everywhere_job].result();
+        assert!(base.ok() && targeted.ok() && everywhere.ok(), "{name}");
+        table.ratio(
+            name,
+            "TMI (targeted)",
+            base.cycles as f64 / targeted.cycles as f64,
+        );
+        table.ratio(
+            name,
+            "PTSB-everywhere",
+            base.cycles as f64 / everywhere.cycles as f64,
+        );
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "PTSB-everywhere ablation: speedup over pthreads (4 threads, scale {scale})\n"
+    );
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\n(paper: indiscriminate PTSB use turns histogram's 1.29x speedup into a 0.74x\n\
+         slowdown and halves histogramfs's benefit — motivating targeted repair, §4.3)"
+    );
+    out
+}
+
+/// Extension sweep — false-sharing penalty and repair quality vs thread
+/// count.
+pub fn sweep_threads(exec: &Executor, name: &str, scale: f64) -> String {
+    const THREADS: [usize; 4] = [2, 4, 8, 16];
+    let mut set = ExperimentSet::new();
+    let jobs: Vec<(usize, usize, usize, usize)> = THREADS
+        .iter()
+        .map(|&threads| {
+            let cfg = |rt| {
+                Experiment::repair(name)
+                    .runtime(rt)
+                    .scale(scale)
+                    .misaligned()
+                    .threads(threads)
+            };
+            (
+                threads,
+                set.push(cfg(RuntimeKind::Pthreads)),
+                set.push(
+                    Experiment::repair(name)
+                        .scale(scale)
+                        .fixed()
+                        .threads(threads),
+                ),
+                set.push(cfg(RuntimeKind::TmiProtect)),
+            )
+        })
+        .collect();
+    let results = set.run_on(exec);
+
+    let mut table = SpeedupTable::new(
+        "threads",
+        &[
+            "FS slowdown (buggy/fixed)",
+            "TMI speedup",
+            "TMI % of manual",
+        ],
+    );
+    for &(threads, base_job, fixed_job, tmi_job) in &jobs {
+        let base = results[base_job].result();
+        let fixed = results[fixed_job].result();
+        let tmi = results[tmi_job].result();
+        assert!(base.ok() && fixed.ok() && tmi.ok(), "{name} @ {threads}");
+        let manual = base.cycles as f64 / fixed.cycles as f64;
+        let s_tmi = base.cycles as f64 / tmi.cycles as f64;
+        let row = threads.to_string();
+        table.ratio(&row, "FS slowdown (buggy/fixed)", manual);
+        table.ratio(&row, "TMI speedup", s_tmi);
+        table.set(
+            &row,
+            "TMI % of manual",
+            format!("{:.0}%", 100.0 * s_tmi / manual),
+        );
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Thread-count sweep on {name} (scale {scale})\n");
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\n(extension: more sharers per line → more invalidation traffic per write →"
+    );
+    let _ = writeln!(
+        out,
+        " larger false-sharing penalty; TMI's repair tracks the manual fix throughout)"
+    );
+    out
+}
+
+/// Table 1 — the requirements matrix, every cell measured.
+pub fn table1(exec: &Executor, scale: f64) -> String {
+    const QUIET: [&str; 5] = [
+        "blackscholes",
+        "swaptions",
+        "matrix",
+        "pca",
+        "streamcluster",
+    ];
+    const DETECTORS: [RuntimeKind; 4] = [
+        RuntimeKind::SheriffDetect,
+        RuntimeKind::Plastic,
+        RuntimeKind::Laser,
+        RuntimeKind::TmiDetect,
+    ];
+    const PROTECTORS: [RuntimeKind; 4] = [
+        RuntimeKind::SheriffProtect,
+        RuntimeKind::Plastic,
+        RuntimeKind::Laser,
+        RuntimeKind::TmiProtect,
+    ];
+
+    let mut set = ExperimentSet::new();
+
+    // compatible (suite coverage): every workload the system claims to
+    // run, bounded against livelock.
+    let compat_jobs: Vec<Vec<usize>> = DETECTORS
+        .iter()
+        .map(|&rt| {
+            tmi_workloads::SUITE
+                .iter()
+                .filter(|name| {
+                    let spec = tmi_workloads::by_name(name).unwrap().spec();
+                    spec.sheriff_compatible
+                        || !matches!(rt, RuntimeKind::SheriffDetect | RuntimeKind::SheriffProtect)
+                })
+                .map(|&name| {
+                    set.push(
+                        Experiment::new(name)
+                            .runtime(rt)
+                            .scale(scale)
+                            .max_ops(40_000_000),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // memory consistency: canneal (atomics) + cholesky (racy flag).
+    let cons_jobs: Vec<(usize, usize)> = PROTECTORS
+        .iter()
+        .map(|&rt| {
+            (
+                set.push(
+                    Experiment::repair("canneal")
+                        .runtime(rt)
+                        .scale(0.5)
+                        .max_ops(20_000_000),
+                ),
+                set.push(
+                    Experiment::repair("cholesky")
+                        .runtime(rt)
+                        .max_ops(6_000_000),
+                ),
+            )
+        })
+        .collect();
+
+    // overhead w/o contention: fixed stop-the-world costs amortize over
+    // realistic run lengths, so measure at full benchmark scale.
+    let oscale = scale.max(2.0);
+    let over_jobs: Vec<Vec<(usize, usize)>> = DETECTORS
+        .iter()
+        .map(|&rt| {
+            QUIET
+                .iter()
+                .map(|&name| {
+                    (
+                        set.push(Experiment::new(name).scale(oscale)),
+                        set.push(Experiment::new(name).runtime(rt).scale(oscale)),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // % of manual speedup: the fig9 metric, at fig9's scale.
+    let fscale = scale.max(2.0);
+    enum FracJob {
+        Incompatible,
+        Runs {
+            base: usize,
+            manual: usize,
+            r: usize,
+        },
+    }
+    let frac_jobs: Vec<Vec<FracJob>> = PROTECTORS
+        .iter()
+        .map(|&rt| {
+            tmi_workloads::REPAIR_SUITE
+                .iter()
+                .map(|&name| {
+                    let spec = tmi_workloads::by_name(name).unwrap().spec();
+                    if rt == RuntimeKind::SheriffProtect && !spec.sheriff_compatible {
+                        return FracJob::Incompatible;
+                    }
+                    let cfg = |k| {
+                        Experiment::repair(name)
+                            .runtime(k)
+                            .scale(fscale)
+                            .misaligned()
+                    };
+                    FracJob::Runs {
+                        base: set.push(cfg(RuntimeKind::Pthreads)),
+                        manual: set.push(Experiment::repair(name).scale(fscale).fixed()),
+                        r: set.push(cfg(rt).max_ops(60_000_000)),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let results = set.run_on(exec);
+    let n = tmi_workloads::SUITE.len();
+
+    let mut table = Table::new(&["requirement", "Sheriff", "Plastic", "LASER", "TMI"]);
+
+    table.row({
+        let mut v = vec!["compatible (suite coverage)".to_string()];
+        v.extend(compat_jobs.iter().map(|jobs| {
+            let compat = jobs.iter().filter(|&&j| results[j].ok()).count();
+            format!("{compat}/{n}")
+        }));
+        v
+    });
+
+    table.row({
+        let mut v = vec!["memory consistency preserved".to_string()];
+        v.extend(cons_jobs.iter().map(|&(canneal, cholesky)| {
+            if results[canneal].ok() && results[cholesky].ok() {
+                "yes".to_string()
+            } else {
+                "NO".to_string()
+            }
+        }));
+        v
+    });
+
+    table.row({
+        let mut v = vec!["overhead w/o contention".to_string()];
+        v.extend(over_jobs.iter().map(|jobs| {
+            let mut overs = Vec::new();
+            for &(base_job, r_job) in jobs {
+                if let (Some(base), Some(r)) =
+                    (completed(&results[base_job]), completed(&results[r_job]))
+                {
+                    if r.ok() && base.ok() {
+                        overs.push(r.cycles as f64 / base.cycles as f64 - 1.0);
+                    }
+                }
+            }
+            format!("{:+.0}%", mean(&overs) * 100.0)
+        }));
+        v
+    });
+
+    table.row({
+        let mut v = vec!["% of manual speedup".to_string()];
+        v.extend(frac_jobs.iter().map(|jobs| {
+            let mut fracs = Vec::new();
+            let mut skipped = 0usize;
+            for job in jobs {
+                match job {
+                    FracJob::Incompatible => skipped += 1,
+                    FracJob::Runs { base, manual, r } => match completed(&results[*r]) {
+                        Some(r) if r.ok() => {
+                            let base = results[*base].result();
+                            let manual = results[*manual].result();
+                            let manual_speedup = base.cycles as f64 / manual.cycles as f64;
+                            let speedup = base.cycles as f64 / r.cycles as f64;
+                            fracs.push(speedup / manual_speedup);
+                        }
+                        _ => skipped += 1,
+                    },
+                }
+            }
+            let f = mean(&fracs);
+            if skipped > 0 {
+                format!("{:.0}% ({skipped} n/a)", f * 100.0)
+            } else {
+                format!("{:.0}%", f * 100.0)
+            }
+        }));
+        v
+    });
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1: requirements matrix, measured from this reproduction (scale {scale})\n"
+    );
+    out.push_str(&table.render());
+    let _ = writeln!(
+        out,
+        "\n(paper: Sheriff 27% overhead / 92% of manual / consistency broken;\n\
+         Plastic 6% / ~30%; LASER 2% / 24%; TMI 2% / 88%)"
+    );
+    out
+}

@@ -21,7 +21,7 @@ pub const INTERNAL_START: u64 = 0x4000_0000;
 pub const INTERNAL_LEN: u64 = 8 * 1024 * 1024;
 
 /// Which runtime system supervises the run.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum RuntimeKind {
     /// Plain pthreads with the Lockless-style allocator (the baseline all
     /// figures normalize to). Anonymous memory, cheap faults.
@@ -85,7 +85,7 @@ impl RuntimeKind {
 }
 
 /// Full configuration for one run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct RunConfig {
     /// The runtime supervising the run.
     pub runtime: RuntimeKind,
@@ -258,8 +258,8 @@ fn build<R: RuntimeHooks>(
     cfg: &RunConfig,
     make_runtime: impl FnOnce(AppLayout) -> R,
 ) -> Built<R> {
-    let mut workload = tmi_workloads::by_name(name)
-        .unwrap_or_else(|| panic!("unknown workload {name}"));
+    let mut workload =
+        tmi_workloads::by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
     let spec = workload.spec();
 
     let app_len: u64 = if spec.big_memory { 64 << 20 } else { 16 << 20 };
@@ -388,8 +388,7 @@ fn finish<R: RuntimeHooks>(
     r.ops = report.ops;
     r.hitm_events = built.engine.core().machine.stats().hitm_events;
     r.faults = built.engine.core().kernel.stats().total_demand_faults();
-    r.app_bytes =
-        built.engine.core().kernel.physmem().peak_allocated_frames() as u64 * FRAME_SIZE;
+    r.app_bytes = built.engine.core().kernel.physmem().peak_allocated_frames() as u64 * FRAME_SIZE;
     r.memory_bytes = r.app_bytes;
 
     // Verification (only meaningful if the run completed).
@@ -410,11 +409,22 @@ fn finish<R: RuntimeHooks>(
 
 /// Runs one workload under one configuration and returns all metrics.
 ///
+/// Deprecated entry point kept for compatibility; build the run with
+/// [`crate::Experiment`] instead (`Experiment::new(name).config(*cfg).run()`),
+/// or batch it through [`crate::ExperimentSet`] for parallel execution.
+///
 /// # Panics
 ///
 /// Panics on unknown workload names; simulation errors are reported in
 /// [`RunResult::halt`].
+#[deprecated(since = "0.1.0", note = "use tmi_bench::Experiment instead")]
 pub fn run(name: &str, cfg: &RunConfig) -> RunResult {
+    execute(name, cfg)
+}
+
+/// The single synchronous entry point every run funnels through
+/// ([`crate::Experiment::run`] and the executor both land here).
+pub(crate) fn execute(name: &str, cfg: &RunConfig) -> RunResult {
     let tmi_cfg = |preset: TmiConfig| TmiConfig {
         perf: PerfConfig::with_period(cfg.period),
         ..preset
@@ -448,7 +458,9 @@ pub fn run(name: &str, cfg: &RunConfig) -> RunResult {
             finish(name, cfg, built, fill_tmi)
         }
         RuntimeKind::SheriffDetect => {
-            let built = build(name, cfg, |l| SheriffRuntime::new(SheriffConfig::detect(), l));
+            let built = build(name, cfg, |l| {
+                SheriffRuntime::new(SheriffConfig::detect(), l)
+            });
             finish(name, cfg, built, fill_sheriff)
         }
         RuntimeKind::SheriffProtect => {
@@ -505,7 +517,19 @@ fn fill_sheriff(rt: &SheriffRuntime, _core: &tmi_sim::EngineCore, r: &mut RunRes
 /// Runs a workload under `tmi-detect` and additionally returns the
 /// perf-c2c-style [`tmi::ContentionReport`] plus the Cheetah-style
 /// predicted manual-fix speedup.
+///
+/// Deprecated entry point kept for compatibility; use
+/// [`crate::Experiment::run_detect_report`] instead.
+#[deprecated(since = "0.1.0", note = "use Experiment::run_detect_report instead")]
 pub fn run_detect_report(name: &str, cfg: &RunConfig) -> (RunResult, tmi::ContentionReport, f64) {
+    execute_detect_report(name, cfg)
+}
+
+/// Implementation behind [`crate::Experiment::run_detect_report`].
+pub(crate) fn execute_detect_report(
+    name: &str,
+    cfg: &RunConfig,
+) -> (RunResult, tmi::ContentionReport, f64) {
     let mut cfg = *cfg;
     cfg.runtime = RuntimeKind::TmiDetect;
     let c = TmiConfig {

@@ -20,13 +20,22 @@
 //! | `fig12`  | Fig. 12 — cholesky hang without code-centric consistency |
 //! | `ablate_ptsb_everywhere` | §4.3 — targeted repair vs PTSB-everywhere |
 //! | `sweep_threads` | extension: FS penalty & repair quality vs thread count |
-//! | `run_all` | all of the above, writing EXPERIMENTS data |
+//! | `run_all` | all of the above in-process, writing `BENCH_harness.json` |
 //!
-//! The [`harness`] module is the library behind them: it assembles a
-//! simulated machine, kernel, allocator and runtime for one (workload,
-//! runtime) pair and returns a [`harness::RunResult`].
+//! The public API is the [`Experiment`] builder for a single run and
+//! [`ExperimentSet`] / [`Executor`] ([`exec`]) for deterministic parallel
+//! batches; [`figures`] holds the rendering behind each binary, and
+//! [`harness`] is the machine-assembly layer underneath.
 
+pub mod exec;
+pub mod figures;
 pub mod harness;
 pub mod report;
 
-pub use harness::{run, run_detect_report, RunConfig, RunResult, RuntimeKind};
+#[allow(deprecated)]
+pub use harness::{run, run_detect_report};
+pub use harness::{RunConfig, RunResult, RuntimeKind};
+pub use harness::{APP_START, INTERNAL_LEN, INTERNAL_START};
+
+pub use exec::{Executor, Experiment, ExperimentSet, JobResult, JobSpec};
+pub use report::SpeedupTable;

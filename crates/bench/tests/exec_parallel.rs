@@ -1,0 +1,114 @@
+//! The executor's determinism contract: pool size must not change
+//! results, their order, or their values in any way, and a panicking
+//! cell must fail alone instead of killing the batch.
+
+use tmi_bench::{Executor, Experiment, ExperimentSet, JobResult, RuntimeKind};
+
+const WORKLOADS: [&str; 4] = ["histogram", "lreg", "blackscholes", "stringmatch"];
+
+fn build_set() -> ExperimentSet {
+    let mut set = ExperimentSet::new();
+    for name in WORKLOADS {
+        set.push(Experiment::new(name).scale(0.05));
+        set.push(
+            Experiment::repair(name)
+                .runtime(RuntimeKind::TmiProtect)
+                .scale(0.05)
+                .misaligned(),
+        );
+    }
+    set
+}
+
+fn fingerprint(r: &JobResult) -> (usize, String, u64, u64, u64, u64, bool, Result<(), String>) {
+    let run = r.result();
+    (
+        r.index,
+        r.spec.workload.clone(),
+        run.cycles,
+        run.ops,
+        run.hitm_events,
+        run.commits,
+        run.repaired,
+        run.verified.clone(),
+    )
+}
+
+#[test]
+fn pool_size_one_and_four_produce_identical_result_streams() {
+    let serial = build_set().run_on(&Executor::new(1));
+    let parallel = build_set().run_on(&Executor::new(4));
+    assert_eq!(serial.len(), parallel.len());
+    assert_eq!(serial.len(), 2 * WORKLOADS.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(fingerprint(a), fingerprint(b));
+        assert_eq!(a.result().runtime, b.result().runtime);
+    }
+}
+
+#[test]
+fn panicking_job_marks_one_cell_failed_and_spares_the_rest() {
+    let mut set = ExperimentSet::new();
+    for name in WORKLOADS {
+        set.push(Experiment::new(name).scale(0.03));
+    }
+    let bad = set.push(Experiment::new("no-such-workload").scale(0.03));
+    let results = set.run_on(&Executor::new(4));
+
+    assert_eq!(results.len(), WORKLOADS.len() + 1);
+    let failed: Vec<&JobResult> = results.iter().filter(|r| r.outcome.is_err()).collect();
+    assert_eq!(failed.len(), 1, "exactly the injected cell fails");
+    assert_eq!(failed[0].index, bad);
+    assert_eq!(failed[0].spec.workload, "no-such-workload");
+    for (i, r) in results.iter().enumerate() {
+        if i != bad {
+            assert!(r.ok(), "{}: {:?}", r.spec.workload, r.outcome);
+        }
+    }
+}
+
+#[test]
+fn identical_cells_dedupe_at_submission_and_memoize_across_batches() {
+    let mut set = ExperimentSet::new();
+    let first = set.push(Experiment::new("histogram").scale(0.03));
+    let dup = set.push(Experiment::new("histogram").scale(0.03));
+    assert_eq!(first, dup, "equal experiments share one submission slot");
+    assert_eq!(set.len(), 1);
+
+    let exec = Executor::new(2);
+    let batch1 = set.run_on(&exec);
+    assert!(!batch1[first].from_cache);
+
+    let mut again = ExperimentSet::new();
+    again.push(Experiment::new("histogram").scale(0.03));
+    let batch2 = again.run_on(&exec);
+    assert!(batch2[0].from_cache, "second batch must hit the memo cache");
+    assert_eq!(batch1[first].result().cycles, batch2[0].result().cycles);
+
+    let log = exec.job_log();
+    assert_eq!(log.len(), 2);
+    assert_eq!(log[0].status, "ok");
+    assert_eq!(log[1].status, "cached");
+    assert_eq!(log[1].sim_cycles, log[0].sim_cycles);
+}
+
+#[test]
+fn job_log_json_has_the_documented_shape() {
+    let exec = Executor::new(1);
+    let mut set = ExperimentSet::new();
+    set.push(Experiment::new("histogram").scale(0.03));
+    set.run_on(&exec);
+    let json = exec.to_json();
+    for needle in [
+        "\"schema\": \"tmi-bench-harness/1\"",
+        "\"pool_workers\": 1",
+        "\"jobs\": 1",
+        "\"cache_hits\": 0",
+        "\"workload\": \"histogram\"",
+        "\"runtime\": \"pthreads\"",
+        "\"scale\": 0.03",
+        "\"status\": \"ok\"",
+    ] {
+        assert!(json.contains(needle), "missing {needle} in:\n{json}");
+    }
+}

@@ -2,7 +2,11 @@
 //! under the baseline, and the key repair behaviours reproduce at small
 //! scale.
 
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::{Experiment, RunConfig, RunResult, RuntimeKind};
+
+fn run(name: &str, cfg: &RunConfig) -> RunResult {
+    Experiment::new(name).config(*cfg).run()
+}
 
 fn small(runtime: RuntimeKind) -> RunConfig {
     RunConfig::new(runtime).scale(0.03)
@@ -47,7 +51,12 @@ fn quiet_workloads_do_not() {
 fn tmi_protect_repairs_lreg_at_small_scale() {
     let base = run("lreg", &RunConfig::new(RuntimeKind::Pthreads).scale(0.3));
     let tmi = run("lreg", &RunConfig::new(RuntimeKind::TmiProtect).scale(0.3));
-    assert!(base.ok() && tmi.ok(), "{:?} {:?}", base.verified, tmi.verified);
+    assert!(
+        base.ok() && tmi.ok(),
+        "{:?} {:?}",
+        base.verified,
+        tmi.verified
+    );
     assert!(tmi.repaired, "repair should trigger on lreg");
     assert!(
         tmi.cycles < base.cycles,

@@ -43,7 +43,10 @@ pub fn access_decision(code_centric: bool, acc: &AccessInfo) -> Decision {
     }
     if acc.atomic {
         let flush = acc.order.map(MemOrder::is_ordering).unwrap_or(true);
-        return Decision { flush, shared: true };
+        return Decision {
+            flush,
+            shared: true,
+        };
     }
     if acc.in_asm {
         // Flushing happened at AsmEnter; within the region, accesses
@@ -98,27 +101,57 @@ mod tests {
     #[test]
     fn regular_code_uses_ptsb_freely() {
         let d = access_decision(true, &acc(false, None, false));
-        assert_eq!(d, Decision { flush: false, shared: false });
+        assert_eq!(
+            d,
+            Decision {
+                flush: false,
+                shared: false
+            }
+        );
     }
 
     #[test]
     fn relaxed_atomics_bypass_without_flush() {
         let d = access_decision(true, &acc(true, Some(MemOrder::Relaxed), false));
-        assert_eq!(d, Decision { flush: false, shared: true });
+        assert_eq!(
+            d,
+            Decision {
+                flush: false,
+                shared: true
+            }
+        );
     }
 
     #[test]
     fn ordering_atomics_flush_and_bypass() {
-        for order in [MemOrder::Acquire, MemOrder::Release, MemOrder::AcqRel, MemOrder::SeqCst] {
+        for order in [
+            MemOrder::Acquire,
+            MemOrder::Release,
+            MemOrder::AcqRel,
+            MemOrder::SeqCst,
+        ] {
             let d = access_decision(true, &acc(true, Some(order), false));
-            assert_eq!(d, Decision { flush: true, shared: true }, "{order:?}");
+            assert_eq!(
+                d,
+                Decision {
+                    flush: true,
+                    shared: true
+                },
+                "{order:?}"
+            );
         }
     }
 
     #[test]
     fn asm_accesses_bypass_flush_at_entry() {
         let d = access_decision(true, &acc(false, None, true));
-        assert_eq!(d, Decision { flush: false, shared: true });
+        assert_eq!(
+            d,
+            Decision {
+                flush: false,
+                shared: true
+            }
+        );
         assert!(region_flush(true, RegionEvent::AsmEnter));
         assert!(!region_flush(true, RegionEvent::AsmExit));
     }
@@ -144,7 +177,13 @@ mod tests {
 
     #[test]
     fn route_conversion() {
-        assert_eq!(route_of(Decision { flush: false, shared: true }), Route::SharedObject);
+        assert_eq!(
+            route_of(Decision {
+                flush: false,
+                shared: true
+            }),
+            Route::SharedObject
+        );
         assert_eq!(route_of(Decision::default()), Route::Normal);
     }
 }

@@ -107,8 +107,11 @@ impl LineProfile {
 
     /// Per-thread byte masks (read, write), for report rendering.
     pub fn thread_masks(&self) -> Vec<(Tid, u64, u64)> {
-        let mut v: Vec<(Tid, u64, u64)> =
-            self.threads.iter().map(|(&t, m)| (t, m.read, m.write)).collect();
+        let mut v: Vec<(Tid, u64, u64)> = self
+            .threads
+            .iter()
+            .map(|(&t, m)| (t, m.read, m.write))
+            .collect();
         v.sort_by_key(|&(t, _, _)| t);
         v
     }
@@ -233,7 +236,11 @@ impl FalseSharingDetector {
     /// Analyzes the current window: returns every line whose scaled event
     /// rate crosses `threshold_per_sec`, then resets window counters.
     /// `window_secs` is the simulated duration since the last analysis.
-    pub fn analyze_window(&mut self, window_secs: f64, threshold_per_sec: f64) -> Vec<SharingReport> {
+    pub fn analyze_window(
+        &mut self,
+        window_secs: f64,
+        threshold_per_sec: f64,
+    ) -> Vec<SharingReport> {
         let mut out = Vec::new();
         for (&vline, profile) in &mut self.lines {
             let rate = profile.window_events / window_secs.max(1e-12);

@@ -40,7 +40,10 @@ impl LockRedirector {
     ///
     /// Panics unless `start` is line aligned.
     pub fn new(start: VAddr, len: u64) -> Self {
-        assert!(start.raw().is_multiple_of(LINE_SIZE), "lock region must be line aligned");
+        assert!(
+            start.raw().is_multiple_of(LINE_SIZE),
+            "lock region must be line aligned"
+        );
         LockRedirector {
             region_start: start,
             region_len: len,
@@ -203,7 +206,10 @@ mod tests {
         }
         r.repad();
         assert!(r.padded());
-        let mut lines: Vec<u64> = keys.iter().map(|&k| r.redirect(k).raw() / LINE_SIZE).collect();
+        let mut lines: Vec<u64> = keys
+            .iter()
+            .map(|&k| r.redirect(k).raw() / LINE_SIZE)
+            .collect();
         lines.sort_unstable();
         lines.dedup();
         assert_eq!(lines.len(), keys.len(), "one line per lock after repad");

@@ -162,13 +162,9 @@ impl RepairManager {
         }
         let mut cycles = 0;
         for vpn in dirty {
-            let pc = self.twins.commit_page(
-                ctl.kernel(),
-                aspace,
-                vpn,
-                &cfg.commit,
-                layout.huge_pages,
-            );
+            let pc =
+                self.twins
+                    .commit_page(ctl.kernel(), aspace, vpn, &cfg.commit, layout.huge_pages);
             cycles += pc.cycles;
             self.stats.bytes_merged += pc.bytes_merged;
             self.stats.committed_pages += 1;
@@ -293,7 +289,8 @@ mod tests {
         let cfg = TmiConfig::default();
         let mut rm = RepairManager::new();
         let base = VAddr::new(0x10000);
-        ctl.kernel.force_write(ctl.tids[0].into_aspace(&ctl.kernel), base, Width::W8, 1)
+        ctl.kernel
+            .force_write(ctl.tids[0].into_aspace(&ctl.kernel), base, Width::W8, 1)
             .unwrap();
         rm.trigger(&mut ctl, &cfg, &layout, &[base.vpn()]);
 

@@ -134,8 +134,8 @@ impl ContentionReport {
         // HITM penalty (base + half the queuing cap) minus the local hit
         // it would have been. A ping-pong stalls its two participants
         // alternately, so wall-clock stall ≈ events × penalty / 2.
-        let penalty = (lat.hitm + lat.hitm_queuing_step * lat.hitm_queuing_cap / 2 - lat.local_hit)
-            as f64;
+        let penalty =
+            (lat.hitm + lat.hitm_queuing_step * lat.hitm_queuing_cap / 2 - lat.local_hit) as f64;
         let calibration = match actual_hitm_events {
             Some(actual) if self.total_events > 0.0 => actual as f64 / self.total_events,
             _ => 1.0,
@@ -176,30 +176,42 @@ impl ContentionReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tmi_perf::{PebsRecord, PerfConfig};
-    use tmi_program::{CodeRegistry, InstrKind};
     use tmi_machine::Width;
     use tmi_os::Tid;
+    use tmi_perf::{PebsRecord, PerfConfig};
+    use tmi_program::{CodeRegistry, InstrKind};
 
     fn build_detector() -> (FalseSharingDetector, CodeRegistry) {
         let mut code = CodeRegistry::new();
         let st = code.instr("app::bump_counter", InstrKind::Store, Width::W8);
         let rmw = code.atomic_instr("app::lock_word", InstrKind::Rmw, Width::W4);
         let mut d = FalseSharingDetector::new(
-            PerfConfig { period: 10, skid_every: 0, ..Default::default() },
+            PerfConfig {
+                period: 10,
+                skid_every: 0,
+                ..Default::default()
+            },
             vec![(VAddr::new(0x10000), 0x10000)],
         );
         // A falsely shared line: two threads, disjoint words.
         for i in 0..20 {
             d.ingest(
-                &[PebsRecord { tid: Tid(i % 2), pc: st, vaddr: VAddr::new(0x10000 + (i as u64 % 2) * 8) }],
+                &[PebsRecord {
+                    tid: Tid(i % 2),
+                    pc: st,
+                    vaddr: VAddr::new(0x10000 + (i as u64 % 2) * 8),
+                }],
                 &code,
             );
         }
         // A truly shared line: both threads RMW the same word.
         for i in 0..10 {
             d.ingest(
-                &[PebsRecord { tid: Tid(i % 2), pc: rmw, vaddr: VAddr::new(0x10040) }],
+                &[PebsRecord {
+                    tid: Tid(i % 2),
+                    pc: rmw,
+                    vaddr: VAddr::new(0x10040),
+                }],
                 &code,
             );
         }
@@ -223,7 +235,11 @@ mod tests {
     fn report_symbolizes_pcs() {
         let (d, code) = build_detector();
         let r = ContentionReport::build(&d, &code, 10);
-        let fs_line = r.lines.iter().find(|l| l.kind == SharingKind::FalseSharing).unwrap();
+        let fs_line = r
+            .lines
+            .iter()
+            .find(|l| l.kind == SharingKind::FalseSharing)
+            .unwrap();
         assert_eq!(fs_line.top_symbols[0].0, "app::bump_counter");
     }
 
@@ -231,9 +247,16 @@ mod tests {
     fn masks_render_byte_roles() {
         let (d, code) = build_detector();
         let r = ContentionReport::build(&d, &code, 10);
-        let fs_line = r.lines.iter().find(|l| l.kind == SharingKind::FalseSharing).unwrap();
+        let fs_line = r
+            .lines
+            .iter()
+            .find(|l| l.kind == SharingKind::FalseSharing)
+            .unwrap();
         let (_, mask0) = &fs_line.masks[0];
-        assert!(mask0.starts_with("wwwwwwww"), "thread 0 wrote bytes 0-8: {mask0}");
+        assert!(
+            mask0.starts_with("wwwwwwww"),
+            "thread 0 wrote bytes 0-8: {mask0}"
+        );
         assert!(mask0[8..].chars().all(|c| c == '.'));
     }
 

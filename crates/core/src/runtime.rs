@@ -124,7 +124,8 @@ impl TmiRuntime {
         if !self.repair.active() {
             return 0;
         }
-        self.repair.commit_thread(ctl, tid, &self.config, &self.layout)
+        self.repair
+            .commit_thread(ctl, tid, &self.config, &self.layout)
     }
 
     fn handle_reports(&mut self, ctl: &mut dyn EngineCtl, reports: &[SharingReport], now: u64) {

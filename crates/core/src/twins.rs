@@ -162,7 +162,8 @@ mod tests {
         let obj = k.create_object(16 * FRAME_SIZE);
         let a = k.create_aspace();
         let base = VAddr::new(0x10000);
-        k.map(a, MapRequest::object(base, 16 * FRAME_SIZE, obj, 0)).unwrap();
+        k.map(a, MapRequest::object(base, 16 * FRAME_SIZE, obj, 0))
+            .unwrap();
         (k, a, base)
     }
 
@@ -188,7 +189,11 @@ mod tests {
 
         let pc = tw.commit_page(&mut k, a, base.vpn(), &CommitCostModel::standard(), false);
         assert!(pc.bytes_merged >= 1 && pc.bytes_merged <= 8);
-        assert_eq!(k.physmem().read(shared, Width::W8), 2, "merged thread write");
+        assert_eq!(
+            k.physmem().read(shared, Width::W8),
+            2,
+            "merged thread write"
+        );
         assert_eq!(
             k.physmem().read(shared.offset(32), Width::W8),
             777,
@@ -221,8 +226,10 @@ mod tests {
         let a = k.create_aspace();
         let b = k.create_aspace();
         let base = VAddr::new(0x10000);
-        k.map(a, MapRequest::object(base, FRAME_SIZE, obj, 0)).unwrap();
-        k.map(b, MapRequest::object(base, FRAME_SIZE, obj, 0)).unwrap();
+        k.map(a, MapRequest::object(base, FRAME_SIZE, obj, 0))
+            .unwrap();
+        k.map(b, MapRequest::object(base, FRAME_SIZE, obj, 0))
+            .unwrap();
         k.force_write(a, base, Width::W2, 0).unwrap();
 
         let mut tw = TwinStore::new();

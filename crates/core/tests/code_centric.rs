@@ -10,7 +10,7 @@ use tmi::{AppLayout, TmiConfig, TmiRuntime};
 use tmi_machine::{VAddr, Width, FRAME_SIZE};
 use tmi_os::MapRequest;
 use tmi_program::{InstrKind, MemOrder, Op, Pc, SequenceProgram};
-use tmi_sim::{Engine, EngineConfig, RuntimeHooks};
+use tmi_sim::{Engine, EngineConfig};
 
 const APP: u64 = 0x10_0000;
 const APP_LEN: u64 = 64 * FRAME_SIZE;
@@ -47,14 +47,30 @@ fn fixture(code_centric: bool) -> Fixture {
     let app = k.create_object(APP_LEN);
     let internal = k.create_object(INTERNAL_LEN);
     let aspace = k.create_aspace();
-    k.map(aspace, MapRequest::object(VAddr::new(APP), APP_LEN, app, 0)).unwrap();
-    k.map(aspace, MapRequest::object(VAddr::new(INTERNAL), INTERNAL_LEN, internal, 0))
+    k.map(aspace, MapRequest::object(VAddr::new(APP), APP_LEN, app, 0))
         .unwrap();
+    k.map(
+        aspace,
+        MapRequest::object(VAddr::new(INTERNAL), INTERNAL_LEN, internal, 0),
+    )
+    .unwrap();
     engine.create_root_process(aspace);
-    let st = engine.core_mut().code.instr("lit::st", InstrKind::Store, Width::W8);
-    let ld = engine.core_mut().code.instr("lit::ld", InstrKind::Load, Width::W8);
-    let ast = engine.core_mut().code.atomic_instr("lit::atomic_st", InstrKind::Store, Width::W8);
-    let asm_st = engine.core_mut().code.asm_instr("lit::asm_st", InstrKind::Store, Width::W8);
+    let st = engine
+        .core_mut()
+        .code
+        .instr("lit::st", InstrKind::Store, Width::W8);
+    let ld = engine
+        .core_mut()
+        .code
+        .instr("lit::ld", InstrKind::Load, Width::W8);
+    let ast = engine
+        .core_mut()
+        .code
+        .atomic_instr("lit::atomic_st", InstrKind::Store, Width::W8);
+    let asm_st = engine
+        .core_mut()
+        .code
+        .asm_instr("lit::asm_st", InstrKind::Store, Width::W8);
     Fixture {
         engine,
         aspace,
@@ -71,8 +87,17 @@ fn warmup_ops(f: &Fixture, thread: u64, iters: usize) -> Vec<Op> {
     let addr = VAddr::new(APP + thread * 8);
     let mut ops = Vec::new();
     for n in 0..iters {
-        ops.push(Op::Load { pc: f.ld, addr, width: Width::W8 });
-        ops.push(Op::Store { pc: f.st, addr, width: Width::W8, value: n as u64 });
+        ops.push(Op::Load {
+            pc: f.ld,
+            addr,
+            width: Width::W8,
+        });
+        ops.push(Op::Store {
+            pc: f.st,
+            addr,
+            width: Width::W8,
+            value: n as u64,
+        });
     }
     ops
 }
@@ -85,10 +110,14 @@ fn run_litmus(
     t1_tail: Vec<Op>,
 ) -> (tmi_sim::RunReport, Vec<Option<u64>>) {
     let mut ops0 = warmup_ops(f, 0, 120_000);
-    ops0.push(Op::BarrierWait { barrier: VAddr::new(BARRIER) });
+    ops0.push(Op::BarrierWait {
+        barrier: VAddr::new(BARRIER),
+    });
     ops0.extend(t0_tail);
     let mut ops1 = warmup_ops(f, 1, 120_000);
-    ops1.push(Op::BarrierWait { barrier: VAddr::new(BARRIER) });
+    ops1.push(Op::BarrierWait {
+        barrier: VAddr::new(BARRIER),
+    });
     ops1.extend(t1_tail);
     let p0 = SequenceProgram::new(ops0);
     let p1 = SequenceProgram::new(ops1);
@@ -102,7 +131,12 @@ fn run_litmus(
 
 fn shared_value(f: &mut Fixture, addr: VAddr) -> u64 {
     let aspace = f.aspace;
-    let pa = f.engine.core_mut().kernel.object_paddr(aspace, addr).unwrap();
+    let pa = f
+        .engine
+        .core_mut()
+        .kernel
+        .object_paddr(aspace, addr)
+        .unwrap();
     f.engine.core_mut().kernel.physmem().read(pa, Width::W8)
 }
 
@@ -115,14 +149,32 @@ fn ordering_atomic_store_is_immediately_shared() {
     let t0 = vec![
         // A plain (bufferable) store, then a SeqCst atomic: the atomic
         // must flush the plain store and itself hit shared memory.
-        Op::Store { pc: f.st, addr: x, width: Width::W8, value: 41 },
-        Op::AtomicStore { pc: f.ast, addr: x.offset(8), width: Width::W8, value: 42, order: MemOrder::SeqCst },
+        Op::Store {
+            pc: f.st,
+            addr: x,
+            width: Width::W8,
+            value: 41,
+        },
+        Op::AtomicStore {
+            pc: f.ast,
+            addr: x.offset(8),
+            width: Width::W8,
+            value: 42,
+            order: MemOrder::SeqCst,
+        },
     ];
     let (r, _) = run_litmus(&mut f, t0, vec![Op::Compute { cycles: 1000 }]);
     assert!(r.completed());
-    assert!(f.engine.runtime().repair().active(), "warm-up must trigger repair");
+    assert!(
+        f.engine.runtime().repair().active(),
+        "warm-up must trigger repair"
+    );
     assert_eq!(shared_value(&mut f, x), 41, "flushed by the atomic");
-    assert_eq!(shared_value(&mut f, x.offset(8)), 42, "atomic went to shared memory");
+    assert_eq!(
+        shared_value(&mut f, x.offset(8)),
+        42,
+        "atomic went to shared memory"
+    );
 }
 
 /// Relaxed refinement: a relaxed atomic bypasses to shared memory but does
@@ -132,20 +184,38 @@ fn relaxed_atomic_bypasses_without_flushing() {
     let mut f = fixture(true);
     let x = VAddr::new(APP + 16);
     let t0 = vec![
-        Op::Store { pc: f.st, addr: x, width: Width::W8, value: 41 },
-        Op::AtomicStore { pc: f.ast, addr: x.offset(8), width: Width::W8, value: 42, order: MemOrder::Relaxed },
+        Op::Store {
+            pc: f.st,
+            addr: x,
+            width: Width::W8,
+            value: 41,
+        },
+        Op::AtomicStore {
+            pc: f.ast,
+            addr: x.offset(8),
+            width: Width::W8,
+            value: 42,
+            order: MemOrder::Relaxed,
+        },
         // Park so thread 1 can observe before our exit-commit runs.
         Op::Compute { cycles: 500_000 },
     ];
     let t1 = vec![
         Op::Compute { cycles: 100_000 },
-        Op::Load { pc: f.ld, addr: x.offset(8), width: Width::W8 },
+        Op::Load {
+            pc: f.ld,
+            addr: x.offset(8),
+            width: Width::W8,
+        },
     ];
     let (r, observed) = run_litmus(&mut f, t0, t1);
     assert!(r.completed());
     assert!(f.engine.runtime().repair().active());
     let seen = observed.last().copied().flatten().unwrap();
-    assert_eq!(seen, 42, "relaxed atomic visible to the other process at once");
+    assert_eq!(
+        seen, 42,
+        "relaxed atomic visible to the other process at once"
+    );
     // The plain store eventually commits (thread exit), but the relaxed
     // atomic must not have forced an early flush: commits at most at sync
     // points. We can't observe "not flushed" directly here beyond the
@@ -161,13 +231,22 @@ fn asm_region_stores_are_immediately_shared() {
     let x = VAddr::new(APP + 24);
     let t0 = vec![
         Op::AsmEnter,
-        Op::Store { pc: f.asm_st, addr: x, width: Width::W8, value: 7 },
+        Op::Store {
+            pc: f.asm_st,
+            addr: x,
+            width: Width::W8,
+            value: 7,
+        },
         Op::AsmExit,
         Op::Compute { cycles: 500_000 },
     ];
     let t1 = vec![
         Op::Compute { cycles: 100_000 },
-        Op::Load { pc: f.ld, addr: x, width: Width::W8 },
+        Op::Load {
+            pc: f.ld,
+            addr: x,
+            width: Width::W8,
+        },
     ];
     let (r, observed) = run_litmus(&mut f, t0, t1);
     assert!(r.completed());
@@ -183,12 +262,21 @@ fn plain_racy_stores_are_buffered_until_sync() {
     let mut f = fixture(true);
     let x = VAddr::new(APP + 32);
     let t0 = vec![
-        Op::Store { pc: f.st, addr: x, width: Width::W8, value: 9 },
+        Op::Store {
+            pc: f.st,
+            addr: x,
+            width: Width::W8,
+            value: 9,
+        },
         Op::Compute { cycles: 500_000 },
     ];
     let t1 = vec![
         Op::Compute { cycles: 100_000 },
-        Op::Load { pc: f.ld, addr: x, width: Width::W8 },
+        Op::Load {
+            pc: f.ld,
+            addr: x,
+            width: Width::W8,
+        },
     ];
     let (r, observed) = run_litmus(&mut f, t0, t1);
     assert!(r.completed());
@@ -209,12 +297,22 @@ fn without_code_centric_atomics_lose_their_semantics() {
     let mut f = fixture(false);
     let x = VAddr::new(APP + 40);
     let t0 = vec![
-        Op::AtomicStore { pc: f.ast, addr: x, width: Width::W8, value: 13, order: MemOrder::SeqCst },
+        Op::AtomicStore {
+            pc: f.ast,
+            addr: x,
+            width: Width::W8,
+            value: 13,
+            order: MemOrder::SeqCst,
+        },
         Op::Compute { cycles: 500_000 },
     ];
     let t1 = vec![
         Op::Compute { cycles: 100_000 },
-        Op::Load { pc: f.ld, addr: x, width: Width::W8 },
+        Op::Load {
+            pc: f.ld,
+            addr: x,
+            width: Width::W8,
+        },
     ];
     let (r, observed) = run_litmus(&mut f, t0, t1);
     assert!(r.completed());

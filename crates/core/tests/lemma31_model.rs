@@ -53,7 +53,10 @@ impl World {
         let b = kernel.create_aspace();
         for s in [a, b] {
             kernel
-                .map(s, MapRequest::object(VAddr::new(BASE), 4 * FRAME_SIZE, obj, 0))
+                .map(
+                    s,
+                    MapRequest::object(VAddr::new(BASE), 4 * FRAME_SIZE, obj, 0),
+                )
                 .unwrap();
         }
         // Arm the PTSB on x's page in both processes (repair is active).
@@ -82,8 +85,13 @@ impl World {
     fn commit_thread(&mut self, thread: usize) {
         let s = self.spaces[thread];
         for page in self.twins.dirty_pages(s) {
-            self.twins
-                .commit_page(&mut self.kernel, s, page, &CommitCostModel::standard(), false);
+            self.twins.commit_page(
+                &mut self.kernel,
+                s,
+                page,
+                &CommitCostModel::standard(),
+                false,
+            );
         }
     }
 
@@ -221,7 +229,10 @@ fn racy_program_exhibits_word_tearing_somewhere() {
         "Fig. 3's torn value must be reachable; saw {outcomes:?}"
     );
     // All six interleavings of 2+2 steps exist.
-    assert!(outcomes.len() >= 2, "races produce multiple outcomes: {outcomes:?}");
+    assert!(
+        outcomes.len() >= 2,
+        "races produce multiple outcomes: {outcomes:?}"
+    );
 }
 
 #[test]

@@ -46,7 +46,7 @@ proptest! {
         let vpn = VAddr::new(BASE).vpn();
         let mut expect = std::collections::HashMap::new();
 
-        let mut write = |k: &mut Kernel, tw: &mut TwinStore, s: AsId, word: u64, v: u64| {
+        let write = |k: &mut Kernel, tw: &mut TwinStore, s: AsId, word: u64, v: u64| {
             let addr = VAddr::new(BASE + word * 8);
             // Emulate the engine: fault first, notify the runtime (twin
             // snapshot), then store.

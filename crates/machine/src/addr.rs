@@ -218,8 +218,7 @@ impl fmt::Debug for Vpn {
 /// The detector disassembles instruction PCs to recover widths (§3.1); the
 /// consistency machinery cares about widths because *aligned multi-byte
 /// store atomicity* (AMBSA, §2.2) is only meaningful for multi-byte accesses.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub enum Width {
     /// 1 byte.
     W1,
@@ -254,7 +253,6 @@ impl Width {
         }
     }
 }
-
 
 impl fmt::Display for Width {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -38,10 +38,7 @@ impl CacheConfig {
     /// private cache; using L2 capacity keeps working sets resident the way
     /// they are on the paper's Haswell parts.
     pub const fn private_default() -> Self {
-        CacheConfig {
-            sets: 512,
-            ways: 8,
-        }
+        CacheConfig { sets: 512, ways: 8 }
     }
 
     /// An 8 MiB, 16-way shared LLC.
@@ -157,7 +154,9 @@ impl Cache {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<MesiState> {
         let idx = self.set_index(line);
         let set = &mut self.sets[idx];
-        set.iter().position(|w| w.tag == line).map(|pos| set.swap_remove(pos).state)
+        set.iter()
+            .position(|w| w.tag == line)
+            .map(|pos| set.swap_remove(pos).state)
     }
 
     /// Inserts `line` with `state`, updating in place if already present.

@@ -464,10 +464,16 @@ mod tests {
         let mut m = machine(2);
         let mut hitms = 0;
         for _ in 0..100 {
-            if m.access(0, a(0x4000), AccessKind::Store, Width::W8).hitm.is_some() {
+            if m.access(0, a(0x4000), AccessKind::Store, Width::W8)
+                .hitm
+                .is_some()
+            {
                 hitms += 1;
             }
-            if m.access(1, a(0x4008), AccessKind::Store, Width::W8).hitm.is_some() {
+            if m.access(1, a(0x4008), AccessKind::Store, Width::W8)
+                .hitm
+                .is_some()
+            {
                 hitms += 1;
             }
         }

@@ -17,20 +17,15 @@ struct Step {
 }
 
 fn step_strategy(cores: usize, lines: u64) -> impl Strategy<Value = Step> {
-    (
-        0..cores,
-        0..lines,
-        0..8u64,
-        any::<bool>(),
-        any::<u64>(),
-    )
-        .prop_map(|(core, line, off, write, value)| Step {
+    (0..cores, 0..lines, 0..8u64, any::<bool>(), any::<u64>()).prop_map(
+        |(core, line, off, write, value)| Step {
             core,
             line,
             offset: off * 8,
             write,
             value,
-        })
+        },
+    )
 }
 
 proptest! {
@@ -76,9 +71,8 @@ proptest! {
     ) {
         let mut m = Machine::new(MachineConfig::with_cores(4));
         let mut pm = PhysMem::new();
-        for _ in 0..8 * 64 / 4096 + 1 {
-            pm.alloc_frame();
-        }
+        // 8 lines x 64 bytes fit in a single 4 KiB frame.
+        pm.alloc_frame();
         let mut shadow = std::collections::HashMap::new();
         for s in &steps {
             let addr = PhysAddr::new(s.line * 64 + s.offset);

@@ -71,7 +71,10 @@ impl fmt::Display for OsError {
                 write!(f, "write protection violation at {addr} in {aspace:?}")
             }
             OsError::MappingOverlap { addr, len } => {
-                write!(f, "mapping [{addr}, +{len:#x}) overlaps an existing mapping")
+                write!(
+                    f,
+                    "mapping [{addr}, +{len:#x}) overlaps an existing mapping"
+                )
             }
             OsError::InvalidMapping(why) => write!(f, "invalid mapping request: {why}"),
             OsError::NoSuchEntity(what) => write!(f, "no such {what}"),

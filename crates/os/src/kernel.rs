@@ -168,7 +168,12 @@ impl Kernel {
     /// # Errors
     ///
     /// Returns the [`PageFault`] the MMU would raise.
-    pub fn translate(&self, aspace: AsId, addr: VAddr, is_write: bool) -> Result<PhysAddr, PageFault> {
+    pub fn translate(
+        &self,
+        aspace: AsId,
+        addr: VAddr,
+        is_write: bool,
+    ) -> Result<PhysAddr, PageFault> {
         let a = self.aspace(aspace);
         match a.pte(addr.vpn()) {
             Some(pte) if is_write && !pte.writable => Err(PageFault::NotWritable),
@@ -268,8 +273,8 @@ impl Kernel {
             }
             (Backing::Object { obj, offset }, PageSize::Huge) => {
                 // Populate the whole 2 MiB chunk containing `addr`.
-                let chunk_off =
-                    (addr.raw() - vma.start.raw()) / PageSize::Huge.bytes() * PageSize::Huge.bytes();
+                let chunk_off = (addr.raw() - vma.start.raw()) / PageSize::Huge.bytes()
+                    * PageSize::Huge.bytes();
                 let first_vpn = Vpn((vma.start.raw() + chunk_off) / FRAME_SIZE);
                 let first_page_in_obj = (chunk_off + offset) / FRAME_SIZE;
                 let fresh = self.objects[obj.0 as usize].populate_run(
@@ -730,7 +735,11 @@ mod tests {
         let res = k.handle_fault(a, addr, false).unwrap();
         assert!(matches!(
             res,
-            FaultResolution::DemandPaged { major: true, pages: 1, .. }
+            FaultResolution::DemandPaged {
+                major: true,
+                pages: 1,
+                ..
+            }
         ));
         assert!(k.translate(a, addr, false).is_ok());
         assert_eq!(k.object(obj).populated_pages(), 1);
@@ -749,7 +758,10 @@ mod tests {
         let addr = VAddr::new(0x10000);
         k.handle_fault(a, addr, true).unwrap();
         let res = k.handle_fault(b, addr, false).unwrap();
-        assert!(matches!(res, FaultResolution::DemandPaged { major: false, .. }));
+        assert!(matches!(
+            res,
+            FaultResolution::DemandPaged { major: false, .. }
+        ));
         // Both spaces translate to the same physical frame: shared memory.
         let pa = k.translate(a, addr, false).unwrap();
         let pb = k.translate(b, addr, false).unwrap();
@@ -765,7 +777,8 @@ mod tests {
             MapRequest::object(VAddr::new(0x40000), 64 * FRAME_SIZE, obj, 0),
         )
         .unwrap();
-        k.force_write(a, VAddr::new(0x10010), Width::W8, 77).unwrap();
+        k.force_write(a, VAddr::new(0x10010), Width::W8, 77)
+            .unwrap();
         // Different virtual addresses, same object page.
         assert_eq!(k.force_read(b, VAddr::new(0x40010), Width::W8).unwrap(), 77);
     }
@@ -773,7 +786,9 @@ mod tests {
     #[test]
     fn unmapped_access_is_sigsegv() {
         let (mut k, a, _) = setup();
-        let err = k.handle_fault(a, VAddr::new(0xdead0000), false).unwrap_err();
+        let err = k
+            .handle_fault(a, VAddr::new(0xdead0000), false)
+            .unwrap_err();
         assert!(matches!(err, OsError::UnmappedAddress { .. }));
     }
 
@@ -849,7 +864,8 @@ mod tests {
     fn protect_anon_page_rejected() {
         let mut k = Kernel::new();
         let a = k.create_aspace();
-        k.map(a, MapRequest::anon(VAddr::new(0x1000), FRAME_SIZE)).unwrap();
+        k.map(a, MapRequest::anon(VAddr::new(0x1000), FRAME_SIZE))
+            .unwrap();
         k.handle_fault(a, VAddr::new(0x1000), true).unwrap();
         let err = k.protect_page_cow(a, VAddr::new(0x1000).vpn()).unwrap_err();
         assert!(matches!(err, OsError::NotProtectable { .. }));
@@ -859,7 +875,8 @@ mod tests {
     fn fork_gives_cow_semantics_for_anon_memory() {
         let mut k = Kernel::new();
         let a = k.create_aspace();
-        k.map(a, MapRequest::anon(VAddr::new(0x1000), FRAME_SIZE)).unwrap();
+        k.map(a, MapRequest::anon(VAddr::new(0x1000), FRAME_SIZE))
+            .unwrap();
         let addr = VAddr::new(0x1000);
         k.force_write(a, addr, Width::W8, 5).unwrap();
         let b = k.fork_aspace(a);
@@ -879,7 +896,8 @@ mod tests {
         let (mut k, a, _) = setup();
         let (pid, t0) = k.create_process(a);
         let t1 = k.spawn_thread(pid);
-        k.force_write(a, VAddr::new(0x10020), Width::W8, 11).unwrap();
+        k.force_write(a, VAddr::new(0x10020), Width::W8, 11)
+            .unwrap();
 
         let new_pid = k.convert_thread_to_process(t1).unwrap();
         assert_ne!(new_pid, pid);
@@ -891,7 +909,8 @@ mod tests {
         let b = k.thread_aspace(t1);
         assert_ne!(a, b);
         assert_eq!(k.force_read(b, VAddr::new(0x10020), Width::W8).unwrap(), 11);
-        k.force_write(b, VAddr::new(0x10020), Width::W8, 12).unwrap();
+        k.force_write(b, VAddr::new(0x10020), Width::W8, 12)
+            .unwrap();
         assert_eq!(k.force_read(a, VAddr::new(0x10020), Width::W8).unwrap(), 12);
         assert_eq!(k.stats().conversions, 1);
     }
@@ -940,10 +959,16 @@ mod tests {
             MapRequest::object(VAddr::new(4 * MB2), 2 * MB2, obj, 0).huge(),
         )
         .unwrap();
-        let res = k.handle_fault(a, VAddr::new(4 * MB2 + 12345), false).unwrap();
+        let res = k
+            .handle_fault(a, VAddr::new(4 * MB2 + 12345), false)
+            .unwrap();
         assert!(matches!(
             res,
-            FaultResolution::DemandPaged { huge: true, pages: 512, .. }
+            FaultResolution::DemandPaged {
+                huge: true,
+                pages: 512,
+                ..
+            }
         ));
         assert_eq!(k.stats().huge_faults, 1);
         // The whole first chunk is now resident; the second is not.
@@ -951,7 +976,9 @@ mod tests {
         assert!(k.translate(a, VAddr::new(5 * MB2), false).is_err());
         // Frames are physically contiguous, so line adjacency is preserved.
         let p0 = k.translate(a, VAddr::new(4 * MB2), false).unwrap();
-        let p1 = k.translate(a, VAddr::new(4 * MB2 + FRAME_SIZE), false).unwrap();
+        let p1 = k
+            .translate(a, VAddr::new(4 * MB2 + FRAME_SIZE), false)
+            .unwrap();
         assert_eq!(p1.raw() - p0.raw(), FRAME_SIZE);
     }
 
@@ -964,12 +991,19 @@ mod tests {
             .unwrap();
         k.handle_fault(a, VAddr::new(MB2), false).unwrap();
         for vpn_i in 0..512 {
-            k.protect_page_cow(a, Vpn(MB2 / FRAME_SIZE + vpn_i)).unwrap();
+            k.protect_page_cow(a, Vpn(MB2 / FRAME_SIZE + vpn_i))
+                .unwrap();
         }
-        let res = k.handle_fault(a, VAddr::new(MB2 + 8 * FRAME_SIZE), true).unwrap();
+        let res = k
+            .handle_fault(a, VAddr::new(MB2 + 8 * FRAME_SIZE), true)
+            .unwrap();
         assert!(matches!(
             res,
-            FaultResolution::CowBroken { huge: true, pages: 512, .. }
+            FaultResolution::CowBroken {
+                huge: true,
+                pages: 512,
+                ..
+            }
         ));
         assert_eq!(k.stats().huge_cow_breaks, 1);
         // Every page of the chunk is now private and writable.
@@ -1008,7 +1042,10 @@ mod tests {
         let obj = k.create_object(FRAME_SIZE);
         let a = k.create_aspace();
         assert!(k
-            .map(a, MapRequest::object(VAddr::new(0x1001), FRAME_SIZE, obj, 0))
+            .map(
+                a,
+                MapRequest::object(VAddr::new(0x1001), FRAME_SIZE, obj, 0)
+            )
             .is_err());
         assert!(k
             .map(a, MapRequest::object(VAddr::new(0x1000), 0, obj, 0))
@@ -1030,6 +1067,10 @@ mod tests {
         k.handle_fault(a, addr, true).unwrap(); // break COW
         k.force_write(a, addr, Width::W8, 99).unwrap(); // private write
         let shared = k.object_paddr(a, addr).unwrap();
-        assert_eq!(k.physmem().read(shared, Width::W8), 1, "shared view unchanged");
+        assert_eq!(
+            k.physmem().read(shared, Width::W8),
+            1,
+            "shared view unchanged"
+        );
     }
 }

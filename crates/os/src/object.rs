@@ -26,7 +26,10 @@ pub struct MemObject {
 
 impl MemObject {
     pub(crate) fn new(id: ObjId, len: u64) -> Self {
-        assert!(len.is_multiple_of(FRAME_SIZE), "object length must be page aligned");
+        assert!(
+            len.is_multiple_of(FRAME_SIZE),
+            "object length must be page aligned"
+        );
         MemObject {
             id,
             len,

@@ -15,8 +15,11 @@ fn setup_two_spaces() -> (Kernel, tmi_os::AsId, tmi_os::AsId) {
     let a = k.create_aspace();
     let b = k.create_aspace();
     for s in [a, b] {
-        k.map(s, MapRequest::object(VAddr::new(BASE), PAGES * FRAME_SIZE, obj, 0))
-            .unwrap();
+        k.map(
+            s,
+            MapRequest::object(VAddr::new(BASE), PAGES * FRAME_SIZE, obj, 0),
+        )
+        .unwrap();
     }
     (k, a, b)
 }
@@ -103,7 +106,7 @@ proptest! {
                         if broken[idx(space)][page as usize] {
                             // The private copy is discarded, not merged.
                             broken[idx(space)][page as usize] = false;
-                            let lo = page as u64 * 512;
+                            let lo = page * 512;
                             private[idx(space)].retain(|w, _| *w < lo || *w >= lo + 512);
                         }
                     }

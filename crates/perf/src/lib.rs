@@ -168,7 +168,8 @@ impl PerfMonitor {
             t.records.remove(0);
             t.dropped += 1;
         }
-        t.records.push((self.records_taken, PebsRecord { tid, pc, vaddr }));
+        t.records
+            .push((self.records_taken, PebsRecord { tid, pc, vaddr }));
         cfg.capture_cycles
     }
 
@@ -325,8 +326,8 @@ mod tests {
         assert_eq!(m.buffer_bytes(), 0);
         m.open_thread(Tid(0));
         m.open_thread(Tid(1));
-        let per_thread = (PerfConfig::default().buffer_capacity
-            * std::mem::size_of::<PebsRecord>()) as u64;
+        let per_thread =
+            (PerfConfig::default().buffer_capacity * std::mem::size_of::<PebsRecord>()) as u64;
         assert_eq!(m.buffer_bytes(), 2 * per_thread);
     }
 }

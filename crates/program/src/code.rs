@@ -95,32 +95,41 @@ impl CodeRegistry {
     /// fresh PC. `symbol` names the instruction in reports, e.g.
     /// `"histogram::bump_bin"`.
     pub fn instr(&mut self, symbol: &str, kind: InstrKind, width: Width) -> Pc {
-        self.register(symbol, InstrInfo {
-            kind,
-            width,
-            atomic: false,
-            asm: false,
-        })
+        self.register(
+            symbol,
+            InstrInfo {
+                kind,
+                width,
+                atomic: false,
+                asm: false,
+            },
+        )
     }
 
     /// Registers an instruction implementing a C/C++ atomic operation.
     pub fn atomic_instr(&mut self, symbol: &str, kind: InstrKind, width: Width) -> Pc {
-        self.register(symbol, InstrInfo {
-            kind,
-            width,
-            atomic: true,
-            asm: false,
-        })
+        self.register(
+            symbol,
+            InstrInfo {
+                kind,
+                width,
+                atomic: true,
+                asm: false,
+            },
+        )
     }
 
     /// Registers an instruction inside an inline-assembly region.
     pub fn asm_instr(&mut self, symbol: &str, kind: InstrKind, width: Width) -> Pc {
-        self.register(symbol, InstrInfo {
-            kind,
-            width,
-            atomic: false,
-            asm: true,
-        })
+        self.register(
+            symbol,
+            InstrInfo {
+                kind,
+                width,
+                atomic: false,
+                asm: true,
+            },
+        )
     }
 
     fn register(&mut self, symbol: &str, info: InstrInfo) -> Pc {

@@ -214,10 +214,7 @@ impl Op {
     pub fn is_atomic(&self) -> bool {
         matches!(
             self,
-            Op::AtomicLoad { .. }
-                | Op::AtomicStore { .. }
-                | Op::AtomicRmw { .. }
-                | Op::Cas { .. }
+            Op::AtomicLoad { .. } | Op::AtomicStore { .. } | Op::AtomicRmw { .. } | Op::Cas { .. }
         )
     }
 
@@ -257,7 +254,12 @@ mod tests {
     #[test]
     fn order_classification() {
         assert!(!MemOrder::Relaxed.is_ordering());
-        for o in [MemOrder::Acquire, MemOrder::Release, MemOrder::AcqRel, MemOrder::SeqCst] {
+        for o in [
+            MemOrder::Acquire,
+            MemOrder::Release,
+            MemOrder::AcqRel,
+            MemOrder::SeqCst,
+        ] {
             assert!(o.is_ordering());
         }
     }
@@ -276,7 +278,9 @@ mod tests {
         assert!(atomic.is_atomic());
         assert!(!atomic.is_sync());
         assert_eq!(atomic.pc(), Some(pc));
-        let lock = Op::MutexLock { lock: VAddr::new(64) };
+        let lock = Op::MutexLock {
+            lock: VAddr::new(64),
+        };
         assert!(lock.is_sync());
         assert_eq!(lock.pc(), None);
         assert!(!Op::Exit.is_atomic());

@@ -329,7 +329,12 @@ impl<R: RuntimeHooks> Engine<R> {
             {
                 Some(i) => i,
                 None => {
-                    if self.core.threads.iter().all(|t| t.state == ThreadState::Done) {
+                    if self
+                        .core
+                        .threads
+                        .iter()
+                        .all(|t| t.state == ThreadState::Done)
+                    {
                         break Halt::Completed;
                     }
                     break Halt::Hang; // deadlock
@@ -370,53 +375,148 @@ impl<R: RuntimeHooks> Engine<R> {
             }
             Op::Exit => {
                 let tid = self.core.threads[idx].tid;
-                let commit = self.runtime.on_sync(&mut self.core, tid, SyncEvent::ThreadExit);
+                let commit = self
+                    .runtime
+                    .on_sync(&mut self.core, tid, SyncEvent::ThreadExit);
                 self.core.threads[idx].clock += commit;
                 self.core.threads[idx].state = ThreadState::Done;
             }
             Op::Load { pc, addr, width } => {
-                let v = self.data_access(idx, pc, addr, width, AccessKind::Load, false, None, DataAction::Read)?;
+                let v = self.data_access(
+                    idx,
+                    pc,
+                    addr,
+                    width,
+                    AccessKind::Load,
+                    false,
+                    None,
+                    DataAction::Read,
+                )?;
                 self.core.threads[idx].pending = OpResult { value: v };
             }
-            Op::Store { pc, addr, width, value } => {
-                self.data_access(idx, pc, addr, width, AccessKind::Store, false, None, DataAction::Write(value))?;
+            Op::Store {
+                pc,
+                addr,
+                width,
+                value,
+            } => {
+                self.data_access(
+                    idx,
+                    pc,
+                    addr,
+                    width,
+                    AccessKind::Store,
+                    false,
+                    None,
+                    DataAction::Write(value),
+                )?;
             }
-            Op::AtomicLoad { pc, addr, width, order } => {
+            Op::AtomicLoad {
+                pc,
+                addr,
+                width,
+                order,
+            } => {
                 assert!(addr.is_aligned(width), "unaligned atomic at {addr}");
-                let v = self.data_access(idx, pc, addr, width, AccessKind::Load, true, Some(order), DataAction::Read)?;
+                let v = self.data_access(
+                    idx,
+                    pc,
+                    addr,
+                    width,
+                    AccessKind::Load,
+                    true,
+                    Some(order),
+                    DataAction::Read,
+                )?;
                 self.core.threads[idx].pending = OpResult { value: v };
             }
-            Op::AtomicStore { pc, addr, width, value, order } => {
+            Op::AtomicStore {
+                pc,
+                addr,
+                width,
+                value,
+                order,
+            } => {
                 assert!(addr.is_aligned(width), "unaligned atomic at {addr}");
-                self.data_access(idx, pc, addr, width, AccessKind::Store, true, Some(order), DataAction::Write(value))?;
+                self.data_access(
+                    idx,
+                    pc,
+                    addr,
+                    width,
+                    AccessKind::Store,
+                    true,
+                    Some(order),
+                    DataAction::Write(value),
+                )?;
             }
-            Op::AtomicRmw { pc, addr, width, rmw, operand, order } => {
+            Op::AtomicRmw {
+                pc,
+                addr,
+                width,
+                rmw,
+                operand,
+                order,
+            } => {
                 assert!(addr.is_aligned(width), "unaligned atomic at {addr}");
-                let v = self.data_access(idx, pc, addr, width, AccessKind::Rmw, true, Some(order), DataAction::Rmw(rmw, operand))?;
+                let v = self.data_access(
+                    idx,
+                    pc,
+                    addr,
+                    width,
+                    AccessKind::Rmw,
+                    true,
+                    Some(order),
+                    DataAction::Rmw(rmw, operand),
+                )?;
                 self.core.threads[idx].pending = OpResult { value: v };
             }
-            Op::Cas { pc, addr, width, expected, desired, order } => {
+            Op::Cas {
+                pc,
+                addr,
+                width,
+                expected,
+                desired,
+                order,
+            } => {
                 assert!(addr.is_aligned(width), "unaligned atomic at {addr}");
-                let v = self.data_access(idx, pc, addr, width, AccessKind::Rmw, true, Some(order), DataAction::Cas { expected, desired })?;
+                let v = self.data_access(
+                    idx,
+                    pc,
+                    addr,
+                    width,
+                    AccessKind::Rmw,
+                    true,
+                    Some(order),
+                    DataAction::Cas { expected, desired },
+                )?;
                 self.core.threads[idx].pending = OpResult { value: v };
             }
             Op::Fence { order } => {
                 self.core.threads[idx].clock += lat.fence;
                 let tid = self.core.threads[idx].tid;
-                let extra = self.runtime.on_region(&mut self.core, tid, RegionEvent::Fence(order));
+                let extra = self
+                    .runtime
+                    .on_region(&mut self.core, tid, RegionEvent::Fence(order));
                 self.core.threads[idx].clock += extra;
             }
             Op::AsmEnter => {
                 self.core.threads[idx].asm_depth += 1;
                 let tid = self.core.threads[idx].tid;
-                let extra = self.runtime.on_region(&mut self.core, tid, RegionEvent::AsmEnter);
+                let extra = self
+                    .runtime
+                    .on_region(&mut self.core, tid, RegionEvent::AsmEnter);
                 self.core.threads[idx].clock += extra;
             }
             Op::AsmExit => {
-                assert!(self.core.threads[idx].asm_depth > 0, "AsmExit without AsmEnter");
+                assert!(
+                    self.core.threads[idx].asm_depth > 0,
+                    "AsmExit without AsmEnter"
+                );
                 self.core.threads[idx].asm_depth -= 1;
                 let tid = self.core.threads[idx].tid;
-                let extra = self.runtime.on_region(&mut self.core, tid, RegionEvent::AsmExit);
+                let extra = self
+                    .runtime
+                    .on_region(&mut self.core, tid, RegionEvent::AsmExit);
                 self.core.threads[idx].clock += extra;
             }
             Op::MutexLock { lock } => self.mutex_lock(idx, lock)?,
@@ -450,7 +550,10 @@ impl<R: RuntimeHooks> Engine<R> {
             order,
             in_asm: self.core.threads[idx].asm_depth > 0,
         };
-        let PreAccess { extra_cycles, route } = self.runtime.pre_access(&mut self.core, tid, &acc);
+        let PreAccess {
+            extra_cycles,
+            route,
+        } = self.runtime.pre_access(&mut self.core, tid, &acc);
         self.core.threads[idx].clock += extra_cycles;
 
         let aspace = self.core.kernel.thread_aspace(tid);
@@ -505,7 +608,9 @@ impl<R: RuntimeHooks> Engine<R> {
             }
         };
 
-        let extra = self.runtime.post_access(&mut self.core, tid, &acc, &outcome);
+        let extra = self
+            .runtime
+            .post_access(&mut self.core, tid, &acc, &outcome);
         self.core.threads[idx].clock += extra;
         Ok(value)
     }
@@ -514,13 +619,24 @@ impl<R: RuntimeHooks> Engine<R> {
         let tid = self.core.threads[idx].tid;
         let (mapped, redirect) = self.runtime.map_lock(&mut self.core, tid, lock);
         self.core.threads[idx].clock += redirect;
-        let commit = self.runtime.on_sync(&mut self.core, tid, SyncEvent::MutexLock(mapped));
+        let commit = self
+            .runtime
+            .on_sync(&mut self.core, tid, SyncEvent::MutexLock(mapped));
         self.core.threads[idx].clock += commit + self.core.config.costs.mutex_op;
         // Locked RMW on the (possibly redirected) lock word — glibc's
         // cmpxchg. Mutual exclusion is keyed on the *application* lock
         // address so redirection can change the traffic address at any time.
         let pc = self.core.internal_pcs.mutex_rmw;
-        self.data_access(idx, pc, mapped, Width::W4, AccessKind::Rmw, false, None, DataAction::Rmw(RmwOp::Or, 1))?;
+        self.data_access(
+            idx,
+            pc,
+            mapped,
+            Width::W4,
+            AccessKind::Rmw,
+            false,
+            None,
+            DataAction::Rmw(RmwOp::Or, 1),
+        )?;
         let m = self.core.sync.mutex(lock);
         if m.owner.is_none() {
             m.owner = Some(tid);
@@ -535,10 +651,21 @@ impl<R: RuntimeHooks> Engine<R> {
         let tid = self.core.threads[idx].tid;
         let (mapped, redirect) = self.runtime.map_lock(&mut self.core, tid, lock);
         self.core.threads[idx].clock += redirect;
-        let commit = self.runtime.on_sync(&mut self.core, tid, SyncEvent::MutexUnlock(mapped));
+        let commit = self
+            .runtime
+            .on_sync(&mut self.core, tid, SyncEvent::MutexUnlock(mapped));
         self.core.threads[idx].clock += commit + self.core.config.costs.mutex_op;
         let pc = self.core.internal_pcs.mutex_store;
-        self.data_access(idx, pc, mapped, Width::W4, AccessKind::Store, false, None, DataAction::Write(0))?;
+        self.data_access(
+            idx,
+            pc,
+            mapped,
+            Width::W4,
+            AccessKind::Store,
+            false,
+            None,
+            DataAction::Write(0),
+        )?;
         let m = self.core.sync.mutex(lock);
         assert_eq!(m.owner, Some(tid), "mutex unlock by non-owner");
         match m.waiters.pop_front() {
@@ -558,7 +685,16 @@ impl<R: RuntimeHooks> Engine<R> {
         let tid = self.core.threads[idx].tid;
         let pc = self.core.internal_pcs.spin_rmw;
         // xchg(lock, 1) — generates contention traffic on every attempt.
-        self.data_access(idx, pc, lock, Width::W4, AccessKind::Rmw, true, Some(MemOrder::AcqRel), DataAction::Rmw(RmwOp::Xchg, 1))?;
+        self.data_access(
+            idx,
+            pc,
+            lock,
+            Width::W4,
+            AccessKind::Rmw,
+            true,
+            Some(MemOrder::AcqRel),
+            DataAction::Rmw(RmwOp::Xchg, 1),
+        )?;
         if !self.core.sync.try_spin_lock(lock, tid) {
             self.core.threads[idx].clock += self.core.config.costs.spin_retry;
             self.core.threads[idx].replay = Some(op);
@@ -569,7 +705,16 @@ impl<R: RuntimeHooks> Engine<R> {
     fn spin_unlock(&mut self, idx: usize, lock: VAddr) -> Result<(), OsError> {
         let tid = self.core.threads[idx].tid;
         let pc = self.core.internal_pcs.spin_store;
-        self.data_access(idx, pc, lock, Width::W4, AccessKind::Store, true, Some(MemOrder::Release), DataAction::Write(0))?;
+        self.data_access(
+            idx,
+            pc,
+            lock,
+            Width::W4,
+            AccessKind::Store,
+            true,
+            Some(MemOrder::Release),
+            DataAction::Write(0),
+        )?;
         self.core.sync.spin_unlock(lock, tid);
         Ok(())
     }
@@ -580,10 +725,21 @@ impl<R: RuntimeHooks> Engine<R> {
             let parties = self.core.threads.len();
             self.core.sync.register_barrier(barrier, parties);
         }
-        let commit = self.runtime.on_sync(&mut self.core, tid, SyncEvent::BarrierWait(barrier));
+        let commit = self
+            .runtime
+            .on_sync(&mut self.core, tid, SyncEvent::BarrierWait(barrier));
         self.core.threads[idx].clock += commit + self.core.config.costs.barrier_op;
         let pc = self.core.internal_pcs.barrier_rmw;
-        self.data_access(idx, pc, barrier, Width::W4, AccessKind::Rmw, false, None, DataAction::Rmw(RmwOp::Add, 1))?;
+        self.data_access(
+            idx,
+            pc,
+            barrier,
+            Width::W4,
+            AccessKind::Rmw,
+            false,
+            None,
+            DataAction::Rmw(RmwOp::Add, 1),
+        )?;
         let b = self.core.sync.barrier(barrier);
         b.arrived.push(tid);
         if b.arrived.len() >= b.parties {
@@ -632,7 +788,10 @@ mod tests {
         let aspace = e.core_mut().kernel.create_aspace();
         e.core_mut()
             .kernel
-            .map(aspace, MapRequest::object(VAddr::new(0x10000), 64 * FRAME_SIZE, obj, 0))
+            .map(
+                aspace,
+                MapRequest::object(VAddr::new(0x10000), 64 * FRAME_SIZE, obj, 0),
+            )
             .unwrap();
         e.create_root_process(aspace);
         (e, aspace)
@@ -649,8 +808,17 @@ mod tests {
         let ld = pc(&mut e, "t::ld", InstrKind::Load, Width::W8);
         let a = VAddr::new(0x10040);
         let prog = SequenceProgram::new(vec![
-            Op::Store { pc: st, addr: a, width: Width::W8, value: 1234 },
-            Op::Load { pc: ld, addr: a, width: Width::W8 },
+            Op::Store {
+                pc: st,
+                addr: a,
+                width: Width::W8,
+                value: 1234,
+            },
+            Op::Load {
+                pc: ld,
+                addr: a,
+                width: Width::W8,
+            },
         ]);
         let log = prog.log();
         e.add_thread(Box::new(prog));
@@ -677,7 +845,11 @@ mod tests {
         // simplified to barrier-free polling with enough compute delay.
         let reader = SequenceProgram::new(vec![
             Op::Compute { cycles: 100_000 },
-            Op::Load { pc: ld, addr: a, width: Width::W8 },
+            Op::Load {
+                pc: ld,
+                addr: a,
+                width: Width::W8,
+            },
         ]);
         let rlog = reader.log();
         e.add_thread(Box::new(writer));
@@ -698,11 +870,20 @@ mod tests {
             let mut ops = Vec::new();
             for _ in 0..50 {
                 ops.push(Op::MutexLock { lock });
-                ops.push(Op::Load { pc: ld, addr: counter, width: Width::W8 });
+                ops.push(Op::Load {
+                    pc: ld,
+                    addr: counter,
+                    width: Width::W8,
+                });
                 // increment happens in engine data plane via RMW for realism,
                 // but here we model load;store under the lock: the engine
                 // serializes critical sections, so this is race-free.
-                ops.push(Op::Store { pc: st, addr: counter, width: Width::W8, value: 0 });
+                ops.push(Op::Store {
+                    pc: st,
+                    addr: counter,
+                    width: Width::W8,
+                    value: 0,
+                });
                 ops.push(Op::MutexUnlock { lock });
             }
             SequenceProgram::new(ops)
@@ -718,7 +899,10 @@ mod tests {
     #[test]
     fn locked_increments_sum_correctly() {
         let (mut e, aspace) = engine(4);
-        let rmw = e.core_mut().code.atomic_instr("inc", InstrKind::Rmw, Width::W8);
+        let rmw = e
+            .core_mut()
+            .code
+            .atomic_instr("inc", InstrKind::Rmw, Width::W8);
         let lock = VAddr::new(0x10000);
         let counter = VAddr::new(0x10088);
         for _ in 0..4 {
@@ -739,14 +923,21 @@ mod tests {
         }
         let r = e.run();
         assert!(r.completed());
-        let v = e.core_mut().kernel.force_read(aspace, counter, Width::W8).unwrap();
+        let v = e
+            .core_mut()
+            .kernel
+            .force_read(aspace, counter, Width::W8)
+            .unwrap();
         assert_eq!(v, 100);
     }
 
     #[test]
     fn atomic_rmw_without_locks_is_still_atomic() {
         let (mut e, aspace) = engine(4);
-        let rmw = e.core_mut().code.atomic_instr("inc", InstrKind::Rmw, Width::W8);
+        let rmw = e
+            .core_mut()
+            .code
+            .atomic_instr("inc", InstrKind::Rmw, Width::W8);
         let counter = VAddr::new(0x10090);
         for _ in 0..4 {
             let ops = vec![
@@ -764,7 +955,11 @@ mod tests {
         }
         let r = e.run();
         assert!(r.completed());
-        let v = e.core_mut().kernel.force_read(aspace, counter, Width::W8).unwrap();
+        let v = e
+            .core_mut()
+            .kernel
+            .force_read(aspace, counter, Width::W8)
+            .unwrap();
         assert_eq!(v, 400);
     }
 
@@ -778,11 +973,24 @@ mod tests {
         let mut logs = Vec::new();
         for i in 0..3u64 {
             let prog = SequenceProgram::new(vec![
-                Op::Store { pc: st, addr: slot(i), width: Width::W8, value: i + 1 },
+                Op::Store {
+                    pc: st,
+                    addr: slot(i),
+                    width: Width::W8,
+                    value: i + 1,
+                },
                 Op::BarrierWait { barrier: bar },
                 // After the barrier, every slot must be visible.
-                Op::Load { pc: ld, addr: slot((i + 1) % 3), width: Width::W8 },
-                Op::Load { pc: ld, addr: slot((i + 2) % 3), width: Width::W8 },
+                Op::Load {
+                    pc: ld,
+                    addr: slot((i + 1) % 3),
+                    width: Width::W8,
+                },
+                Op::Load {
+                    pc: ld,
+                    addr: slot((i + 2) % 3),
+                    width: Width::W8,
+                },
             ]);
             logs.push(prog.log());
             e.add_thread(Box::new(prog));
@@ -803,7 +1011,10 @@ mod tests {
     #[test]
     fn spinlock_contention_burns_cycles_but_preserves_exclusion() {
         let (mut e, aspace) = engine(2);
-        let rmw = e.core_mut().code.atomic_instr("inc", InstrKind::Rmw, Width::W8);
+        let rmw = e
+            .core_mut()
+            .code
+            .atomic_instr("inc", InstrKind::Rmw, Width::W8);
         let lock = VAddr::new(0x10000);
         let counter = VAddr::new(0x100c0);
         for _ in 0..2 {
@@ -824,7 +1035,11 @@ mod tests {
         }
         let r = e.run();
         assert!(r.completed());
-        let v = e.core_mut().kernel.force_read(aspace, counter, Width::W8).unwrap();
+        let v = e
+            .core_mut()
+            .kernel
+            .force_read(aspace, counter, Width::W8)
+            .unwrap();
         assert_eq!(v, 60);
     }
 
@@ -857,7 +1072,10 @@ mod tests {
         let aspace = e.core_mut().kernel.create_aspace();
         e.core_mut()
             .kernel
-            .map(aspace, MapRequest::object(VAddr::new(0x10000), FRAME_SIZE, obj, 0))
+            .map(
+                aspace,
+                MapRequest::object(VAddr::new(0x10000), FRAME_SIZE, obj, 0),
+            )
             .unwrap();
         e.create_root_process(aspace);
         // An infinite compute loop.
@@ -882,7 +1100,10 @@ mod tests {
             width: Width::W8,
         }])));
         let r = e.run();
-        assert!(matches!(r.halt, Halt::Fault(OsError::UnmappedAddress { .. })));
+        assert!(matches!(
+            r.halt,
+            Halt::Fault(OsError::UnmappedAddress { .. })
+        ));
     }
 
     #[test]
@@ -891,10 +1112,21 @@ mod tests {
         // line vs padded counters on separate lines.
         let run = |stride: u64| {
             let (mut e, _) = engine(2);
-            let st = e.core_mut().code.instr("fs::st", InstrKind::Store, Width::W8);
+            let st = e
+                .core_mut()
+                .code
+                .instr("fs::st", InstrKind::Store, Width::W8);
             for i in 0..2u64 {
                 let a = VAddr::new(0x10000 + i * stride);
-                let ops = vec![Op::Store { pc: st, addr: a, width: Width::W8, value: i }; 2000];
+                let ops = vec![
+                    Op::Store {
+                        pc: st,
+                        addr: a,
+                        width: Width::W8,
+                        value: i
+                    };
+                    2000
+                ];
                 e.add_thread(Box::new(SequenceProgram::new(ops)));
             }
             let r = e.run();
@@ -903,7 +1135,10 @@ mod tests {
         };
         let (slow, hitm_fs) = run(8); // same line
         let (fast, hitm_ok) = run(64); // separate lines
-        assert!(hitm_fs > 1000, "false sharing must generate HITMs, got {hitm_fs}");
+        assert!(
+            hitm_fs > 1000,
+            "false sharing must generate HITMs, got {hitm_fs}"
+        );
         assert!(hitm_ok < 10, "padded run must not, got {hitm_ok}");
         assert!(
             slow > 3 * fast,
@@ -929,7 +1164,10 @@ mod tests {
         let aspace = e.core_mut().kernel.create_aspace();
         e.core_mut()
             .kernel
-            .map(aspace, MapRequest::object(VAddr::new(0x10000), FRAME_SIZE, obj, 0))
+            .map(
+                aspace,
+                MapRequest::object(VAddr::new(0x10000), FRAME_SIZE, obj, 0),
+            )
             .unwrap();
         e.create_root_process(aspace);
         e.add_thread(Box::new(SequenceProgram::new(vec![
@@ -946,8 +1184,14 @@ mod tests {
         let (mut e, aspace) = engine(1);
         let st = pc(&mut e, "cow::st", InstrKind::Store, Width::W8);
         let a = VAddr::new(0x10000);
-        e.core_mut().kernel.force_write(aspace, a, Width::W8, 5).unwrap();
-        e.core_mut().kernel.protect_page_cow(aspace, a.vpn()).unwrap();
+        e.core_mut()
+            .kernel
+            .force_write(aspace, a, Width::W8, 5)
+            .unwrap();
+        e.core_mut()
+            .kernel
+            .protect_page_cow(aspace, a.vpn())
+            .unwrap();
         e.add_thread(Box::new(SequenceProgram::new(vec![Op::Store {
             pc: st,
             addr: a,

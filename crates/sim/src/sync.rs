@@ -70,7 +70,10 @@ impl SyncTable {
     /// Panics if `tid` does not hold the lock — that is a bug in the
     /// workload program.
     pub fn spin_unlock(&mut self, addr: VAddr, tid: Tid) {
-        let slot = self.spins.get_mut(&addr).expect("unlock of unknown spinlock");
+        let slot = self
+            .spins
+            .get_mut(&addr)
+            .expect("unlock of unknown spinlock");
         assert_eq!(*slot, Some(tid), "spin unlock by non-owner");
         *slot = None;
     }

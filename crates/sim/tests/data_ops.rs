@@ -14,7 +14,10 @@ fn engine() -> (Engine<NullRuntime>, tmi_os::AsId) {
     let aspace = e.core_mut().kernel.create_aspace();
     e.core_mut()
         .kernel
-        .map(aspace, MapRequest::object(VAddr::new(APP), 16 * FRAME_SIZE, obj, 0))
+        .map(
+            aspace,
+            MapRequest::object(VAddr::new(APP), 16 * FRAME_SIZE, obj, 0),
+        )
         .unwrap();
     e.create_root_process(aspace);
     (e, aspace)
@@ -23,33 +26,79 @@ fn engine() -> (Engine<NullRuntime>, tmi_os::AsId) {
 #[test]
 fn cas_success_and_failure_semantics() {
     let (mut e, aspace) = engine();
-    let pc = e.core_mut().code.atomic_instr("t::cas", InstrKind::Rmw, Width::W8);
+    let pc = e
+        .core_mut()
+        .code
+        .atomic_instr("t::cas", InstrKind::Rmw, Width::W8);
     let x = VAddr::new(APP + 64);
-    e.core_mut().kernel.force_write(aspace, x, Width::W8, 5).unwrap();
+    e.core_mut()
+        .kernel
+        .force_write(aspace, x, Width::W8, 5)
+        .unwrap();
     let prog = SequenceProgram::new(vec![
         // Fails: expected 4, observed 5.
-        Op::Cas { pc, addr: x, width: Width::W8, expected: 4, desired: 9, order: MemOrder::SeqCst },
+        Op::Cas {
+            pc,
+            addr: x,
+            width: Width::W8,
+            expected: 4,
+            desired: 9,
+            order: MemOrder::SeqCst,
+        },
         // Succeeds: expected 5.
-        Op::Cas { pc, addr: x, width: Width::W8, expected: 5, desired: 9, order: MemOrder::SeqCst },
+        Op::Cas {
+            pc,
+            addr: x,
+            width: Width::W8,
+            expected: 5,
+            desired: 9,
+            order: MemOrder::SeqCst,
+        },
         // Fails again: now 9.
-        Op::Cas { pc, addr: x, width: Width::W8, expected: 5, desired: 1, order: MemOrder::SeqCst },
+        Op::Cas {
+            pc,
+            addr: x,
+            width: Width::W8,
+            expected: 5,
+            desired: 1,
+            order: MemOrder::SeqCst,
+        },
     ]);
     let log = prog.log();
     e.add_thread(Box::new(prog));
     assert!(e.run().completed());
     assert_eq!(log.borrow().as_slice(), &[Some(5), Some(5), Some(9)]);
-    assert_eq!(e.core_mut().kernel.force_read(aspace, x, Width::W8).unwrap(), 9);
+    assert_eq!(
+        e.core_mut()
+            .kernel
+            .force_read(aspace, x, Width::W8)
+            .unwrap(),
+        9
+    );
 }
 
 #[test]
 fn atomic_load_returns_value_and_fence_costs_cycles() {
     let (mut e, aspace) = engine();
-    let pc = e.core_mut().code.atomic_instr("t::ald", InstrKind::Load, Width::W4);
+    let pc = e
+        .core_mut()
+        .code
+        .atomic_instr("t::ald", InstrKind::Load, Width::W4);
     let x = VAddr::new(APP + 128);
-    e.core_mut().kernel.force_write(aspace, x, Width::W4, 77).unwrap();
+    e.core_mut()
+        .kernel
+        .force_write(aspace, x, Width::W4, 77)
+        .unwrap();
     let prog = SequenceProgram::new(vec![
-        Op::AtomicLoad { pc, addr: x, width: Width::W4, order: MemOrder::Acquire },
-        Op::Fence { order: MemOrder::SeqCst },
+        Op::AtomicLoad {
+            pc,
+            addr: x,
+            width: Width::W4,
+            order: MemOrder::Acquire,
+        },
+        Op::Fence {
+            order: MemOrder::SeqCst,
+        },
     ]);
     let log = prog.log();
     e.add_thread(Box::new(prog));
@@ -63,9 +112,15 @@ fn atomic_load_returns_value_and_fence_costs_cycles() {
 #[test]
 fn narrow_rmw_wraps_at_width() {
     let (mut e, aspace) = engine();
-    let pc = e.core_mut().code.atomic_instr("t::rmw8", InstrKind::Rmw, Width::W1);
+    let pc = e
+        .core_mut()
+        .code
+        .atomic_instr("t::rmw8", InstrKind::Rmw, Width::W1);
     let x = VAddr::new(APP + 256);
-    e.core_mut().kernel.force_write(aspace, x, Width::W1, 0xff).unwrap();
+    e.core_mut()
+        .kernel
+        .force_write(aspace, x, Width::W1, 0xff)
+        .unwrap();
     let prog = SequenceProgram::new(vec![Op::AtomicRmw {
         pc,
         addr: x,
@@ -77,9 +132,16 @@ fn narrow_rmw_wraps_at_width() {
     let log = prog.log();
     e.add_thread(Box::new(prog));
     assert!(e.run().completed());
-    assert_eq!(log.borrow()[0], Some(0xff), "RMW returns the previous value");
     assert_eq!(
-        e.core_mut().kernel.force_read(aspace, x, Width::W1).unwrap(),
+        log.borrow()[0],
+        Some(0xff),
+        "RMW returns the previous value"
+    );
+    assert_eq!(
+        e.core_mut()
+            .kernel
+            .force_read(aspace, x, Width::W1)
+            .unwrap(),
         0,
         "one-byte add wraps"
     );
@@ -89,7 +151,10 @@ fn narrow_rmw_wraps_at_width() {
 #[should_panic(expected = "unaligned atomic")]
 fn unaligned_atomics_are_rejected() {
     let (mut e, _) = engine();
-    let pc = e.core_mut().code.atomic_instr("t::bad", InstrKind::Store, Width::W8);
+    let pc = e
+        .core_mut()
+        .code
+        .atomic_instr("t::bad", InstrKind::Store, Width::W8);
     e.add_thread(Box::new(SequenceProgram::new(vec![Op::AtomicStore {
         pc,
         addr: VAddr::new(APP + 4), // not 8-aligned

@@ -17,7 +17,10 @@ fn engine_with<R: RuntimeHooks>(rt: R, cores: usize) -> (Engine<R>, tmi_os::AsId
     let aspace = e.core_mut().kernel.create_aspace();
     e.core_mut()
         .kernel
-        .map(aspace, MapRequest::object(VAddr::new(APP), 64 * FRAME_SIZE, obj, 0))
+        .map(
+            aspace,
+            MapRequest::object(VAddr::new(APP), 64 * FRAME_SIZE, obj, 0),
+        )
         .unwrap();
     e.create_root_process(aspace);
     (e, aspace)
@@ -50,22 +53,38 @@ fn redirected_locks_keep_logical_identity() {
     // lock, the redirect only moves the memory traffic.
     let (mut e, aspace) = engine_with(RedirectingRuntime::default(), 2);
     let ld = e.core_mut().code.instr("t::ld", InstrKind::Load, Width::W8);
-    let st = e.core_mut().code.instr("t::st", InstrKind::Store, Width::W8);
+    let st = e
+        .core_mut()
+        .code
+        .instr("t::st", InstrKind::Store, Width::W8);
     let counter = VAddr::new(APP + 128);
     for i in 0..2u64 {
         let lock = VAddr::new(APP + i * 64); // different app locks
         let mut ops = Vec::new();
         for _ in 0..200 {
             ops.push(Op::MutexLock { lock });
-            ops.push(Op::Load { pc: ld, addr: counter, width: Width::W8 });
-            ops.push(Op::Store { pc: st, addr: counter, width: Width::W8, value: 1 });
+            ops.push(Op::Load {
+                pc: ld,
+                addr: counter,
+                width: Width::W8,
+            });
+            ops.push(Op::Store {
+                pc: st,
+                addr: counter,
+                width: Width::W8,
+                value: 1,
+            });
             ops.push(Op::MutexUnlock { lock });
         }
         e.add_thread(Box::new(SequenceProgram::new(ops)));
     }
     let r = e.run();
     assert!(r.completed(), "{:?}", r.halt);
-    assert_eq!(e.runtime().redirects, 2 * 200 * 2, "every lock op redirected");
+    assert_eq!(
+        e.runtime().redirects,
+        2 * 200 * 2,
+        "every lock op redirected"
+    );
     // Both locks' events arrived plus the two thread exits.
     let locks = e
         .runtime()
@@ -103,19 +122,28 @@ impl RuntimeHooks for UncachedStores {
 #[test]
 fn uncached_stores_update_data_without_coherence_traffic() {
     let (mut e, aspace) = engine_with(UncachedStores, 2);
-    let st = e.core_mut().code.instr("u::st", InstrKind::Store, Width::W8);
+    let st = e
+        .core_mut()
+        .code
+        .instr("u::st", InstrKind::Store, Width::W8);
     let x = VAddr::new(APP + 8);
-    e.add_thread(Box::new(SequenceProgram::new(vec![Op::Store {
-        pc: st,
-        addr: x,
-        width: Width::W8,
-        value: 99,
-    }; 100])));
+    e.add_thread(Box::new(SequenceProgram::new(vec![
+        Op::Store {
+            pc: st,
+            addr: x,
+            width: Width::W8,
+            value: 99,
+        };
+        100
+    ])));
     let r = e.run();
     assert!(r.completed());
     // Data arrived...
     assert_eq!(
-        e.core_mut().kernel.force_read(aspace, x, Width::W8).unwrap(),
+        e.core_mut()
+            .kernel
+            .force_read(aspace, x, Width::W8)
+            .unwrap(),
         99
     );
     // ...but the machine saw no stores at all (only the page-fault-free
@@ -126,11 +154,19 @@ fn uncached_stores_update_data_without_coherence_traffic() {
 #[test]
 fn oversubscription_threads_beyond_cores_complete() {
     let (mut e, aspace) = engine_with(NullRuntime, 2); // 6 threads, 2 cores
-    let st = e.core_mut().code.instr("o::st", InstrKind::Store, Width::W8);
+    let st = e
+        .core_mut()
+        .code
+        .instr("o::st", InstrKind::Store, Width::W8);
     for i in 0..6u64 {
         let addr = VAddr::new(APP + 0x1000 + i * 256);
         e.add_thread(Box::new(SequenceProgram::new(vec![
-            Op::Store { pc: st, addr, width: Width::W8, value: i };
+            Op::Store {
+                pc: st,
+                addr,
+                width: Width::W8,
+                value: i
+            };
             500
         ])));
     }
@@ -139,7 +175,10 @@ fn oversubscription_threads_beyond_cores_complete() {
     for i in 0..6u64 {
         let addr = VAddr::new(APP + 0x1000 + i * 256);
         assert_eq!(
-            e.core_mut().kernel.force_read(aspace, addr, Width::W8).unwrap(),
+            e.core_mut()
+                .kernel
+                .force_read(aspace, addr, Width::W8)
+                .unwrap(),
             i
         );
     }
@@ -148,7 +187,10 @@ fn oversubscription_threads_beyond_cores_complete() {
 #[test]
 fn contended_spinlock_replays_until_acquired() {
     let (mut e, aspace) = engine_with(NullRuntime, 4);
-    let rmw = e.core_mut().code.atomic_instr("s::inc", InstrKind::Rmw, Width::W8);
+    let rmw = e
+        .core_mut()
+        .code
+        .atomic_instr("s::inc", InstrKind::Rmw, Width::W8);
     let lock = VAddr::new(APP);
     let counter = VAddr::new(APP + 512);
     for _ in 0..4 {
@@ -172,12 +214,19 @@ fn contended_spinlock_replays_until_acquired() {
     let r = e.run();
     assert!(r.completed());
     assert_eq!(
-        e.core_mut().kernel.force_read(aspace, counter, Width::W8).unwrap(),
+        e.core_mut()
+            .kernel
+            .force_read(aspace, counter, Width::W8)
+            .unwrap(),
         400,
         "mutual exclusion held under contention"
     );
     // Spinning shows up as extra ops (replays) beyond the program length.
-    assert!(r.ops > 4 * 401, "expected replayed spin attempts, got {}", r.ops);
+    assert!(
+        r.ops > 4 * 401,
+        "expected replayed spin attempts, got {}",
+        r.ops
+    );
 }
 
 /// Data-dependent program: spins on a flag written by the other thread —
@@ -194,7 +243,11 @@ impl ThreadProgram for FlagWaiter {
         match self.state {
             0 => {
                 self.state = 1;
-                Op::Load { pc: self.ld, addr: self.flag, width: Width::W8 }
+                Op::Load {
+                    pc: self.ld,
+                    addr: self.flag,
+                    width: Width::W8,
+                }
             }
             1 => {
                 if last.unwrap() == 1 {
@@ -202,7 +255,11 @@ impl ThreadProgram for FlagWaiter {
                     Op::Exit
                 } else {
                     self.polls += 1;
-                    Op::Load { pc: self.ld, addr: self.flag, width: Width::W8 }
+                    Op::Load {
+                        pc: self.ld,
+                        addr: self.flag,
+                        width: Width::W8,
+                    }
                 }
             }
             _ => Op::Exit,
@@ -214,12 +271,25 @@ impl ThreadProgram for FlagWaiter {
 fn polling_loops_observe_remote_stores() {
     let (mut e, _aspace) = engine_with(NullRuntime, 2);
     let ld = e.core_mut().code.instr("f::ld", InstrKind::Load, Width::W8);
-    let st = e.core_mut().code.instr("f::st", InstrKind::Store, Width::W8);
+    let st = e
+        .core_mut()
+        .code
+        .instr("f::st", InstrKind::Store, Width::W8);
     let flag = VAddr::new(APP + 2048);
-    e.add_thread(Box::new(FlagWaiter { flag, ld, polls: 0, state: 0 }));
+    e.add_thread(Box::new(FlagWaiter {
+        flag,
+        ld,
+        polls: 0,
+        state: 0,
+    }));
     e.add_thread(Box::new(SequenceProgram::new(vec![
         Op::Compute { cycles: 50_000 },
-        Op::Store { pc: st, addr: flag, width: Width::W8, value: 1 },
+        Op::Store {
+            pc: st,
+            addr: flag,
+            width: Width::W8,
+            value: 1,
+        },
     ])));
     let r = e.run();
     assert!(r.completed(), "the waiter must see the flag: {:?}", r.halt);

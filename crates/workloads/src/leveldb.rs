@@ -104,13 +104,27 @@ impl Workload for LevelDb {
             }
         }
 
-        let ld_idx = ctx.code.instr("leveldb::load_bucket", InstrKind::Load, Width::W8);
-        let st_idx = ctx.code.instr("leveldb::store_bucket", InstrKind::Store, Width::W8);
-        let ld_ctr = ctx.code.instr("leveldb::load_opcount", InstrKind::Load, Width::W8);
-        let st_ctr = ctx.code.instr("leveldb::store_opcount", InstrKind::Store, Width::W8);
-        let st_q = ctx.code.instr("leveldb::queue_push", InstrKind::Store, Width::W8);
-        let rmw_q = ctx.code.instr("leveldb::queue_tail", InstrKind::Rmw, Width::W8);
-        let ref_rmw = ctx.code.asm_instr("leveldb::ref_acquire", InstrKind::Rmw, Width::W4);
+        let ld_idx = ctx
+            .code
+            .instr("leveldb::load_bucket", InstrKind::Load, Width::W8);
+        let st_idx = ctx
+            .code
+            .instr("leveldb::store_bucket", InstrKind::Store, Width::W8);
+        let ld_ctr = ctx
+            .code
+            .instr("leveldb::load_opcount", InstrKind::Load, Width::W8);
+        let st_ctr = ctx
+            .code
+            .instr("leveldb::store_opcount", InstrKind::Store, Width::W8);
+        let st_q = ctx
+            .code
+            .instr("leveldb::queue_push", InstrKind::Store, Width::W8);
+        let rmw_q = ctx
+            .code
+            .instr("leveldb::queue_tail", InstrKind::Rmw, Width::W8);
+        let ref_rmw = ctx
+            .code
+            .asm_instr("leveldb::ref_acquire", InstrKind::Rmw, Width::W4);
         let _ = stripe_locks; // reads are lock-free in 1.20's hot path
 
         // The db_bench `readwhilewriting`-style division of labor: thread 0
@@ -136,35 +150,63 @@ impl Workload for LevelDb {
                         }
                         key = lcg.next_u64();
                         step = 1;
-                        Op::Load { pc: ld_ctr, addr: counter, width: Width::W8 }
+                        Op::Load {
+                            pc: ld_ctr,
+                            addr: counter,
+                            width: Width::W8,
+                        }
                     }
                     1 => {
                         let c = last.unwrap();
                         step = 2;
-                        Op::Store { pc: st_ctr, addr: counter, width: Width::W8, value: c + 1 }
+                        Op::Store {
+                            pc: st_ctr,
+                            addr: counter,
+                            width: Width::W8,
+                            value: c + 1,
+                        }
                     }
                     // Lock-free GET: memtable/version reads.
                     2 => {
                         let b = key % buckets;
                         step = 3;
-                        Op::Load { pc: ld_idx, addr: index.offset(b * 16), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_idx,
+                            addr: index.offset(b * 16),
+                            width: Width::W8,
+                        }
                     }
                     3 => {
                         let b = (key >> 17) % buckets;
                         step = if n.is_multiple_of(32) { 5 } else { 7 };
-                        Op::Load { pc: ld_idx, addr: index.offset(b * 16 + 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_idx,
+                            addr: index.offset(b * 16 + 8),
+                            width: Width::W8,
+                        }
                     }
                     // Version refcount: leveldb's NoBarrier (relaxed)
                     // atomics on the read path — no PTSB flush under
                     // code-centric consistency.
                     5 => {
                         step = 7;
-                        Op::AtomicRmw { pc: ref_rmw, addr: refcount, width: Width::W4, rmw: RmwOp::Add, operand: 1, order: MemOrder::Relaxed }
+                        Op::AtomicRmw {
+                            pc: ref_rmw,
+                            addr: refcount,
+                            width: Width::W4,
+                            rmw: RmwOp::Add,
+                            operand: 1,
+                            order: MemOrder::Relaxed,
+                        }
                     }
                     7 => {
                         n += 1;
                         let writer = i == 0;
-                        step = if writer && n.is_multiple_of(BATCH) { 8 } else { 0 };
+                        step = if writer && n.is_multiple_of(BATCH) {
+                            8
+                        } else {
+                            0
+                        };
                         Op::Compute { cycles: 25 }
                     }
                     // Writer group: publish the batch under the mutex; the
@@ -181,7 +223,14 @@ impl Workload for LevelDb {
                     }
                     21 => {
                         step = 9;
-                        Op::AtomicRmw { pc: ref_rmw, addr: refcount, width: Width::W4, rmw: RmwOp::Add, operand: 1, order: MemOrder::AcqRel }
+                        Op::AtomicRmw {
+                            pc: ref_rmw,
+                            addr: refcount,
+                            width: Width::W4,
+                            rmw: RmwOp::Add,
+                            operand: 1,
+                            order: MemOrder::AcqRel,
+                        }
                     }
                     9 => {
                         step = 22;
@@ -190,22 +239,43 @@ impl Workload for LevelDb {
                     // Bump the queue tail (the contended head/tail line).
                     22 => {
                         step = 10;
-                        Op::AtomicRmw { pc: rmw_q, addr: q_tail, width: Width::W8, rmw: RmwOp::Add, operand: 1, order: MemOrder::Relaxed }
+                        Op::AtomicRmw {
+                            pc: rmw_q,
+                            addr: q_tail,
+                            width: Width::W8,
+                            rmw: RmwOp::Add,
+                            operand: 1,
+                            order: MemOrder::Relaxed,
+                        }
                     }
                     10 => {
                         let slot = last.unwrap() % 512;
                         step = 11;
-                        Op::Store { pc: st_q, addr: queue.offset(slot * 8), width: Width::W8, value: key }
+                        Op::Store {
+                            pc: st_q,
+                            addr: queue.offset(slot * 8),
+                            width: Width::W8,
+                            value: key,
+                        }
                     }
                     11 => {
                         batch_left -= 1;
                         if batch_left > 0 {
                             let b = (key.rotate_left(batch_left as u32)) % buckets;
                             step = 11;
-                            return Op::Store { pc: st_idx, addr: index.offset(b * 16 + 8), width: Width::W8, value: key };
+                            return Op::Store {
+                                pc: st_idx,
+                                addr: index.offset(b * 16 + 8),
+                                width: Width::W8,
+                                value: key,
+                            };
                         }
                         step = 12;
-                        Op::Load { pc: ld_idx, addr: q_head, width: Width::W8 }
+                        Op::Load {
+                            pc: ld_idx,
+                            addr: q_head,
+                            width: Width::W8,
+                        }
                     }
                     12 => {
                         step = 0;

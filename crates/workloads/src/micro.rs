@@ -51,7 +51,9 @@ impl Workload for SpinlockPool {
         let data: Vec<VAddr> = (0..t)
             .map(|i| ctx.alloc.alloc_aligned(i, 1024, 64))
             .collect();
-        let st = ctx.code.instr("spinlockpool::store_data", InstrKind::Store, Width::W8);
+        let st = ctx
+            .code
+            .instr("spinlockpool::store_data", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -89,7 +91,12 @@ impl Workload for SpinlockPool {
                         step = 0;
                         n += 1;
                         if n.is_multiple_of(64) {
-                            Op::Store { pc: st, addr: mine.offset(lcg.below(128) * 8), width: Width::W8, value: n as u64 }
+                            Op::Store {
+                                pc: st,
+                                addr: mine.offset(lcg.below(128) * 8),
+                                width: Width::W8,
+                                value: n as u64,
+                            }
                         } else {
                             Op::Compute { cycles: 20 }
                         }
@@ -144,7 +151,11 @@ impl Workload for SharedPtr {
             // Sheriff's PTSB breaks the relaxed-atomic refcounts (§4.3:
             // "does not work on ... shptr-relaxed").
             sheriff_compatible: !self.relaxed,
-            ..spec(if self.relaxed { "shptr-relaxed" } else { "shptr-lock" })
+            ..spec(if self.relaxed {
+                "shptr-relaxed"
+            } else {
+                "shptr-lock"
+            })
         }
     }
 
@@ -175,11 +186,21 @@ impl Workload for SharedPtr {
         let refcount = ctrl_page.offset(0);
         let ref_lock = ctrl_page.offset(512);
 
-        let ld_c = ctx.code.instr("shptr::load_counter", InstrKind::Load, Width::W8);
-        let st_c = ctx.code.instr("shptr::store_counter", InstrKind::Store, Width::W8);
-        let rmw = ctx.code.atomic_instr("shptr::ref_add_relaxed", InstrKind::Rmw, Width::W4);
-        let ld_r = ctx.code.instr("shptr::load_ref", InstrKind::Load, Width::W4);
-        let st_r = ctx.code.instr("shptr::store_ref", InstrKind::Store, Width::W4);
+        let ld_c = ctx
+            .code
+            .instr("shptr::load_counter", InstrKind::Load, Width::W8);
+        let st_c = ctx
+            .code
+            .instr("shptr::store_counter", InstrKind::Store, Width::W8);
+        let rmw = ctx
+            .code
+            .atomic_instr("shptr::ref_add_relaxed", InstrKind::Rmw, Width::W4);
+        let ld_r = ctx
+            .code
+            .instr("shptr::load_ref", InstrKind::Load, Width::W4);
+        let st_r = ctx
+            .code
+            .instr("shptr::store_ref", InstrKind::Store, Width::W4);
 
         let relaxed = self.relaxed;
         (0..t)
@@ -194,19 +215,35 @@ impl Workload for SharedPtr {
                             return Op::Exit;
                         }
                         step = 1;
-                        Op::Load { pc: ld_c, addr: counter, width: Width::W8 }
+                        Op::Load {
+                            pc: ld_c,
+                            addr: counter,
+                            width: Width::W8,
+                        }
                     }
                     1 => {
                         let v = last.unwrap();
                         n += 1;
                         step = if n.is_multiple_of(96) { 2 } else { 0 };
-                        Op::Store { pc: st_c, addr: counter, width: Width::W8, value: v + 1 }
+                        Op::Store {
+                            pc: st_c,
+                            addr: counter,
+                            width: Width::W8,
+                            value: v + 1,
+                        }
                     }
                     // Every 96th iteration: a smart-pointer copy+drop.
                     2 => {
                         if relaxed {
                             step = 3;
-                            Op::AtomicRmw { pc: rmw, addr: refcount, width: Width::W4, rmw: RmwOp::Add, operand: 1, order: MemOrder::Relaxed }
+                            Op::AtomicRmw {
+                                pc: rmw,
+                                addr: refcount,
+                                width: Width::W4,
+                                rmw: RmwOp::Add,
+                                operand: 1,
+                                order: MemOrder::Relaxed,
+                            }
                         } else {
                             step = 4;
                             Op::MutexLock { lock: ref_lock }
@@ -214,16 +251,32 @@ impl Workload for SharedPtr {
                     }
                     3 => {
                         step = 0;
-                        Op::AtomicRmw { pc: rmw, addr: refcount, width: Width::W4, rmw: RmwOp::Sub, operand: 1, order: MemOrder::Relaxed }
+                        Op::AtomicRmw {
+                            pc: rmw,
+                            addr: refcount,
+                            width: Width::W4,
+                            rmw: RmwOp::Sub,
+                            operand: 1,
+                            order: MemOrder::Relaxed,
+                        }
                     }
                     4 => {
                         step = 5;
-                        Op::Load { pc: ld_r, addr: refcount, width: Width::W4 }
+                        Op::Load {
+                            pc: ld_r,
+                            addr: refcount,
+                            width: Width::W4,
+                        }
                     }
                     5 => {
                         let v = last.unwrap();
                         step = 6;
-                        Op::Store { pc: st_r, addr: refcount, width: Width::W4, value: v + 1 }
+                        Op::Store {
+                            pc: st_r,
+                            addr: refcount,
+                            width: Width::W4,
+                            value: v + 1,
+                        }
                     }
                     6 => {
                         step = 0;

@@ -54,8 +54,12 @@ impl Workload for Blackscholes {
                 s
             })
             .collect();
-        let ld = ctx.code.instr("blackscholes::load_option", InstrKind::Load, Width::W8);
-        let st = ctx.code.instr("blackscholes::store_price", InstrKind::Store, Width::W8);
+        let ld = ctx
+            .code
+            .instr("blackscholes::load_option", InstrKind::Load, Width::W8);
+        let st = ctx
+            .code
+            .instr("blackscholes::store_price", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -68,7 +72,11 @@ impl Workload for Blackscholes {
                             return Op::Exit;
                         }
                         step = 1;
-                        Op::Load { pc: ld, addr: slab.offset(((n as u64 * 5) % slab_words) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld,
+                            addr: slab.offset(((n as u64 * 5) % slab_words) * 8),
+                            width: Width::W8,
+                        }
                     }
                     1 => {
                         let _opt = last.unwrap();
@@ -79,7 +87,12 @@ impl Workload for Blackscholes {
                         step = 0;
                         let out = slab.offset(((n as u64 * 5 + 1) % slab_words) * 8);
                         n += 1;
-                        Op::Store { pc: st, addr: out, width: Width::W8, value: n as u64 }
+                        Op::Store {
+                            pc: st,
+                            addr: out,
+                            width: Width::W8,
+                            value: n as u64,
+                        }
                     }
                     _ => unreachable!(),
                 })
@@ -106,8 +119,12 @@ impl Workload for Swaptions {
         let paths: Vec<VAddr> = (0..t)
             .map(|i| ctx.alloc.alloc_aligned(i, 2048 * 8, 64))
             .collect();
-        let ld = ctx.code.instr("swaptions::load_path", InstrKind::Load, Width::W8);
-        let st = ctx.code.instr("swaptions::store_path", InstrKind::Store, Width::W8);
+        let ld = ctx
+            .code
+            .instr("swaptions::load_path", InstrKind::Load, Width::W8);
+        let st = ctx
+            .code
+            .instr("swaptions::store_path", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -121,7 +138,12 @@ impl Workload for Swaptions {
                             return Op::Exit;
                         }
                         step = 1;
-                        Op::Store { pc: st, addr: path.offset(lcg.below(2048) * 8), width: Width::W8, value: lcg.next_u64() }
+                        Op::Store {
+                            pc: st,
+                            addr: path.offset(lcg.below(2048) * 8),
+                            width: Width::W8,
+                            value: lcg.next_u64(),
+                        }
                     }
                     1 => {
                         step = 2;
@@ -131,7 +153,11 @@ impl Workload for Swaptions {
                         step = 0;
                         n += 1;
                         let _ = last;
-                        Op::Load { pc: ld, addr: path.offset(lcg.below(2048) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld,
+                            addr: path.offset(lcg.below(2048) * 8),
+                            width: Width::W8,
+                        }
                     }
                     _ => unreachable!(),
                 })
@@ -202,10 +228,18 @@ impl Workload for Canneal {
         // Busy flags guarding each slot (atomics).
         let busy = ctx.alloc.alloc_aligned(0, n_slots * 8, 64);
 
-        let cas = ctx.code.atomic_instr("canneal::acquire_slot", InstrKind::Rmw, Width::W8);
-        let rel = ctx.code.atomic_instr("canneal::release_slot", InstrKind::Store, Width::W8);
-        let ld = ctx.code.asm_instr("canneal::swap_load", InstrKind::Load, Width::W8);
-        let st = ctx.code.asm_instr("canneal::swap_store", InstrKind::Store, Width::W8);
+        let cas = ctx
+            .code
+            .atomic_instr("canneal::acquire_slot", InstrKind::Rmw, Width::W8);
+        let rel = ctx
+            .code
+            .atomic_instr("canneal::release_slot", InstrKind::Store, Width::W8);
+        let ld = ctx
+            .code
+            .asm_instr("canneal::swap_load", InstrKind::Load, Width::W8);
+        let st = ctx
+            .code
+            .asm_instr("canneal::swap_store", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -230,42 +264,88 @@ impl Workload for Canneal {
                         (a, b) = (x.min(y), x.max(y));
                         step = 1;
                         // Acquire slot a's busy flag (CAS 0 -> 1).
-                        Op::Cas { pc: cas, addr: busy_addr(a), width: Width::W8, expected: 0, desired: 1, order: MemOrder::AcqRel }
+                        Op::Cas {
+                            pc: cas,
+                            addr: busy_addr(a),
+                            width: Width::W8,
+                            expected: 0,
+                            desired: 1,
+                            order: MemOrder::AcqRel,
+                        }
                     }
                     1 => {
                         if last.unwrap() != 0 {
                             // Busy: retry.
-                            return Op::Cas { pc: cas, addr: busy_addr(a), width: Width::W8, expected: 0, desired: 1, order: MemOrder::AcqRel };
+                            return Op::Cas {
+                                pc: cas,
+                                addr: busy_addr(a),
+                                width: Width::W8,
+                                expected: 0,
+                                desired: 1,
+                                order: MemOrder::AcqRel,
+                            };
                         }
                         step = 2;
-                        Op::Cas { pc: cas, addr: busy_addr(b), width: Width::W8, expected: 0, desired: 1, order: MemOrder::AcqRel }
+                        Op::Cas {
+                            pc: cas,
+                            addr: busy_addr(b),
+                            width: Width::W8,
+                            expected: 0,
+                            desired: 1,
+                            order: MemOrder::AcqRel,
+                        }
                     }
                     2 => {
                         if last.unwrap() != 0 {
-                            return Op::Cas { pc: cas, addr: busy_addr(b), width: Width::W8, expected: 0, desired: 1, order: MemOrder::AcqRel };
+                            return Op::Cas {
+                                pc: cas,
+                                addr: busy_addr(b),
+                                width: Width::W8,
+                                expected: 0,
+                                desired: 1,
+                                order: MemOrder::AcqRel,
+                            };
                         }
                         step = 3;
                         Op::AsmEnter
                     }
                     3 => {
                         step = 4;
-                        Op::Load { pc: ld, addr: slot_addr(a), width: Width::W8 }
+                        Op::Load {
+                            pc: ld,
+                            addr: slot_addr(a),
+                            width: Width::W8,
+                        }
                     }
                     4 => {
                         va = last.unwrap();
                         step = 5;
-                        Op::Load { pc: ld, addr: slot_addr(b), width: Width::W8 }
+                        Op::Load {
+                            pc: ld,
+                            addr: slot_addr(b),
+                            width: Width::W8,
+                        }
                     }
                     5 => {
                         let vb = last.unwrap();
                         step = 6;
                         // Store vb into a; then va into b.
-                        
-                        Op::Store { pc: st, addr: slot_addr(a), width: Width::W8, value: vb }
+
+                        Op::Store {
+                            pc: st,
+                            addr: slot_addr(a),
+                            width: Width::W8,
+                            value: vb,
+                        }
                     }
                     6 => {
                         step = 7;
-                        Op::Store { pc: st, addr: slot_addr(b), width: Width::W8, value: va }
+                        Op::Store {
+                            pc: st,
+                            addr: slot_addr(b),
+                            width: Width::W8,
+                            value: va,
+                        }
                     }
                     7 => {
                         step = 8;
@@ -273,12 +353,24 @@ impl Workload for Canneal {
                     }
                     8 => {
                         step = 9;
-                        Op::AtomicStore { pc: rel, addr: busy_addr(b), width: Width::W8, value: 0, order: MemOrder::Release }
+                        Op::AtomicStore {
+                            pc: rel,
+                            addr: busy_addr(b),
+                            width: Width::W8,
+                            value: 0,
+                            order: MemOrder::Release,
+                        }
                     }
                     9 => {
                         step = 0;
                         n += 1;
-                        Op::AtomicStore { pc: rel, addr: busy_addr(a), width: Width::W8, value: 0, order: MemOrder::Release }
+                        Op::AtomicStore {
+                            pc: rel,
+                            addr: busy_addr(a),
+                            width: Width::W8,
+                            value: 0,
+                            order: MemOrder::Release,
+                        }
                     }
                     _ => unreachable!(),
                 })
@@ -331,9 +423,7 @@ impl Workload for Dedup {
         let queues: Vec<VAddr> = (0..t)
             .map(|_| ctx.alloc.alloc_aligned(0, 4096, 64))
             .collect();
-        let locks: Vec<VAddr> = (0..t)
-            .map(|_| ctx.alloc.alloc_aligned(0, 64, 64))
-            .collect();
+        let locks: Vec<VAddr> = (0..t).map(|_| ctx.alloc.alloc_aligned(0, 64, 64)).collect();
         let chunks: Vec<VAddr> = (0..t)
             .map(|i| {
                 let c = ctx.alloc.alloc_aligned(i, 8192, 64);
@@ -344,9 +434,15 @@ impl Workload for Dedup {
                 c
             })
             .collect();
-        let ld = ctx.code.instr("dedup::load_chunk", InstrKind::Load, Width::W8);
-        let st_q = ctx.code.instr("dedup::store_queue", InstrKind::Store, Width::W8);
-        let sha = ctx.code.asm_instr("dedup::sha1_block", InstrKind::Load, Width::W8);
+        let ld = ctx
+            .code
+            .instr("dedup::load_chunk", InstrKind::Load, Width::W8);
+        let st_q = ctx
+            .code
+            .instr("dedup::store_queue", InstrKind::Store, Width::W8);
+        let sha = ctx
+            .code
+            .asm_instr("dedup::sha1_block", InstrKind::Load, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -363,7 +459,11 @@ impl Workload for Dedup {
                             return Op::Exit;
                         }
                         step = 1;
-                        Op::Load { pc: ld, addr: chunk.offset(lcg.below(1024) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld,
+                            addr: chunk.offset(lcg.below(1024) * 8),
+                            width: Width::W8,
+                        }
                     }
                     // The OpenSSL hash: an assembly region.
                     1 => {
@@ -372,7 +472,11 @@ impl Workload for Dedup {
                     }
                     2 => {
                         step = 3;
-                        Op::Load { pc: sha, addr: chunk.offset(lcg.below(1024) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: sha,
+                            addr: chunk.offset(lcg.below(1024) * 8),
+                            width: Width::W8,
+                        }
                     }
                     3 => {
                         step = 4;
@@ -388,7 +492,12 @@ impl Workload for Dedup {
                     }
                     6 => {
                         step = 7;
-                        Op::Store { pc: st_q, addr: out_q.offset(lcg.below(512) * 8), width: Width::W8, value: n as u64 }
+                        Op::Store {
+                            pc: st_q,
+                            addr: out_q.offset(lcg.below(512) * 8),
+                            width: Width::W8,
+                            value: n as u64,
+                        }
                     }
                     7 => {
                         step = 0;
@@ -426,8 +535,12 @@ impl Workload for Ferret {
         }
         let results = ctx.alloc.alloc_aligned(0, 4096, 64);
         let lock = ctx.alloc.alloc_aligned(0, 64, 64);
-        let ld = ctx.code.instr("ferret::load_feature", InstrKind::Load, Width::W8);
-        let st = ctx.code.instr("ferret::store_result", InstrKind::Store, Width::W8);
+        let ld = ctx
+            .code
+            .instr("ferret::load_feature", InstrKind::Load, Width::W8);
+        let st = ctx
+            .code
+            .instr("ferret::store_result", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -443,7 +556,11 @@ impl Workload for Ferret {
                         if n.is_multiple_of(64) {
                             step = 1;
                         }
-                        Op::Load { pc: ld, addr: db.offset(lcg.below(db_words) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld,
+                            addr: db.offset(lcg.below(db_words) * 8),
+                            width: Width::W8,
+                        }
                     }
                     1 => {
                         step = 2;
@@ -451,7 +568,12 @@ impl Workload for Ferret {
                     }
                     2 => {
                         step = 3;
-                        Op::Store { pc: st, addr: results.offset(lcg.below(512) * 8), width: Width::W8, value: n as u64 }
+                        Op::Store {
+                            pc: st,
+                            addr: results.offset(lcg.below(512) * 8),
+                            width: Width::W8,
+                            value: n as u64,
+                        }
                     }
                     3 => {
                         step = 0;
@@ -569,7 +691,11 @@ fn barrier_kernel(
                         return Op::BarrierWait { barrier };
                     }
                     step = 1;
-                    Op::Load { pc: ld, addr: data.offset((start + lcg.below(band.max(1))) * 8), width: Width::W8 }
+                    Op::Load {
+                        pc: ld,
+                        addr: data.offset((start + lcg.below(band.max(1))) * 8),
+                        width: Width::W8,
+                    }
                 }
                 1 => {
                     acc = acc.wrapping_add(last.unwrap());
@@ -579,7 +705,12 @@ fn barrier_kernel(
                 2 => {
                     step = 0;
                     n += 1;
-                    Op::Store { pc: st, addr: acc_addr, width: Width::W8, value: acc }
+                    Op::Store {
+                        pc: st,
+                        addr: acc_addr,
+                        width: Width::W8,
+                        value: acc,
+                    }
                 }
                 3 => {
                     step = 0;
@@ -615,8 +746,12 @@ impl Workload for Fluidanimate {
         let cells = 4096u64;
         let grid = ctx.alloc.alloc_aligned(0, cells * 64, 64);
         let locks = ctx.alloc.alloc_aligned(0, cells * 8, 64);
-        let ld = ctx.code.instr("fluidanimate::load_cell", InstrKind::Load, Width::W8);
-        let st = ctx.code.instr("fluidanimate::store_cell", InstrKind::Store, Width::W8);
+        let ld = ctx
+            .code
+            .instr("fluidanimate::load_cell", InstrKind::Load, Width::W8);
+        let st = ctx
+            .code
+            .instr("fluidanimate::store_cell", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -632,22 +767,39 @@ impl Workload for Fluidanimate {
                         }
                         // Mostly own band; occasionally a neighbor's cell.
                         let own = i as u64 * band + lcg.below(band.max(1));
-                        cell = if n.is_multiple_of(16) { (own + band) % cells } else { own };
+                        cell = if n.is_multiple_of(16) {
+                            (own + band) % cells
+                        } else {
+                            own
+                        };
                         step = 1;
-                        Op::MutexLock { lock: locks.offset(cell * 8) }
+                        Op::MutexLock {
+                            lock: locks.offset(cell * 8),
+                        }
                     }
                     1 => {
                         step = 2;
-                        Op::Load { pc: ld, addr: grid.offset(cell * 64), width: Width::W8 }
+                        Op::Load {
+                            pc: ld,
+                            addr: grid.offset(cell * 64),
+                            width: Width::W8,
+                        }
                     }
                     2 => {
                         let v = last.unwrap();
                         step = 3;
-                        Op::Store { pc: st, addr: grid.offset(cell * 64), width: Width::W8, value: v + 1 }
+                        Op::Store {
+                            pc: st,
+                            addr: grid.offset(cell * 64),
+                            width: Width::W8,
+                            value: v + 1,
+                        }
                     }
                     3 => {
                         step = 4;
-                        Op::MutexUnlock { lock: locks.offset(cell * 8) }
+                        Op::MutexUnlock {
+                            lock: locks.offset(cell * 8),
+                        }
                     }
                     4 => {
                         step = 0;

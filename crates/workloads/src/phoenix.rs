@@ -12,9 +12,7 @@ use rand::RngCore;
 use tmi_machine::{VAddr, Width};
 use tmi_program::{InstrKind, Op, ThreadProgram};
 
-use crate::env::{
-    fn_program, Lcg, SetupCtx, Suite, Workload, WorkloadParams, WorkloadSpec,
-};
+use crate::env::{fn_program, Lcg, SetupCtx, Suite, Workload, WorkloadParams, WorkloadSpec};
 
 /// Simulated malloc header: the natural misalignment of glibc allocations.
 const MALLOC_HEADER: u64 = 8;
@@ -71,7 +69,14 @@ impl Histogram {
 
 impl Workload for Histogram {
     fn spec(&self) -> WorkloadSpec {
-        spec(if self.accentuate { "histogramfs" } else { "histogram" }, true)
+        spec(
+            if self.accentuate {
+                "histogramfs"
+            } else {
+                "histogram"
+            },
+            true,
+        )
     }
 
     fn build(
@@ -133,10 +138,18 @@ impl Workload for Histogram {
             .collect();
         let barrier = ctx.alloc.alloc_aligned(0, 64, 64);
 
-        let ld_img = ctx.code.instr("histogram::load_pixels", InstrKind::Load, Width::W8);
-        let ld_bin = ctx.code.instr("histogram::load_bin", InstrKind::Load, Width::W8);
-        let st_bin = ctx.code.instr("histogram::store_bin", InstrKind::Store, Width::W8);
-        let st_emit = ctx.code.instr("histogram::emit", InstrKind::Store, Width::W8);
+        let ld_img = ctx
+            .code
+            .instr("histogram::load_pixels", InstrKind::Load, Width::W8);
+        let ld_bin = ctx
+            .code
+            .instr("histogram::load_bin", InstrKind::Load, Width::W8);
+        let st_bin = ctx
+            .code
+            .instr("histogram::store_bin", InstrKind::Store, Width::W8);
+        let st_emit = ctx
+            .code
+            .instr("histogram::emit", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -152,49 +165,67 @@ impl Workload for Histogram {
                 let mut bin_addr = VAddr::new(0);
                 fn_program(move |last| {
                     match phase {
-                            // Load the next input word.
-                            0 => {
-                                if n >= iters {
-                                    return Op::Exit;
-                                }
-                                if phases_done < 3 && n == phase_len * (phases_done + 1) {
-                                    // Map/reduce phase boundary.
-                                    phases_done += 1;
-                                    phase = 4;
-                                    return Op::BarrierWait { barrier };
-                                }
-                                let w = start + (n as u64 / 4) % chunk.max(1);
-                                phase = 1;
-                                Op::Load { pc: ld_img, addr: img.offset(w * 8), width: Width::W8 }
+                        // Load the next input word.
+                        0 => {
+                            if n >= iters {
+                                return Op::Exit;
                             }
-                            // Pick a pixel byte, load its bin.
-                            1 => {
-                                let word = last.unwrap();
-                                let byte = (word >> (((n as u64) % 4) * 8)) & 0x7f;
-                                bin_addr = bins.offset(byte * 8);
-                                phase = 2;
-                                Op::Load { pc: ld_bin, addr: bin_addr, width: Width::W8 }
+                            if phases_done < 3 && n == phase_len * (phases_done + 1) {
+                                // Map/reduce phase boundary.
+                                phases_done += 1;
+                                phase = 4;
+                                return Op::BarrierWait { barrier };
                             }
-                            // Bump the bin.
-                            2 => {
-                                let v = last.unwrap();
-                                phase = 3;
-                                Op::Store { pc: st_bin, addr: bin_addr, width: Width::W8, value: v + 1 }
+                            let w = start + (n as u64 / 4) % chunk.max(1);
+                            phase = 1;
+                            Op::Load {
+                                pc: ld_img,
+                                addr: img.offset(w * 8),
+                                width: Width::W8,
                             }
-                            // Emit an intermediate pair for every pixel —
-                            // the streaming writes whose pages pay useless
-                            // twinning under PTSB-everywhere.
-                            3 => {
-                                phase = 0;
-                                n += 1;
-                                let w = emitted % emit_words;
-                                emitted += 1;
-                                Op::Store { pc: st_emit, addr: emit.offset(w * 8), width: Width::W8, value: n as u64 }
+                        }
+                        // Pick a pixel byte, load its bin.
+                        1 => {
+                            let word = last.unwrap();
+                            let byte = (word >> (((n as u64) % 4) * 8)) & 0x7f;
+                            bin_addr = bins.offset(byte * 8);
+                            phase = 2;
+                            Op::Load {
+                                pc: ld_bin,
+                                addr: bin_addr,
+                                width: Width::W8,
                             }
-                            4 => {
-                                phase = 0;
-                                Op::Compute { cycles: 10 }
+                        }
+                        // Bump the bin.
+                        2 => {
+                            let v = last.unwrap();
+                            phase = 3;
+                            Op::Store {
+                                pc: st_bin,
+                                addr: bin_addr,
+                                width: Width::W8,
+                                value: v + 1,
                             }
+                        }
+                        // Emit an intermediate pair for every pixel —
+                        // the streaming writes whose pages pay useless
+                        // twinning under PTSB-everywhere.
+                        3 => {
+                            phase = 0;
+                            n += 1;
+                            let w = emitted % emit_words;
+                            emitted += 1;
+                            Op::Store {
+                                pc: st_emit,
+                                addr: emit.offset(w * 8),
+                                width: Width::W8,
+                                value: n as u64,
+                            }
+                        }
+                        4 => {
+                            phase = 0;
+                            Op::Compute { cycles: 10 }
+                        }
                         _ => unreachable!(),
                     }
                 })
@@ -306,9 +337,15 @@ impl Workload for LinearRegression {
             })
             .collect();
 
-        let ld_pt = ctx.code.instr("lreg::load_point", InstrKind::Load, Width::W8);
-        let ld_f = ctx.code.instr("lreg::load_field", InstrKind::Load, Width::W8);
-        let st_f = ctx.code.instr("lreg::store_field", InstrKind::Store, Width::W8);
+        let ld_pt = ctx
+            .code
+            .instr("lreg::load_point", InstrKind::Load, Width::W8);
+        let ld_f = ctx
+            .code
+            .instr("lreg::load_field", InstrKind::Load, Width::W8);
+        let st_f = ctx
+            .code
+            .instr("lreg::store_field", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -323,7 +360,11 @@ impl Workload for LinearRegression {
                         }
                         let w = (n as u64) % pts_words;
                         phase = 1;
-                        Op::Load { pc: ld_pt, addr: pts.offset(w * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_pt,
+                            addr: pts.offset(w * 8),
+                            width: Width::W8,
+                        }
                     }
                     1 => {
                         let v = last.unwrap();
@@ -337,7 +378,11 @@ impl Workload for LinearRegression {
                         // one representative load keeps load-HITMs flowing
                         // for the detector.
                         phase = 2;
-                        Op::Load { pc: ld_f, addr: args.offset(((n as u64) % 5) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_f,
+                            addr: args.offset(((n as u64) % 5) * 8),
+                            width: Width::W8,
+                        }
                     }
                     f @ 2..=6 => {
                         let k = (f - 2) as usize;
@@ -345,7 +390,12 @@ impl Workload for LinearRegression {
                         if f == 6 {
                             n += 1;
                         }
-                        Op::Store { pc: st_f, addr: args.offset(k as u64 * 8), width: Width::W8, value: acc[k] }
+                        Op::Store {
+                            pc: st_f,
+                            addr: args.offset(k as u64 * 8),
+                            width: Width::W8,
+                            value: acc[k],
+                        }
                     }
                     _ => unreachable!(),
                 })
@@ -434,9 +484,15 @@ impl Workload for StringMatch {
             }
         }
 
-        let ld_key = ctx.code.instr("stringmatch::load_key", InstrKind::Load, Width::W8);
-        let st_cw = ctx.code.instr("stringmatch::store_cur_word", InstrKind::Store, Width::W8);
-        let st_cwf = ctx.code.instr("stringmatch::store_final", InstrKind::Store, Width::W8);
+        let ld_key = ctx
+            .code
+            .instr("stringmatch::load_key", InstrKind::Load, Width::W8);
+        let st_cw = ctx
+            .code
+            .instr("stringmatch::store_cur_word", InstrKind::Store, Width::W8);
+        let st_cwf = ctx
+            .code
+            .instr("stringmatch::store_final", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -452,7 +508,11 @@ impl Workload for StringMatch {
                         }
                         let w = lcg.below(keys_words);
                         phase = 1;
-                        Op::Load { pc: ld_key, addr: keys.offset(w * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_key,
+                            addr: keys.offset(w * 8),
+                            width: Width::W8,
+                        }
                     }
                     1..=4 => {
                         if phase == 1 {
@@ -460,7 +520,12 @@ impl Workload for StringMatch {
                         }
                         let k = (phase - 1) as u64;
                         phase += 1;
-                        Op::Store { pc: st_cw, addr: cw.offset(k * 8), width: Width::W8, value: key.rotate_left(k as u32 * 8) }
+                        Op::Store {
+                            pc: st_cw,
+                            addr: cw.offset(k * 8),
+                            width: Width::W8,
+                            value: key.rotate_left(k as u32 * 8),
+                        }
                     }
                     5 => {
                         phase = 6;
@@ -473,7 +538,12 @@ impl Workload for StringMatch {
                             phase = 0;
                             n += 1;
                         }
-                        Op::Store { pc: st_cwf, addr: cwf.offset(k * 8), width: Width::W8, value: key ^ k }
+                        Op::Store {
+                            pc: st_cwf,
+                            addr: cwf.offset(k * 8),
+                            width: Width::W8,
+                            value: key ^ k,
+                        }
                     }
                     _ => unreachable!(),
                 })
@@ -517,10 +587,18 @@ impl Workload for Kmeans {
             .map(|i| ctx.alloc.alloc_line_padded(i, k * 8))
             .collect();
 
-        let ld_pt = ctx.code.instr("kmeans::load_point", InstrKind::Load, Width::W8);
-        let ld_c = ctx.code.instr("kmeans::load_center", InstrKind::Load, Width::W8);
-        let st_p = ctx.code.instr("kmeans::store_partial", InstrKind::Store, Width::W8);
-        let st_c = ctx.code.instr("kmeans::store_center", InstrKind::Store, Width::W8);
+        let ld_pt = ctx
+            .code
+            .instr("kmeans::load_point", InstrKind::Load, Width::W8);
+        let ld_c = ctx
+            .code
+            .instr("kmeans::load_center", InstrKind::Load, Width::W8);
+        let st_p = ctx
+            .code
+            .instr("kmeans::store_partial", InstrKind::Store, Width::W8);
+        let st_c = ctx
+            .code
+            .instr("kmeans::store_center", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -536,12 +614,20 @@ impl Workload for Kmeans {
                         }
                         let w = lcg.below(pts_words);
                         phase = 1;
-                        Op::Load { pc: ld_pt, addr: pts.offset(w * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_pt,
+                            addr: pts.offset(w * 8),
+                            width: Width::W8,
+                        }
                     }
                     1 => {
                         point = last.unwrap();
                         phase = 2;
-                        Op::Load { pc: ld_c, addr: centers.offset((point % k) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_c,
+                            addr: centers.offset((point % k) * 8),
+                            width: Width::W8,
+                        }
                     }
                     2 => {
                         phase = if n % 256 == 255 { 3 } else { 0 };
@@ -549,7 +635,12 @@ impl Workload for Kmeans {
                         if bump {
                             n += 1;
                         }
-                        Op::Store { pc: st_p, addr: partial.offset((point % k) * 8), width: Width::W8, value: point }
+                        Op::Store {
+                            pc: st_p,
+                            addr: partial.offset((point % k) * 8),
+                            width: Width::W8,
+                            value: point,
+                        }
                     }
                     // Periodic center update under the mutex: true sharing.
                     3 => {
@@ -558,7 +649,12 @@ impl Workload for Kmeans {
                     }
                     4 => {
                         phase = 5;
-                        Op::Store { pc: st_c, addr: centers.offset((point % k) * 8), width: Width::W8, value: point }
+                        Op::Store {
+                            pc: st_c,
+                            addr: centers.offset((point % k) * 8),
+                            width: Width::W8,
+                            value: point,
+                        }
                     }
                     5 => {
                         phase = 0;
@@ -604,7 +700,9 @@ impl Workload for MatrixMultiply {
 
         let ld_a = ctx.code.instr("matrix::load_a", InstrKind::Load, Width::W8);
         let ld_b = ctx.code.instr("matrix::load_b", InstrKind::Load, Width::W8);
-        let st_c = ctx.code.instr("matrix::store_c", InstrKind::Store, Width::W8);
+        let st_c = ctx
+            .code
+            .instr("matrix::store_c", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|tid| {
@@ -622,12 +720,20 @@ impl Workload for MatrixMultiply {
                         }
                         let i = rows[ri];
                         phase = 1;
-                        Op::Load { pc: ld_a, addr: a.offset((i * n + kk) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_a,
+                            addr: a.offset((i * n + kk) * 8),
+                            width: Width::W8,
+                        }
                     }
                     1 => {
                         a_val = last.unwrap();
                         phase = 2;
-                        Op::Load { pc: ld_b, addr: b.offset((kk * n + j) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_b,
+                            addr: b.offset((kk * n + j) * 8),
+                            width: Width::W8,
+                        }
                     }
                     2 => {
                         acc = acc.wrapping_add(a_val.wrapping_mul(last.unwrap()));
@@ -650,7 +756,12 @@ impl Workload for MatrixMultiply {
                         }
                         let _ = phase;
                         phase = 0;
-                        Op::Store { pc: st_c, addr: out, width: Width::W8, value: v }
+                        Op::Store {
+                            pc: st_c,
+                            addr: out,
+                            width: Width::W8,
+                            value: v,
+                        }
                     }
                     _ => unreachable!(),
                 })
@@ -689,7 +800,9 @@ impl Workload for Pca {
         let accs: Vec<VAddr> = (0..t).map(|i| ctx.alloc.alloc_line_padded(i, 64)).collect();
 
         let ld = ctx.code.instr("pca::load", InstrKind::Load, Width::W8);
-        let st = ctx.code.instr("pca::store_acc", InstrKind::Store, Width::W8);
+        let st = ctx
+            .code
+            .instr("pca::store_acc", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -709,14 +822,23 @@ impl Workload for Pca {
                             return Op::Exit;
                         }
                         phase = 1;
-                        Op::Load { pc: ld, addr: m.offset(lcg.below(words) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld,
+                            addr: m.offset(lcg.below(words) * 8),
+                            width: Width::W8,
+                        }
                     }
                     1 => {
                         acc = acc.wrapping_add(last.unwrap());
                         n += 1;
                         if n.is_multiple_of(16) {
                             phase = 2;
-                            Op::Store { pc: st, addr: acc_addr, width: Width::W8, value: acc }
+                            Op::Store {
+                                pc: st,
+                                addr: acc_addr,
+                                width: Width::W8,
+                                value: acc,
+                            }
                         } else {
                             phase = 0;
                             Op::Compute { cycles: 12 }
@@ -779,9 +901,15 @@ impl Workload for ReverseIndex {
         let global = ctx.alloc.alloc_aligned(0, 4096, 64);
         let lock = ctx.alloc.alloc_aligned(0, 64, 64);
 
-        let ld_in = ctx.code.instr("reverse::load_input", InstrKind::Load, Width::W8);
-        let st_tab = ctx.code.instr("reverse::store_index", InstrKind::Store, Width::W8);
-        let st_glob = ctx.code.instr("reverse::store_global", InstrKind::Store, Width::W8);
+        let ld_in = ctx
+            .code
+            .instr("reverse::load_input", InstrKind::Load, Width::W8);
+        let st_tab = ctx
+            .code
+            .instr("reverse::store_index", InstrKind::Store, Width::W8);
+        let st_glob = ctx
+            .code
+            .instr("reverse::store_global", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -798,14 +926,23 @@ impl Workload for ReverseIndex {
                         }
                         let w = start + (n as u64) % chunk.max(1);
                         phase = 1;
-                        Op::Load { pc: ld_in, addr: input.offset(w * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_in,
+                            addr: input.offset(w * 8),
+                            width: Width::W8,
+                        }
                     }
                     1 => {
                         let link = last.unwrap().wrapping_add(n as u64);
                         let slot = (link ^ lcg.next_u64()) % table_words;
                         n += 1;
                         phase = if n.is_multiple_of(128) { 2 } else { 0 };
-                        Op::Store { pc: st_tab, addr: table.offset(slot * 8), width: Width::W8, value: link }
+                        Op::Store {
+                            pc: st_tab,
+                            addr: table.offset(slot * 8),
+                            width: Width::W8,
+                            value: link,
+                        }
                     }
                     2 => {
                         phase = 3;
@@ -813,7 +950,12 @@ impl Workload for ReverseIndex {
                     }
                     3 => {
                         phase = 4;
-                        Op::Store { pc: st_glob, addr: global.offset(lcg.below(512) * 8), width: Width::W8, value: n as u64 }
+                        Op::Store {
+                            pc: st_glob,
+                            addr: global.offset(lcg.below(512) * 8),
+                            width: Width::W8,
+                            value: n as u64,
+                        }
                     }
                     4 => {
                         phase = 0;
@@ -859,10 +1001,18 @@ impl Workload for WordCount {
         let merged = ctx.alloc.alloc_aligned(0, table_words * 8, 64);
         let lock = ctx.alloc.alloc_aligned(0, 64, 64);
 
-        let ld_txt = ctx.code.instr("wordcount::load_text", InstrKind::Load, Width::W8);
-        let ld_tab = ctx.code.instr("wordcount::load_count", InstrKind::Load, Width::W8);
-        let st_tab = ctx.code.instr("wordcount::store_count", InstrKind::Store, Width::W8);
-        let st_merge = ctx.code.instr("wordcount::store_merge", InstrKind::Store, Width::W8);
+        let ld_txt = ctx
+            .code
+            .instr("wordcount::load_text", InstrKind::Load, Width::W8);
+        let ld_tab = ctx
+            .code
+            .instr("wordcount::load_count", InstrKind::Load, Width::W8);
+        let st_tab = ctx
+            .code
+            .instr("wordcount::store_count", InstrKind::Store, Width::W8);
+        let st_merge = ctx
+            .code
+            .instr("wordcount::store_merge", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -879,18 +1029,31 @@ impl Workload for WordCount {
                         }
                         let w = start + (n as u64) % chunk.max(1);
                         phase = 1;
-                        Op::Load { pc: ld_txt, addr: text.offset(w * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_txt,
+                            addr: text.offset(w * 8),
+                            width: Width::W8,
+                        }
                     }
                     1 => {
                         slot = last.unwrap() % table_words;
                         phase = 2;
-                        Op::Load { pc: ld_tab, addr: table.offset(slot * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_tab,
+                            addr: table.offset(slot * 8),
+                            width: Width::W8,
+                        }
                     }
                     2 => {
                         let v = last.unwrap();
                         n += 1;
                         phase = if n.is_multiple_of(512) { 3 } else { 0 };
-                        Op::Store { pc: st_tab, addr: table.offset(slot * 8), width: Width::W8, value: v + 1 }
+                        Op::Store {
+                            pc: st_tab,
+                            addr: table.offset(slot * 8),
+                            width: Width::W8,
+                            value: v + 1,
+                        }
                     }
                     3 => {
                         phase = 4;
@@ -898,7 +1061,12 @@ impl Workload for WordCount {
                     }
                     4 => {
                         phase = 5;
-                        Op::Store { pc: st_merge, addr: merged.offset(slot * 8), width: Width::W8, value: n as u64 }
+                        Op::Store {
+                            pc: st_merge,
+                            addr: merged.offset(slot * 8),
+                            width: Width::W8,
+                            value: n as u64,
+                        }
                     }
                     5 => {
                         phase = 0;

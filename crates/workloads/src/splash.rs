@@ -70,7 +70,11 @@ fn phase_kernel(
                     }
                     step = 1;
                     // Own-band read.
-                    Op::Load { pc: ld, addr: arr.offset((start + lcg.below(band.max(1))) * 8), width: Width::W8 }
+                    Op::Load {
+                        pc: ld,
+                        addr: arr.offset((start + lcg.below(band.max(1))) * 8),
+                        width: Width::W8,
+                    }
                 }
                 1 => {
                     acc = acc.wrapping_add(last.value.unwrap_or(0));
@@ -82,22 +86,35 @@ fn phase_kernel(
                     };
                     if (n as u64).is_multiple_of(remote_every) {
                         step = 2;
-                        Op::Load { pc: ld, addr: arr.offset(lcg.below(array_words) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld,
+                            addr: arr.offset(lcg.below(array_words) * 8),
+                            width: Width::W8,
+                        }
                     } else {
                         step = 3;
-                        Op::Compute { cycles: compute_per_step }
+                        Op::Compute {
+                            cycles: compute_per_step,
+                        }
                     }
                 }
                 2 => {
                     acc = acc.wrapping_add(last.value.unwrap_or(0));
                     step = 3;
-                    Op::Compute { cycles: compute_per_step }
+                    Op::Compute {
+                        cycles: compute_per_step,
+                    }
                 }
                 3 => {
                     n += 1;
                     step = 0;
                     // Own-band write.
-                    Op::Store { pc: st, addr: arr.offset((start + lcg.below(band.max(1))) * 8), width: Width::W8, value: acc }
+                    Op::Store {
+                        pc: st,
+                        addr: arr.offset((start + lcg.below(band.max(1))) * 8),
+                        width: Width::W8,
+                        value: acc,
+                    }
                 }
                 4 => {
                     step = 0;
@@ -148,7 +165,12 @@ phase_workload!(
     "barnes",
     "Splash2x `barnes`: tree-walk reads across the whole body array, \
      private band updates, barrier-separated timesteps.",
-    base = 120_000, words = 65_536, remote = 1, compute = 35, phases = 4, big = false
+    base = 120_000,
+    words = 65_536,
+    remote = 1,
+    compute = 35,
+    phases = 4,
+    big = false
 );
 
 phase_workload!(
@@ -157,7 +179,12 @@ phase_workload!(
     "Splash2x `fft`: butterfly passes over a shared complex array with \
      transpose phases that read other threads' freshly written blocks \
      (communication shows up as true-sharing HITMs at phase boundaries).",
-    base = 120_000, words = 131_072, remote = 2, compute = 20, phases = 6, big = true
+    base = 120_000,
+    words = 131_072,
+    remote = 2,
+    compute = 20,
+    phases = 6,
+    big = true
 );
 
 phase_workload!(
@@ -165,7 +192,12 @@ phase_workload!(
     "fmm",
     "Splash2x `fmm`: multipole interactions — mostly private cell updates \
      with occasional remote reads, barriers per level.",
-    base = 120_000, words = 65_536, remote = 1, compute = 45, phases = 4, big = true
+    base = 120_000,
+    words = 65_536,
+    remote = 1,
+    compute = 45,
+    phases = 4,
+    big = true
 );
 
 phase_workload!(
@@ -173,7 +205,12 @@ phase_workload!(
     "lu-cb",
     "Splash2x `lu` (contiguous blocks): threads own contiguous, \
      line-aligned blocks — the layout that avoids false sharing.",
-    base = 120_000, words = 65_536, remote = 1, compute = 25, phases = 8, big = false
+    base = 120_000,
+    words = 65_536,
+    remote = 1,
+    compute = 25,
+    phases = 8,
+    big = false
 );
 
 phase_workload!(
@@ -182,7 +219,12 @@ phase_workload!(
     "Splash2x `ocean` (contiguous partitions): large grids, banded \
      stencils, barriers; its 27 GB-class footprint is why it leads the \
      page-fault overheads of Fig. 10 (scaled down here).",
-    base = 150_000, words = 1 << 20, remote = 1, compute = 18, phases = 6, big = true
+    base = 150_000,
+    words = 1 << 20,
+    remote = 1,
+    compute = 18,
+    phases = 6,
+    big = true
 );
 
 phase_workload!(
@@ -190,7 +232,12 @@ phase_workload!(
     "ocean-ncp",
     "Splash2x `ocean` (non-contiguous partitions): same stencil with \
      interleaved ownership — more cross-band traffic, large footprint.",
-    base = 150_000, words = 1 << 20, remote = 3, compute = 18, phases = 6, big = true
+    base = 150_000,
+    words = 1 << 20,
+    remote = 3,
+    compute = 18,
+    phases = 6,
+    big = true
 );
 
 phase_workload!(
@@ -198,7 +245,12 @@ phase_workload!(
     "volrend",
     "Splash2x `volrend`: read-shared volume, private image tiles, \
      work counters (modeled in the remote-read mix).",
-    base = 100_000, words = 32_768, remote = 1, compute = 30, phases = 3, big = false
+    base = 100_000,
+    words = 32_768,
+    remote = 1,
+    compute = 30,
+    phases = 3,
+    big = false
 );
 
 phase_workload!(
@@ -206,7 +258,12 @@ phase_workload!(
     "water-nsquare",
     "Splash2x `water-nsquared`: O(n²) force pairs — reads of every \
      molecule, private accumulation, barrier per step.",
-    base = 100_000, words = 16_384, remote = 2, compute = 40, phases = 4, big = false
+    base = 100_000,
+    words = 16_384,
+    remote = 2,
+    compute = 40,
+    phases = 4,
+    big = false
 );
 
 // ---------------------------------------------------------------------
@@ -265,10 +322,18 @@ impl Workload for LuNcb {
             })
             .collect();
 
-        let ld_piv = ctx.code.instr("lu_ncb::load_pivot", InstrKind::Load, Width::W8);
-        let ld_tmp = ctx.code.instr("lu_ncb::load_temp", InstrKind::Load, Width::W8);
-        let st_tmp = ctx.code.instr("lu_ncb::store_temp", InstrKind::Store, Width::W8);
-        let st_row = ctx.code.instr("lu_ncb::store_row", InstrKind::Store, Width::W8);
+        let ld_piv = ctx
+            .code
+            .instr("lu_ncb::load_pivot", InstrKind::Load, Width::W8);
+        let ld_tmp = ctx
+            .code
+            .instr("lu_ncb::load_temp", InstrKind::Load, Width::W8);
+        let st_tmp = ctx
+            .code
+            .instr("lu_ncb::store_temp", InstrKind::Store, Width::W8);
+        let st_row = ctx
+            .code
+            .instr("lu_ncb::store_row", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -287,17 +352,30 @@ impl Workload for LuNcb {
                             return Op::BarrierWait { barrier };
                         }
                         step = 1;
-                        Op::Load { pc: ld_piv, addr: matrix.offset(lcg.below(matrix_words) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_piv,
+                            addr: matrix.offset(lcg.below(matrix_words) * 8),
+                            width: Width::W8,
+                        }
                     }
                     1 => {
                         pivot = last.unwrap();
                         step = 2;
-                        Op::Load { pc: ld_tmp, addr: temp.offset(((n as u64) % 3) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_tmp,
+                            addr: temp.offset(((n as u64) % 3) * 8),
+                            width: Width::W8,
+                        }
                     }
                     2 => {
                         let v = last.unwrap().wrapping_add(pivot);
                         step = 3;
-                        Op::Store { pc: st_tmp, addr: temp.offset(((n as u64) % 3) * 8), width: Width::W8, value: v }
+                        Op::Store {
+                            pc: st_tmp,
+                            addr: temp.offset(((n as u64) % 3) * 8),
+                            width: Width::W8,
+                            value: v,
+                        }
                     }
                     3 => {
                         step = 0;
@@ -309,7 +387,12 @@ impl Workload for LuNcb {
                         let blocks = matrix_words / 8; // 8 words per line
                         let blk = (lcg.below(blocks / 4) * 4 + i as u64 % 4) % blocks;
                         let word = blk * 8 + lcg.below(8);
-                        Op::Store { pc: st_row, addr: matrix.offset((word % matrix_words) * 8), width: Width::W8, value: pivot }
+                        Op::Store {
+                            pc: st_row,
+                            addr: matrix.offset((word % matrix_words) * 8),
+                            width: Width::W8,
+                            value: pivot,
+                        }
                     }
                     5 => {
                         step = 0;
@@ -348,9 +431,15 @@ impl Workload for Radiosity {
         let patches: Vec<VAddr> = (0..t)
             .map(|i| ctx.alloc.alloc_aligned(i, 8192, 64))
             .collect();
-        let ld_q = ctx.code.instr("radiosity::load_task", InstrKind::Load, Width::W8);
-        let st_q = ctx.code.instr("radiosity::store_task", InstrKind::Store, Width::W8);
-        let st_p = ctx.code.instr("radiosity::store_patch", InstrKind::Store, Width::W8);
+        let ld_q = ctx
+            .code
+            .instr("radiosity::load_task", InstrKind::Load, Width::W8);
+        let st_q = ctx
+            .code
+            .instr("radiosity::store_task", InstrKind::Store, Width::W8);
+        let st_p = ctx
+            .code
+            .instr("radiosity::store_patch", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -368,12 +457,21 @@ impl Workload for Radiosity {
                     }
                     1 => {
                         step = 2;
-                        Op::Load { pc: ld_q, addr: queue.offset(lcg.below(512) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_q,
+                            addr: queue.offset(lcg.below(512) * 8),
+                            width: Width::W8,
+                        }
                     }
                     2 => {
                         let task = last.unwrap();
                         step = 3;
-                        Op::Store { pc: st_q, addr: queue.offset(lcg.below(512) * 8), width: Width::W8, value: task + 1 }
+                        Op::Store {
+                            pc: st_q,
+                            addr: queue.offset(lcg.below(512) * 8),
+                            width: Width::W8,
+                            value: task + 1,
+                        }
                     }
                     3 => {
                         step = 4;
@@ -386,7 +484,12 @@ impl Workload for Radiosity {
                     5 => {
                         step = 0;
                         n += 1;
-                        Op::Store { pc: st_p, addr: patch.offset(lcg.below(1024) * 8), width: Width::W8, value: n as u64 }
+                        Op::Store {
+                            pc: st_p,
+                            addr: patch.offset(lcg.below(1024) * 8),
+                            width: Width::W8,
+                            value: n as u64,
+                        }
                     }
                     _ => unreachable!(),
                 })
@@ -429,10 +532,18 @@ impl Workload for Radix {
         let hists: Vec<VAddr> = (0..t)
             .map(|i| ctx.alloc.alloc_line_padded(i, 256 * 8))
             .collect();
-        let ld_k = ctx.code.instr("radix::load_key", InstrKind::Load, Width::W8);
-        let ld_h = ctx.code.instr("radix::load_hist", InstrKind::Load, Width::W8);
-        let st_h = ctx.code.instr("radix::store_hist", InstrKind::Store, Width::W8);
-        let st_k = ctx.code.instr("radix::store_key", InstrKind::Store, Width::W8);
+        let ld_k = ctx
+            .code
+            .instr("radix::load_key", InstrKind::Load, Width::W8);
+        let ld_h = ctx
+            .code
+            .instr("radix::load_hist", InstrKind::Load, Width::W8);
+        let st_h = ctx
+            .code
+            .instr("radix::store_hist", InstrKind::Store, Width::W8);
+        let st_k = ctx
+            .code
+            .instr("radix::store_key", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -455,18 +566,31 @@ impl Workload for Radix {
                             return Op::Exit;
                         }
                         step = 1;
-                        Op::Load { pc: ld_k, addr: keys.offset((start + (n as u64) % chunk.max(1)) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_k,
+                            addr: keys.offset((start + (n as u64) % chunk.max(1)) * 8),
+                            width: Width::W8,
+                        }
                     }
                     1 => {
                         digit = last.unwrap() & 0xff;
                         step = 2;
-                        Op::Load { pc: ld_h, addr: hist.offset(digit * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_h,
+                            addr: hist.offset(digit * 8),
+                            width: Width::W8,
+                        }
                     }
                     2 => {
                         let v = last.unwrap();
                         step = 0;
                         n += 1;
-                        Op::Store { pc: st_h, addr: hist.offset(digit * 8), width: Width::W8, value: v + 1 }
+                        Op::Store {
+                            pc: st_h,
+                            addr: hist.offset(digit * 8),
+                            width: Width::W8,
+                            value: v + 1,
+                        }
                     }
                     // Permute phase: scattered stores across the array.
                     4 => {
@@ -474,7 +598,12 @@ impl Workload for Radix {
                             return Op::Exit;
                         }
                         n += 1;
-                        Op::Store { pc: st_k, addr: keys.offset(lcg.below(keys_words) * 8), width: Width::W8, value: n as u64 }
+                        Op::Store {
+                            pc: st_k,
+                            addr: keys.offset(lcg.below(keys_words) * 8),
+                            width: Width::W8,
+                            value: n as u64,
+                        }
                     }
                     _ => unreachable!(),
                 })
@@ -517,9 +646,15 @@ impl Workload for Raytrace {
         let frames: Vec<VAddr> = (0..t)
             .map(|i| ctx.alloc.alloc_aligned(i, 16 * 1024, 64))
             .collect();
-        let ld_s = ctx.code.instr("raytrace::load_scene", InstrKind::Load, Width::W8);
-        let st_f = ctx.code.instr("raytrace::store_pixel", InstrKind::Store, Width::W8);
-        let rmw = ctx.code.atomic_instr("raytrace::fetch_ray", InstrKind::Rmw, Width::W8);
+        let ld_s = ctx
+            .code
+            .instr("raytrace::load_scene", InstrKind::Load, Width::W8);
+        let st_f = ctx
+            .code
+            .instr("raytrace::store_pixel", InstrKind::Store, Width::W8);
+        let rmw = ctx
+            .code
+            .atomic_instr("raytrace::fetch_ray", InstrKind::Rmw, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -546,7 +681,11 @@ impl Workload for Raytrace {
                     1 => {
                         let _ray = last.unwrap();
                         step = 2;
-                        Op::Load { pc: ld_s, addr: scene.offset(lcg.below(scene_words) * 8), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_s,
+                            addr: scene.offset(lcg.below(scene_words) * 8),
+                            width: Width::W8,
+                        }
                     }
                     2 => {
                         step = 3;
@@ -555,7 +694,12 @@ impl Workload for Raytrace {
                     3 => {
                         step = 0;
                         n += 1;
-                        Op::Store { pc: st_f, addr: frame.offset(lcg.below(2048) * 8), width: Width::W8, value: n as u64 }
+                        Op::Store {
+                            pc: st_f,
+                            addr: frame.offset(lcg.below(2048) * 8),
+                            width: Width::W8,
+                            value: n as u64,
+                        }
                     }
                     _ => unreachable!(),
                 })
@@ -591,8 +735,12 @@ impl Workload for WaterSpatial {
         // One lock per cell, line-spaced (the original embeds them in the
         // cell structs).
         let locks = ctx.alloc.alloc_aligned(0, cells * 64, 64);
-        let ld_c = ctx.code.instr("water_spatial::load_cell", InstrKind::Load, Width::W8);
-        let st_c = ctx.code.instr("water_spatial::store_cell", InstrKind::Store, Width::W8);
+        let ld_c = ctx
+            .code
+            .instr("water_spatial::load_cell", InstrKind::Load, Width::W8);
+        let st_c = ctx
+            .code
+            .instr("water_spatial::store_cell", InstrKind::Store, Width::W8);
 
         (0..t)
             .map(|i| {
@@ -609,20 +757,33 @@ impl Workload for WaterSpatial {
                         let home = (i as u64 * cells) / t as u64;
                         cell = (home + lcg.below(cells / t as u64)) % cells;
                         step = 1;
-                        Op::MutexLock { lock: VAddr::new(locks.raw() + cell * 64) }
+                        Op::MutexLock {
+                            lock: VAddr::new(locks.raw() + cell * 64),
+                        }
                     }
                     1 => {
                         step = 2;
-                        Op::Load { pc: ld_c, addr: cell_data.offset(cell * 64), width: Width::W8 }
+                        Op::Load {
+                            pc: ld_c,
+                            addr: cell_data.offset(cell * 64),
+                            width: Width::W8,
+                        }
                     }
                     2 => {
                         let v = last.unwrap();
                         step = 3;
-                        Op::Store { pc: st_c, addr: cell_data.offset(cell * 64), width: Width::W8, value: v + 1 }
+                        Op::Store {
+                            pc: st_c,
+                            addr: cell_data.offset(cell * 64),
+                            width: Width::W8,
+                            value: v + 1,
+                        }
                     }
                     3 => {
                         step = 4;
-                        Op::MutexUnlock { lock: VAddr::new(locks.raw() + cell * 64) }
+                        Op::MutexUnlock {
+                            lock: VAddr::new(locks.raw() + cell * 64),
+                        }
                     }
                     4 => {
                         step = 0;
@@ -655,7 +816,9 @@ pub struct Cholesky {
 impl Cholesky {
     /// Creates the workload.
     pub fn new() -> Self {
-        Cholesky { flag: VAddr::new(0) }
+        Cholesky {
+            flag: VAddr::new(0),
+        }
     }
 }
 
@@ -686,9 +849,15 @@ impl Workload for Cholesky {
         let barrier = ctx.alloc.alloc_aligned(0, 64, 64);
         let iters = params.iters(20_000);
 
-        let ld_flag = ctx.code.asm_instr("cholesky::poll_flag", InstrKind::Load, Width::W8);
-        let st_scratch = ctx.code.instr("cholesky::store_scratch", InstrKind::Store, Width::W8);
-        let st_flag = ctx.code.instr("cholesky::store_flag", InstrKind::Store, Width::W8);
+        let ld_flag = ctx
+            .code
+            .asm_instr("cholesky::poll_flag", InstrKind::Load, Width::W8);
+        let st_scratch = ctx
+            .code
+            .instr("cholesky::store_scratch", InstrKind::Store, Width::W8);
+        let st_flag = ctx
+            .code
+            .instr("cholesky::store_flag", InstrKind::Store, Width::W8);
 
         let mut progs: Vec<Box<dyn ThreadProgram>> = Vec::new();
 
@@ -698,7 +867,12 @@ impl Workload for Cholesky {
             progs.push(fn_program(move |last| match step {
                 0 => {
                     step = 1;
-                    Op::Store { pc: st_scratch, addr: scratch, width: Width::W8, value: 1 }
+                    Op::Store {
+                        pc: st_scratch,
+                        addr: scratch,
+                        width: Width::W8,
+                        value: 1,
+                    }
                 }
                 1 => {
                     step = 2;
@@ -706,13 +880,21 @@ impl Workload for Cholesky {
                 }
                 2 => {
                     step = 3;
-                    Op::Load { pc: ld_flag, addr: flag, width: Width::W8 }
+                    Op::Load {
+                        pc: ld_flag,
+                        addr: flag,
+                        width: Width::W8,
+                    }
                 }
                 3 => {
                     if last.unwrap() == 0 {
                         step = 3;
                         // keep polling
-                        Op::Load { pc: ld_flag, addr: flag, width: Width::W8 }
+                        Op::Load {
+                            pc: ld_flag,
+                            addr: flag,
+                            width: Width::W8,
+                        }
                     } else {
                         step = 4;
                         Op::AsmExit
@@ -737,7 +919,12 @@ impl Workload for Cholesky {
                         return Op::Compute { cycles: 50 };
                     }
                     step = 1;
-                    Op::Store { pc: st_flag, addr: flag, width: Width::W8, value: 1 }
+                    Op::Store {
+                        pc: st_flag,
+                        addr: flag,
+                        width: Width::W8,
+                        value: 1,
+                    }
                 }
                 1 => {
                     step = 2;

@@ -100,7 +100,13 @@ fn build(name: &str, fixed: bool) -> (Vec<Vec<(u64, bool)>>, Env) {
 
 #[test]
 fn buggy_variants_write_shared_lines() {
-    for name in ["histogramfs", "lreg", "stringmatch", "shptr-relaxed", "leveldb-fs"] {
+    for name in [
+        "histogramfs",
+        "lreg",
+        "stringmatch",
+        "shptr-relaxed",
+        "leveldb-fs",
+    ] {
         let (traces, _e) = build(name, false);
         assert!(
             has_cross_thread_line_writes(&traces),
@@ -160,7 +166,10 @@ fn canneal_verifier_catches_corruption() {
     let v0 = ctx.read(slots_probe, Width::W8);
     ctx.write(slots_probe.offset(64), Width::W8, v0);
     let mut ctx = SetupCtx::new(&mut e.kernel, &mut e.code, &mut e.alloc, e.aspace);
-    assert!(w.verify(&mut ctx).is_err(), "replicated element must fail verify");
+    assert!(
+        w.verify(&mut ctx).is_err(),
+        "replicated element must fail verify"
+    );
 }
 
 #[test]

@@ -13,16 +13,18 @@
 //! cargo run --release --example code_centric_consistency
 //! ```
 
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::{Experiment, RuntimeKind};
 
 fn main() {
     // 1. The relaxed-atomic optimization.
     println!("1. relaxed atomics need atomicity, not ordering — so they bypass the PTSB");
     println!("   without flushing it (Table 2 refinement):\n");
     for name in ["shptr-relaxed", "shptr-lock"] {
-        let cfg = |rt| RunConfig::repair(rt).scale(2.0);
-        let base = run(name, &cfg(RuntimeKind::Pthreads));
-        let tmi = run(name, &cfg(RuntimeKind::TmiProtect));
+        let base = Experiment::repair(name).scale(2.0).run();
+        let tmi = Experiment::repair(name)
+            .runtime(RuntimeKind::TmiProtect)
+            .scale(2.0)
+            .run();
         println!(
             "   {name:14} TMI speedup {:.2}x  (commits: {})",
             base.cycles as f64 / tmi.cycles as f64,
@@ -37,9 +39,11 @@ fn main() {
     // 2. canneal's atomic swaps.
     println!("2. canneal's lock-free element swaps, with and without the guard:\n");
     for rt in [RuntimeKind::TmiProtect, RuntimeKind::SheriffProtect] {
-        let mut cfg = RunConfig::repair(rt).scale(0.5);
-        cfg.max_ops = 20_000_000;
-        let r = run("canneal", &cfg);
+        let r = Experiment::repair("canneal")
+            .runtime(rt)
+            .scale(0.5)
+            .max_ops(20_000_000)
+            .run();
         println!(
             "   {:16} {}",
             rt.label(),
@@ -53,13 +57,18 @@ fn main() {
     // 3. cholesky's volatile flag.
     println!("\n3. cholesky's volatile-flag handshake (Fig. 12):\n");
     for rt in [RuntimeKind::TmiProtect, RuntimeKind::SheriffProtect] {
-        let mut cfg = RunConfig::repair(rt);
-        cfg.max_ops = 6_000_000;
-        let r = run("cholesky", &cfg);
+        let r = Experiment::repair("cholesky")
+            .runtime(rt)
+            .max_ops(6_000_000)
+            .run();
         println!(
             "   {:16} {}",
             rt.label(),
-            if r.ok() { "completes" } else { "HANGS on a stale private flag" }
+            if r.ok() {
+                "completes"
+            } else {
+                "HANGS on a stale private flag"
+            }
         );
     }
 }

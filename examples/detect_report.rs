@@ -7,13 +7,17 @@
 //! cargo run --release --example detect_report [workload]
 //! ```
 
-use tmi_repro::bench::{run, run_detect_report, RunConfig, RuntimeKind};
+use tmi_repro::bench::Experiment;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "lreg".to_string());
-    let cfg = RunConfig::repair(RuntimeKind::TmiDetect).scale(1.0).misaligned();
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "lreg".to_string());
 
-    let (result, report, predicted) = run_detect_report(&name, &cfg);
+    let (result, report, predicted) = Experiment::repair(&name)
+        .scale(1.0)
+        .misaligned()
+        .run_detect_report();
     assert!(result.ok(), "{name}: {:?}", result.verified);
 
     println!("{}", report.render());
@@ -24,8 +28,8 @@ fn main() {
     println!("\npredicted manual-fix speedup (Cheetah-style): {predicted:.2}x");
 
     // Validate the prediction against reality.
-    let base = run(&name, &RunConfig::repair(RuntimeKind::Pthreads).scale(1.0).misaligned());
-    let fixed = run(&name, &RunConfig::repair(RuntimeKind::Pthreads).scale(1.0).fixed());
+    let base = Experiment::repair(&name).scale(1.0).misaligned().run();
+    let fixed = Experiment::repair(&name).scale(1.0).fixed().run();
     if base.ok() && fixed.ok() {
         println!(
             "measured manual-fix speedup:                  {:.2}x",

@@ -7,35 +7,40 @@
 //! cargo run --release --example leveldb_repair
 //! ```
 
-use tmi_bench::{run, RunConfig, RuntimeKind};
+use tmi_bench::{Experiment, RuntimeKind};
 
 fn main() {
     let scale = 2.0;
     println!("leveldb (readwhilewriting-style, 4 threads) with the injected counter bug\n");
 
-    let base = run("leveldb-fs", &RunConfig::repair(RuntimeKind::Pthreads).scale(scale));
+    let base = Experiment::repair("leveldb-fs").scale(scale).run();
     println!(
         "pthreads, buggy      : {:>12} cycles  ({} HITM events)",
         base.cycles, base.hitm_events
     );
 
-    let manual = run(
-        "leveldb-fs",
-        &RunConfig::repair(RuntimeKind::Pthreads).scale(scale).fixed(),
-    );
+    let manual = Experiment::repair("leveldb-fs").scale(scale).fixed().run();
     println!(
         "pthreads, source fix : {:>12} cycles  ({:.2}x)",
         manual.cycles,
         base.cycles as f64 / manual.cycles as f64
     );
 
-    let tmi = run("leveldb-fs", &RunConfig::repair(RuntimeKind::TmiProtect).scale(scale));
-    assert!(tmi.ok(), "leveldb under TMI must verify: {:?}", tmi.verified);
+    let tmi = Experiment::repair("leveldb-fs")
+        .runtime(RuntimeKind::TmiProtect)
+        .scale(scale)
+        .run();
+    assert!(
+        tmi.ok(),
+        "leveldb under TMI must verify: {:?}",
+        tmi.verified
+    );
     println!(
         "TMI, online repair   : {:>12} cycles  ({:.2}x, {:.0}% of manual)",
         tmi.cycles,
         base.cycles as f64 / tmi.cycles as f64,
-        100.0 * (base.cycles as f64 / tmi.cycles as f64) / (base.cycles as f64 / manual.cycles as f64)
+        100.0 * (base.cycles as f64 / tmi.cycles as f64)
+            / (base.cycles as f64 / manual.cycles as f64)
     );
     println!(
         "  threads became processes at cycle {:?}; {} PTSB commits ({:.2}/s); every\n\
@@ -47,7 +52,10 @@ fn main() {
 
     // The pristine store for contrast: mostly true sharing, nothing for
     // TMI to repair (§4.2).
-    let pristine = run("leveldb", &RunConfig::repair(RuntimeKind::TmiDetect).scale(scale));
+    let pristine = Experiment::repair("leveldb")
+        .runtime(RuntimeKind::TmiDetect)
+        .scale(scale)
+        .run();
     println!(
         "\npristine leveldb under tmi-detect: repaired={}, {} HITM events observed\n\
          (the queue's head/tail contention is true sharing — repair would not help)",

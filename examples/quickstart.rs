@@ -36,18 +36,36 @@ fn build<R: RuntimeHooks>(runtime: R, stride: u64, iters: usize) -> Engine<R> {
         .expect("map app");
     e.core_mut()
         .kernel
-        .map(aspace, MapRequest::object(VAddr::new(INTERNAL), INTERNAL_LEN, internal, 0))
+        .map(
+            aspace,
+            MapRequest::object(VAddr::new(INTERNAL), INTERNAL_LEN, internal, 0),
+        )
         .expect("map internal");
     e.create_root_process(aspace);
 
-    let ld = e.core_mut().code.instr("quickstart::load", InstrKind::Load, Width::W8);
-    let st = e.core_mut().code.instr("quickstart::store", InstrKind::Store, Width::W8);
+    let ld = e
+        .core_mut()
+        .code
+        .instr("quickstart::load", InstrKind::Load, Width::W8);
+    let st = e
+        .core_mut()
+        .code
+        .instr("quickstart::store", InstrKind::Store, Width::W8);
     for i in 0..4u64 {
         let addr = VAddr::new(APP + i * stride);
         let mut ops = Vec::with_capacity(iters * 2);
         for n in 0..iters {
-            ops.push(Op::Load { pc: ld, addr, width: Width::W8 });
-            ops.push(Op::Store { pc: st, addr, width: Width::W8, value: n as u64 });
+            ops.push(Op::Load {
+                pc: ld,
+                addr,
+                width: Width::W8,
+            });
+            ops.push(Op::Store {
+                pc: st,
+                addr,
+                width: Width::W8,
+                value: n as u64,
+            });
         }
         e.add_thread(Box::new(SequenceProgram::new(ops)));
     }

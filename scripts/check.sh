@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The one gate every change must pass before merging. Mirrors the CI
+# workflow (.github/workflows/ci.yml) exactly so a local run is
+# authoritative: if this script passes, CI passes.
+#
+#   fmt      rustfmt, check-only (the tree must already be formatted)
+#   clippy   workspace lints, warnings are errors
+#   tier-1   release build + the root package's test suite
+#   smoke    run_all --quick, the in-process harness end to end, which
+#            also exercises the parallel executor and BENCH_harness.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== fmt"
+cargo fmt --all -- --check
+
+echo "== clippy"
+cargo clippy --workspace -- -D warnings
+
+echo "== tier-1 build + test"
+cargo build --release
+cargo test -q
+
+echo "== smoke: run_all --quick"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+(cd "$smoke_dir" && "$OLDPWD"/target/release/run_all --quick > run_all_quick.txt)
+test -s "$smoke_dir/BENCH_harness.json"
+grep -q '"schema": "tmi-bench-harness/1"' "$smoke_dir/BENCH_harness.json"
+
+echo "== ok"

@@ -6,10 +6,10 @@
 pub use tmi;
 pub use tmi_alloc as alloc;
 pub use tmi_baselines as baselines;
+pub use tmi_bench as bench;
 pub use tmi_machine as machine;
 pub use tmi_os as os;
 pub use tmi_perf as perf;
 pub use tmi_program as program;
 pub use tmi_sim as sim;
-pub use tmi_bench as bench;
 pub use tmi_workloads as workloads;

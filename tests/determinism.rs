@@ -2,7 +2,11 @@
 //! produce identical cycle counts, HITM counts and repair decisions. This
 //! is what makes every number in EXPERIMENTS.md reproducible exactly.
 
-use tmi_repro::bench::{run, RunConfig, RuntimeKind};
+use tmi_repro::bench::{Experiment, RunConfig, RunResult, RuntimeKind};
+
+fn run(name: &str, cfg: &RunConfig) -> RunResult {
+    Experiment::new(name).config(*cfg).run()
+}
 
 fn fingerprint(r: &tmi_repro::bench::RunResult) -> (u64, u64, u64, bool, u64, Option<u64>) {
     (
@@ -41,6 +45,9 @@ fn different_seeds_of_work_change_results() {
     // Sanity check that the fingerprint actually discriminates: changing
     // the scale must change the outcome.
     let a = run("lreg", &RunConfig::repair(RuntimeKind::Pthreads).scale(0.2));
-    let b = run("lreg", &RunConfig::repair(RuntimeKind::Pthreads).scale(0.25));
+    let b = run(
+        "lreg",
+        &RunConfig::repair(RuntimeKind::Pthreads).scale(0.25),
+    );
     assert_ne!(a.cycles, b.cycles);
 }

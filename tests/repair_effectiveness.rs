@@ -2,7 +2,11 @@
 //! reduced scale: repair helps where it should, stays out of the way where
 //! it shouldn't, and the comparison systems order the way Table 1 says.
 
-use tmi_repro::bench::{run, RunConfig, RuntimeKind};
+use tmi_repro::bench::{Experiment, RunConfig, RunResult, RuntimeKind};
+
+fn run(name: &str, cfg: &RunConfig) -> RunResult {
+    Experiment::new(name).config(*cfg).run()
+}
 
 fn repair_cfg(rt: RuntimeKind) -> RunConfig {
     RunConfig::repair(rt).scale(1.0).misaligned()
@@ -17,7 +21,10 @@ fn tmi_recovers_most_of_the_manual_speedup_on_lreg() {
     assert!(tmi.repaired, "repair must trigger");
     let manual_speedup = base.cycles as f64 / manual.cycles as f64;
     let tmi_speedup = base.cycles as f64 / tmi.cycles as f64;
-    assert!(manual_speedup > 2.0, "lreg FS must be substantial: {manual_speedup:.2}x");
+    assert!(
+        manual_speedup > 2.0,
+        "lreg FS must be substantial: {manual_speedup:.2}x"
+    );
     assert!(
         tmi_speedup > 0.7 * manual_speedup,
         "TMI {tmi_speedup:.2}x vs manual {manual_speedup:.2}x"
@@ -72,7 +79,10 @@ fn spinlockpool_is_repaired_by_lock_repadding() {
     let base = run("spinlockpool", &repair_cfg(RuntimeKind::Pthreads));
     let tmi = run("spinlockpool", &repair_cfg(RuntimeKind::TmiProtect));
     assert!(base.ok() && tmi.ok());
-    assert!(tmi.repaired, "the lock-array FS must be detected and repadded");
+    assert!(
+        tmi.repaired,
+        "the lock-array FS must be detected and repadded"
+    );
     assert!(
         tmi.cycles < base.cycles,
         "repadding should help: {} vs {}",
@@ -97,16 +107,31 @@ fn no_contention_means_no_intervention() {
 fn detection_classifies_leveldbs_queue_as_true_sharing() {
     // §4.2: TMI sees the pristine store's contention but declines to
     // repair it (true sharing dominates).
-    let r = run("leveldb", &RunConfig::new(RuntimeKind::TmiProtect).scale(0.4));
+    let r = run(
+        "leveldb",
+        &RunConfig::new(RuntimeKind::TmiProtect).scale(0.4),
+    );
     assert!(r.ok());
-    assert!(r.perf_events > 1_000, "contention must be visible: {}", r.perf_events);
+    assert!(
+        r.perf_events > 1_000,
+        "contention must be visible: {}",
+        r.perf_events
+    );
     assert!(r.converted_at.is_none(), "no T2P for true sharing");
 }
 
 #[test]
 fn huge_pages_cut_fault_counts_by_orders_of_magnitude() {
-    let small = run("ocean-cp", &RunConfig::new(RuntimeKind::TmiDetect).scale(0.2));
-    let huge = run("ocean-cp", &RunConfig::new(RuntimeKind::TmiDetect).scale(0.2).huge_pages());
+    let small = run(
+        "ocean-cp",
+        &RunConfig::new(RuntimeKind::TmiDetect).scale(0.2),
+    );
+    let huge = run(
+        "ocean-cp",
+        &RunConfig::new(RuntimeKind::TmiDetect)
+            .scale(0.2)
+            .huge_pages(),
+    );
     assert!(small.ok() && huge.ok());
     assert!(
         huge.faults * 50 < small.faults,

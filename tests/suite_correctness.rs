@@ -2,8 +2,12 @@
 //! compatibility must complete and verify; known-broken combinations must
 //! fail in exactly the way the paper describes.
 
-use tmi_repro::bench::{run, RunConfig, RuntimeKind};
+use tmi_repro::bench::{Experiment, RunConfig, RunResult, RuntimeKind};
 use tmi_repro::sim::Halt;
+
+fn run(name: &str, cfg: &RunConfig) -> RunResult {
+    Experiment::new(name).config(*cfg).run()
+}
 
 fn small(rt: RuntimeKind) -> RunConfig {
     let mut cfg = RunConfig::new(rt).scale(0.05);
@@ -72,7 +76,13 @@ fn laser_and_plastic_preserve_correctness() {
             let mut cfg = small(rt);
             cfg.scale = 0.2;
             let r = run(name, &cfg);
-            assert!(r.ok(), "{name} under {}: {:?} {:?}", rt.label(), r.halt, r.verified);
+            assert!(
+                r.ok(),
+                "{name} under {}: {:?} {:?}",
+                rt.label(),
+                r.halt,
+                r.verified
+            );
         }
     }
 }
@@ -85,6 +95,11 @@ fn sheriff_compatible_workloads_run_correctly_under_sheriff() {
             continue;
         }
         let r = run(name, &small(RuntimeKind::SheriffDetect));
-        assert!(r.ok(), "{name} under sheriff-detect: {:?} {:?}", r.halt, r.verified);
+        assert!(
+            r.ok(),
+            "{name} under sheriff-detect: {:?} {:?}",
+            r.halt,
+            r.verified
+        );
     }
 }

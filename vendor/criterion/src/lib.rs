@@ -1,0 +1,245 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! implements just enough of criterion's API for the workspace's bench
+//! targets to compile and produce useful numbers: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`Bencher::iter`] and [`Bencher::iter_batched`].
+//! Each benchmark runs a short warmup, then an adaptive measurement
+//! window, and prints the mean time per iteration. There is no
+//! statistical analysis, no plots, and no saved baselines.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported for benchmarks.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` sizes its batches (accepted, not acted on).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Declared throughput of one iteration (printed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, rendered as `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+}
+
+const WARMUP: Duration = Duration::from_millis(200);
+const MEASURE: Duration = Duration::from_millis(600);
+
+impl Bencher {
+    /// Times `routine` over an adaptive number of iterations.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup: discover a batch size that exceeds ~1ms per batch.
+        let mut batch = 1u64;
+        let warm_start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            if warm_start.elapsed() >= WARMUP {
+                break;
+            }
+            if t0.elapsed() < Duration::from_millis(1) {
+                batch = batch.saturating_mul(2);
+            }
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < MEASURE {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            elapsed += t0.elapsed();
+            iters += batch;
+        }
+        self.measured = Some((elapsed, iters));
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            std_black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < MEASURE {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            elapsed += t0.elapsed();
+            iters += 1;
+        }
+        self.measured = Some((elapsed, iters));
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput (printed with results).
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Accepted for API compatibility; sampling is adaptive here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.throughput, f);
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (no-op; results print as they complete).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&id.to_string(), None, f);
+        self
+    }
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { measured: None };
+    f(&mut b);
+    match b.measured {
+        Some((elapsed, iters)) if iters > 0 => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  ({:.1} Melem/s)", n as f64 * 1e3 / ns)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  ({:.1} MB/s)", n as f64 * 1e3 / ns)
+                }
+                None => String::new(),
+            };
+            println!("{name:40} {ns:12.1} ns/iter{rate}");
+        }
+        _ => println!("{name:40} (no measurement taken)"),
+    }
+}
+
+/// Declares a function that runs the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a set of `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { measured: None };
+        b.iter(|| black_box(1u64.wrapping_add(2)));
+        let (elapsed, iters) = b.measured.unwrap();
+        assert!(iters > 0);
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn benchmark_id_renders_as_path() {
+        assert_eq!(BenchmarkId::new("group", 42).to_string(), "group/42");
+    }
+}

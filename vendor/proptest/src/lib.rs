@@ -1,0 +1,387 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! reimplements the subset of proptest the workspace's property tests
+//! use: [`Strategy`] with `prop_map`/`boxed`, range and tuple strategies,
+//! [`strategy::Just`], [`arbitrary::any`], `proptest::collection::vec`,
+//! and the `proptest!`, `prop_oneof!` and `prop_assert*!` macros.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   available via the assertion message; it is not minimized.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test's name (plus the optional `PROPTEST_SEED` env override), so
+//!   failures reproduce exactly across runs and machines.
+//! * **Case count** defaults to 128 and obeys `PROPTEST_CASES`.
+
+pub mod test_runner {
+    //! The per-test deterministic RNG and case-count policy.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Deterministic RNG handed to strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Creates a generator whose stream is a pure function of `name`
+        /// (FNV-1a) and the optional `PROPTEST_SEED` env var.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            if let Ok(s) = std::env::var("PROPTEST_SEED") {
+                if let Ok(extra) = s.parse::<u64>() {
+                    h = h.wrapping_add(extra);
+                }
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+
+        /// Next raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "empty sample range");
+            self.next_u64() % n
+        }
+    }
+
+    /// Number of cases each `proptest!` test runs (`PROPTEST_CASES`
+    /// overrides; default 128).
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(128)
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Generates values of an output type from random bits.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Samples one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between type-erased strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must sum to a nonzero value.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-domain strategies for primitive types.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Samples an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` of values from `element`, with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests. Each `fn name(pat in strategy,
+/// ...) { body }` becomes a `#[test]` that samples its strategies
+/// [`test_runner::cases`] times.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for _case in 0..$crate::test_runner::cases() {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two expressions are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts two expressions are unequal for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    enum Pick {
+        Small(u64),
+        Big(u64),
+        Fixed,
+    }
+
+    fn pick_strategy() -> impl Strategy<Value = Pick> {
+        prop_oneof![
+            3 => (0..10u64).prop_map(Pick::Small),
+            1 => (1000..2000u64).prop_map(Pick::Big),
+            1 => Just(Pick::Fixed),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3..17u64, y in 0..5usize, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!(u8::from(b) <= 1);
+        }
+
+        #[test]
+        fn vectors_respect_length_bounds(
+            xs in crate::collection::vec((0..4u32, any::<bool>()), 1..30),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 30);
+            for (v, _) in xs {
+                prop_assert!(v < 4);
+            }
+        }
+
+        #[test]
+        fn unions_honor_arms(p in pick_strategy()) {
+            match p {
+                Pick::Small(v) => prop_assert!(v < 10),
+                Pick::Big(v) => prop_assert!((1000..2000).contains(&v)),
+                Pick::Fixed => {}
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instantiations() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0..1000u64, 5..6);
+        let mut r1 = crate::test_runner::TestRng::deterministic("fixed-name");
+        let mut r2 = crate::test_runner::TestRng::deterministic("fixed-name");
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}
