@@ -37,6 +37,51 @@ use std::time::Instant;
 
 use crate::harness::{self, RunConfig, RunResult, RuntimeKind};
 
+/// Fans `f(0..n)` out over a scoped pool of `workers` threads and returns
+/// the results **in index order**, independent of completion order.
+///
+/// This is the deterministic work-stealing core shared by
+/// [`Executor::run`] and the fuzz campaign driver
+/// ([`crate::fuzz::run_campaign`]): indices are drained from a shared
+/// counter, each result lands in its submission slot, and as long as `f`
+/// is a pure function of its index the returned vector is identical for
+/// any pool size (`workers = 1` is a serial run).
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope unwinds); callers that need
+/// per-item isolation wrap `f` in [`std::panic::catch_unwind`] as
+/// [`Executor::run`] does.
+pub fn pool_map<T, F>(workers: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = workers.min(n).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
 /// One cell of the experiment matrix: a workload under a configuration.
 #[derive(Clone, PartialEq, Debug)]
 pub struct JobSpec {
@@ -195,30 +240,9 @@ impl Executor {
     /// returned vector is byte-identical for any pool size.
     pub fn run(&self, specs: Vec<JobSpec>) -> Vec<JobResult> {
         let batch = self.batches.fetch_add(1, Ordering::Relaxed);
-        let n = specs.len();
-        let slots: Vec<Mutex<Option<JobResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let workers = self.workers.min(n).max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let result = self.run_one(batch, i, &specs[i]);
-                    *slots[i].lock().unwrap() = Some(result);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .unwrap()
-                    .expect("worker filled every slot")
-            })
-            .collect()
+        pool_map(self.workers, specs.len(), |i| {
+            self.run_one(batch, i, &specs[i])
+        })
     }
 
     fn run_one(&self, batch: usize, index: usize, spec: &JobSpec) -> JobResult {

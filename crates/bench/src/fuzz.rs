@@ -1,0 +1,235 @@
+//! The differential fuzz campaign driver (`fuzz_consistency` binary).
+//!
+//! Checks a contiguous seed range of [`tmi_oracle`] litmus programs —
+//! each one executed through the full TMI repair path and replayed
+//! through the sequentially consistent oracle — fanning the seeds out
+//! over the deterministic [`crate::exec::pool_map`] pool. Results are
+//! aggregated in seed order, so the campaign report is byte-identical
+//! for any worker count.
+//!
+//! Two campaign modes mirror the paper's evaluation:
+//!
+//! * **code-centric ON** (default) — the shipping configuration; every
+//!   seed must check clean (§3.4 correctness argument).
+//! * **`--ablate-code-centric`** — atomics and asm regions lose their
+//!   shared-object routing, so the campaign *must* find divergences
+//!   (stale atomic reads, lost RMW updates, torn words — the Figs. 11–12
+//!   failure modes). A clean ablated campaign means the fuzzer lost its
+//!   teeth.
+
+use tmi_oracle::{check_seed, CheckConfig, CheckReport, Coverage};
+
+use crate::exec::pool_map;
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Number of consecutive seeds to check.
+    pub seeds: u64,
+    /// First seed of the range.
+    pub start_seed: u64,
+    /// Disable code-centric consistency in the repaired run (the
+    /// divergence-expecting ablation).
+    pub ablate_code_centric: bool,
+    /// Worker threads (`None` = [`std::thread::available_parallelism`]).
+    pub workers: Option<usize>,
+    /// Full reports kept for at most this many divergent seeds.
+    pub max_reports: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seeds: 1000,
+            start_seed: 0,
+            ablate_code_centric: false,
+            workers: None,
+            max_reports: 5,
+        }
+    }
+}
+
+/// Aggregated campaign outcome.
+#[derive(Clone, Debug)]
+pub struct CampaignResult {
+    /// The configuration that ran.
+    pub cfg: FuzzConfig,
+    /// Seeds checked.
+    pub checked: u64,
+    /// Seeds with at least one divergence, in seed order.
+    pub divergent_seeds: Vec<u64>,
+    /// Total trace steps executed across all repaired runs.
+    pub total_steps: u64,
+    /// Static coverage summed over every checked program.
+    pub coverage: Coverage,
+    /// Full reports for the first [`FuzzConfig::max_reports`] divergent
+    /// seeds.
+    pub reports: Vec<CheckReport>,
+}
+
+impl CampaignResult {
+    /// True if the campaign outcome matches its mode: clean when
+    /// code-centric is on, divergent when ablated.
+    pub fn ok(&self) -> bool {
+        if self.cfg.ablate_code_centric {
+            !self.divergent_seeds.is_empty()
+        } else {
+            self.divergent_seeds.is_empty()
+        }
+    }
+
+    /// Renders the campaign summary (plus full reports for the first
+    /// divergent seeds).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mode = if self.cfg.ablate_code_centric {
+            "code-centric OFF (ablation)"
+        } else {
+            "code-centric on"
+        };
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "fuzz_consistency: {} seeds [{}, {}) under {mode}",
+            self.checked,
+            self.cfg.start_seed,
+            self.cfg.start_seed + self.cfg.seeds
+        );
+        let _ = writeln!(
+            s,
+            "  trace steps: {} total; coverage: {}",
+            self.total_steps, self.coverage
+        );
+        let _ = writeln!(
+            s,
+            "  divergent seeds: {} / {}",
+            self.divergent_seeds.len(),
+            self.checked
+        );
+        if !self.divergent_seeds.is_empty() {
+            let shown: Vec<String> = self
+                .divergent_seeds
+                .iter()
+                .take(32)
+                .map(|s| s.to_string())
+                .collect();
+            let _ = writeln!(
+                s,
+                "    [{}{}]",
+                shown.join(", "),
+                if self.divergent_seeds.len() > 32 {
+                    ", ..."
+                } else {
+                    ""
+                }
+            );
+        }
+        for r in &self.reports {
+            let _ = writeln!(s, "---");
+            s.push_str(&r.render());
+        }
+        let verdict = if self.ok() {
+            if self.cfg.ablate_code_centric {
+                "OK (ablation diverges as the paper predicts)"
+            } else {
+                "OK (repaired runs are indistinguishable from the oracle)"
+            }
+        } else if self.cfg.ablate_code_centric {
+            "FAIL (ablated campaign found no divergence — fuzzer has no teeth)"
+        } else {
+            "FAIL (repair path diverged from the sequential oracle)"
+        };
+        let _ = writeln!(s, "verdict: {verdict}");
+        s
+    }
+}
+
+/// Runs the campaign: checks every seed in the range in parallel and
+/// aggregates in seed order.
+pub fn run_campaign(cfg: &FuzzConfig) -> CampaignResult {
+    let check = CheckConfig {
+        code_centric: !cfg.ablate_code_centric,
+        ..CheckConfig::default()
+    };
+    let workers = cfg.workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let n = usize::try_from(cfg.seeds).expect("seed count fits usize");
+    let results = pool_map(workers, n, |i| {
+        check_seed(cfg.start_seed + i as u64, &check)
+    });
+
+    let mut out = CampaignResult {
+        cfg: cfg.clone(),
+        checked: cfg.seeds,
+        divergent_seeds: Vec::new(),
+        total_steps: 0,
+        coverage: Coverage::default(),
+        reports: Vec::new(),
+    };
+    for r in results {
+        out.total_steps += r.steps as u64;
+        out.coverage.add(&r.coverage);
+        if !r.clean() {
+            out.divergent_seeds.push(r.seed);
+            if out.reports.len() < cfg.max_reports {
+                out.reports.push(r);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_clean_campaign_passes() {
+        let cfg = FuzzConfig {
+            seeds: 8,
+            start_seed: 0,
+            workers: Some(2),
+            ..FuzzConfig::default()
+        };
+        let r = run_campaign(&cfg);
+        assert!(r.ok(), "{}", r.render());
+        assert_eq!(r.checked, 8);
+        assert!(r.total_steps > 0);
+    }
+
+    #[test]
+    fn campaign_report_is_worker_count_invariant() {
+        let base = FuzzConfig {
+            seeds: 6,
+            start_seed: 100,
+            ablate_code_centric: true,
+            ..FuzzConfig::default()
+        };
+        let serial = run_campaign(&FuzzConfig {
+            workers: Some(1),
+            ..base.clone()
+        });
+        let parallel = run_campaign(&FuzzConfig {
+            workers: Some(4),
+            ..base
+        });
+        assert_eq!(serial.render(), parallel.render());
+    }
+
+    #[test]
+    fn ablated_campaign_finds_divergences() {
+        let cfg = FuzzConfig {
+            seeds: 24,
+            start_seed: 0,
+            ablate_code_centric: true,
+            workers: Some(4),
+            ..FuzzConfig::default()
+        };
+        let r = run_campaign(&cfg);
+        assert!(r.ok(), "ablation must diverge:\n{}", r.render());
+        assert!(!r.reports.is_empty());
+    }
+}

@@ -21,6 +21,7 @@
 //! | `ablate_ptsb_everywhere` | §4.3 — targeted repair vs PTSB-everywhere |
 //! | `sweep_threads` | extension: FS penalty & repair quality vs thread count |
 //! | `run_all` | all of the above in-process, writing `BENCH_harness.json` |
+//! | `fuzz_consistency` | differential litmus fuzz of the repair path vs the SC oracle ([`tmi_oracle`]) |
 //!
 //! The public API is the [`Experiment`] builder for a single run and
 //! [`ExperimentSet`] / [`Executor`] ([`exec`]) for deterministic parallel
@@ -29,6 +30,7 @@
 
 pub mod exec;
 pub mod figures;
+pub mod fuzz;
 pub mod harness;
 pub mod report;
 
@@ -37,5 +39,6 @@ pub use harness::{run, run_detect_report};
 pub use harness::{RunConfig, RunResult, RuntimeKind};
 pub use harness::{APP_START, INTERNAL_LEN, INTERNAL_START};
 
-pub use exec::{Executor, Experiment, ExperimentSet, JobResult, JobSpec};
+pub use exec::{pool_map, Executor, Experiment, ExperimentSet, JobResult, JobSpec};
+pub use fuzz::{run_campaign, CampaignResult, FuzzConfig};
 pub use report::SpeedupTable;

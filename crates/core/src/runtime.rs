@@ -120,6 +120,20 @@ impl TmiRuntime {
         }
     }
 
+    /// Arms the PTSB on `pages` immediately, converting threads to
+    /// processes on the first call — exactly what a detector threshold
+    /// crossing would do, minus the sampling warm-up.
+    ///
+    /// This is the entry point for the differential consistency oracle
+    /// (`tmi-oracle`) and for litmus tests: fuzzed programs are far too
+    /// short to accumulate HITM samples, so the checker arms the pages
+    /// under test up front and the run exercises the full repaired path
+    /// (COW faults, twins, commits, code-centric routing) from the first
+    /// instruction.
+    pub fn force_repair(&mut self, ctl: &mut dyn EngineCtl, pages: &[Vpn]) {
+        self.repair.trigger(ctl, &self.config, &self.layout, pages);
+    }
+
     fn flush_cost(&mut self, ctl: &mut dyn EngineCtl, tid: Tid) -> u64 {
         if !self.repair.active() {
             return 0;

@@ -1,0 +1,636 @@
+//! The differential consistency checker.
+//!
+//! [`check_litmus`] executes a litmus program twice:
+//!
+//! 1. **Repaired run** — through the full TMI stack: an [`Engine`] with a
+//!    [`TmiRuntime`] in protect mode, the program's data pages PTSB-armed
+//!    up front via [`TmiRuntime::force_repair`], execution tracing on.
+//!    This exercises T2P conversion, COW faults, twin snapshots,
+//!    diff-and-merge commits and the code-centric routing of every access.
+//! 2. **Reference run** — the recorded schedule replayed step for step by
+//!    the sequentially consistent [`Interp`].
+//!
+//! The two runs are compared on per-step load/RMW/CAS observations, on
+//! final shared-memory contents of every slot, and by an AMBSA detector
+//! that flags *torn* values: observations of a multi-byte slot that no
+//! thread ever stored, the Fig. 3 word-tearing signature of byte-granular
+//! PTSB merges. With code-centric consistency ON and the generator's
+//! data-race-free slot discipline, every check must come back clean; with
+//! the `code_centric` ablation the same seeds reproduce the stale-atomic,
+//! lost-update and torn-value failures of Figs. 11–12.
+//!
+//! A divergent program is greedily minimized (drop the post-barrier
+//! phase, drop the barrier, truncate threads at region-balanced cut
+//! points) while the original divergence kind persists, and the report
+//! carries the full listing plus the `fuzz_consistency` command that
+//! reproduces it from the seed alone.
+
+use std::fmt;
+
+use tmi::{AppLayout, TmiConfig, TmiRuntime};
+use tmi_machine::{VAddr, Width};
+use tmi_os::{AsId, MapRequest, ObjId};
+use tmi_program::{width_mask, Op, SequenceProgram};
+use tmi_sim::{Engine, EngineConfig, TraceStep};
+
+use crate::interp::Interp;
+use crate::litmus::{self, Coverage, Litmus};
+
+/// Checker configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    /// Code-centric consistency on (the real system) or off (the
+    /// Sheriff-style ablation that is *expected* to diverge).
+    pub code_centric: bool,
+    /// Minimize divergent programs before reporting.
+    pub minimize: bool,
+    /// Cap on recorded per-step divergences.
+    pub max_divergences: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            code_centric: true,
+            minimize: true,
+            max_divergences: 8,
+        }
+    }
+}
+
+/// What kind of disagreement was found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DivergenceKind {
+    /// A load/RMW/CAS observed a different value than the oracle.
+    ValueMismatch,
+    /// The engine executed a different op than the program prescribes.
+    OpMismatch,
+    /// Final shared-memory contents of a slot differ.
+    FinalMemory,
+    /// An observed or final value of a multi-byte slot was never stored
+    /// by any thread (AMBSA violation — word tearing).
+    TornValue,
+    /// The engine schedule cannot be replayed against the program.
+    ScheduleInfeasible,
+    /// The repaired run did not complete (hang or fault).
+    Halted,
+}
+
+impl fmt::Display for DivergenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DivergenceKind::ValueMismatch => "value-mismatch",
+            DivergenceKind::OpMismatch => "op-mismatch",
+            DivergenceKind::FinalMemory => "final-memory",
+            DivergenceKind::TornValue => "torn-value",
+            DivergenceKind::ScheduleInfeasible => "schedule-infeasible",
+            DivergenceKind::Halted => "halted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded disagreement between the repaired run and the oracle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Classification.
+    pub kind: DivergenceKind,
+    /// Trace step it was detected at (`None` for end-of-run checks).
+    pub step: Option<usize>,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.step {
+            Some(k) => write!(f, "[{}] step {k}: {}", self.kind, self.detail),
+            None => write!(f, "[{}] {}", self.kind, self.detail),
+        }
+    }
+}
+
+/// Result of checking one litmus program.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Seed of the checked program.
+    pub seed: u64,
+    /// Consistency mode of the repaired run.
+    pub code_centric: bool,
+    /// Trace length of the (possibly minimized) repaired run.
+    pub steps: usize,
+    /// Divergences found (empty means the oracle agrees).
+    pub divergences: Vec<Divergence>,
+    /// Static coverage of the reported program.
+    pub coverage: Coverage,
+    /// The reported program (minimized if divergent and enabled).
+    pub litmus: Litmus,
+    /// True if the program was successfully shrunk.
+    pub minimized: bool,
+}
+
+impl CheckReport {
+    /// True if the repaired run matched the oracle everywhere.
+    pub fn clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    /// Full report: verdict, divergences, program listing and the exact
+    /// command reproducing it from the seed.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mode = if self.code_centric {
+            "code-centric on"
+        } else {
+            "code-centric OFF"
+        };
+        let mut s = String::new();
+        if self.clean() {
+            let _ = writeln!(
+                s,
+                "seed {} ({mode}): CLEAN over {} steps [{}]",
+                self.seed, self.steps, self.coverage
+            );
+            return s;
+        }
+        let _ = writeln!(
+            s,
+            "seed {} ({mode}): {} divergence(s) in {} steps{}",
+            self.seed,
+            self.divergences.len(),
+            self.steps,
+            if self.minimized { " [minimized]" } else { "" }
+        );
+        for d in &self.divergences {
+            let _ = writeln!(s, "  {d}");
+        }
+        let _ = writeln!(s, "coverage: {}", self.coverage);
+        let _ = writeln!(s, "program:");
+        for line in self.litmus.listing().lines() {
+            let _ = writeln!(s, "  {line}");
+        }
+        let _ = writeln!(
+            s,
+            "reproduce: fuzz_consistency -- --start {} --seeds 1{}",
+            self.seed,
+            if self.code_centric {
+                ""
+            } else {
+                " --ablate-code-centric"
+            }
+        );
+        s
+    }
+}
+
+/// Generates the litmus program for `seed` and checks it.
+pub fn check_seed(seed: u64, cfg: &CheckConfig) -> CheckReport {
+    check_litmus(&Litmus::generate(seed), cfg)
+}
+
+/// Checks one litmus program (see the module docs).
+pub fn check_litmus(lit: &Litmus, cfg: &CheckConfig) -> CheckReport {
+    let (mut divergences, mut steps) = run_once(lit, cfg.code_centric, cfg.max_divergences);
+    let mut litmus = lit.clone();
+    let mut minimized = false;
+    if let (Some(first), true) = (divergences.first(), cfg.minimize) {
+        let target = first.kind;
+        let small = minimize(lit, cfg.code_centric, target, cfg.max_divergences);
+        if small != *lit {
+            let (d, s) = run_once(&small, cfg.code_centric, cfg.max_divergences);
+            if d.iter().any(|x| x.kind == target) {
+                divergences = d;
+                steps = s;
+                litmus = small;
+                minimized = true;
+            }
+        }
+    }
+    CheckReport {
+        seed: lit.seed,
+        code_centric: cfg.code_centric,
+        steps,
+        divergences,
+        coverage: litmus.coverage(),
+        litmus,
+        minimized,
+    }
+}
+
+/// Builds the standard litmus fixture, runs the repaired execution, and
+/// diffs it against the schedule-replaying oracle.
+fn run_once(lit: &Litmus, code_centric: bool, max_div: usize) -> (Vec<Divergence>, usize) {
+    let mut ecfg = EngineConfig::with_cores(4);
+    // Litmus runs are far too short for the sampling detector; repair is
+    // forced below and the detection thread never ticks.
+    ecfg.tick_interval = u64::MAX;
+    let layout = AppLayout {
+        app_obj: ObjId(0),
+        app_start: VAddr::new(litmus::APP_START),
+        app_len: litmus::APP_LEN,
+        internal_obj: ObjId(1),
+        internal_start: VAddr::new(litmus::INTERNAL_START),
+        internal_len: litmus::INTERNAL_LEN,
+        huge_pages: false,
+    };
+    let tcfg = TmiConfig {
+        code_centric,
+        fs_threshold_per_sec: f64::INFINITY,
+        ..TmiConfig::protect()
+    };
+    let mut engine = Engine::new(ecfg, TmiRuntime::new(tcfg, layout));
+    let k = &mut engine.core_mut().kernel;
+    let app = k.create_object(litmus::APP_LEN);
+    let internal = k.create_object(litmus::INTERNAL_LEN);
+    let aspace = k.create_aspace();
+    k.map(
+        aspace,
+        MapRequest::object(VAddr::new(litmus::APP_START), litmus::APP_LEN, app, 0),
+    )
+    .expect("map app object");
+    k.map(
+        aspace,
+        MapRequest::object(
+            VAddr::new(litmus::INTERNAL_START),
+            litmus::INTERNAL_LEN,
+            internal,
+            0,
+        ),
+    )
+    .expect("map internal object");
+    engine.create_root_process(aspace);
+    for ops in &lit.threads {
+        engine.add_thread(Box::new(SequenceProgram::new(ops.clone())));
+    }
+    let pages = lit.data_pages();
+    let (rt, core) = engine.runtime_and_core();
+    rt.force_repair(core, &pages);
+    engine.enable_trace();
+    let run = engine.run();
+    let trace = engine.take_trace();
+    let steps = trace.len();
+
+    let mut divs = Vec::new();
+    if !run.completed() {
+        divs.push(Divergence {
+            kind: DivergenceKind::Halted,
+            step: None,
+            detail: format!("repaired run ended with {:?} after {steps} steps", run.halt),
+        });
+        return (divs, steps);
+    }
+
+    // Replay the exact schedule through the SC oracle.
+    let mut interp = Interp::new(lit.threads.clone());
+    let mut replay_complete = true;
+    for (k, st) in trace.iter().enumerate() {
+        match interp.step(st.thread) {
+            Err(e) => {
+                divs.push(Divergence {
+                    kind: DivergenceKind::ScheduleInfeasible,
+                    step: Some(k),
+                    detail: e,
+                });
+                replay_complete = false;
+                break;
+            }
+            Ok(r) => {
+                if r.op != st.op {
+                    divs.push(Divergence {
+                        kind: DivergenceKind::OpMismatch,
+                        step: Some(k),
+                        detail: format!(
+                            "t{}: engine executed `{}`, program prescribes `{}`",
+                            st.thread, st.op, r.op
+                        ),
+                    });
+                    replay_complete = false;
+                    break;
+                }
+                if r.value != st.value && divs.len() < max_div {
+                    divs.push(Divergence {
+                        kind: DivergenceKind::ValueMismatch,
+                        step: Some(k),
+                        detail: format!(
+                            "t{} `{}`: engine {}, oracle {}",
+                            st.thread,
+                            st.op,
+                            fmt_val(st.value),
+                            fmt_val(r.value)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Final shared-memory contents, slot by slot, straight from the
+    // object frames (the view every process shares after commits).
+    if replay_complete {
+        for (i, slot) in lit.slots.iter().enumerate() {
+            let engine_v = shared_read(&mut engine, aspace, slot.addr, slot.width);
+            let oracle_v = interp.read(slot.addr, slot.width);
+            if engine_v != oracle_v {
+                divs.push(Divergence {
+                    kind: DivergenceKind::FinalMemory,
+                    step: None,
+                    detail: format!(
+                        "slot s{i} @ {}: engine {engine_v:#x}, oracle {oracle_v:#x}",
+                        slot.addr
+                    ),
+                });
+            }
+        }
+    }
+
+    // AMBSA: no multi-byte slot may ever expose a value nobody stored.
+    torn_values(lit, &trace, &mut engine, aspace, &mut divs);
+    (divs, steps)
+}
+
+fn fmt_val(v: Option<u64>) -> String {
+    match v {
+        Some(v) => format!("{v:#x}"),
+        None => "none".to_string(),
+    }
+}
+
+fn shared_read<R: tmi_sim::RuntimeHooks>(
+    engine: &mut Engine<R>,
+    aspace: AsId,
+    addr: VAddr,
+    width: Width,
+) -> u64 {
+    let pa = engine
+        .core_mut()
+        .kernel
+        .object_paddr(aspace, addr)
+        .expect("slot is object backed");
+    engine.core_mut().kernel.physmem().read(pa, width)
+}
+
+/// Scans the trace for aligned-multi-byte-store-atomicity violations: a
+/// value observed from (or left in) a slot that is in no prefix of the
+/// slot's store history — the byte-mixed result of overlapping PTSB
+/// commits (Fig. 3).
+fn torn_values(
+    lit: &Litmus,
+    trace: &[TraceStep],
+    engine: &mut Engine<TmiRuntime>,
+    aspace: AsId,
+    divs: &mut Vec<Divergence>,
+) {
+    for (i, slot) in lit.slots.iter().enumerate() {
+        if slot.width == Width::W1 {
+            continue; // single bytes cannot tear
+        }
+        let mask = width_mask(slot.width);
+        let mut candidates: Vec<u64> = vec![0];
+        let mut reported = 0usize;
+        let note = |candidates: &mut Vec<u64>, v: u64| {
+            if !candidates.contains(&v) {
+                candidates.push(v);
+            }
+        };
+        for (k, st) in trace.iter().enumerate() {
+            let observe = |candidates: &mut Vec<u64>, v: u64, reported: &mut usize| -> bool {
+                let torn = !candidates.contains(&v);
+                if torn {
+                    // Remember it so one torn value isn't reported per read.
+                    candidates.push(v);
+                }
+                torn && {
+                    *reported += 1;
+                    *reported <= 2
+                }
+            };
+            match st.op {
+                Op::Store {
+                    addr, width, value, ..
+                }
+                | Op::AtomicStore {
+                    addr, width, value, ..
+                } if addr == slot.addr && width == slot.width => {
+                    note(&mut candidates, value & mask);
+                }
+                Op::AtomicRmw {
+                    addr,
+                    width,
+                    rmw,
+                    operand,
+                    ..
+                } if addr == slot.addr && width == slot.width => {
+                    let old = st.value.unwrap_or(0);
+                    if observe(&mut candidates, old, &mut reported) {
+                        divs.push(torn(i, slot.addr, k, old));
+                    }
+                    note(&mut candidates, rmw.apply(old, operand, width));
+                }
+                Op::Cas {
+                    addr,
+                    width,
+                    expected,
+                    desired,
+                    ..
+                } if addr == slot.addr && width == slot.width => {
+                    let obs = st.value.unwrap_or(0);
+                    if observe(&mut candidates, obs, &mut reported) {
+                        divs.push(torn(i, slot.addr, k, obs));
+                    }
+                    if obs == expected {
+                        note(&mut candidates, desired & mask);
+                    }
+                }
+                Op::Load { addr, width, .. } | Op::AtomicLoad { addr, width, .. }
+                    if addr == slot.addr && width == slot.width =>
+                {
+                    let obs = st.value.unwrap_or(0);
+                    if observe(&mut candidates, obs, &mut reported) {
+                        divs.push(torn(i, slot.addr, k, obs));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let final_v = shared_read(engine, aspace, slot.addr, slot.width);
+        if !candidates.contains(&final_v) {
+            divs.push(Divergence {
+                kind: DivergenceKind::TornValue,
+                step: None,
+                detail: format!(
+                    "slot s{i} @ {}: final value {final_v:#x} was never stored by any thread",
+                    slot.addr
+                ),
+            });
+        }
+    }
+}
+
+fn torn(slot: usize, addr: VAddr, step: usize, v: u64) -> Divergence {
+    Divergence {
+        kind: DivergenceKind::TornValue,
+        step: Some(step),
+        detail: format!("slot s{slot} @ {addr}: observed {v:#x}, never stored by any thread"),
+    }
+}
+
+/// Greedy shrinking: drop the post-barrier phase, drop the barrier, then
+/// repeatedly truncate threads at region-balanced cut points — accepting
+/// each candidate only if a divergence of the original kind persists.
+fn minimize(lit: &Litmus, code_centric: bool, target: DivergenceKind, max_div: usize) -> Litmus {
+    let budget = std::cell::Cell::new(48usize);
+    let diverges = |cand: &Litmus| -> bool {
+        if budget.get() == 0 {
+            return false;
+        }
+        budget.set(budget.get() - 1);
+        run_once(cand, code_centric, max_div)
+            .0
+            .iter()
+            .any(|d| d.kind == target)
+    };
+
+    let mut cur = lit.clone();
+    let cand = truncate_after_barrier(&cur);
+    if cand != cur && diverges(&cand) {
+        cur = cand;
+    }
+    let cand = remove_barrier(&cur);
+    if cand != cur && diverges(&cand) {
+        cur = cand;
+    }
+    loop {
+        let mut improved = false;
+        for t in 0..cur.threads.len() {
+            while let Some(cut) = last_balanced_cut(&cur.threads[t]) {
+                let mut cand = cur.clone();
+                cand.threads[t].truncate(cut);
+                if diverges(&cand) {
+                    cur = cand;
+                    improved = true;
+                } else {
+                    break;
+                }
+            }
+        }
+        if !improved || budget.get() == 0 {
+            break;
+        }
+    }
+    cur
+}
+
+fn truncate_after_barrier(lit: &Litmus) -> Litmus {
+    let mut out = lit.clone();
+    for ops in &mut out.threads {
+        if let Some(b) = ops.iter().position(|o| matches!(o, Op::BarrierWait { .. })) {
+            ops.truncate(b + 1);
+        }
+    }
+    out
+}
+
+fn remove_barrier(lit: &Litmus) -> Litmus {
+    let mut out = lit.clone();
+    for ops in &mut out.threads {
+        ops.retain(|o| !matches!(o, Op::BarrierWait { .. }));
+    }
+    out
+}
+
+/// The largest strict prefix length at which no asm region or critical
+/// section is open and the thread's barrier (if any) is retained.
+fn last_balanced_cut(ops: &[Op]) -> Option<usize> {
+    let barrier = ops.iter().position(|o| matches!(o, Op::BarrierWait { .. }));
+    let floor = barrier.map_or(0, |b| b + 1);
+    let mut depth = 0i32;
+    let mut best = None;
+    for (i, op) in ops.iter().enumerate() {
+        if i >= floor && depth == 0 && i < ops.len() {
+            best = Some(i);
+        }
+        match op {
+            Op::AsmEnter | Op::MutexLock { .. } | Op::SpinLock { .. } => depth += 1,
+            Op::AsmExit | Op::MutexUnlock { .. } | Op::SpinUnlock { .. } => depth -= 1,
+            _ => {}
+        }
+    }
+    // `best` is the last depth-0 position strictly before the end; cutting
+    // there removes at least one op.
+    best.filter(|&b| b < ops.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_seed_replays_clean() {
+        let cfg = CheckConfig::default();
+        let r = check_seed(1, &cfg);
+        assert!(r.clean(), "unexpected divergences:\n{}", r.render());
+        assert!(r.steps > 0);
+        assert!(r.render().contains("CLEAN"));
+    }
+
+    #[test]
+    fn ablation_diverges_and_reports_reproducibly() {
+        let cfg = CheckConfig {
+            code_centric: false,
+            ..CheckConfig::default()
+        };
+        let seed = (0..64)
+            .find(|&s| !check_seed(s, &cfg).clean())
+            .expect("some seed must diverge with code-centric off");
+        let a = check_seed(seed, &cfg);
+        let b = check_seed(seed, &cfg);
+        assert_eq!(a.render(), b.render(), "report must be deterministic");
+        assert!(a.render().contains("reproduce: fuzz_consistency"));
+        assert!(a.render().contains("--ablate-code-centric"));
+        assert!(a.litmus.total_ops() > 0);
+    }
+
+    #[test]
+    fn minimizer_shrinks_divergent_programs() {
+        let cfg = CheckConfig {
+            code_centric: false,
+            ..CheckConfig::default()
+        };
+        let seed = (0..64)
+            .find(|&s| !check_seed(s, &cfg).clean())
+            .expect("some seed must diverge with code-centric off");
+        let original = Litmus::generate(seed);
+        let r = check_seed(seed, &cfg);
+        assert!(
+            r.litmus.total_ops() <= original.total_ops(),
+            "minimization never grows the program"
+        );
+        // The minimized program still diverges with the same first kind.
+        let kinds: Vec<DivergenceKind> = r.divergences.iter().map(|d| d.kind).collect();
+        assert!(!kinds.is_empty());
+    }
+
+    #[test]
+    fn balanced_cut_respects_regions_and_barrier() {
+        let lit = Litmus::generate(3);
+        for ops in &lit.threads {
+            if let Some(cut) = last_balanced_cut(ops) {
+                let mut depth = 0i32;
+                for op in &ops[..cut] {
+                    match op {
+                        Op::AsmEnter | Op::MutexLock { .. } | Op::SpinLock { .. } => depth += 1,
+                        Op::AsmExit | Op::MutexUnlock { .. } | Op::SpinUnlock { .. } => depth -= 1,
+                        _ => {}
+                    }
+                }
+                assert_eq!(depth, 0, "cut leaves a region open");
+                assert!(
+                    ops[..cut]
+                        .iter()
+                        .any(|o| matches!(o, Op::BarrierWait { .. })),
+                    "cut must not drop the barrier"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Structured builders for litmus-style op sequences.
+//!
+//! Hand-written litmus tests and the `tmi-oracle` fuzzer both assemble
+//! short [`Op`] lists mixing plain accesses, atomics, assembly regions and
+//! synchronization. Building those lists raw makes it easy to emit
+//! structurally invalid programs — an `AsmExit` without its `AsmEnter`, an
+//! unlock of a mutex the thread never took. [`OpBuilder`] closes regions
+//! and critical sections by construction: `asm`, `locked` and
+//! `spin_locked` take a closure for the body and emit the matching
+//! begin/end ops around it.
+//!
+//! ```
+//! use tmi_machine::{VAddr, Width};
+//! use tmi_program::{MemOrder, OpBuilder, Pc};
+//!
+//! let lock = VAddr::new(0x2000);
+//! let x = VAddr::new(0x1000);
+//! let ops = OpBuilder::new()
+//!     .locked(lock, |b| b.store(Pc(0x400000), x, Width::W8, 7))
+//!     .fence(MemOrder::SeqCst)
+//!     .build();
+//! assert_eq!(ops.len(), 4); // lock, store, unlock, fence
+//! ```
+
+use tmi_machine::{VAddr, Width};
+
+use crate::code::Pc;
+use crate::op::{MemOrder, Op, RmwOp};
+
+/// Builder for a structurally well-formed op sequence.
+#[derive(Debug, Default)]
+pub struct OpBuilder {
+    ops: Vec<Op>,
+}
+
+impl OpBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a raw op. Prefer the shaped helpers; this is the escape
+    /// hatch for ops without structure (and for generated code that
+    /// guarantees balance itself).
+    pub fn push(mut self, op: Op) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Plain load.
+    pub fn load(self, pc: Pc, addr: VAddr, width: Width) -> Self {
+        self.push(Op::Load { pc, addr, width })
+    }
+
+    /// Plain store.
+    pub fn store(self, pc: Pc, addr: VAddr, width: Width, value: u64) -> Self {
+        self.push(Op::Store {
+            pc,
+            addr,
+            width,
+            value,
+        })
+    }
+
+    /// C++11 atomic load.
+    pub fn atomic_load(self, pc: Pc, addr: VAddr, width: Width, order: MemOrder) -> Self {
+        self.push(Op::AtomicLoad {
+            pc,
+            addr,
+            width,
+            order,
+        })
+    }
+
+    /// C++11 atomic store.
+    pub fn atomic_store(
+        self,
+        pc: Pc,
+        addr: VAddr,
+        width: Width,
+        value: u64,
+        order: MemOrder,
+    ) -> Self {
+        self.push(Op::AtomicStore {
+            pc,
+            addr,
+            width,
+            value,
+            order,
+        })
+    }
+
+    /// Atomic read-modify-write.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rmw(
+        self,
+        pc: Pc,
+        addr: VAddr,
+        width: Width,
+        rmw: RmwOp,
+        operand: u64,
+        order: MemOrder,
+    ) -> Self {
+        self.push(Op::AtomicRmw {
+            pc,
+            addr,
+            width,
+            rmw,
+            operand,
+            order,
+        })
+    }
+
+    /// Atomic compare-and-swap.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cas(
+        self,
+        pc: Pc,
+        addr: VAddr,
+        width: Width,
+        expected: u64,
+        desired: u64,
+        order: MemOrder,
+    ) -> Self {
+        self.push(Op::Cas {
+            pc,
+            addr,
+            width,
+            expected,
+            desired,
+            order,
+        })
+    }
+
+    /// A fence of the given order.
+    pub fn fence(self, order: MemOrder) -> Self {
+        self.push(Op::Fence { order })
+    }
+
+    /// Local compute.
+    pub fn compute(self, cycles: u64) -> Self {
+        self.push(Op::Compute { cycles })
+    }
+
+    /// A barrier arrival.
+    pub fn barrier(self, barrier: VAddr) -> Self {
+        self.push(Op::BarrierWait { barrier })
+    }
+
+    /// An inline-assembly region: `AsmEnter`, the body, `AsmExit`.
+    pub fn asm(mut self, body: impl FnOnce(Self) -> Self) -> Self {
+        self.ops.push(Op::AsmEnter);
+        self = body(self);
+        self.ops.push(Op::AsmExit);
+        self
+    }
+
+    /// A mutex critical section: lock, the body, unlock.
+    pub fn locked(mut self, lock: VAddr, body: impl FnOnce(Self) -> Self) -> Self {
+        self.ops.push(Op::MutexLock { lock });
+        self = body(self);
+        self.ops.push(Op::MutexUnlock { lock });
+        self
+    }
+
+    /// A spinlock critical section: acquire, the body, release.
+    pub fn spin_locked(mut self, lock: VAddr, body: impl FnOnce(Self) -> Self) -> Self {
+        self.ops.push(Op::SpinLock { lock });
+        self = body(self);
+        self.ops.push(Op::SpinUnlock { lock });
+        self
+    }
+
+    /// Number of ops so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no ops have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The finished op list (no trailing `Exit`; `SequenceProgram` appends
+    /// one when the list runs out).
+    pub fn build(self) -> Vec<Op> {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PC: Pc = Pc(0x40_0000);
+    const X: VAddr = VAddr::new(0x1000);
+    const LOCK: VAddr = VAddr::new(0x2000);
+
+    #[test]
+    fn regions_are_balanced_by_construction() {
+        let ops = OpBuilder::new()
+            .asm(|b| b.store(PC, X, Width::W8, 1))
+            .locked(LOCK, |b| b.load(PC, X, Width::W8))
+            .spin_locked(LOCK, |b| b.compute(10))
+            .build();
+        assert_eq!(ops[0], Op::AsmEnter);
+        assert_eq!(ops[2], Op::AsmExit);
+        assert_eq!(ops[3], Op::MutexLock { lock: LOCK });
+        assert_eq!(ops[5], Op::MutexUnlock { lock: LOCK });
+        assert_eq!(ops[6], Op::SpinLock { lock: LOCK });
+        assert_eq!(ops[8], Op::SpinUnlock { lock: LOCK });
+    }
+
+    #[test]
+    fn nested_regions_compose() {
+        let ops = OpBuilder::new()
+            .locked(LOCK, |b| b.asm(|b| b.store(PC, X, Width::W4, 2)))
+            .build();
+        assert_eq!(
+            ops,
+            vec![
+                Op::MutexLock { lock: LOCK },
+                Op::AsmEnter,
+                Op::Store {
+                    pc: PC,
+                    addr: X,
+                    width: Width::W4,
+                    value: 2
+                },
+                Op::AsmExit,
+                Op::MutexUnlock { lock: LOCK },
+            ]
+        );
+    }
+
+    #[test]
+    fn display_renders_a_listing() {
+        let ops = OpBuilder::new()
+            .atomic_store(PC, X, Width::W2, 0xAB00, MemOrder::Relaxed)
+            .fence(MemOrder::SeqCst)
+            .build();
+        assert_eq!(
+            format!("{}", ops[0]),
+            "atomic_store.2B.relaxed 0x1000 <- 0xab00"
+        );
+        assert_eq!(format!("{}", ops[1]), "fence.seq_cst");
+    }
+}

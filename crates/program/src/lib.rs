@@ -37,10 +37,12 @@
 //! assert!(matches!(prog.next(OpResult::none()), Op::Exit));
 //! ```
 
+pub mod build;
 pub mod code;
 pub mod op;
 pub mod program;
 
+pub use build::OpBuilder;
 pub use code::{CodeRegistry, InstrInfo, InstrKind, Pc};
-pub use op::{MemOrder, Op, RmwOp};
+pub use op::{width_mask, MemOrder, Op, RmwOp};
 pub use program::{OpResult, SequenceProgram, SharedLog, ThreadProgram};

@@ -1,5 +1,7 @@
 //! Dynamic operations: what a simulated thread asks the machine to do next.
 
+use std::fmt;
+
 use tmi_machine::{VAddr, Width};
 
 use crate::code::Pc;
@@ -228,6 +230,85 @@ impl Op {
                 | Op::SpinUnlock { .. }
                 | Op::BarrierWait { .. }
         )
+    }
+}
+
+impl fmt::Display for MemOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MemOrder::Relaxed => "relaxed",
+            MemOrder::Acquire => "acquire",
+            MemOrder::Release => "release",
+            MemOrder::AcqRel => "acq_rel",
+            MemOrder::SeqCst => "seq_cst",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for RmwOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RmwOp::Add => "add",
+            RmwOp::Sub => "sub",
+            RmwOp::And => "and",
+            RmwOp::Or => "or",
+            RmwOp::Xor => "xor",
+            RmwOp::Xchg => "xchg",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One-line assembly-like rendering, used by litmus-program listings in
+/// divergence reports (`tmi-oracle`).
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Op::Load { addr, width, .. } => write!(f, "load.{width} {addr}"),
+            Op::Store {
+                addr, width, value, ..
+            } => write!(f, "store.{width} {addr} <- {value:#x}"),
+            Op::AtomicLoad {
+                addr, width, order, ..
+            } => write!(f, "atomic_load.{width}.{order} {addr}"),
+            Op::AtomicStore {
+                addr,
+                width,
+                value,
+                order,
+                ..
+            } => write!(f, "atomic_store.{width}.{order} {addr} <- {value:#x}"),
+            Op::AtomicRmw {
+                addr,
+                width,
+                rmw,
+                operand,
+                order,
+                ..
+            } => write!(f, "atomic_{rmw}.{width}.{order} {addr}, {operand:#x}"),
+            Op::Cas {
+                addr,
+                width,
+                expected,
+                desired,
+                order,
+                ..
+            } => write!(
+                f,
+                "cas.{width}.{order} {addr}, {expected:#x} -> {desired:#x}"
+            ),
+            Op::Fence { order } => write!(f, "fence.{order}"),
+            Op::AsmEnter => f.write_str("asm_enter"),
+            Op::AsmExit => f.write_str("asm_exit"),
+            Op::MutexLock { lock } => write!(f, "mutex_lock {lock}"),
+            Op::MutexUnlock { lock } => write!(f, "mutex_unlock {lock}"),
+            Op::SpinLock { lock } => write!(f, "spin_lock {lock}"),
+            Op::SpinUnlock { lock } => write!(f, "spin_unlock {lock}"),
+            Op::BarrierWait { barrier } => write!(f, "barrier_wait {barrier}"),
+            Op::Compute { cycles } => write!(f, "compute {cycles}"),
+            Op::Exit => f.write_str("exit"),
+        }
     }
 }
 

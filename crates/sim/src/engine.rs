@@ -60,6 +60,26 @@ pub enum Halt {
     Fault(OsError),
 }
 
+/// One executed step of a traced run: which thread the scheduler picked,
+/// the op it executed, and the value the op produced (the `OpResult` the
+/// program will receive before its next op; `None` for ops without one).
+///
+/// A trace serves two purposes for the differential consistency oracle
+/// (`tmi-oracle`): the `thread` fields are the exact schedule, replayable
+/// step for step by a reference interpreter, and the `value` fields are
+/// the per-thread load observations to compare against it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Scheduler index of the thread (creation order, dense from 0).
+    pub thread: u32,
+    /// The operation executed. A contended [`Op::SpinLock`] appears once
+    /// per acquisition attempt, exactly as the engine re-issues it.
+    pub op: Op,
+    /// The produced value: loads and RMW/CAS observations; `None` for
+    /// stores, sync ops, regions and compute.
+    pub value: Option<u64>,
+}
+
 /// Result of [`Engine::run`].
 #[derive(Clone, Debug)]
 pub struct RunReport {
@@ -212,6 +232,7 @@ pub struct Engine<R: RuntimeHooks> {
     core: EngineCore,
     programs: Vec<Box<dyn ThreadProgram>>,
     runtime: R,
+    trace: Option<Vec<TraceStep>>,
 }
 
 impl<R: RuntimeHooks> Engine<R> {
@@ -239,6 +260,7 @@ impl<R: RuntimeHooks> Engine<R> {
             },
             programs: Vec::new(),
             runtime,
+            trace: None,
         }
     }
 
@@ -266,6 +288,27 @@ impl<R: RuntimeHooks> Engine<R> {
     /// Consumes the engine, returning the runtime (for post-run stats).
     pub fn into_runtime(self) -> R {
         self.runtime
+    }
+
+    /// Split mutable access to the runtime and the engine core, for setup
+    /// calls that need both at once (e.g. handing the core as
+    /// [`EngineCtl`] to a runtime method such as `TmiRuntime::force_repair`).
+    pub fn runtime_and_core(&mut self) -> (&mut R, &mut EngineCore) {
+        (&mut self.runtime, &mut self.core)
+    }
+
+    /// Enables per-step execution tracing. Each executed op is recorded as
+    /// a [`TraceStep`]; retrieve the trace with [`Self::take_trace`].
+    /// Tracing costs memory proportional to the dynamic op count, so it is
+    /// off by default and meant for litmus-sized runs.
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded trace, leaving tracing disabled. Empty if
+    /// [`Self::enable_trace`] was never called.
+    pub fn take_trace(&mut self) -> Vec<TraceStep> {
+        self.trace.take().unwrap_or_default()
     }
 
     /// Creates the root application process around `aspace`. Must be
@@ -524,6 +567,13 @@ impl<R: RuntimeHooks> Engine<R> {
             Op::SpinLock { lock } => self.spin_lock(idx, op, lock)?,
             Op::SpinUnlock { lock } => self.spin_unlock(idx, lock)?,
             Op::BarrierWait { barrier } => self.barrier_wait(idx, barrier)?,
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(TraceStep {
+                thread: idx as u32,
+                op,
+                value: self.core.threads[idx].pending.value,
+            });
         }
         Ok(())
     }
@@ -1177,6 +1227,64 @@ mod tests {
         let r = e.run();
         assert!(r.completed());
         assert!(e.runtime().ticks >= 9, "got {} ticks", e.runtime().ticks);
+    }
+
+    #[test]
+    fn trace_records_schedule_and_values() {
+        let (mut e, _) = engine(1);
+        let st = pc(&mut e, "tr::st", InstrKind::Store, Width::W8);
+        let ld = pc(&mut e, "tr::ld", InstrKind::Load, Width::W8);
+        let a = VAddr::new(0x10040);
+        e.enable_trace();
+        e.add_thread(Box::new(SequenceProgram::new(vec![
+            Op::Store {
+                pc: st,
+                addr: a,
+                width: Width::W8,
+                value: 77,
+            },
+            Op::Load {
+                pc: ld,
+                addr: a,
+                width: Width::W8,
+            },
+        ])));
+        let r = e.run();
+        assert!(r.completed());
+        let t = e.take_trace();
+        assert_eq!(t.len(), 3, "store, load, exit");
+        assert!(t.iter().all(|s| s.thread == 0));
+        assert_eq!(t[0].value, None);
+        assert_eq!(t[1].value, Some(77));
+        assert!(matches!(t[2].op, Op::Exit));
+        assert!(e.take_trace().is_empty(), "take_trace drains");
+    }
+
+    #[test]
+    fn contended_spinlock_traces_one_step_per_attempt() {
+        let (mut e, _) = engine(2);
+        let lock = VAddr::new(0x10000);
+        e.enable_trace();
+        // Thread 0 holds the lock across a long compute; thread 1's
+        // acquisition loop must show up as repeated SpinLock steps.
+        e.add_thread(Box::new(SequenceProgram::new(vec![
+            Op::SpinLock { lock },
+            Op::Compute { cycles: 50_000 },
+            Op::SpinUnlock { lock },
+        ])));
+        e.add_thread(Box::new(SequenceProgram::new(vec![
+            Op::Compute { cycles: 1_000 },
+            Op::SpinLock { lock },
+            Op::SpinUnlock { lock },
+        ])));
+        let r = e.run();
+        assert!(r.completed());
+        let attempts = e
+            .take_trace()
+            .iter()
+            .filter(|s| s.thread == 1 && matches!(s.op, Op::SpinLock { .. }))
+            .count();
+        assert!(attempts > 1, "contended acquire retries, got {attempts}");
     }
 
     #[test]

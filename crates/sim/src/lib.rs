@@ -41,7 +41,7 @@ pub mod hooks;
 pub mod sync;
 
 pub use cost::CostModel;
-pub use engine::{Engine, EngineConfig, EngineCore, Halt, InternalPcs, RunReport};
+pub use engine::{Engine, EngineConfig, EngineCore, Halt, InternalPcs, RunReport, TraceStep};
 pub use hooks::{
     AccessInfo, EngineCtl, NullRuntime, PreAccess, RegionEvent, Route, RuntimeHooks, SyncEvent,
 };

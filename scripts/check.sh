@@ -7,7 +7,13 @@
 #   clippy   workspace lints, warnings are errors
 #   tier-1   release build + the root package's test suite
 #   smoke    run_all --quick, the in-process harness end to end, which
-#            also exercises the parallel executor and BENCH_harness.json
+#            also exercises the parallel executor and BENCH_harness.json;
+#            its report must byte-match tests/golden/run_all_quick.txt
+#            (regenerate deliberately with
+#            target/release/run_all --quick > tests/golden/run_all_quick.txt)
+#   fuzz     fixed-seed differential fuzz: 64 litmus seeds through the
+#            repair path vs the sequential oracle (must be clean), plus
+#            16 seeds with --ablate-code-centric (must diverge)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,5 +33,12 @@ trap 'rm -rf "$smoke_dir"' EXIT
 (cd "$smoke_dir" && "$OLDPWD"/target/release/run_all --quick > run_all_quick.txt)
 test -s "$smoke_dir/BENCH_harness.json"
 grep -q '"schema": "tmi-bench-harness/1"' "$smoke_dir/BENCH_harness.json"
+diff -u tests/golden/run_all_quick.txt "$smoke_dir/run_all_quick.txt" \
+  || { echo "run_all --quick drifted from tests/golden/run_all_quick.txt"; exit 1; }
+
+echo "== fuzz: differential consistency oracle"
+target/release/fuzz_consistency --seeds 64
+target/release/fuzz_consistency --seeds 16 --ablate-code-centric > /dev/null \
+  || { echo "ablated fuzz campaign failed to diverge"; exit 1; }
 
 echo "== ok"

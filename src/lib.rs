@@ -8,6 +8,7 @@ pub use tmi_alloc as alloc;
 pub use tmi_baselines as baselines;
 pub use tmi_bench as bench;
 pub use tmi_machine as machine;
+pub use tmi_oracle as oracle;
 pub use tmi_os as os;
 pub use tmi_perf as perf;
 pub use tmi_program as program;
