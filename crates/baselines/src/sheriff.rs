@@ -129,7 +129,8 @@ impl RuntimeHooks for SheriffRuntime {
 
     fn on_fault(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, res: &FaultResolution) {
         if let FaultResolution::CowBroken { vpn, pages, .. } = *res {
-            self.repair.on_cow(ctl, tid, vpn, pages);
+            self.repair
+                .on_cow(ctl, tid, vpn, pages, &self.config.tmi, &self.layout);
         }
     }
 

@@ -59,7 +59,8 @@ fn bench_ptsb(c: &mut Criterion) {
                     VAddr::new(BASE).vpn(),
                     &CommitCostModel::standard(),
                     false,
-                );
+                )
+                .unwrap();
                 k
             },
             BatchSize::SmallInput,

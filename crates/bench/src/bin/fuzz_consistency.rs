@@ -6,13 +6,23 @@
 //! with a minimized program listing and the seed that reproduces it.
 //!
 //! ```text
-//! fuzz_consistency [--seeds N] [--start N] [--ablate-code-centric] [--workers N]
+//! fuzz_consistency [--seeds N] [--start N] [--ablate-code-centric]
+//!                  [--workers N] [--faults SEED]
 //! ```
 //!
 //! Exit status is 0 when the campaign matches its mode — zero
 //! divergences with code-centric consistency on, at least one with the
 //! `--ablate-code-centric` ablation (the Figs. 11–12 failure modes must
 //! reproduce) — and 1 otherwise.
+//!
+//! `--faults SEED` runs every checked program under a seeded fault
+//! schedule (fork vetoes, out-of-frames, transient mprotect faults, PEBS
+//! drops, twin-allocation failures); the per-program fault seed is
+//! derived from `(SEED, program seed)`, so any failure reproduces from
+//! those two numbers alone. Repair may retry, degrade, roll back or
+//! revert — the campaign must still find zero divergences, and (for
+//! campaigns large enough to matter) every fault point must fire with
+//! retry, rollback and efficacy-revert each exercised at least once.
 
 use tmi_bench::fuzz::{run_campaign, FuzzConfig};
 
@@ -33,17 +43,26 @@ fn main() {
             "--start" => cfg.start_seed = num("--start"),
             "--workers" => cfg.workers = Some(num("--workers") as usize),
             "--ablate-code-centric" => cfg.ablate_code_centric = true,
+            "--faults" => cfg.faults = Some(num("--faults")),
             _ => {
                 eprintln!(
                     "usage: fuzz_consistency [--seeds N] [--start N] \
-                     [--ablate-code-centric] [--workers N]"
+                     [--ablate-code-centric] [--workers N] [--faults SEED]"
                 );
                 std::process::exit(2);
             }
         }
     }
+    if cfg.faults.is_some() && cfg.ablate_code_centric {
+        eprintln!(
+            "--faults asserts zero divergence and cannot combine with \
+             --ablate-code-centric (which expects divergences)"
+        );
+        std::process::exit(2);
+    }
 
     let result = run_campaign(&cfg);
     print!("{}", result.render());
-    std::process::exit(if result.ok() { 0 } else { 1 });
+    let coverage_ok = result.faults.as_ref().is_none_or(|f| f.coverage_ok());
+    std::process::exit(if result.ok() && coverage_ok { 0 } else { 1 });
 }

@@ -17,6 +17,8 @@
 //!   failure modes). A clean ablated campaign means the fuzzer lost its
 //!   teeth.
 
+use tmi::GovernorState;
+use tmi_faultpoint::{FaultPoint, FaultStats};
 use tmi_oracle::{check_seed, CheckConfig, CheckReport, Coverage};
 
 use crate::exec::pool_map;
@@ -35,6 +37,11 @@ pub struct FuzzConfig {
     pub workers: Option<usize>,
     /// Full reports kept for at most this many divergent seeds.
     pub max_reports: usize,
+    /// Base fault seed: run every checked seed under a seeded fault
+    /// schedule (per-program seed derived via
+    /// [`tmi_oracle::derive_fault_seed`]). Repair may retry, degrade,
+    /// abort or revert — the campaign must still find zero divergences.
+    pub faults: Option<u64>,
 }
 
 impl Default for FuzzConfig {
@@ -45,7 +52,51 @@ impl Default for FuzzConfig {
             ablate_code_centric: false,
             workers: None,
             max_reports: 5,
+            faults: None,
         }
+    }
+}
+
+/// Fault-campaign aggregates across every checked seed.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignFaults {
+    /// Per-point roll/fire counts summed over all runs.
+    pub stats: FaultStats,
+    /// Governor retries of transiently-failed operations.
+    pub retries: u64,
+    /// Operations that succeeded after at least one retry.
+    pub recoveries: u64,
+    /// Full rollbacks after persistent conversion failure.
+    pub rollbacks: u64,
+    /// Pages degraded to shared mode after persistent per-page failure.
+    pub degraded: u64,
+    /// Efficacy-monitor reverts.
+    pub reverts: u64,
+    /// Runs ending with the governor in `Aborted` state.
+    pub aborted_runs: u64,
+    /// Runs ending with the governor in `Reverted` state.
+    pub reverted_runs: u64,
+}
+
+impl CampaignFaults {
+    /// True if the campaign exercised the whole governor: every fault
+    /// point fired at least once, and retry, rollback and efficacy-revert
+    /// each happened in at least one run.
+    pub fn coverage_ok(&self) -> bool {
+        FaultPoint::ALL.iter().all(|&p| self.stats.get(p).fired > 0)
+            && self.retries > 0
+            && self.recoveries > 0
+            && self.rollbacks > 0
+            && self.reverts > 0
+    }
+
+    /// Fault points that never fired.
+    fn unfired(&self) -> Vec<&'static str> {
+        FaultPoint::ALL
+            .iter()
+            .filter(|&&p| self.stats.get(p).fired == 0)
+            .map(|p| p.name())
+            .collect()
     }
 }
 
@@ -65,6 +116,8 @@ pub struct CampaignResult {
     /// Full reports for the first [`FuzzConfig::max_reports`] divergent
     /// seeds.
     pub reports: Vec<CheckReport>,
+    /// Fault-campaign aggregates (present iff [`FuzzConfig::faults`]).
+    pub faults: Option<CampaignFaults>,
 }
 
 impl CampaignResult {
@@ -124,6 +177,39 @@ impl CampaignResult {
                 }
             );
         }
+        if let (Some(f), Some(base)) = (&self.faults, self.cfg.faults) {
+            let _ = writeln!(s, "  fault campaign (base seed {base}): {}", f.stats);
+            let _ = writeln!(
+                s,
+                "    governor: retries={} recoveries={} rollbacks={} degraded={} \
+                 reverts={} aborted-runs={} reverted-runs={}",
+                f.retries,
+                f.recoveries,
+                f.rollbacks,
+                f.degraded,
+                f.reverts,
+                f.aborted_runs,
+                f.reverted_runs
+            );
+            let _ = writeln!(
+                s,
+                "    fault coverage: {}",
+                if f.coverage_ok() {
+                    "OK (every point fired; retry, rollback and efficacy-revert all exercised)"
+                        .to_string()
+                } else {
+                    format!(
+                        "INCOMPLETE (unfired points: [{}]; retries={} recoveries={} \
+                         rollbacks={} reverts={})",
+                        f.unfired().join(", "),
+                        f.retries,
+                        f.recoveries,
+                        f.rollbacks,
+                        f.reverts
+                    )
+                }
+            );
+        }
         for r in &self.reports {
             let _ = writeln!(s, "---");
             s.push_str(&r.render());
@@ -149,6 +235,7 @@ impl CampaignResult {
 pub fn run_campaign(cfg: &FuzzConfig) -> CampaignResult {
     let check = CheckConfig {
         code_centric: !cfg.ablate_code_centric,
+        faults: cfg.faults,
         ..CheckConfig::default()
     };
     let workers = cfg.workers.unwrap_or_else(|| {
@@ -168,10 +255,24 @@ pub fn run_campaign(cfg: &FuzzConfig) -> CampaignResult {
         total_steps: 0,
         coverage: Coverage::default(),
         reports: Vec::new(),
+        faults: cfg.faults.map(|_| CampaignFaults::default()),
     };
     for r in results {
         out.total_steps += r.steps as u64;
         out.coverage.add(&r.coverage);
+        if let (Some(agg), Some(fs)) = (&mut out.faults, &r.faults) {
+            agg.stats.add(&fs.stats);
+            agg.retries += fs.governor.retries;
+            agg.recoveries += fs.governor.transient_recoveries;
+            agg.rollbacks += fs.governor.rollbacks;
+            agg.degraded += fs.governor.pages_degraded;
+            agg.reverts += fs.governor.efficacy_reverts;
+            match fs.state {
+                GovernorState::Aborted => agg.aborted_runs += 1,
+                GovernorState::Reverted => agg.reverted_runs += 1,
+                _ => {}
+            }
+        }
         if !r.clean() {
             out.divergent_seeds.push(r.seed);
             if out.reports.len() < cfg.max_reports {
@@ -217,6 +318,24 @@ mod tests {
             ..base
         });
         assert_eq!(serial.render(), parallel.render());
+    }
+
+    #[test]
+    fn fault_campaign_stays_clean_and_aggregates_governor_stats() {
+        let cfg = FuzzConfig {
+            seeds: 12,
+            start_seed: 0,
+            workers: Some(4),
+            faults: Some(7),
+            ..FuzzConfig::default()
+        };
+        let r = run_campaign(&cfg);
+        assert!(r.ok(), "fault campaign must stay clean:\n{}", r.render());
+        let f = r.faults.as_ref().expect("fault aggregates present");
+        let rolls: u64 = FaultPoint::ALL.iter().map(|&p| f.stats.get(p).rolls).sum();
+        assert!(rolls > 0, "fault points must have been rolled");
+        assert!(r.render().contains("fault campaign (base seed 7)"));
+        assert!(r.render().contains("fault coverage:"));
     }
 
     #[test]

@@ -71,6 +71,19 @@ pub struct TmiConfig {
     /// Fixed detector memory overhead in bytes (disassembly tables and
     /// dynamic tracking structures; ≈90 MB floor in Fig. 8).
     pub detector_fixed_bytes: u64,
+    /// Governor: extra attempts allowed when a repair-path kernel call
+    /// fails transiently (fork veto, out-of-frames, mprotect EAGAIN)
+    /// before the failure is treated as persistent.
+    pub repair_retry_limit: u32,
+    /// Governor: base backoff charged (in simulated cycles) before the
+    /// first retry; doubles per attempt, capped at 64× base.
+    pub repair_retry_backoff_cycles: u64,
+    /// Governor: repair-efficacy revert threshold — the fraction of a
+    /// detection window's wall-clock cycles spent in PTSB commits above
+    /// which repair is judged a net loss and reverted (threads rejoined,
+    /// pages unprotected, run continues in shared-memory mode). The
+    /// default `f64::INFINITY` disables the monitor.
+    pub efficacy_revert_threshold: f64,
 }
 
 impl Default for TmiConfig {
@@ -87,6 +100,9 @@ impl Default for TmiConfig {
             lock_redirect: true,
             lock_indirect_cycles: 6,
             detector_fixed_bytes: 72 * 1024 * 1024,
+            repair_retry_limit: 4,
+            repair_retry_backoff_cycles: 500,
+            efficacy_revert_threshold: f64::INFINITY,
         }
     }
 }
@@ -112,6 +128,12 @@ impl TmiConfig {
             ..Default::default()
         }
     }
+
+    /// Backoff charged before retry number `attempt` (1-based): exponential
+    /// in the attempt count, capped at 64× the base.
+    pub fn retry_backoff(&self, attempt: u32) -> u64 {
+        self.repair_retry_backoff_cycles << attempt.saturating_sub(1).min(6)
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +146,12 @@ mod tests {
         assert!(TmiConfig::protect().repair_enabled);
         assert!(!TmiConfig::ptsb_everywhere().targeted);
         assert!(TmiConfig::default().code_centric);
+    }
+
+    #[test]
+    fn efficacy_monitor_is_disabled_by_default() {
+        assert!(TmiConfig::default().efficacy_revert_threshold.is_infinite());
+        assert!(TmiConfig::default().repair_retry_limit >= 4);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use detect::{FalseSharingDetector, LineProfile, SharingKind, SharingReport};
 pub use layout::AppLayout;
 pub use locks::LockRedirector;
 pub use memstats::MemoryBreakdown;
-pub use repair::{RepairManager, RepairStats};
+pub use repair::{GovernorState, RepairManager, RepairStats};
 pub use report::{ContentionReport, LineReport};
 pub use runtime::{TmiRuntime, TmiStats};
 pub use twins::{PageCommit, TwinStore};

@@ -1,16 +1,52 @@
 //! The repair manager: thread-to-process conversion and targeted page
-//! protection (§3.2, §3.3).
+//! protection (§3.2, §3.3), hardened into a self-healing governor.
+//!
+//! Every kernel call on the repair path can fail — `fork` vetoed, out of
+//! frames, a transient `mprotect` fault — and the governor's job is to keep
+//! the *application* correct regardless. Its invariant is simple:
+//!
+//! 1. An **extra or early** PTSB commit is always safe (the litmus programs
+//!    are data-race-free at page granularity, so publishing buffered bytes
+//!    sooner only narrows the window in which they are private).
+//! 2. **Losing** a buffered byte is never safe.
+//!
+//! So every failure path first flushes what is buffered and only then gives
+//! pages back to shared memory. Transient failures get bounded
+//! retry-with-backoff in simulated cycles; persistent failures degrade a
+//! single page ([`RepairManager::degrade_page`]) or dismantle repair
+//! entirely — rollback on fork exhaustion ([`GovernorState::Aborted`]) and
+//! efficacy-driven revert ([`GovernorState::Reverted`]). The rollback
+//! machinery itself ([`tmi_os::Kernel::unprotect_page`],
+//! [`tmi_os::Kernel::rejoin_thread`]) deliberately carries no fault points:
+//! the governor must always be able to hand memory back.
 
 use std::collections::BTreeSet;
 
+use tmi_faultpoint::{FaultInjector, FaultPoint};
 use tmi_machine::addr::FRAMES_PER_HUGE_PAGE;
 use tmi_machine::Vpn;
-use tmi_os::Tid;
+use tmi_os::{AsId, OsError, Pid, Tid};
 use tmi_sim::EngineCtl;
 
 use crate::config::TmiConfig;
 use crate::layout::AppLayout;
 use crate::twins::TwinStore;
+
+/// Lifecycle of the repair governor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GovernorState {
+    /// Never triggered.
+    #[default]
+    Inactive,
+    /// Threads are processes, pages may be armed.
+    Active,
+    /// Repair was rolled back after persistent fork/COW failure; the run
+    /// continues in shared-memory mode and repair will not re-trigger.
+    Aborted,
+    /// Repair was undone by the efficacy monitor (commit overhead exceeded
+    /// the configured threshold); the run continues in shared-memory mode.
+    Reverted,
+}
 
 /// Repair bookkeeping for Table 3 and the EXPERIMENTS report.
 #[derive(Clone, Debug, Default)]
@@ -32,16 +68,32 @@ pub struct RepairStats {
     pub commit_cycles: u64,
     /// Bytes merged into shared memory.
     pub bytes_merged: u64,
+    /// Retries of transiently-failed repair-path operations (fork, COW
+    /// arming, twin snapshots, engine-level fault handling).
+    pub retries: u64,
+    /// Operations that succeeded after at least one retry.
+    pub transient_recoveries: u64,
+    /// Full rollbacks after persistent conversion failure (`RepairAborted`).
+    pub rollbacks: u64,
+    /// Pages given back to shared memory because arming, twinning or
+    /// re-arming them failed persistently.
+    pub pages_degraded: u64,
+    /// Full reverts driven by the repair-efficacy monitor.
+    pub efficacy_reverts: u64,
 }
 
 /// Converts threads into processes on demand and arms the PTSB on exactly
 /// the pages the detector incriminated.
 #[derive(Debug, Default)]
 pub struct RepairManager {
-    active: bool,
+    state: GovernorState,
     protected: BTreeSet<Vpn>,
     twins: TwinStore,
     stats: RepairStats,
+    /// `(tid, original pid)` for every thread we isolated, so rollback and
+    /// revert can rejoin them.
+    converted: Vec<(Tid, Pid)>,
+    faults: Option<FaultInjector>,
 }
 
 impl RepairManager {
@@ -50,9 +102,19 @@ impl RepairManager {
         Self::default()
     }
 
-    /// True once repair has been triggered (threads are processes).
+    /// Installs a fault injector driving the twin-snapshot fault point.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = Some(faults);
+    }
+
+    /// Governor lifecycle state.
+    pub fn state(&self) -> GovernorState {
+        self.state
+    }
+
+    /// True while repair is in force (threads are processes).
     pub fn active(&self) -> bool {
-        self.active
+        self.state == GovernorState::Active
     }
 
     /// True if `vpn` is PTSB-armed.
@@ -80,6 +142,12 @@ impl RepairManager {
     /// `fork()` (§3.2); then arms copy-on-write protection for `pages` in
     /// every process (§3.3). Pages in huge-page mappings are expanded to
     /// whole 2 MiB chunks.
+    ///
+    /// Transient conversion/arming failures are retried with backoff; a
+    /// persistent conversion failure rolls the whole repair back
+    /// ([`GovernorState::Aborted`]) and a persistent arming failure leaves
+    /// just that page in shared mode. After an abort or revert the governor
+    /// stays down: re-triggering is a no-op.
     pub fn trigger(
         &mut self,
         ctl: &mut dyn EngineCtl,
@@ -87,15 +155,21 @@ impl RepairManager {
         layout: &AppLayout,
         pages: &[Vpn],
     ) {
+        if matches!(self.state, GovernorState::Aborted | GovernorState::Reverted) {
+            return;
+        }
         let tids: Vec<Tid> = ctl.tids();
-        if !self.active {
-            self.active = true;
+        if self.state == GovernorState::Inactive {
+            self.state = GovernorState::Active;
             self.stats.converted_at_cycle = Some(ctl.now());
             for &tid in &tids {
-                // The root process keeps its (unscheduled) main thread, so
-                // every worker can convert; a sole-thread error would mean
-                // the workload had one thread and conversion is moot.
-                let _ = ctl.kernel().convert_thread_to_process(tid);
+                if self.convert_retrying(ctl, tid, cfg).is_err() {
+                    // Persistent fork veto: the paper's ptrace-inject
+                    // failure analogue. Put every already-isolated thread
+                    // back and run on in shared-memory mode.
+                    self.rollback(ctl, cfg, layout);
+                    return;
+                }
             }
             let cost = cfg.stop_world_cycles + cfg.t2p_cycles_per_thread * tids.len() as u64;
             self.stats.t2p_cycles = cost;
@@ -115,14 +189,33 @@ impl RepairManager {
             }
         }
         for vpn in targets {
-            if !self.protected.insert(vpn) {
+            if self.protected.contains(&vpn) {
                 continue;
             }
+            let mut armed: Vec<AsId> = Vec::new();
+            let mut failed = false;
             for &tid in &tids {
                 let aspace = ctl.kernel().thread_aspace(tid);
-                ctl.kernel()
-                    .protect_page_cow(aspace, vpn)
-                    .expect("PTSB pages must be shared-object backed");
+                if armed.contains(&aspace) {
+                    continue;
+                }
+                match self.protect_retrying(ctl, tid, aspace, vpn, cfg) {
+                    Ok(()) => armed.push(aspace),
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if failed {
+                // A page armed in some processes but not all would buffer
+                // writes asymmetrically; give it back everywhere instead.
+                for aspace in armed {
+                    let _ = ctl.kernel().unprotect_page(aspace, vpn);
+                }
+                self.stats.pages_degraded += 1;
+            } else {
+                self.protected.insert(vpn);
             }
         }
     }
@@ -130,14 +223,221 @@ impl RepairManager {
     /// Records the twin for a page that just COW-broke, if we armed it.
     /// `first` and `pages` come from the fault resolution (512 for a huge
     /// break).
-    pub fn on_cow(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, first: Vpn, pages: u64) {
+    ///
+    /// A twin snapshot is an allocation and can fail (injected); on
+    /// persistent failure the page is degraded to shared mode, which is
+    /// safe because the just-broken private copy is still byte-identical
+    /// to shared memory — nothing has been buffered yet.
+    pub fn on_cow(
+        &mut self,
+        ctl: &mut dyn EngineCtl,
+        tid: Tid,
+        first: Vpn,
+        pages: u64,
+        cfg: &TmiConfig,
+        layout: &AppLayout,
+    ) {
         let aspace = ctl.kernel().thread_aspace(tid);
         for i in 0..pages {
             let vpn = Vpn(first.0 + i);
-            if self.protected.contains(&vpn) {
-                self.twins.snapshot(ctl.kernel(), aspace, vpn);
+            if !self.protected.contains(&vpn) {
+                continue;
+            }
+            let mut attempt = 0u32;
+            loop {
+                let fail = self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|f| f.should_fail(FaultPoint::TwinAlloc));
+                if !fail {
+                    self.twins.snapshot(ctl.kernel(), aspace, vpn);
+                    if attempt > 0 {
+                        self.stats.transient_recoveries += 1;
+                    }
+                    break;
+                }
+                if attempt < cfg.repair_retry_limit {
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    ctl.add_cycles(tid, cfg.retry_backoff(attempt));
+                } else {
+                    self.degrade_page(ctl, cfg, layout, vpn);
+                    break;
+                }
             }
         }
+    }
+
+    /// Converts one thread, retrying transient failures with backoff.
+    /// Records the original pid so rollback/revert can rejoin.
+    fn convert_retrying(
+        &mut self,
+        ctl: &mut dyn EngineCtl,
+        tid: Tid,
+        cfg: &TmiConfig,
+    ) -> Result<(), OsError> {
+        let old_pid = ctl.kernel().thread(tid).pid;
+        let mut attempt = 0u32;
+        loop {
+            match ctl.kernel().convert_thread_to_process(tid) {
+                Ok(_) => {
+                    self.converted.push((tid, old_pid));
+                    if attempt > 0 {
+                        self.stats.transient_recoveries += 1;
+                    }
+                    return Ok(());
+                }
+                // The root process keeps its (unscheduled) main thread, so
+                // every worker can convert; a sole-thread error means the
+                // workload had one thread and conversion is moot.
+                Err(OsError::AlreadyConverted { .. }) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < cfg.repair_retry_limit => {
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    ctl.add_cycles(tid, cfg.retry_backoff(attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Arms COW protection for one page in one address space, retrying
+    /// transient failures with backoff (charged to `tid`).
+    fn protect_retrying(
+        &mut self,
+        ctl: &mut dyn EngineCtl,
+        tid: Tid,
+        aspace: AsId,
+        vpn: Vpn,
+        cfg: &TmiConfig,
+    ) -> Result<(), OsError> {
+        let mut attempt = 0u32;
+        loop {
+            match ctl.kernel().protect_page_cow(aspace, vpn) {
+                Ok(()) => {
+                    if attempt > 0 {
+                        self.stats.transient_recoveries += 1;
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.is_transient() && attempt < cfg.repair_retry_limit => {
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    ctl.add_cycles(tid, cfg.retry_backoff(attempt));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Gives one page back to shared memory in every process: commits its
+    /// dirty twins first (losing a buffered byte is never safe), then
+    /// unprotects it everywhere and forgets it. Used when arming,
+    /// twinning or re-arming the page fails persistently.
+    pub fn degrade_page(
+        &mut self,
+        ctl: &mut dyn EngineCtl,
+        cfg: &TmiConfig,
+        layout: &AppLayout,
+        vpn: Vpn,
+    ) {
+        if !self.protected.remove(&vpn) {
+            return;
+        }
+        let tids = ctl.tids();
+        let mut seen: Vec<AsId> = Vec::new();
+        for &tid in &tids {
+            let aspace = ctl.kernel().thread_aspace(tid);
+            if seen.contains(&aspace) {
+                continue;
+            }
+            seen.push(aspace);
+            if self.twins.has_twin(aspace, vpn) {
+                match self.twins.commit_page(
+                    ctl.kernel(),
+                    aspace,
+                    vpn,
+                    &cfg.commit,
+                    layout.huge_pages,
+                ) {
+                    Ok(pc) => {
+                        self.stats.committed_pages += 1;
+                        self.stats.bytes_merged += pc.bytes_merged;
+                        self.stats.commit_cycles += pc.cycles;
+                        ctl.add_cycles(tid, pc.cycles);
+                    }
+                    Err(_) => {
+                        // Twin without a private frame: nothing buffered.
+                        self.twins.discard_page(aspace, vpn);
+                    }
+                }
+            }
+            // Fault-point-free: the governor can always hand pages back.
+            let _ = ctl.kernel().unprotect_page(aspace, vpn);
+        }
+        self.stats.pages_degraded += 1;
+    }
+
+    /// Undoes repair entirely: flushes every buffered page, unprotects
+    /// everything, rejoins isolated threads into their original processes.
+    fn dismantle(&mut self, ctl: &mut dyn EngineCtl, cfg: &TmiConfig, layout: &AppLayout) {
+        let tids = ctl.tids();
+        // Flush first — an early commit is always safe, a lost byte never.
+        for &tid in &tids {
+            let cycles = self.commit_thread(ctl, tid, cfg, layout);
+            ctl.add_cycles(tid, cycles);
+        }
+        let mut aspaces: Vec<AsId> = Vec::new();
+        for &tid in &tids {
+            let a = ctl.kernel().thread_aspace(tid);
+            if !aspaces.contains(&a) {
+                aspaces.push(a);
+            }
+        }
+        for &vpn in &std::mem::take(&mut self.protected) {
+            for &a in &aspaces {
+                let _ = ctl.kernel().unprotect_page(a, vpn);
+            }
+        }
+        // Safety net: no twin may survive the flush above.
+        for &a in &aspaces {
+            self.twins.discard_aspace(a);
+        }
+        for (tid, pid) in std::mem::take(&mut self.converted) {
+            let _ = ctl.kernel().rejoin_thread(tid, pid);
+        }
+    }
+
+    /// Rolls repair back after a persistent conversion failure.
+    fn rollback(&mut self, ctl: &mut dyn EngineCtl, cfg: &TmiConfig, layout: &AppLayout) {
+        self.dismantle(ctl, cfg, layout);
+        self.state = GovernorState::Aborted;
+        self.stats.rollbacks += 1;
+        ctl.add_cycles_all(cfg.stop_world_cycles);
+    }
+
+    /// Reverts an active repair because its commit overhead exceeded the
+    /// efficacy threshold. No-op unless the governor is
+    /// [`GovernorState::Active`].
+    pub fn revert(&mut self, ctl: &mut dyn EngineCtl, cfg: &TmiConfig, layout: &AppLayout) {
+        if self.state != GovernorState::Active {
+            return;
+        }
+        self.dismantle(ctl, cfg, layout);
+        self.state = GovernorState::Reverted;
+        self.stats.efficacy_reverts += 1;
+        ctl.add_cycles_all(cfg.stop_world_cycles);
+    }
+
+    /// Accounts one engine-level retry of a transiently-failed fault
+    /// (charged by the engine via the backoff return of `on_fault_error`).
+    pub fn note_retry(&mut self) {
+        self.stats.retries += 1;
+    }
+
+    /// Accounts an engine-level fault that succeeded after retrying.
+    pub fn note_recovery(&mut self) {
+        self.stats.transient_recoveries += 1;
     }
 
     /// True if `tid`'s process has buffered (uncommitted) pages.
@@ -161,13 +461,35 @@ impl RepairManager {
             return 0;
         }
         let mut cycles = 0;
+        let mut degrade: Vec<Vpn> = Vec::new();
         for vpn in dirty {
-            let pc =
-                self.twins
-                    .commit_page(ctl.kernel(), aspace, vpn, &cfg.commit, layout.huge_pages);
-            cycles += pc.cycles;
-            self.stats.bytes_merged += pc.bytes_merged;
-            self.stats.committed_pages += 1;
+            match self
+                .twins
+                .commit_page(ctl.kernel(), aspace, vpn, &cfg.commit, layout.huge_pages)
+            {
+                Ok(pc) => {
+                    cycles += pc.cycles;
+                    self.stats.bytes_merged += pc.bytes_merged;
+                    self.stats.committed_pages += 1;
+                    if !pc.rearmed {
+                        // The merge landed but the re-protect faulted;
+                        // retry the arming, degrading the page if the
+                        // failure is persistent.
+                        if self.protect_retrying(ctl, tid, aspace, vpn, cfg).is_err() {
+                            degrade.push(vpn);
+                        }
+                    }
+                }
+                Err(_) => {
+                    // Twin without a private frame cannot arise from the
+                    // engine's fault path; drop it rather than buffer it
+                    // forever.
+                    self.twins.discard_page(aspace, vpn);
+                }
+            }
+        }
+        for vpn in degrade {
+            self.degrade_page(ctl, cfg, layout, vpn);
         }
         self.stats.commits += 1;
         self.stats.commit_cycles += cycles;
@@ -298,7 +620,7 @@ mod tests {
         let a0 = ctl.kernel.thread_aspace(t0);
         // Simulate the engine's fault path: break COW, notify, write.
         ctl.kernel.handle_fault(a0, base, true).unwrap();
-        rm.on_cow(&mut ctl, t0, base.vpn(), 1);
+        rm.on_cow(&mut ctl, t0, base.vpn(), 1, &cfg, &layout);
         assert!(rm.has_dirty(&mut ctl, t0));
         ctl.kernel.force_write(a0, base, Width::W8, 42).unwrap();
 
@@ -321,6 +643,253 @@ mod tests {
         let t0 = ctl.tids[0];
         assert_eq!(rm.commit_thread(&mut ctl, t0, &cfg, &layout), 0);
         assert_eq!(rm.stats().commits, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Governor state machine under scripted fault schedules.
+    // ------------------------------------------------------------------
+
+    use crate::runtime::TmiRuntime;
+    use tmi_faultpoint::{FaultPlan, PointPlan};
+    use tmi_sim::{RuntimeHooks, SyncEvent};
+
+    /// Installs one scripted injector on both the kernel (fork, mprotect,
+    /// frame-alloc points) and the manager (twin-snapshot point).
+    fn inject(ctl: &mut FakeCtl, rm: &mut RepairManager, plan: FaultPlan) -> FaultInjector {
+        let inj = FaultInjector::new(plan);
+        ctl.kernel.set_fault_injector(inj.clone());
+        rm.set_fault_injector(inj.clone());
+        inj
+    }
+
+    #[test]
+    fn fork_transient_failure_retries_then_succeeds() {
+        let (mut ctl, layout) = setup(2);
+        let cfg = TmiConfig::default();
+        let mut rm = RepairManager::new();
+        // Fork roll 1 (thread 0) succeeds, roll 2 (thread 1) fails once,
+        // roll 3 (thread 1's retry) succeeds.
+        let inj = inject(
+            &mut ctl,
+            &mut rm,
+            FaultPlan::quiet().with(FaultPoint::Fork, PointPlan::transient(2, 1)),
+        );
+        rm.trigger(&mut ctl, &cfg, &layout, &[VAddr::new(0x10000).vpn()]);
+
+        assert_eq!(rm.state(), GovernorState::Active);
+        assert_eq!(ctl.kernel.stats().conversions, 2);
+        assert_eq!(rm.stats().retries, 1);
+        assert_eq!(rm.stats().transient_recoveries, 1);
+        assert_eq!(rm.stats().rollbacks, 0);
+        assert_eq!(inj.stats().get(FaultPoint::Fork).fired, 1);
+        // The backoff was charged in simulated cycles.
+        assert!(ctl.cycles_added >= cfg.retry_backoff(1));
+    }
+
+    #[test]
+    fn fork_exhaustion_rolls_back_and_governor_stays_down() {
+        let (mut ctl, layout) = setup(2);
+        let cfg = TmiConfig::default();
+        let mut rm = RepairManager::new();
+        let base = VAddr::new(0x10000);
+        let t0 = ctl.tids[0];
+        let home_pid = ctl.kernel.thread(t0).pid;
+        let home_aspace = ctl.kernel.thread_aspace(t0);
+        ctl.kernel
+            .force_write(home_aspace, base, Width::W8, 1)
+            .unwrap();
+        let frames_before = ctl.kernel.physmem().allocated_frames();
+        // Fork works once (thread 0), then latches persistent: thread 1's
+        // conversion exhausts its retry budget and the governor rolls back.
+        inject(
+            &mut ctl,
+            &mut rm,
+            FaultPlan::quiet().with(FaultPoint::Fork, PointPlan::persistent_after(2, 1)),
+        );
+        rm.trigger(&mut ctl, &cfg, &layout, &[base.vpn()]);
+
+        assert_eq!(rm.state(), GovernorState::Aborted);
+        assert!(!rm.active());
+        assert_eq!(rm.stats().rollbacks, 1);
+        assert_eq!(rm.stats().retries, cfg.repair_retry_limit as u64);
+        assert_eq!(
+            rm.protected_pages(),
+            0,
+            "no page stays armed after rollback"
+        );
+        // The one converted thread was rejoined into its original process.
+        assert_eq!(ctl.kernel.stats().conversions, 1);
+        assert_eq!(ctl.kernel.stats().rejoins, 1);
+        assert_eq!(ctl.kernel.thread(t0).pid, home_pid);
+        assert_eq!(ctl.kernel.thread_aspace(t0), home_aspace);
+        // Every frame the aborted repair touched came back.
+        assert_eq!(ctl.kernel.physmem().allocated_frames(), frames_before);
+
+        // Double trigger: after an abort the governor stays down.
+        rm.trigger(&mut ctl, &cfg, &layout, &[VAddr::new(0x11000).vpn()]);
+        assert_eq!(rm.state(), GovernorState::Aborted);
+        assert_eq!(rm.stats().repair_rounds, 0);
+        assert_eq!(ctl.kernel.stats().conversions, 1, "no further conversions");
+        assert_eq!(rm.protected_pages(), 0);
+        assert_eq!(rm.stats().rollbacks, 1, "re-trigger does not re-roll-back");
+    }
+
+    #[test]
+    fn persistent_arming_failure_degrades_the_page() {
+        let (mut ctl, layout) = setup(2);
+        let cfg = TmiConfig::default();
+        let mut rm = RepairManager::new();
+        let hot = VAddr::new(0x10000).vpn();
+        let root = ctl.kernel.thread_aspace(ctl.tids[0]);
+        ctl.kernel
+            .force_write(root, hot.base(), Width::W8, 1)
+            .unwrap();
+        // mprotect fails on every roll: the page can never be armed.
+        inject(
+            &mut ctl,
+            &mut rm,
+            FaultPlan::quiet().with(FaultPoint::ProtectPage, PointPlan::persistent_after(1, 1)),
+        );
+        rm.trigger(&mut ctl, &cfg, &layout, &[hot]);
+
+        // Conversion still succeeded; only the page degraded to shared mode.
+        assert_eq!(rm.state(), GovernorState::Active);
+        assert_eq!(ctl.kernel.stats().conversions, 2);
+        assert!(!rm.is_protected(hot));
+        assert_eq!(rm.protected_pages(), 0);
+        assert_eq!(rm.stats().pages_degraded, 1);
+        assert_eq!(rm.stats().retries, cfg.repair_retry_limit as u64);
+        // Writes through the unarmed page reach shared memory directly.
+        let a0 = ctl.kernel.thread_aspace(ctl.tids[0]);
+        let a1 = ctl.kernel.thread_aspace(ctl.tids[1]);
+        ctl.kernel
+            .force_write(a0, hot.base(), Width::W8, 7)
+            .unwrap();
+        assert_eq!(ctl.kernel.force_read(a1, hot.base(), Width::W8).unwrap(), 7);
+    }
+
+    #[test]
+    fn persistent_twin_failure_degrades_on_cow() {
+        let (mut ctl, layout) = setup(2);
+        let cfg = TmiConfig::default();
+        let mut rm = RepairManager::new();
+        let base = VAddr::new(0x10000);
+        let root = ctl.kernel.thread_aspace(ctl.tids[0]);
+        ctl.kernel.force_write(root, base, Width::W8, 1).unwrap();
+        inject(
+            &mut ctl,
+            &mut rm,
+            FaultPlan::quiet().with(FaultPoint::TwinAlloc, PointPlan::persistent_after(1, 1)),
+        );
+        rm.trigger(&mut ctl, &cfg, &layout, &[base.vpn()]);
+        let frames_armed = ctl.kernel.physmem().allocated_frames();
+
+        let t0 = ctl.tids[0];
+        let a0 = ctl.kernel.thread_aspace(t0);
+        ctl.kernel.handle_fault(a0, base, true).unwrap();
+        rm.on_cow(&mut ctl, t0, base.vpn(), 1, &cfg, &layout);
+
+        // No twin could be taken, so the page degraded to shared mode —
+        // safe, because the private copy held nothing buffered yet.
+        assert_eq!(rm.state(), GovernorState::Active);
+        assert!(!rm.is_protected(base.vpn()));
+        assert_eq!(rm.stats().pages_degraded, 1);
+        assert_eq!(rm.stats().retries, cfg.repair_retry_limit as u64);
+        assert_eq!(rm.twins().current_bytes(), 0);
+        assert!(!rm.has_dirty(&mut ctl, t0));
+        // The orphaned private frame was freed with the degrade.
+        assert_eq!(ctl.kernel.physmem().allocated_frames(), frames_armed);
+        // Writes are immediately globally visible again.
+        ctl.kernel.force_write(a0, base, Width::W8, 9).unwrap();
+        let a1 = ctl.kernel.thread_aspace(ctl.tids[1]);
+        assert_eq!(ctl.kernel.force_read(a1, base, Width::W8).unwrap(), 9);
+    }
+
+    #[test]
+    fn revert_flushes_buffered_bytes_and_returns_all_memory() {
+        let (mut ctl, layout) = setup(2);
+        let cfg = TmiConfig::default();
+        let mut rm = RepairManager::new();
+        let base = VAddr::new(0x10000);
+        let t0 = ctl.tids[0];
+        let home_pid = ctl.kernel.thread(t0).pid;
+        let home_aspace = ctl.kernel.thread_aspace(t0);
+        ctl.kernel
+            .force_write(home_aspace, base, Width::W8, 1)
+            .unwrap();
+        let frames_before = ctl.kernel.physmem().allocated_frames();
+
+        rm.trigger(&mut ctl, &cfg, &layout, &[base.vpn()]);
+        let a0 = ctl.kernel.thread_aspace(t0);
+        ctl.kernel.handle_fault(a0, base, true).unwrap();
+        rm.on_cow(&mut ctl, t0, base.vpn(), 1, &cfg, &layout);
+        ctl.kernel.force_write(a0, base, Width::W8, 42).unwrap();
+        assert!(rm.has_dirty(&mut ctl, t0));
+        assert!(ctl.kernel.physmem().allocated_frames() > frames_before);
+        assert!(rm.twins().current_bytes() > 0);
+
+        rm.revert(&mut ctl, &cfg, &layout);
+
+        assert_eq!(rm.state(), GovernorState::Reverted);
+        assert_eq!(rm.stats().efficacy_reverts, 1);
+        // The buffered byte was committed, not lost.
+        assert!(rm.stats().bytes_merged >= 1);
+        assert_eq!(
+            ctl.kernel.force_read(home_aspace, base, Width::W8).unwrap(),
+            42
+        );
+        // Threads are back in their original process and address space.
+        assert_eq!(ctl.kernel.thread(t0).pid, home_pid);
+        assert_eq!(ctl.kernel.thread_aspace(t0), home_aspace);
+        assert_eq!(ctl.kernel.stats().rejoins, 2);
+        // Every private frame and twin buffer came back: counters return
+        // to their pre-repair values.
+        assert_eq!(rm.protected_pages(), 0);
+        assert_eq!(rm.twins().current_bytes(), 0);
+        assert_eq!(ctl.kernel.physmem().allocated_frames(), frames_before);
+
+        // Revert is idempotent and the governor stays down for good.
+        rm.revert(&mut ctl, &cfg, &layout);
+        assert_eq!(rm.stats().efficacy_reverts, 1);
+        rm.trigger(&mut ctl, &cfg, &layout, &[base.vpn()]);
+        assert_eq!(rm.state(), GovernorState::Reverted);
+        assert_eq!(
+            ctl.kernel.stats().conversions,
+            2,
+            "no re-conversion after revert"
+        );
+    }
+
+    #[test]
+    fn efficacy_monitor_reverts_via_on_tick() {
+        let (mut ctl, layout) = setup(2);
+        let cfg = TmiConfig {
+            // Any commit overhead at all in a window trips the monitor.
+            efficacy_revert_threshold: 0.0,
+            ..TmiConfig::default()
+        };
+        let mut rt = TmiRuntime::new(cfg, layout);
+        let base = VAddr::new(0x10000);
+        let t0 = ctl.tids[0];
+        let root = ctl.kernel.thread_aspace(t0);
+        ctl.kernel.force_write(root, base, Width::W8, 1).unwrap();
+
+        rt.force_repair(&mut ctl, &[base.vpn()]);
+        assert!(rt.repair().active());
+        let a0 = ctl.kernel.thread_aspace(t0);
+        let res = ctl.kernel.handle_fault(a0, base, true).unwrap();
+        rt.on_fault(&mut ctl, t0, &res);
+        ctl.kernel.force_write(a0, base, Width::W8, 42).unwrap();
+        // A sync operation flushes the PTSB, accruing commit cycles.
+        assert!(rt.on_sync(&mut ctl, t0, SyncEvent::MutexUnlock(base)) > 0);
+
+        rt.on_tick(&mut ctl, 1_000_000);
+        assert_eq!(rt.repair().state(), GovernorState::Reverted);
+        assert_eq!(rt.repair().stats().efficacy_reverts, 1);
+        assert_eq!(ctl.kernel.force_read(root, base, Width::W8).unwrap(), 42);
+        // Later ticks are no-ops for the monitor.
+        rt.on_tick(&mut ctl, 2_000_000);
+        assert_eq!(rt.repair().stats().efficacy_reverts, 1);
     }
 
     /// Helper used in a test above.

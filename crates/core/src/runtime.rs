@@ -4,8 +4,9 @@
 
 use std::collections::BTreeSet;
 
+use tmi_faultpoint::FaultInjector;
 use tmi_machine::{AccessOutcome, LatencyModel, VAddr, Vpn, LINE_SIZE};
-use tmi_os::{FaultResolution, Kernel, Tid};
+use tmi_os::{FaultResolution, Kernel, OsError, Tid};
 use tmi_perf::PerfMonitor;
 use tmi_sim::{AccessInfo, EngineCtl, PreAccess, RegionEvent, RuntimeHooks, SyncEvent};
 
@@ -47,6 +48,11 @@ pub struct TmiRuntime {
     locks: LockRedirector,
     stats: TmiStats,
     last_tick: u64,
+    /// Commit cycles already seen by the efficacy monitor at the last tick.
+    last_commit_cycles: u64,
+    /// True while an engine-level fault retry is outstanding, so the next
+    /// completed access can be credited as a transient recovery.
+    engine_retry_pending: bool,
 }
 
 impl TmiRuntime {
@@ -68,9 +74,20 @@ impl TmiRuntime {
             ),
             stats: TmiStats::default(),
             last_tick: 0,
+            last_commit_cycles: 0,
+            engine_retry_pending: false,
             config,
             layout,
         }
+    }
+
+    /// Installs a fault injector on the runtime's own fault points (PEBS
+    /// sample drops, twin-snapshot allocation). The kernel's injector is
+    /// installed separately via [`Kernel::set_fault_injector`]; pass the
+    /// same (cloned) injector for one shared fault schedule and stats.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.perf.set_fault_injector(faults.clone());
+        self.repair.set_fault_injector(faults);
     }
 
     /// The configuration in effect.
@@ -213,6 +230,12 @@ impl RuntimeHooks for TmiRuntime {
         acc: &AccessInfo,
         outcome: &AccessOutcome,
     ) -> u64 {
+        if self.engine_retry_pending {
+            // The access completed, so the transiently-failed fault that
+            // preceded it has healed.
+            self.engine_retry_pending = false;
+            self.repair.note_recovery();
+        }
         let Some(hitm) = &outcome.hitm else { return 0 };
         if !self.layout.in_app(acc.vaddr) && !self.layout.in_internal(acc.vaddr) {
             return 0;
@@ -222,8 +245,39 @@ impl RuntimeHooks for TmiRuntime {
 
     fn on_fault(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, res: &FaultResolution) {
         if let FaultResolution::CowBroken { vpn, pages, .. } = *res {
-            self.repair.on_cow(ctl, tid, vpn, pages);
+            self.repair
+                .on_cow(ctl, tid, vpn, pages, &self.config, &self.layout);
         }
+    }
+
+    fn on_fault_error(
+        &mut self,
+        ctl: &mut dyn EngineCtl,
+        _tid: Tid,
+        addr: VAddr,
+        err: &OsError,
+        attempt: u32,
+    ) -> Option<u64> {
+        if !err.is_transient() {
+            return None;
+        }
+        if attempt <= self.config.repair_retry_limit {
+            self.repair.note_retry();
+            self.engine_retry_pending = true;
+            return Some(self.config.retry_backoff(attempt));
+        }
+        // Retry budget exhausted. If the failure is on a PTSB-armed page
+        // (e.g. no frame for the private copy), give that page back to
+        // shared memory and let the access run unbuffered — repair
+        // degrades, the program does not die.
+        let vpn = addr.vpn();
+        if self.repair.is_protected(vpn) {
+            self.repair
+                .degrade_page(ctl, &self.config, &self.layout, vpn);
+            self.engine_retry_pending = true;
+            return Some(self.config.retry_backoff(attempt));
+        }
+        None
     }
 
     fn on_sync(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, _ev: SyncEvent) -> u64 {
@@ -249,11 +303,29 @@ impl RuntimeHooks for TmiRuntime {
         self.stats.ticks += 1;
         let records = self.perf.drain();
         self.detector.ingest(&records, ctl.code());
-        let window_secs = LatencyModel::cycles_to_secs(now.saturating_sub(self.last_tick).max(1));
+        let window_cycles = now.saturating_sub(self.last_tick).max(1);
+        let window_secs = LatencyModel::cycles_to_secs(window_cycles);
         self.last_tick = now;
         let reports = self
             .detector
             .analyze_window(window_secs, self.config.fs_threshold_per_sec);
         self.handle_reports(ctl, &reports, now);
+
+        // Repair-efficacy monitor: if the fraction of this window spent in
+        // PTSB commits exceeds the threshold, repair costs more than the
+        // false sharing it cures — revert it. Disabled by default
+        // (threshold = +inf).
+        if self.repair.active() && self.config.efficacy_revert_threshold.is_finite() {
+            let commit_delta = self
+                .repair
+                .stats()
+                .commit_cycles
+                .saturating_sub(self.last_commit_cycles);
+            if commit_delta as f64 / window_cycles as f64 > self.config.efficacy_revert_threshold {
+                self.repair.revert(ctl, &self.config, &self.layout);
+            }
+        }
+        // Post-revert value, so the revert's own flush cannot re-trigger.
+        self.last_commit_cycles = self.repair.stats().commit_cycles;
     }
 }

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use tmi_machine::{FrameId, Vpn, FRAME_SIZE};
-use tmi_os::{AsId, Kernel};
+use tmi_os::{AsId, Kernel, OsError};
 
 use crate::config::CommitCostModel;
 
@@ -23,6 +23,12 @@ pub struct PageCommit {
     pub bytes_merged: u64,
     /// Cycles the diff + merge cost.
     pub cycles: u64,
+    /// Whether the page was successfully re-armed after the merge. `false`
+    /// means the merge landed in shared memory but the re-protect failed
+    /// (transient `mprotect` fault): the page is currently unmapped for
+    /// this address space and the repair governor must either retry the
+    /// arming or degrade the page to shared mode.
+    pub rearmed: bool,
 }
 
 /// Twin snapshots, keyed by (address space, page).
@@ -78,10 +84,15 @@ impl TwinStore {
     ///
     /// `huge` selects the chunked-`memcmp` cost model of §4.4.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the page has no twin (commit of a clean page is a runtime
-    /// bug — callers iterate [`Self::dirty_pages`]).
+    /// Returns [`OsError::NoSuchEntity`] — with **no** state change — if
+    /// the page has no twin or no private frame (commit of a clean page is
+    /// a runtime bug; callers iterate [`Self::dirty_pages`]), and
+    /// propagates structural errors from the shared-frame lookup. A
+    /// *re-arm* failure after the merge is not an error: it is reported
+    /// through [`PageCommit::rearmed`] so the governor can retry or
+    /// degrade without losing the commit's accounting.
     pub fn commit_page(
         &mut self,
         kernel: &mut Kernel,
@@ -89,23 +100,25 @@ impl TwinStore {
         vpn: Vpn,
         cost: &CommitCostModel,
         huge: bool,
-    ) -> PageCommit {
+    ) -> Result<PageCommit, OsError> {
+        if !self.has_twin(aspace, vpn) {
+            return Err(OsError::NoSuchEntity("twin for committed page"));
+        }
+        let private = kernel
+            .private_frame(aspace, vpn)
+            .ok_or(OsError::NoSuchEntity("private frame for twin"))?;
+        let private_bytes = *kernel.physmem().frame_bytes(private);
+
+        let shared_pa = kernel.object_paddr(aspace, vpn.base())?;
+        let shared_frame: FrameId = shared_pa.frame();
+
+        // Past this point the commit itself cannot fail: consume the twin.
         let twin = self
             .twins
             .get_mut(&aspace)
             .and_then(|m| m.remove(&vpn))
-            .expect("commit of page without twin");
+            .expect("twin presence checked above");
         self.current_bytes -= FRAME_SIZE;
-
-        let private = kernel
-            .private_frame(aspace, vpn)
-            .expect("twin exists but no private frame");
-        let private_bytes = *kernel.physmem().frame_bytes(private);
-
-        let shared_pa = kernel
-            .object_paddr(aspace, vpn.base())
-            .expect("PTSB page must be object backed");
-        let shared_frame: FrameId = shared_pa.frame();
 
         // Diff and merge only the changed bytes.
         let mut merged = 0u64;
@@ -121,9 +134,10 @@ impl TwinStore {
             }
         }
 
-        kernel
-            .discard_private_and_rearm(aspace, vpn)
-            .expect("re-arm after commit");
+        // The merge has landed; a failed re-arm (injected mprotect fault)
+        // leaves the page unmapped here and is reported to the governor
+        // via `rearmed` rather than unwinding the commit.
+        let rearmed = kernel.discard_private_and_rearm(aspace, vpn).is_ok();
 
         let scan = if huge && identical {
             // The memcmp fast path skips identical 4 KiB chunks cheaply.
@@ -134,10 +148,49 @@ impl TwinStore {
             FRAME_SIZE * cost.diff_per_byte_x100 / 100
         };
         let cycles = cost.per_page_base + scan + merged * cost.merge_per_byte_x100 / 100;
-        PageCommit {
+        Ok(PageCommit {
             bytes_merged: merged,
             cycles,
+            rearmed,
+        })
+    }
+
+    /// True if `(aspace, vpn)` currently has a twin snapshot.
+    pub fn has_twin(&self, aspace: AsId, vpn: Vpn) -> bool {
+        self.twins
+            .get(&aspace)
+            .is_some_and(|m| m.contains_key(&vpn))
+    }
+
+    /// Discards the twin for `(aspace, vpn)` without committing — the
+    /// rollback path (buffered bytes are dropped, shared memory keeps its
+    /// pre-repair contents). Returns true if a twin was discarded.
+    pub fn discard_page(&mut self, aspace: AsId, vpn: Vpn) -> bool {
+        let removed = self
+            .twins
+            .get_mut(&aspace)
+            .and_then(|m| m.remove(&vpn))
+            .is_some();
+        if removed {
+            self.current_bytes -= FRAME_SIZE;
         }
+        removed
+    }
+
+    /// Discards every twin of `aspace` (rollback). Returns the number of
+    /// pages discarded.
+    pub fn discard_aspace(&mut self, aspace: AsId) -> u64 {
+        let n = self
+            .twins
+            .get_mut(&aspace)
+            .map(|m| {
+                let n = m.len() as u64;
+                m.clear();
+                n
+            })
+            .unwrap_or(0);
+        self.current_bytes -= n * FRAME_SIZE;
+        n
     }
 
     /// Current twin bytes held.
@@ -187,7 +240,9 @@ mod tests {
         let shared = k.object_paddr(a, base).unwrap();
         k.physmem_mut().write(shared.offset(32), Width::W8, 777);
 
-        let pc = tw.commit_page(&mut k, a, base.vpn(), &CommitCostModel::standard(), false);
+        let pc = tw
+            .commit_page(&mut k, a, base.vpn(), &CommitCostModel::standard(), false)
+            .unwrap();
         assert!(pc.bytes_merged >= 1 && pc.bytes_merged <= 8);
         assert_eq!(
             k.physmem().read(shared, Width::W8),
@@ -213,7 +268,9 @@ mod tests {
         tw.snapshot(&k, a, base.vpn());
         // Rewrite the same value: diff finds no changed bytes.
         k.force_write(a, base, Width::W8, 5).unwrap();
-        let pc = tw.commit_page(&mut k, a, base.vpn(), &CommitCostModel::standard(), false);
+        let pc = tw
+            .commit_page(&mut k, a, base.vpn(), &CommitCostModel::standard(), false)
+            .unwrap();
         assert_eq!(pc.bytes_merged, 0);
     }
 
@@ -239,8 +296,10 @@ mod tests {
             tw.snapshot(&k, aspace, base.vpn());
             k.force_write(aspace, base, Width::W2, val).unwrap();
         }
-        tw.commit_page(&mut k, a, base.vpn(), &CommitCostModel::standard(), false);
-        tw.commit_page(&mut k, b, base.vpn(), &CommitCostModel::standard(), false);
+        tw.commit_page(&mut k, a, base.vpn(), &CommitCostModel::standard(), false)
+            .unwrap();
+        tw.commit_page(&mut k, b, base.vpn(), &CommitCostModel::standard(), false)
+            .unwrap();
         let shared = k.object_paddr(a, base).unwrap();
         assert_eq!(
             k.physmem().read(shared, Width::W2),
@@ -256,7 +315,8 @@ mod tests {
         assert!(tw.has_dirty(a));
         assert_eq!(tw.dirty_pages(a), vec![base.vpn()]);
         assert_eq!(tw.current_bytes(), FRAME_SIZE);
-        tw.commit_page(&mut k, a, base.vpn(), &CommitCostModel::standard(), false);
+        tw.commit_page(&mut k, a, base.vpn(), &CommitCostModel::standard(), false)
+            .unwrap();
         assert!(!tw.has_dirty(a));
         assert_eq!(tw.current_bytes(), 0);
         assert_eq!(tw.peak_bytes(), FRAME_SIZE);
@@ -288,11 +348,13 @@ mod tests {
         k.handle_fault(a, base, true).unwrap();
         let mut tw = TwinStore::new();
         tw.snapshot(&k, a, base.vpn());
-        let clean = tw.commit_page(&mut k, a, base.vpn(), &cost, true);
+        let clean = tw.commit_page(&mut k, a, base.vpn(), &cost, true).unwrap();
 
         // Dirty page, huge model.
         let mut tw = arm_and_dirty(&mut k, a, base.offset(FRAME_SIZE), 7);
-        let dirty = tw.commit_page(&mut k, a, base.offset(FRAME_SIZE).vpn(), &cost, true);
+        let dirty = tw
+            .commit_page(&mut k, a, base.offset(FRAME_SIZE).vpn(), &cost, true)
+            .unwrap();
         assert!(clean.cycles < dirty.cycles);
     }
 }

@@ -85,13 +85,15 @@ impl World {
     fn commit_thread(&mut self, thread: usize) {
         let s = self.spaces[thread];
         for page in self.twins.dirty_pages(s) {
-            self.twins.commit_page(
-                &mut self.kernel,
-                s,
-                page,
-                &CommitCostModel::standard(),
-                false,
-            );
+            self.twins
+                .commit_page(
+                    &mut self.kernel,
+                    s,
+                    page,
+                    &CommitCostModel::standard(),
+                    false,
+                )
+                .unwrap();
         }
     }
 

@@ -27,7 +27,8 @@
 
 use std::fmt;
 
-use tmi::{AppLayout, TmiConfig, TmiRuntime};
+use tmi::{AppLayout, GovernorState, RepairStats, TmiConfig, TmiRuntime};
+use tmi_faultpoint::{FaultInjector, FaultPlan, FaultStats};
 use tmi_machine::{VAddr, Width};
 use tmi_os::{AsId, MapRequest, ObjId};
 use tmi_program::{width_mask, Op, SequenceProgram};
@@ -46,6 +47,13 @@ pub struct CheckConfig {
     pub minimize: bool,
     /// Cap on recorded per-step divergences.
     pub max_divergences: usize,
+    /// Fault-campaign base seed: `Some(base)` runs the repaired execution
+    /// under a seeded fault schedule derived from
+    /// [`derive_fault_seed`]`(base, program_seed)`, so `(program seed,
+    /// fault seed)` reproduces any failure. Repair may retry, degrade,
+    /// roll back or revert under the schedule — results still may not
+    /// diverge from the oracle.
+    pub faults: Option<u64>,
 }
 
 impl Default for CheckConfig {
@@ -54,7 +62,49 @@ impl Default for CheckConfig {
             code_centric: true,
             minimize: true,
             max_divergences: 8,
+            faults: None,
         }
+    }
+}
+
+/// Derives the per-program fault seed from the campaign's base fault seed
+/// — the `(program seed, fault seed)` reproduction convention.
+pub fn derive_fault_seed(base: u64, program_seed: u64) -> u64 {
+    base ^ program_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// What the fault schedule did to one checked seed.
+#[derive(Clone, Debug)]
+pub struct FaultSummary {
+    /// The campaign's base fault seed (`--faults` argument).
+    pub base_seed: u64,
+    /// The derived per-program fault seed that drove the schedule.
+    pub fault_seed: u64,
+    /// Per-point roll/fire counts.
+    pub stats: FaultStats,
+    /// Governor counters after the run (retries, recoveries, rollbacks,
+    /// degraded pages, efficacy reverts).
+    pub governor: RepairStats,
+    /// Governor lifecycle state at end of run.
+    pub state: GovernorState,
+}
+
+impl fmt::Display for FaultSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let g = &self.governor;
+        write!(
+            f,
+            "faults(seed {}): {}; governor: retries={} recoveries={} \
+             rollbacks={} degraded={} reverts={} state={:?}",
+            self.fault_seed,
+            self.stats,
+            g.retries,
+            g.transient_recoveries,
+            g.rollbacks,
+            g.pages_degraded,
+            g.efficacy_reverts,
+            self.state
+        )
     }
 }
 
@@ -127,6 +177,9 @@ pub struct CheckReport {
     pub litmus: Litmus,
     /// True if the program was successfully shrunk.
     pub minimized: bool,
+    /// Fault-schedule summary of the original (unminimized) run, present
+    /// only in fault-campaign mode.
+    pub faults: Option<FaultSummary>,
 }
 
 impl CheckReport {
@@ -151,6 +204,9 @@ impl CheckReport {
                 "seed {} ({mode}): CLEAN over {} steps [{}]",
                 self.seed, self.steps, self.coverage
             );
+            if let Some(fs) = &self.faults {
+                let _ = writeln!(s, "  {fs}");
+            }
             return s;
         }
         let _ = writeln!(
@@ -165,13 +221,20 @@ impl CheckReport {
             let _ = writeln!(s, "  {d}");
         }
         let _ = writeln!(s, "coverage: {}", self.coverage);
+        if let Some(fs) = &self.faults {
+            let _ = writeln!(s, "{fs}");
+        }
         let _ = writeln!(s, "program:");
         for line in self.litmus.listing().lines() {
             let _ = writeln!(s, "  {line}");
         }
+        let faults_flag = match &self.faults {
+            Some(fs) => format!(" --faults {}", fs.base_seed),
+            None => String::new(),
+        };
         let _ = writeln!(
             s,
-            "reproduce: fuzz_consistency -- --start {} --seeds 1{}",
+            "reproduce: fuzz_consistency -- --start {} --seeds 1{}{faults_flag}",
             self.seed,
             if self.code_centric {
                 ""
@@ -190,14 +253,17 @@ pub fn check_seed(seed: u64, cfg: &CheckConfig) -> CheckReport {
 
 /// Checks one litmus program (see the module docs).
 pub fn check_litmus(lit: &Litmus, cfg: &CheckConfig) -> CheckReport {
-    let (mut divergences, mut steps) = run_once(lit, cfg.code_centric, cfg.max_divergences);
+    let (mut divergences, mut steps, faults) = run_once(lit, cfg);
     let mut litmus = lit.clone();
     let mut minimized = false;
     if let (Some(first), true) = (divergences.first(), cfg.minimize) {
         let target = first.kind;
-        let small = minimize(lit, cfg.code_centric, target, cfg.max_divergences);
+        let small = minimize(lit, cfg, target);
         if small != *lit {
-            let (d, s) = run_once(&small, cfg.code_centric, cfg.max_divergences);
+            // The fault summary stays that of the original run — the
+            // minimized replay re-derives the same schedule but fires
+            // fewer points, and the campaign aggregates full-run stats.
+            let (d, s, _) = run_once(&small, cfg);
             if d.iter().any(|x| x.kind == target) {
                 divergences = d;
                 steps = s;
@@ -214,12 +280,18 @@ pub fn check_litmus(lit: &Litmus, cfg: &CheckConfig) -> CheckReport {
         coverage: litmus.coverage(),
         litmus,
         minimized,
+        faults,
     }
 }
 
 /// Builds the standard litmus fixture, runs the repaired execution, and
 /// diffs it against the schedule-replaying oracle.
-fn run_once(lit: &Litmus, code_centric: bool, max_div: usize) -> (Vec<Divergence>, usize) {
+fn run_once(lit: &Litmus, cfg: &CheckConfig) -> (Vec<Divergence>, usize, Option<FaultSummary>) {
+    let max_div = cfg.max_divergences;
+    let faults = cfg.faults.map(|base| {
+        let fseed = derive_fault_seed(base, lit.seed);
+        (base, fseed, FaultInjector::new(FaultPlan::from_seed(fseed)))
+    });
     let mut ecfg = EngineConfig::with_cores(4);
     // Litmus runs are far too short for the sampling detector; repair is
     // forced below and the detection thread never ticks.
@@ -233,22 +305,45 @@ fn run_once(lit: &Litmus, code_centric: bool, max_div: usize) -> (Vec<Divergence
         internal_len: litmus::INTERNAL_LEN,
         huge_pages: false,
     };
-    let tcfg = TmiConfig {
-        code_centric,
+    let mut tcfg = TmiConfig {
+        code_centric: cfg.code_centric,
         fs_threshold_per_sec: f64::INFINITY,
         ..TmiConfig::protect()
     };
-    let mut engine = Engine::new(ecfg, TmiRuntime::new(tcfg, layout));
+    if let Some((_, _, inj)) = &faults {
+        // Litmus runs are far shorter than the paper's sampling period, so
+        // sample every HITM — otherwise the PEBS-drop fault point never
+        // sees a record to lose.
+        tcfg.perf.period = 1;
+        if inj.efficacy_probe() {
+            // Efficacy-probe schedules run the detection thread and judge
+            // any commit overhead a net loss, so the first post-repair
+            // window with commits reverts repair mid-run.
+            ecfg.tick_interval = 25_000;
+            tcfg.efficacy_revert_threshold = 0.0;
+        }
+    }
+    let mut rt = TmiRuntime::new(tcfg, layout);
+    if let Some((_, _, inj)) = &faults {
+        rt.set_fault_injector(inj.clone());
+    }
+    let mut engine = Engine::new(ecfg, rt);
     let k = &mut engine.core_mut().kernel;
+    if let Some((_, _, inj)) = &faults {
+        k.set_fault_injector(inj.clone());
+    }
     let app = k.create_object(litmus::APP_LEN);
     let internal = k.create_object(litmus::INTERNAL_LEN);
     let aspace = k.create_aspace();
-    k.map(
+    // Fixture maps tolerate injected transient map failures (burst length
+    // is bounded well below this retry budget).
+    k.map_retrying(
         aspace,
         MapRequest::object(VAddr::new(litmus::APP_START), litmus::APP_LEN, app, 0),
+        8,
     )
     .expect("map app object");
-    k.map(
+    k.map_retrying(
         aspace,
         MapRequest::object(
             VAddr::new(litmus::INTERNAL_START),
@@ -256,6 +351,7 @@ fn run_once(lit: &Litmus, code_centric: bool, max_div: usize) -> (Vec<Divergence
             internal,
             0,
         ),
+        8,
     )
     .expect("map internal object");
     engine.create_root_process(aspace);
@@ -277,75 +373,82 @@ fn run_once(lit: &Litmus, code_centric: bool, max_div: usize) -> (Vec<Divergence
             step: None,
             detail: format!("repaired run ended with {:?} after {steps} steps", run.halt),
         });
-        return (divs, steps);
-    }
-
-    // Replay the exact schedule through the SC oracle.
-    let mut interp = Interp::new(lit.threads.clone());
-    let mut replay_complete = true;
-    for (k, st) in trace.iter().enumerate() {
-        match interp.step(st.thread) {
-            Err(e) => {
-                divs.push(Divergence {
-                    kind: DivergenceKind::ScheduleInfeasible,
-                    step: Some(k),
-                    detail: e,
-                });
-                replay_complete = false;
-                break;
-            }
-            Ok(r) => {
-                if r.op != st.op {
+    } else {
+        // Replay the exact schedule through the SC oracle.
+        let mut interp = Interp::new(lit.threads.clone());
+        let mut replay_complete = true;
+        for (k, st) in trace.iter().enumerate() {
+            match interp.step(st.thread) {
+                Err(e) => {
                     divs.push(Divergence {
-                        kind: DivergenceKind::OpMismatch,
+                        kind: DivergenceKind::ScheduleInfeasible,
                         step: Some(k),
-                        detail: format!(
-                            "t{}: engine executed `{}`, program prescribes `{}`",
-                            st.thread, st.op, r.op
-                        ),
+                        detail: e,
                     });
                     replay_complete = false;
                     break;
                 }
-                if r.value != st.value && divs.len() < max_div {
+                Ok(r) => {
+                    if r.op != st.op {
+                        divs.push(Divergence {
+                            kind: DivergenceKind::OpMismatch,
+                            step: Some(k),
+                            detail: format!(
+                                "t{}: engine executed `{}`, program prescribes `{}`",
+                                st.thread, st.op, r.op
+                            ),
+                        });
+                        replay_complete = false;
+                        break;
+                    }
+                    if r.value != st.value && divs.len() < max_div {
+                        divs.push(Divergence {
+                            kind: DivergenceKind::ValueMismatch,
+                            step: Some(k),
+                            detail: format!(
+                                "t{} `{}`: engine {}, oracle {}",
+                                st.thread,
+                                st.op,
+                                fmt_val(st.value),
+                                fmt_val(r.value)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+
+        // Final shared-memory contents, slot by slot, straight from the
+        // object frames (the view every process shares after commits).
+        if replay_complete {
+            for (i, slot) in lit.slots.iter().enumerate() {
+                let engine_v = shared_read(&mut engine, aspace, slot.addr, slot.width);
+                let oracle_v = interp.read(slot.addr, slot.width);
+                if engine_v != oracle_v {
                     divs.push(Divergence {
-                        kind: DivergenceKind::ValueMismatch,
-                        step: Some(k),
+                        kind: DivergenceKind::FinalMemory,
+                        step: None,
                         detail: format!(
-                            "t{} `{}`: engine {}, oracle {}",
-                            st.thread,
-                            st.op,
-                            fmt_val(st.value),
-                            fmt_val(r.value)
+                            "slot s{i} @ {}: engine {engine_v:#x}, oracle {oracle_v:#x}",
+                            slot.addr
                         ),
                     });
                 }
             }
         }
+
+        // AMBSA: no multi-byte slot may ever expose a value nobody stored.
+        torn_values(lit, &trace, &mut engine, aspace, &mut divs);
     }
 
-    // Final shared-memory contents, slot by slot, straight from the
-    // object frames (the view every process shares after commits).
-    if replay_complete {
-        for (i, slot) in lit.slots.iter().enumerate() {
-            let engine_v = shared_read(&mut engine, aspace, slot.addr, slot.width);
-            let oracle_v = interp.read(slot.addr, slot.width);
-            if engine_v != oracle_v {
-                divs.push(Divergence {
-                    kind: DivergenceKind::FinalMemory,
-                    step: None,
-                    detail: format!(
-                        "slot s{i} @ {}: engine {engine_v:#x}, oracle {oracle_v:#x}",
-                        slot.addr
-                    ),
-                });
-            }
-        }
-    }
-
-    // AMBSA: no multi-byte slot may ever expose a value nobody stored.
-    torn_values(lit, &trace, &mut engine, aspace, &mut divs);
-    (divs, steps)
+    let summary = faults.map(|(base, fseed, inj)| FaultSummary {
+        base_seed: base,
+        fault_seed: fseed,
+        stats: inj.stats(),
+        governor: engine.runtime().repair().stats().clone(),
+        state: engine.runtime().repair().state(),
+    });
+    (divs, steps, summary)
 }
 
 fn fmt_val(v: Option<u64>) -> String {
@@ -477,17 +580,14 @@ fn torn(slot: usize, addr: VAddr, step: usize, v: u64) -> Divergence {
 /// Greedy shrinking: drop the post-barrier phase, drop the barrier, then
 /// repeatedly truncate threads at region-balanced cut points — accepting
 /// each candidate only if a divergence of the original kind persists.
-fn minimize(lit: &Litmus, code_centric: bool, target: DivergenceKind, max_div: usize) -> Litmus {
+fn minimize(lit: &Litmus, cfg: &CheckConfig, target: DivergenceKind) -> Litmus {
     let budget = std::cell::Cell::new(48usize);
     let diverges = |cand: &Litmus| -> bool {
         if budget.get() == 0 {
             return false;
         }
         budget.set(budget.get() - 1);
-        run_once(cand, code_centric, max_div)
-            .0
-            .iter()
-            .any(|d| d.kind == target)
+        run_once(cand, cfg).0.iter().any(|d| d.kind == target)
     };
 
     let mut cur = lit.clone();
@@ -608,6 +708,40 @@ mod tests {
         // The minimized program still diverges with the same first kind.
         let kinds: Vec<DivergenceKind> = r.divergences.iter().map(|d| d.kind).collect();
         assert!(!kinds.is_empty());
+    }
+
+    #[test]
+    fn fault_mode_checks_clean_and_is_deterministic() {
+        use tmi_faultpoint::FaultPoint;
+        let cfg = CheckConfig {
+            faults: Some(0xF00D),
+            ..CheckConfig::default()
+        };
+        let a = check_seed(5, &cfg);
+        let b = check_seed(5, &cfg);
+        assert!(
+            a.clean(),
+            "faults may abort repair, never diverge:\n{}",
+            a.render()
+        );
+        assert_eq!(
+            a.render(),
+            b.render(),
+            "(program seed, fault seed) must reproduce the run exactly"
+        );
+        let fs = a.faults.as_ref().expect("fault summary present");
+        assert_eq!(fs.base_seed, 0xF00D);
+        assert_eq!(fs.fault_seed, derive_fault_seed(0xF00D, 5));
+        let rolls: u64 = FaultPoint::ALL.iter().map(|&p| fs.stats.get(p).rolls).sum();
+        assert!(rolls > 0, "the repair path must roll fault points");
+        assert!(a.render().contains("--faults 61453"), "{}", a.render());
+    }
+
+    #[test]
+    fn fault_free_check_reports_no_fault_summary() {
+        let r = check_seed(5, &CheckConfig::default());
+        assert!(r.faults.is_none());
+        assert!(!r.render().contains("faults("));
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub mod diff;
 pub mod interp;
 pub mod litmus;
 
-pub use diff::{check_litmus, check_seed, CheckConfig, CheckReport, Divergence, DivergenceKind};
+pub use diff::{
+    check_litmus, check_seed, derive_fault_seed, CheckConfig, CheckReport, Divergence,
+    DivergenceKind, FaultSummary,
+};
 pub use interp::{Interp, RefStep};
 pub use litmus::{Coverage, Guard, GuardKind, Litmus, Slot, SlotClass};

@@ -59,6 +59,38 @@ pub enum OsError {
         /// Its current process.
         pid: Pid,
     },
+    /// The physical frame allocator has no free frames (ENOMEM-class;
+    /// usually transient under memory pressure).
+    OutOfFrames {
+        /// What the frame was needed for.
+        context: &'static str,
+    },
+    /// `fork()` was denied (EAGAIN-class resource limits — the paper's
+    /// ptrace-inject failure analogue). Retryable, but may persist.
+    ForkDenied {
+        /// The address space that was being cloned.
+        aspace: AsId,
+    },
+    /// An `mmap`/`mprotect`-class call failed transiently (EAGAIN).
+    TransientMapFailure {
+        /// The operation that failed.
+        op: &'static str,
+    },
+}
+
+impl OsError {
+    /// True for EAGAIN-class errors that a bounded retry loop may clear:
+    /// the resource can come back (frames freed, fork limits relaxed,
+    /// kernel allocator pressure passing). SIGSEGV-class errors and
+    /// structural misuse are never transient.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            OsError::OutOfFrames { .. }
+                | OsError::ForkDenied { .. }
+                | OsError::TransientMapFailure { .. }
+        )
+    }
 }
 
 impl fmt::Display for OsError {
@@ -87,6 +119,15 @@ impl fmt::Display for OsError {
             OsError::AlreadyConverted { tid, pid } => {
                 write!(f, "thread {tid:?} already owns process {pid:?}")
             }
+            OsError::OutOfFrames { context } => {
+                write!(f, "out of physical frames ({context})")
+            }
+            OsError::ForkDenied { aspace } => {
+                write!(f, "fork of address space {aspace:?} denied")
+            }
+            OsError::TransientMapFailure { op } => {
+                write!(f, "transient {op} failure")
+            }
         }
     }
 }
@@ -103,5 +144,18 @@ mod tests {
         let s = e.to_string();
         assert!(s.starts_with("invalid mapping"));
         assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(OsError::OutOfFrames { context: "test" }.is_transient());
+        assert!(OsError::ForkDenied { aspace: AsId(0) }.is_transient());
+        assert!(OsError::TransientMapFailure { op: "map" }.is_transient());
+        assert!(!OsError::UnmappedAddress {
+            aspace: AsId(0),
+            addr: VAddr::new(0)
+        }
+        .is_transient());
+        assert!(!OsError::NoSuchEntity("object").is_transient());
     }
 }

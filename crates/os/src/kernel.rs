@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 
+use tmi_faultpoint::{FaultInjector, FaultPoint};
 use tmi_machine::addr::FRAMES_PER_HUGE_PAGE;
 use tmi_machine::{FrameId, PhysAddr, PhysMem, VAddr, Vpn, Width, FRAME_SIZE};
 
@@ -72,12 +73,45 @@ pub struct Kernel {
     /// Reference counts for *owned* (anonymous / COW-private) frames.
     frame_refs: HashMap<FrameId, u32>,
     stats: OsStats,
+    /// Optional seeded fault schedule; `None` (the default) means every
+    /// operation behaves exactly as before injection existed.
+    faults: Option<FaultInjector>,
 }
 
 impl Kernel {
     /// Creates an empty kernel.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    // ----- fault injection ------------------------------------------------
+
+    /// Installs a seeded fault schedule. Kernel operations with named
+    /// fault points then fail on the injector's say-so; callers see
+    /// ordinary [`OsError`] values (`OutOfFrames`, `ForkDenied`,
+    /// `TransientMapFailure`) they must already be prepared to handle.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_injector(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    fn inject(&self, point: FaultPoint) -> bool {
+        self.faults.as_ref().is_some_and(|i| i.should_fail(point))
+    }
+
+    /// Rolls the frame-allocation fault point; called exactly where a
+    /// physical frame is really about to be allocated so seeded schedules
+    /// track real allocation pressure.
+    fn inject_frame_alloc(&self, context: &'static str) -> Result<(), OsError> {
+        if self.inject(FaultPoint::FrameAlloc) {
+            Err(OsError::OutOfFrames { context })
+        } else {
+            Ok(())
+        }
     }
 
     // ----- objects ------------------------------------------------------
@@ -144,14 +178,18 @@ impl Kernel {
                 return Err(OsError::InvalidMapping("mapping extends past object end"));
             }
         }
-        let a = self.aspace_mut(aspace);
-        if a.any_overlap(req.addr, req.len) {
+        if self.aspace(aspace).any_overlap(req.addr, req.len) {
             return Err(OsError::MappingOverlap {
                 addr: req.addr,
                 len: req.len,
             });
         }
-        a.push_vma(Vma {
+        // Only a fully validated request can fail transiently — invalid
+        // requests keep their deterministic errors even under injection.
+        if self.inject(FaultPoint::MapTransient) {
+            return Err(OsError::TransientMapFailure { op: "map" });
+        }
+        self.aspace_mut(aspace).push_vma(Vma {
             start: req.addr,
             len: req.len,
             backing: req.backing,
@@ -159,6 +197,30 @@ impl Kernel {
             page_size: req.page_size,
         });
         Ok(())
+    }
+
+    /// [`Kernel::map`] with a bounded retry loop over transient failures
+    /// (the `mmap`-until-it-sticks idiom of setup code). Non-transient
+    /// errors return immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last transient error once `max_retries` extra attempts
+    /// are exhausted, or the first non-transient error.
+    pub fn map_retrying(
+        &mut self,
+        aspace: AsId,
+        req: MapRequest,
+        max_retries: u32,
+    ) -> Result<(), OsError> {
+        let mut last = None;
+        for _ in 0..=max_retries {
+            match self.map(aspace, req) {
+                Err(e) if e.is_transient() => last = Some(e),
+                other => return other,
+            }
+        }
+        Err(last.expect("loop ran at least once"))
     }
 
     // ----- translation & faults ------------------------------------------
@@ -224,6 +286,7 @@ impl Kernel {
         }
         match (vma.backing, vma.page_size) {
             (Backing::Anon, PageSize::Small) => {
+                self.inject_frame_alloc("anonymous demand paging")?;
                 let frame = self.physmem.alloc_frame();
                 self.frame_refs.insert(frame, 1);
                 self.aspace_mut(aspace).set_pte(
@@ -248,6 +311,9 @@ impl Kernel {
             }
             (Backing::Object { obj, offset }, PageSize::Small) => {
                 let page_in_obj = (addr.raw() - vma.start.raw() + offset) / FRAME_SIZE;
+                if self.objects[obj.0 as usize].frame(page_in_obj).is_none() {
+                    self.inject_frame_alloc("object demand paging")?;
+                }
                 let (frame, fresh) =
                     self.objects[obj.0 as usize].frame_or_populate(page_in_obj, &mut self.physmem);
                 self.aspace_mut(aspace).set_pte(
@@ -277,6 +343,14 @@ impl Kernel {
                     * PageSize::Huge.bytes();
                 let first_vpn = Vpn((vma.start.raw() + chunk_off) / FRAME_SIZE);
                 let first_page_in_obj = (chunk_off + offset) / FRAME_SIZE;
+                let needs_alloc = (0..FRAMES_PER_HUGE_PAGE).any(|i| {
+                    self.objects[obj.0 as usize]
+                        .frame(first_page_in_obj + i)
+                        .is_none()
+                });
+                if needs_alloc {
+                    self.inject_frame_alloc("huge-page population")?;
+                }
                 let fresh = self.objects[obj.0 as usize].populate_run(
                     first_page_in_obj,
                     FRAMES_PER_HUGE_PAGE,
@@ -312,6 +386,9 @@ impl Kernel {
             .aspace(aspace)
             .vma_for(addr)
             .ok_or(OsError::UnmappedAddress { aspace, addr })?;
+        // Rolled before any PTE is touched: a failed break leaves the
+        // page exactly as it was, so the fault can simply be retried.
+        self.inject_frame_alloc("copy-on-write break")?;
         let huge = vma.page_size == PageSize::Huge;
         let (first_vpn, pages) = if huge {
             let chunk_off =
@@ -402,8 +479,10 @@ impl Kernel {
     /// # Errors
     ///
     /// Returns [`OsError::NotProtectable`] if the page is anonymous or
-    /// holds a private copy already, and [`OsError::UnmappedAddress`] if no
-    /// VMA covers it.
+    /// holds a private copy already, [`OsError::UnmappedAddress`] if no
+    /// VMA covers it, and under fault injection
+    /// [`OsError::TransientMapFailure`] / [`OsError::OutOfFrames`] (the
+    /// call has no side effects in that case and may be retried).
     pub fn protect_page_cow(&mut self, aspace: AsId, vpn: Vpn) -> Result<(), OsError> {
         let addr = vpn.base();
         let vma = *self
@@ -413,10 +492,16 @@ impl Kernel {
         let Backing::Object { obj, offset } = vma.backing else {
             return Err(OsError::NotProtectable { vpn });
         };
+        if self.inject(FaultPoint::ProtectPage) {
+            return Err(OsError::TransientMapFailure { op: "mprotect" });
+        }
         let pte = match self.aspace(aspace).pte(vpn) {
             Some(p) => p,
             None => {
                 let page_in_obj = (addr.raw() - vma.start.raw() + offset) / FRAME_SIZE;
+                if self.objects[obj.0 as usize].frame(page_in_obj).is_none() {
+                    self.inject_frame_alloc("protect-time population")?;
+                }
                 let (frame, _) =
                     self.objects[obj.0 as usize].frame_or_populate(page_in_obj, &mut self.physmem);
                 Pte {
@@ -463,6 +548,11 @@ impl Kernel {
 
     /// Fully disarms protection on `vpn`: discards any private copy and
     /// restores a writable shared mapping.
+    ///
+    /// This is the rollback/degradation path, so it is deliberately
+    /// allocation-free in practice (a page can only be armed once its
+    /// object frame exists) and carries **no** fault point: the governor
+    /// must always be able to give a page back to shared memory.
     ///
     /// # Errors
     ///
@@ -585,7 +675,15 @@ impl Kernel {
     /// Clones an address space with full `fork()` copy-on-write semantics:
     /// shared-object pages stay shared; private pages become COW in both
     /// parent and child.
-    pub fn fork_aspace(&mut self, src: AsId) -> AsId {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::ForkDenied`] when the fork fault point fires
+    /// (nothing is created or modified in that case).
+    pub fn fork_aspace(&mut self, src: AsId) -> Result<AsId, OsError> {
+        if self.inject(FaultPoint::Fork) {
+            return Err(OsError::ForkDenied { aspace: src });
+        }
         let dst = self.create_aspace();
         let vmas: Vec<Vma> = self.aspace(src).vmas().to_vec();
         let ptes: Vec<(Vpn, Pte)> = self.aspace(src).ptes().collect();
@@ -609,7 +707,7 @@ impl Kernel {
             self.aspace_mut(dst).set_pte(vpn, shared_pte);
         }
         self.stats.forks += 1;
-        dst
+        Ok(dst)
     }
 
     /// Converts a running thread into a process (§3.2): the thread leaves
@@ -620,13 +718,15 @@ impl Kernel {
     /// # Errors
     ///
     /// Returns [`OsError::AlreadyConverted`] if the thread is already the
-    /// only member of its process.
+    /// only member of its process, or [`OsError::ForkDenied`] if the
+    /// underlying fork is vetoed (the thread stays in its old process and
+    /// the call may be retried).
     pub fn convert_thread_to_process(&mut self, tid: Tid) -> Result<Pid, OsError> {
         let old_pid = self.thread(tid).pid;
         if self.process(old_pid).threads.len() == 1 {
             return Err(OsError::AlreadyConverted { tid, pid: old_pid });
         }
-        let new_aspace = self.fork_aspace(self.process(old_pid).aspace);
+        let new_aspace = self.fork_aspace(self.process(old_pid).aspace)?;
         let new_pid = Pid(self.processes.len() as u32);
         self.processes.push(Process {
             pid: new_pid,
@@ -639,6 +739,37 @@ impl Kernel {
         self.threads[tid.0 as usize].pid = new_pid;
         self.stats.conversions += 1;
         Ok(new_pid)
+    }
+
+    /// Reverses a prior thread-to-process conversion: `tid` leaves the
+    /// process it solely owns and rejoins `target_pid`, and the forked
+    /// address space's residency is dropped, returning every private frame
+    /// it owned to the allocator. The empty process and address space keep
+    /// their IDs (IDs are never reused) but hold no memory.
+    ///
+    /// Like [`Kernel::unprotect_page`], this is a rollback path and
+    /// carries no fault point — the governor must always be able to put a
+    /// thread back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::NoSuchEntity`] if `tid` is not the sole thread
+    /// of its process (nothing to rejoin from).
+    pub fn rejoin_thread(&mut self, tid: Tid, target_pid: Pid) -> Result<(), OsError> {
+        let old_pid = self.thread(tid).pid;
+        if old_pid == target_pid {
+            return Ok(());
+        }
+        if self.process(old_pid).threads != [tid] {
+            return Err(OsError::NoSuchEntity("solo process to rejoin from"));
+        }
+        let old_aspace = self.process(old_pid).aspace;
+        self.drop_residency(old_aspace);
+        self.processes[old_pid.0 as usize].threads.clear();
+        self.processes[target_pid.0 as usize].threads.push(tid);
+        self.threads[tid.0 as usize].pid = target_pid;
+        self.stats.rejoins += 1;
+        Ok(())
     }
 
     // ----- data-plane helpers ---------------------------------------------
@@ -686,23 +817,32 @@ impl Kernel {
         Ok(self.physmem.read(pa, width))
     }
 
-    /// Translates, resolving faults until translation succeeds.
+    /// Translates, resolving faults until translation succeeds. Transient
+    /// fault-handling errors (injected out-of-frames bursts) are retried
+    /// up to a small internal budget — this is host-side setup code, so
+    /// the retries are not cycle-charged.
     ///
     /// # Errors
     ///
-    /// Propagates unresolvable faults (SIGSEGV-class errors).
+    /// Propagates unresolvable faults (SIGSEGV-class errors), or the last
+    /// transient error if the retry budget is exhausted.
     pub fn fault_in(
         &mut self,
         aspace: AsId,
         addr: VAddr,
         is_write: bool,
     ) -> Result<PhysAddr, OsError> {
+        let mut transient_budget = 16u32;
         loop {
             match self.translate(aspace, addr, is_write) {
                 Ok(pa) => return Ok(pa),
-                Err(_) => {
-                    self.handle_fault(aspace, addr, is_write)?;
-                }
+                Err(_) => match self.handle_fault(aspace, addr, is_write) {
+                    Ok(_) => {}
+                    Err(e) if e.is_transient() && transient_budget > 0 => {
+                        transient_budget -= 1;
+                    }
+                    Err(e) => return Err(e),
+                },
             }
         }
     }
@@ -879,7 +1019,7 @@ mod tests {
             .unwrap();
         let addr = VAddr::new(0x1000);
         k.force_write(a, addr, Width::W8, 5).unwrap();
-        let b = k.fork_aspace(a);
+        let b = k.fork_aspace(a).unwrap();
         // Both read the same value...
         assert_eq!(k.force_read(b, addr, Width::W8).unwrap(), 5);
         // ...child writes do not leak to the parent.

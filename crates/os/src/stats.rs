@@ -24,6 +24,8 @@ pub struct OsStats {
     pub conversions: u64,
     /// Address-space forks performed.
     pub forks: u64,
+    /// Conversions reversed by the repair governor (rollback / revert).
+    pub rejoins: u64,
 }
 
 impl OsStats {

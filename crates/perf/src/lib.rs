@@ -20,6 +20,7 @@
 
 use std::collections::HashMap;
 
+use tmi_faultpoint::{FaultInjector, FaultPoint};
 use tmi_machine::hitm::HitmKind;
 use tmi_machine::VAddr;
 use tmi_os::Tid;
@@ -111,6 +112,8 @@ pub struct PerfMonitor {
     threads: HashMap<Tid, ThreadCounter>,
     records_taken: u64,
     events_seen: u64,
+    faults: Option<FaultInjector>,
+    records_injected_dropped: u64,
 }
 
 impl PerfMonitor {
@@ -121,7 +124,17 @@ impl PerfMonitor {
             threads: HashMap::new(),
             records_taken: 0,
             events_seen: 0,
+            faults: None,
+            records_injected_dropped: 0,
         }
+    }
+
+    /// Installs a seeded fault schedule: each captured record rolls
+    /// [`FaultPoint::PebsDrop`], and a firing roll loses the record at
+    /// capture time (the microcode assist still runs — and still costs
+    /// [`PerfConfig::capture_cycles`] — but the buffer write is lost).
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
     }
 
     /// The sampling configuration.
@@ -159,6 +172,12 @@ impl PerfMonitor {
             return 0;
         }
         self.records_taken += 1;
+        if let Some(inj) = &self.faults {
+            if inj.should_fail(FaultPoint::PebsDrop) {
+                self.records_injected_dropped += 1;
+                return cfg.capture_cycles;
+            }
+        }
         let vaddr = if cfg.skid_every > 0 && self.records_taken.is_multiple_of(cfg.skid_every) {
             vaddr.offset(8)
         } else {
@@ -198,6 +217,11 @@ impl PerfMonitor {
     /// Records dropped to buffer overflow.
     pub fn records_dropped(&self) -> u64 {
         self.threads.values().map(|t| t.dropped).sum()
+    }
+
+    /// Records lost to injected PEBS faults (capture-time drops).
+    pub fn records_injected_dropped(&self) -> u64 {
+        self.records_injected_dropped
     }
 
     /// Approximate memory footprint of the perf buffers in bytes
@@ -318,6 +342,28 @@ mod tests {
         assert_eq!(m.records_taken(), 0, "neither thread reached its period");
         m.on_hitm(Tid(0), pc, va, HitmKind::Load);
         assert_eq!(m.records_taken(), 1);
+    }
+
+    #[test]
+    fn injected_pebs_drops_lose_records_but_still_cost_cycles() {
+        use tmi_faultpoint::{FaultPlan, PointPlan};
+        let mut m = PerfMonitor::new(PerfConfig {
+            period: 1,
+            skid_every: 0,
+            ..Default::default()
+        });
+        // Every other captured record is dropped at capture time.
+        m.set_fault_injector(FaultInjector::new(
+            FaultPlan::quiet().with(FaultPoint::PebsDrop, PointPlan::transient(2, 1)),
+        ));
+        let (tid, pc, va) = rec_inputs();
+        for _ in 0..10 {
+            let cost = m.on_hitm(tid, pc, va, HitmKind::Load);
+            assert!(cost > 0, "the assist runs whether or not the record lands");
+        }
+        assert_eq!(m.records_taken(), 10);
+        assert_eq!(m.records_injected_dropped(), 5);
+        assert_eq!(m.drain().len(), 5);
     }
 
     #[test]

@@ -609,16 +609,54 @@ impl<R: RuntimeHooks> Engine<R> {
         let aspace = self.core.kernel.thread_aspace(tid);
         let is_write = kind.is_write();
         let costs = self.core.config.costs;
+        // Kernel errors while resolving the access (out of frames, vetoed
+        // remaps) are offered to the runtime's governor via
+        // `on_fault_error`: `Some(backoff)` charges the thread and retries
+        // the same access, `None` aborts the run — which is the default,
+        // so runtimes without a governor behave exactly as before.
+        let mut attempts = 0u32;
         let paddr = match route {
-            Route::SharedObject => self.core.kernel.object_paddr(aspace, vaddr)?,
+            Route::SharedObject => loop {
+                match self.core.kernel.object_paddr(aspace, vaddr) {
+                    Ok(pa) => break pa,
+                    Err(err) => {
+                        attempts += 1;
+                        match self.runtime.on_fault_error(
+                            &mut self.core,
+                            tid,
+                            vaddr,
+                            &err,
+                            attempts,
+                        ) {
+                            Some(backoff) => self.core.threads[idx].clock += backoff,
+                            None => return Err(err),
+                        }
+                    }
+                }
+            },
             Route::Normal | Route::Uncached => loop {
                 match self.core.kernel.translate(aspace, vaddr, is_write) {
                     Ok(pa) => break pa,
-                    Err(_) => {
-                        let res = self.core.kernel.handle_fault(aspace, vaddr, is_write)?;
-                        self.core.threads[idx].clock += fault_cost(&costs, &res);
-                        self.runtime.on_fault(&mut self.core, tid, &res);
-                    }
+                    Err(_) => match self.core.kernel.handle_fault(aspace, vaddr, is_write) {
+                        Ok(res) => {
+                            attempts = 0;
+                            self.core.threads[idx].clock += fault_cost(&costs, &res);
+                            self.runtime.on_fault(&mut self.core, tid, &res);
+                        }
+                        Err(err) => {
+                            attempts += 1;
+                            match self.runtime.on_fault_error(
+                                &mut self.core,
+                                tid,
+                                vaddr,
+                                &err,
+                                attempts,
+                            ) {
+                                Some(backoff) => self.core.threads[idx].clock += backoff,
+                                None => return Err(err),
+                            }
+                        }
+                    },
                 }
             },
         };

@@ -144,6 +144,26 @@ pub trait RuntimeHooks {
     /// a PTSB runtime snapshots twin pages on COW breaks.
     fn on_fault(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, res: &FaultResolution) {}
 
+    /// Called when resolving a fault (or shared-object translation) for
+    /// `tid` at `addr` *failed* with a kernel error — out of frames, a
+    /// transient map failure, a vetoed fork. `attempt` counts consecutive
+    /// failures of this same access, starting at 1.
+    ///
+    /// Return `Some(backoff_cycles)` to charge the thread and retry the
+    /// access, or `None` to abort the run with the error. The default is
+    /// `None`: a runtime with no self-healing governor treats every kernel
+    /// error as fatal, exactly as before this hook existed.
+    fn on_fault_error(
+        &mut self,
+        ctl: &mut dyn EngineCtl,
+        tid: Tid,
+        addr: VAddr,
+        err: &tmi_os::OsError,
+        attempt: u32,
+    ) -> Option<u64> {
+        None
+    }
+
     /// Called at each synchronization operation, before it takes effect.
     /// Returns extra cycles (the PTSB diff-and-merge commit).
     fn on_sync(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, ev: SyncEvent) -> u64 {

@@ -14,6 +14,12 @@
 #   fuzz     fixed-seed differential fuzz: 64 litmus seeds through the
 #            repair path vs the sequential oracle (must be clean), plus
 #            16 seeds with --ablate-code-centric (must diverge)
+#   faults   fixed-seed fault matrix: 128 litmus seeds under the seeded
+#            fault schedule --faults 1; the oracle must stay clean AND
+#            every fault point must fire with retry, rollback and
+#            efficacy-revert each exercised (the binary exits non-zero
+#            on incomplete coverage; see EXPERIMENTS.md "Fault
+#            campaigns")
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,5 +46,11 @@ echo "== fuzz: differential consistency oracle"
 target/release/fuzz_consistency --seeds 64
 target/release/fuzz_consistency --seeds 16 --ablate-code-centric > /dev/null \
   || { echo "ablated fuzz campaign failed to diverge"; exit 1; }
+
+echo "== faults: seeded fault-injection matrix"
+fault_out=$(target/release/fuzz_consistency --seeds 128 --faults 1) \
+  || { printf '%s\n' "$fault_out"; echo "fault campaign diverged or left coverage incomplete"; exit 1; }
+printf '%s\n' "$fault_out" | grep -q 'fault coverage: OK' \
+  || { printf '%s\n' "$fault_out"; echo "fault campaign coverage incomplete"; exit 1; }
 
 echo "== ok"
