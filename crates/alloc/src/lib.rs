@@ -92,6 +92,15 @@ pub struct AllocStats {
     pub reserved_bytes: u64,
 }
 
+impl tmi_telemetry::MetricSource for AllocStats {
+    fn metrics(&self, out: &mut tmi_telemetry::MetricSink) {
+        out.u64("live_bytes", self.live_bytes);
+        out.u64("peak_bytes", self.peak_bytes);
+        out.u64("allocations", self.allocations);
+        out.u64("reserved_bytes", self.reserved_bytes);
+    }
+}
+
 /// A deterministic size-class allocator over a pre-mapped virtual range.
 ///
 /// ```

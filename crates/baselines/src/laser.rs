@@ -67,6 +67,15 @@ pub struct LaserStats {
     pub drains: u64,
 }
 
+impl tmi_telemetry::MetricSource for LaserStats {
+    fn metrics(&self, out: &mut tmi_telemetry::MetricSink) {
+        out.u64("repaired_lines", self.repaired_lines as u64);
+        out.u64("repairs_declined_tso", self.repairs_declined_tso);
+        out.u64("emulated_stores", self.emulated_stores);
+        out.u64("drains", self.drains);
+    }
+}
+
 /// The LASER runtime.
 #[derive(Debug)]
 pub struct LaserRuntime {
@@ -113,6 +122,15 @@ impl LaserRuntime {
 
     fn is_repaired(&self, addr: VAddr) -> bool {
         !self.repaired.is_empty() && self.repaired.contains(&(addr.raw() / LINE_SIZE))
+    }
+}
+
+impl tmi_telemetry::MetricSource for LaserRuntime {
+    fn metrics(&self, out: &mut tmi_telemetry::MetricSink) {
+        tmi_telemetry::MetricSource::metrics(&self.stats, out);
+        out.u64("repaired", u64::from(self.repaired()));
+        out.source("perf", &self.perf);
+        out.source("detector", &self.detector);
     }
 }
 

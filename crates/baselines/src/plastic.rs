@@ -54,6 +54,13 @@ pub struct PlasticStats {
     pub remapped_accesses: u64,
 }
 
+impl tmi_telemetry::MetricSource for PlasticStats {
+    fn metrics(&self, out: &mut tmi_telemetry::MetricSink) {
+        out.u64("remapped_lines", self.remapped_lines as u64);
+        out.u64("remapped_accesses", self.remapped_accesses);
+    }
+}
+
 /// The Plastic-style runtime.
 #[derive(Debug)]
 pub struct PlasticRuntime {
@@ -89,6 +96,14 @@ impl PlasticRuntime {
     /// Runtime statistics.
     pub fn stats(&self) -> &PlasticStats {
         &self.stats
+    }
+}
+
+impl tmi_telemetry::MetricSource for PlasticRuntime {
+    fn metrics(&self, out: &mut tmi_telemetry::MetricSink) {
+        tmi_telemetry::MetricSource::metrics(&self.stats, out);
+        out.source("perf", &self.perf);
+        out.source("detector", &self.detector);
     }
 }
 

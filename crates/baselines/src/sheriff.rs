@@ -69,6 +69,14 @@ impl SheriffConfig {
     }
 }
 
+impl tmi_telemetry::MetricSource for SheriffRuntime {
+    fn metrics(&self, out: &mut tmi_telemetry::MetricSink) {
+        out.u64("repaired", u64::from(self.repair.active()));
+        out.source("repair", &self.repair);
+        out.source("locks", &self.locks);
+    }
+}
+
 /// The Sheriff runtime.
 #[derive(Debug)]
 pub struct SheriffRuntime {
@@ -98,6 +106,11 @@ impl SheriffRuntime {
     /// Repair statistics (commits, protected pages).
     pub fn repair(&self) -> &RepairManager {
         &self.repair
+    }
+
+    /// Installs a telemetry tracer on the underlying repair manager.
+    pub fn set_tracer(&mut self, tracer: tmi_telemetry::Tracer) {
+        self.repair.set_tracer(tracer);
     }
 
     fn commit(&mut self, ctl: &mut dyn EngineCtl, tid: Tid) -> u64 {

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! fuzz_consistency [--seeds N] [--start N] [--ablate-code-centric]
-//!                  [--workers N] [--faults SEED]
+//!                  [--workers N] [--faults SEED] [--trace out.json]
 //! ```
 //!
 //! Exit status is 0 when the campaign matches its mode — zero
@@ -23,11 +23,17 @@
 //! revert — the campaign must still find zero divergences, and (for
 //! campaigns large enough to matter) every fault point must fire with
 //! retry, rollback and efficacy-revert each exercised at least once.
+//!
+//! `--trace out.json` re-runs the campaign's first seed with telemetry
+//! tracing enabled after the campaign and writes the Chrome `trace_event`
+//! timeline of that repaired run to `out.json` (stderr note only; the
+//! campaign report on stdout is unchanged).
 
 use tmi_bench::fuzz::{run_campaign, FuzzConfig};
 
 fn main() {
     let mut cfg = FuzzConfig::default();
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut num = |name: &str| -> u64 {
@@ -44,10 +50,18 @@ fn main() {
             "--workers" => cfg.workers = Some(num("--workers") as usize),
             "--ablate-code-centric" => cfg.ablate_code_centric = true,
             "--faults" => cfg.faults = Some(num("--faults")),
+            "--trace" => match args.next() {
+                Some(p) => trace_path = Some(p),
+                None => {
+                    eprintln!("--trace requires an output path");
+                    std::process::exit(2);
+                }
+            },
             _ => {
                 eprintln!(
                     "usage: fuzz_consistency [--seeds N] [--start N] \
-                     [--ablate-code-centric] [--workers N] [--faults SEED]"
+                     [--ablate-code-centric] [--workers N] [--faults SEED] \
+                     [--trace out.json]"
                 );
                 std::process::exit(2);
             }
@@ -63,6 +77,27 @@ fn main() {
 
     let result = run_campaign(&cfg);
     print!("{}", result.render());
+
+    if let Some(out) = trace_path {
+        let check = tmi_oracle::CheckConfig {
+            code_centric: !cfg.ablate_code_centric,
+            faults: cfg.faults,
+            ..Default::default()
+        };
+        let (report, trace) = tmi_oracle::trace_seed(cfg.start_seed, &check);
+        if let Err(e) = std::fs::write(&out, trace) {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote Chrome trace of seed {} to {out} ({} steps, {}; open in \
+             chrome://tracing or ui.perfetto.dev)",
+            cfg.start_seed,
+            report.steps,
+            if report.clean() { "clean" } else { "DIVERGED" },
+        );
+    }
+
     let coverage_ok = result.faults.as_ref().is_none_or(|f| f.coverage_ok());
     std::process::exit(if result.ok() && coverage_ok { 0 } else { 1 });
 }

@@ -8,20 +8,38 @@
 //! sections, or `--quick` for a reduced smoke run (used by
 //! `scripts/check.sh`). `TMI_BENCH_JOBS=N` bounds the pool; the printed
 //! report is byte-identical for every pool size. A machine-readable
-//! per-job timing log is written to `BENCH_harness.json` at the end.
+//! per-job timing log (with each cell's metrics-registry snapshot) is
+//! written to `BENCH_harness.json` at the end.
+//!
+//! `--trace out.json` additionally runs one traced `tmi-protect` repair
+//! episode (histogramfs, which repairs via T2P conversion rather than
+//! allocator repad) and writes its Chrome `trace_event` timeline to
+//! `out.json` — load it at `chrome://tracing`
+//! or <https://ui.perfetto.dev>. The trace run is separate from the
+//! figure cells, so the printed report is unaffected.
 
-use tmi_bench::{figures, Executor};
+use tmi_bench::{figures, Executor, Experiment, RuntimeKind};
 
 fn main() {
     let mut quick = false;
     let mut scale_arg: Option<f64> = None;
-    for arg in std::env::args().skip(1) {
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--quick" {
             quick = true;
+        } else if arg == "--trace" {
+            match args.next() {
+                Some(p) => trace_path = Some(p),
+                None => {
+                    eprintln!("--trace requires an output path");
+                    std::process::exit(2);
+                }
+            }
         } else if let Ok(s) = arg.parse::<f64>() {
             scale_arg = Some(s);
         } else {
-            eprintln!("usage: run_all [--quick] [scale]");
+            eprintln!("usage: run_all [--quick] [--trace out.json] [scale]");
             std::process::exit(2);
         }
     }
@@ -81,5 +99,24 @@ fn main() {
             eprintln!("failed to write {}: {e}", path.display());
             std::process::exit(1);
         }
+    }
+
+    // The traced run prints only to stderr so that stdout stays
+    // byte-identical to the golden report whether or not --trace is given.
+    if let Some(out) = trace_path {
+        let (r, trace) = Experiment::repair("histogramfs")
+            .runtime(RuntimeKind::TmiProtect)
+            .scale(if quick { 0.25 } else { 1.0 })
+            .misaligned()
+            .run_traced();
+        if let Err(e) = std::fs::write(&out, trace) {
+            eprintln!("failed to write {out}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote Chrome trace to {out} (histogramfs under tmi-protect, repaired={}, \
+             {} commits; open in chrome://tracing or ui.perfetto.dev)",
+            r.repaired, r.commits
+        );
     }
 }

@@ -35,6 +35,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use tmi_telemetry::MetricsSnapshot;
+
 use crate::harness::{self, RunConfig, RunResult, RuntimeKind};
 
 /// Fans `f(0..n)` out over a scoped pool of `workers` threads and returns
@@ -156,6 +158,8 @@ pub struct JobRecord {
     pub sim_cycles: u64,
     /// Simulated seconds (0 if the cell failed).
     pub sim_seconds: f64,
+    /// The cell's metrics-registry snapshot (empty if the cell failed).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Memoization key: the full cell identity.
@@ -302,6 +306,7 @@ impl Executor {
             host_seconds,
             sim_cycles: result.map_or(0, |r| r.cycles),
             sim_seconds: result.map_or(0.0, |r| r.seconds),
+            metrics: result.map(|r| r.metrics.clone()).unwrap_or_default(),
         });
     }
 
@@ -315,11 +320,12 @@ impl Executor {
 
     /// Serializes the timing log as the `BENCH_harness.json` document.
     ///
-    /// Schema (`tmi-bench-harness/1`):
+    /// Schema (`tmi-bench-harness/2`; `/2` added the per-cell `metrics`
+    /// member, the flat metrics-registry snapshot of the run):
     ///
     /// ```json
     /// {
-    ///   "schema": "tmi-bench-harness/1",
+    ///   "schema": "tmi-bench-harness/2",
     ///   "pool_workers": 8,
     ///   "jobs": 123,
     ///   "cache_hits": 17,
@@ -328,7 +334,8 @@ impl Executor {
     ///     {"batch": 0, "index": 0, "workload": "histogram",
     ///      "runtime": "pthreads", "threads": 8, "scale": 1.0,
     ///      "status": "ok", "host_seconds": 0.81,
-    ///      "sim_cycles": 3400000, "sim_seconds": 0.001}
+    ///      "sim_cycles": 3400000, "sim_seconds": 0.001,
+    ///      "metrics": {"machine.accesses": 100, "os.minor_faults": 5}}
     ///   ]
     /// }
     /// ```
@@ -336,7 +343,7 @@ impl Executor {
         let log = self.job_log();
         let cache_hits = log.iter().filter(|r| r.status == "cached").count();
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"tmi-bench-harness/1\",\n");
+        out.push_str("  \"schema\": \"tmi-bench-harness/2\",\n");
         out.push_str(&format!("  \"pool_workers\": {},\n", self.workers));
         out.push_str(&format!("  \"jobs\": {},\n", log.len()));
         out.push_str(&format!("  \"cache_hits\": {cache_hits},\n"));
@@ -351,7 +358,8 @@ impl Executor {
                 "    {{\"batch\": {}, \"index\": {}, \"workload\": {}, \
                  \"runtime\": {}, \"threads\": {}, \"scale\": {}, \
                  \"status\": {}, \"host_seconds\": {:.6}, \
-                 \"sim_cycles\": {}, \"sim_seconds\": {:.9}}}{sep}\n",
+                 \"sim_cycles\": {}, \"sim_seconds\": {:.9}, \
+                 \"metrics\": {}}}{sep}\n",
                 r.batch,
                 r.index,
                 json_string(&r.workload),
@@ -362,6 +370,7 @@ impl Executor {
                 r.host_seconds,
                 r.sim_cycles,
                 r.sim_seconds,
+                r.metrics.to_json(""),
             ));
         }
         out.push_str("  ]\n}\n");
@@ -545,6 +554,15 @@ impl Experiment {
     /// speedup (the runtime is forced to [`RuntimeKind::TmiDetect`]).
     pub fn run_detect_report(self) -> (RunResult, tmi::ContentionReport, f64) {
         harness::execute_detect_report(&self.workload, &self.cfg)
+    }
+
+    /// Runs this cell with telemetry tracing enabled and returns the
+    /// result plus the Chrome `trace_event` JSON document — load it at
+    /// `chrome://tracing` or <https://ui.perfetto.dev>. The trace embeds
+    /// the run's metrics snapshot and per-phase cycle profile under
+    /// `otherData`.
+    pub fn run_traced(self) -> (RunResult, String) {
+        harness::execute_traced(&self.workload, &self.cfg)
     }
 }
 

@@ -11,6 +11,7 @@ use tmi_machine::{LatencyModel, VAddr, FRAME_SIZE};
 use tmi_os::MapRequest;
 use tmi_perf::PerfConfig;
 use tmi_sim::{Engine, EngineConfig, Halt, NullRuntime, RuntimeHooks};
+use tmi_telemetry::{MetricSource, MetricsSnapshot, Tracer};
 use tmi_workloads::{SetupCtx, Workload, WorkloadParams};
 
 /// Base of the primary application mapping.
@@ -205,6 +206,11 @@ pub struct RunResult {
     pub app_bytes: u64,
     /// Demand page faults taken.
     pub faults: u64,
+    /// The full flat metrics-registry snapshot of the run: every
+    /// `machine.*`, `os.*` and runtime counter under one stable namespace.
+    /// The typed fields above are derived from this snapshot; reports
+    /// should prefer it over field-walking.
+    pub metrics: MetricsSnapshot,
 }
 
 impl RunResult {
@@ -371,12 +377,14 @@ fn base_result(name: &str, cfg: &RunConfig) -> RunResult {
         memory_bytes: 0,
         app_bytes: 0,
         faults: 0,
+        metrics: MetricsSnapshot::default(),
     }
 }
 
-fn finish<R: RuntimeHooks>(
+fn finish<R: RuntimeHooks + MetricSource>(
     name: &str,
     cfg: &RunConfig,
+    metric_prefix: &str,
     mut built: Built<R>,
     fill: impl FnOnce(&R, &tmi_sim::EngineCore, &mut RunResult),
 ) -> RunResult {
@@ -386,8 +394,11 @@ fn finish<R: RuntimeHooks>(
     r.cycles = report.cycles;
     r.seconds = report.seconds();
     r.ops = report.ops;
-    r.hitm_events = built.engine.core().machine.stats().hitm_events;
-    r.faults = built.engine.core().kernel.stats().total_demand_faults();
+    // Snapshot the registry before verification touches the kernel: the
+    // counters describe the simulated run, not the post-hoc readback.
+    r.metrics = built.engine.metrics(metric_prefix);
+    r.hitm_events = r.metrics.u64("machine.hitm_events");
+    r.faults = r.metrics.u64("os.total_demand_faults");
     r.app_bytes = built.engine.core().kernel.physmem().peak_allocated_frames() as u64 * FRAME_SIZE;
     r.memory_bytes = r.app_bytes;
 
@@ -425,49 +436,77 @@ pub fn run(name: &str, cfg: &RunConfig) -> RunResult {
 /// The single synchronous entry point every run funnels through
 /// ([`crate::Experiment::run`] and the executor both land here).
 pub(crate) fn execute(name: &str, cfg: &RunConfig) -> RunResult {
+    execute_with_tracer(name, cfg, &Tracer::disabled())
+}
+
+/// Like [`execute`], but with telemetry tracing enabled. Returns the run
+/// result together with the Chrome `trace_event` JSON document (load it at
+/// `chrome://tracing` or in Perfetto). Runtimes without tracer support
+/// (pthreads, LASER, Plastic) produce a trace with metrics but no events.
+pub(crate) fn execute_traced(name: &str, cfg: &RunConfig) -> (RunResult, String) {
+    let tracer = Tracer::enabled();
+    let r = execute_with_tracer(name, cfg, &tracer);
+    let events = tracer.take_events();
+    let trace = tmi_telemetry::chrome::export_trace(
+        &events,
+        &tracer.phases(),
+        LatencyModel::CLOCK_HZ,
+        Some(&r.metrics),
+    );
+    (r, trace)
+}
+
+fn execute_with_tracer(name: &str, cfg: &RunConfig, tracer: &Tracer) -> RunResult {
     let tmi_cfg = |preset: TmiConfig| TmiConfig {
         perf: PerfConfig::with_period(cfg.period),
         ..preset
     };
+    let make_tmi = |c: TmiConfig| {
+        move |l: AppLayout| {
+            let mut rt = TmiRuntime::new(c, l);
+            rt.set_tracer(tracer.clone());
+            rt
+        }
+    };
+    let make_sheriff = |c: SheriffConfig| {
+        move |l: AppLayout| {
+            let mut rt = SheriffRuntime::new(c, l);
+            rt.set_tracer(tracer.clone());
+            rt
+        }
+    };
     match cfg.runtime {
         RuntimeKind::Pthreads | RuntimeKind::TmiAlloc => {
             let built = build(name, cfg, |_| NullRuntime);
-            finish(name, cfg, built, |_rt, _core, _r| {})
+            finish(name, cfg, "runtime", built, |_rt, _core, _r| {})
         }
         RuntimeKind::TmiDetect => {
-            let c = tmi_cfg(TmiConfig::detect_only());
-            let built = build(name, cfg, |l| TmiRuntime::new(c, l));
-            finish(name, cfg, built, fill_tmi)
+            let built = build(name, cfg, make_tmi(tmi_cfg(TmiConfig::detect_only())));
+            finish(name, cfg, "tmi", built, fill_tmi)
         }
         RuntimeKind::TmiProtect => {
-            let c = tmi_cfg(TmiConfig::protect());
-            let built = build(name, cfg, |l| TmiRuntime::new(c, l));
-            finish(name, cfg, built, fill_tmi)
+            let built = build(name, cfg, make_tmi(tmi_cfg(TmiConfig::protect())));
+            finish(name, cfg, "tmi", built, fill_tmi)
         }
         RuntimeKind::TmiPtsbEverywhere => {
-            let c = tmi_cfg(TmiConfig::ptsb_everywhere());
-            let built = build(name, cfg, |l| TmiRuntime::new(c, l));
-            finish(name, cfg, built, fill_tmi)
+            let built = build(name, cfg, make_tmi(tmi_cfg(TmiConfig::ptsb_everywhere())));
+            finish(name, cfg, "tmi", built, fill_tmi)
         }
         RuntimeKind::TmiNoCodeCentric => {
             let c = TmiConfig {
                 code_centric: false,
                 ..tmi_cfg(TmiConfig::protect())
             };
-            let built = build(name, cfg, |l| TmiRuntime::new(c, l));
-            finish(name, cfg, built, fill_tmi)
+            let built = build(name, cfg, make_tmi(c));
+            finish(name, cfg, "tmi", built, fill_tmi)
         }
         RuntimeKind::SheriffDetect => {
-            let built = build(name, cfg, |l| {
-                SheriffRuntime::new(SheriffConfig::detect(), l)
-            });
-            finish(name, cfg, built, fill_sheriff)
+            let built = build(name, cfg, make_sheriff(SheriffConfig::detect()));
+            finish(name, cfg, "sheriff", built, fill_sheriff)
         }
         RuntimeKind::SheriffProtect => {
-            let built = build(name, cfg, |l| {
-                SheriffRuntime::new(SheriffConfig::protect(), l)
-            });
-            finish(name, cfg, built, fill_sheriff)
+            let built = build(name, cfg, make_sheriff(SheriffConfig::protect()));
+            finish(name, cfg, "sheriff", built, fill_sheriff)
         }
         RuntimeKind::Laser => {
             let c = LaserConfig {
@@ -475,9 +514,9 @@ pub(crate) fn execute(name: &str, cfg: &RunConfig) -> RunResult {
                 ..Default::default()
             };
             let built = build(name, cfg, |l| LaserRuntime::new(c, l));
-            finish(name, cfg, built, |rt, _core, r| {
-                r.repaired = rt.repaired();
-                r.perf_events = rt.stats().emulated_stores; // proxy
+            finish(name, cfg, "laser", built, |_rt, _core, r| {
+                r.repaired = r.metrics.u64("laser.repaired") != 0;
+                r.perf_events = r.metrics.u64("laser.emulated_stores"); // proxy
             })
         }
         RuntimeKind::Plastic => {
@@ -486,32 +525,35 @@ pub(crate) fn execute(name: &str, cfg: &RunConfig) -> RunResult {
                 ..Default::default()
             };
             let built = build(name, cfg, |l| PlasticRuntime::new(c, l));
-            finish(name, cfg, built, |rt, _core, r| {
-                r.repaired = rt.stats().remapped_lines > 0;
+            finish(name, cfg, "plastic", built, |_rt, _core, r| {
+                r.repaired = r.metrics.u64("plastic.remapped_lines") > 0;
             })
         }
     }
 }
 
 fn fill_tmi(rt: &TmiRuntime, core: &tmi_sim::EngineCore, r: &mut RunResult) {
-    let kernel = &core.kernel;
-    r.perf_records = rt.perf().records_taken();
-    r.perf_events = rt.perf().events_seen();
-    r.repaired = rt.repaired();
-    r.commits = rt.repair().stats().commits;
-    r.converted_at = rt.repair().stats().converted_at_cycle;
-    r.t2p_cycles = rt.repair().stats().t2p_cycles;
-    let mem: MemoryBreakdown = rt.memory(kernel);
-    r.memory_bytes = mem.total();
-    r.app_bytes = mem.app_bytes;
+    // The memory breakdown needs the kernel, so it cannot register itself
+    // during the engine snapshot; fold it in here under `tmi.memory.`.
+    let mem: MemoryBreakdown = rt.observe().memory(&core.kernel);
+    r.metrics.absorb("tmi.memory", &mem);
+    r.perf_records = r.metrics.u64("tmi.perf.records_taken");
+    r.perf_events = r.metrics.u64("tmi.perf.events_seen");
+    r.repaired = r.metrics.u64("tmi.repaired") != 0;
+    r.commits = r.metrics.u64("tmi.repair.commits");
+    r.converted_at = (r.metrics.u64("tmi.repair.converted") != 0)
+        .then(|| r.metrics.u64("tmi.repair.converted_at_cycle"));
+    r.t2p_cycles = r.metrics.u64("tmi.repair.t2p_cycles");
+    r.memory_bytes = r.metrics.u64("tmi.memory.total_bytes");
+    r.app_bytes = r.metrics.u64("tmi.memory.app_bytes");
 }
 
-fn fill_sheriff(rt: &SheriffRuntime, _core: &tmi_sim::EngineCore, r: &mut RunResult) {
+fn fill_sheriff(_rt: &SheriffRuntime, _core: &tmi_sim::EngineCore, r: &mut RunResult) {
     r.repaired = true;
-    r.commits = rt.repair().stats().commits;
-    r.t2p_cycles = rt.repair().stats().t2p_cycles;
+    r.commits = r.metrics.u64("sheriff.repair.commits");
+    r.t2p_cycles = r.metrics.u64("sheriff.repair.t2p_cycles");
     // Sheriff's overhead: twins + protection state, no perf buffers.
-    r.memory_bytes = r.app_bytes + rt.repair().twins().peak_bytes();
+    r.memory_bytes = r.app_bytes + r.metrics.u64("sheriff.repair.twin_peak_bytes");
 }
 
 /// Runs a workload under `tmi-detect` and additionally returns the
@@ -538,9 +580,9 @@ pub(crate) fn execute_detect_report(
     };
     let built = build(name, &cfg, |l| TmiRuntime::new(c, l));
     let mut report = tmi::ContentionReport::default();
-    let r = finish(name, &cfg, built, |rt, core, res| {
+    let r = finish(name, &cfg, "tmi", built, |rt, core, res| {
         fill_tmi(rt, core, res);
-        report = tmi::ContentionReport::build(rt.detector(), &core.code, 16);
+        report = tmi::ContentionReport::build(rt.observe().detector(), &core.code, 16);
     });
     let predicted =
         report.predict_manual_speedup_calibrated(r.cycles, cfg.threads, Some(r.perf_events));

@@ -33,6 +33,7 @@ pub mod figures;
 pub mod fuzz;
 pub mod harness;
 pub mod report;
+pub mod telemetry;
 
 #[allow(deprecated)]
 pub use harness::{run, run_detect_report};

@@ -100,7 +100,7 @@ fn job_log_json_has_the_documented_shape() {
     set.run_on(&exec);
     let json = exec.to_json();
     for needle in [
-        "\"schema\": \"tmi-bench-harness/1\"",
+        "\"schema\": \"tmi-bench-harness/2\"",
         "\"pool_workers\": 1",
         "\"jobs\": 1",
         "\"cache_hits\": 0",
@@ -108,6 +108,8 @@ fn job_log_json_has_the_documented_shape() {
         "\"runtime\": \"pthreads\"",
         "\"scale\": 0.03",
         "\"status\": \"ok\"",
+        "\"metrics\": {",
+        "\"machine.hitm_events\":",
     ] {
         assert!(json.contains(needle), "missing {needle} in:\n{json}");
     }

@@ -306,6 +306,18 @@ impl FalseSharingDetector {
     }
 }
 
+impl tmi_telemetry::MetricSource for FalseSharingDetector {
+    fn metrics(&self, out: &mut tmi_telemetry::MetricSink) {
+        let (ingested, filtered, undecodable) = self.record_counts();
+        out.u64("records_ingested", ingested);
+        out.u64("records_filtered", filtered);
+        out.u64("records_undecodable", undecodable);
+        out.u64("lines_tracked", self.lines.len() as u64);
+        out.u64("table_bytes", self.table_bytes());
+        out.f64("total_scaled_events", self.total_scaled_events());
+    }
+}
+
 fn byte_mask(off: u64, width: u64) -> u64 {
     debug_assert!(off + width <= 64);
     if width >= 64 {

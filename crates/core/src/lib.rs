@@ -51,5 +51,5 @@ pub use locks::LockRedirector;
 pub use memstats::MemoryBreakdown;
 pub use repair::{GovernorState, RepairManager, RepairStats};
 pub use report::{ContentionReport, LineReport};
-pub use runtime::{TmiRuntime, TmiStats};
+pub use runtime::{RuntimeView, TmiRuntime, TmiStats};
 pub use twins::{PageCommit, TwinStore};

@@ -143,6 +143,14 @@ impl LockRedirector {
     }
 }
 
+impl tmi_telemetry::MetricSource for LockRedirector {
+    fn metrics(&self, out: &mut tmi_telemetry::MetricSink) {
+        out.u64("padded", u64::from(self.padded()));
+        out.u64("repads", self.repads());
+        out.u64("bytes_used", self.bytes_used());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -38,6 +38,18 @@ impl MemoryBreakdown {
     }
 }
 
+impl tmi_telemetry::MetricSource for MemoryBreakdown {
+    fn metrics(&self, out: &mut tmi_telemetry::MetricSink) {
+        out.u64("app_bytes", self.app_bytes);
+        out.u64("perf_bytes", self.perf_bytes);
+        out.u64("detector_bytes", self.detector_bytes);
+        out.u64("twin_bytes", self.twin_bytes);
+        out.u64("lock_bytes", self.lock_bytes);
+        out.u64("total_bytes", self.total());
+        out.u64("overhead_bytes", self.overhead_bytes());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,6 +27,7 @@ use tmi_machine::addr::FRAMES_PER_HUGE_PAGE;
 use tmi_machine::Vpn;
 use tmi_os::{AsId, OsError, Pid, Tid};
 use tmi_sim::EngineCtl;
+use tmi_telemetry::{MetricSink, MetricSource, Phase, Tracer, GLOBAL_TID};
 
 use crate::config::TmiConfig;
 use crate::layout::AppLayout;
@@ -82,6 +83,24 @@ pub struct RepairStats {
     pub efficacy_reverts: u64,
 }
 
+impl MetricSource for RepairStats {
+    fn metrics(&self, out: &mut MetricSink) {
+        out.u64("converted", u64::from(self.converted_at_cycle.is_some()));
+        out.u64("converted_at_cycle", self.converted_at_cycle.unwrap_or(0));
+        out.u64("t2p_cycles", self.t2p_cycles);
+        out.u64("repair_rounds", self.repair_rounds);
+        out.u64("commits", self.commits);
+        out.u64("committed_pages", self.committed_pages);
+        out.u64("commit_cycles", self.commit_cycles);
+        out.u64("bytes_merged", self.bytes_merged);
+        out.u64("retries", self.retries);
+        out.u64("transient_recoveries", self.transient_recoveries);
+        out.u64("rollbacks", self.rollbacks);
+        out.u64("pages_degraded", self.pages_degraded);
+        out.u64("efficacy_reverts", self.efficacy_reverts);
+    }
+}
+
 /// Converts threads into processes on demand and arms the PTSB on exactly
 /// the pages the detector incriminated.
 #[derive(Debug, Default)]
@@ -94,6 +113,18 @@ pub struct RepairManager {
     /// revert can rejoin them.
     converted: Vec<(Tid, Pid)>,
     faults: Option<FaultInjector>,
+    /// Telemetry event bus; disabled (a no-op) unless a run opts in.
+    tracer: Tracer,
+}
+
+impl MetricSource for RepairManager {
+    fn metrics(&self, out: &mut MetricSink) {
+        self.stats.metrics(out);
+        out.u64("governor_state", self.state as u64);
+        out.u64("protected_pages", self.protected.len() as u64);
+        out.u64("twin_current_bytes", self.twins.current_bytes());
+        out.u64("twin_peak_bytes", self.twins.peak_bytes());
+    }
 }
 
 impl RepairManager {
@@ -105,6 +136,12 @@ impl RepairManager {
     /// Installs a fault injector driving the twin-snapshot fault point.
     pub fn set_fault_injector(&mut self, faults: FaultInjector) {
         self.faults = Some(faults);
+    }
+
+    /// Installs a telemetry tracer (usually a clone of the runtime's, via
+    /// [`crate::TmiRuntime::set_tracer`]).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Governor lifecycle state.
@@ -162,6 +199,13 @@ impl RepairManager {
         if self.state == GovernorState::Inactive {
             self.state = GovernorState::Active;
             self.stats.converted_at_cycle = Some(ctl.now());
+            self.tracer.instant(
+                "tmi.repair.trigger",
+                "repair",
+                GLOBAL_TID,
+                ctl.now(),
+                &[("pages", pages.len() as u64)],
+            );
             for &tid in &tids {
                 if self.convert_retrying(ctl, tid, cfg).is_err() {
                     // Persistent fork veto: the paper's ptrace-inject
@@ -170,10 +214,26 @@ impl RepairManager {
                     self.rollback(ctl, cfg, layout);
                     return;
                 }
+                self.tracer.instant(
+                    "tmi.repair.fork",
+                    "repair",
+                    u64::from(tid.0),
+                    ctl.now(),
+                    &[],
+                );
             }
             let cost = cfg.stop_world_cycles + cfg.t2p_cycles_per_thread * tids.len() as u64;
             self.stats.t2p_cycles = cost;
             ctl.add_cycles_all(cost);
+            self.tracer.span(
+                "tmi.repair.t2p",
+                "repair",
+                GLOBAL_TID,
+                ctl.now(),
+                cost,
+                &[("threads", tids.len() as u64)],
+            );
+            self.tracer.phase(Phase::Arm, cost);
         }
         self.stats.repair_rounds += 1;
 
@@ -214,8 +274,22 @@ impl RepairManager {
                     let _ = ctl.kernel().unprotect_page(aspace, vpn);
                 }
                 self.stats.pages_degraded += 1;
+                self.tracer.instant(
+                    "tmi.repair.degrade_page",
+                    "repair",
+                    GLOBAL_TID,
+                    ctl.now(),
+                    &[("vpn", vpn.0)],
+                );
             } else {
                 self.protected.insert(vpn);
+                self.tracer.instant(
+                    "tmi.repair.arm_page",
+                    "repair",
+                    GLOBAL_TID,
+                    ctl.now(),
+                    &[("vpn", vpn.0)],
+                );
             }
         }
     }
@@ -251,6 +325,13 @@ impl RepairManager {
                     .is_some_and(|f| f.should_fail(FaultPoint::TwinAlloc));
                 if !fail {
                     self.twins.snapshot(ctl.kernel(), aspace, vpn);
+                    self.tracer.instant(
+                        "tmi.repair.twin",
+                        "repair",
+                        u64::from(tid.0),
+                        ctl.now(),
+                        &[("vpn", vpn.0)],
+                    );
                     if attempt > 0 {
                         self.stats.transient_recoveries += 1;
                     }
@@ -259,7 +340,9 @@ impl RepairManager {
                 if attempt < cfg.repair_retry_limit {
                     attempt += 1;
                     self.stats.retries += 1;
-                    ctl.add_cycles(tid, cfg.retry_backoff(attempt));
+                    let backoff = cfg.retry_backoff(attempt);
+                    ctl.add_cycles(tid, backoff);
+                    self.tracer.phase(Phase::FaultHandling, backoff);
                 } else {
                     self.degrade_page(ctl, cfg, layout, vpn);
                     break;
@@ -294,7 +377,9 @@ impl RepairManager {
                 Err(e) if e.is_transient() && attempt < cfg.repair_retry_limit => {
                     attempt += 1;
                     self.stats.retries += 1;
-                    ctl.add_cycles(tid, cfg.retry_backoff(attempt));
+                    let backoff = cfg.retry_backoff(attempt);
+                    ctl.add_cycles(tid, backoff);
+                    self.tracer.phase(Phase::Arm, backoff);
                 }
                 Err(e) => return Err(e),
             }
@@ -323,7 +408,9 @@ impl RepairManager {
                 Err(e) if e.is_transient() && attempt < cfg.repair_retry_limit => {
                     attempt += 1;
                     self.stats.retries += 1;
-                    ctl.add_cycles(tid, cfg.retry_backoff(attempt));
+                    let backoff = cfg.retry_backoff(attempt);
+                    ctl.add_cycles(tid, backoff);
+                    self.tracer.phase(Phase::Arm, backoff);
                 }
                 Err(e) => return Err(e),
             }
@@ -344,6 +431,13 @@ impl RepairManager {
         if !self.protected.remove(&vpn) {
             return;
         }
+        self.tracer.instant(
+            "tmi.repair.degrade_page",
+            "repair",
+            GLOBAL_TID,
+            ctl.now(),
+            &[("vpn", vpn.0)],
+        );
         let tids = ctl.tids();
         let mut seen: Vec<AsId> = Vec::new();
         for &tid in &tids {
@@ -365,6 +459,7 @@ impl RepairManager {
                         self.stats.bytes_merged += pc.bytes_merged;
                         self.stats.commit_cycles += pc.cycles;
                         ctl.add_cycles(tid, pc.cycles);
+                        self.tracer.phase(Phase::Merge, pc.cycles);
                     }
                     Err(_) => {
                         // Twin without a private frame: nothing buffered.
@@ -414,6 +509,9 @@ impl RepairManager {
         self.state = GovernorState::Aborted;
         self.stats.rollbacks += 1;
         ctl.add_cycles_all(cfg.stop_world_cycles);
+        self.tracer
+            .instant("tmi.repair.rollback", "repair", GLOBAL_TID, ctl.now(), &[]);
+        self.tracer.phase(Phase::Merge, cfg.stop_world_cycles);
     }
 
     /// Reverts an active repair because its commit overhead exceeded the
@@ -427,6 +525,9 @@ impl RepairManager {
         self.state = GovernorState::Reverted;
         self.stats.efficacy_reverts += 1;
         ctl.add_cycles_all(cfg.stop_world_cycles);
+        self.tracer
+            .instant("tmi.repair.revert", "repair", GLOBAL_TID, ctl.now(), &[]);
+        self.tracer.phase(Phase::Merge, cfg.stop_world_cycles);
     }
 
     /// Accounts one engine-level retry of a transiently-failed fault
@@ -460,6 +561,8 @@ impl RepairManager {
         if dirty.is_empty() {
             return 0;
         }
+        let commit_start = ctl.now();
+        let mut pages_this_commit = 0u64;
         let mut cycles = 0;
         let mut degrade: Vec<Vpn> = Vec::new();
         for vpn in dirty {
@@ -471,6 +574,7 @@ impl RepairManager {
                     cycles += pc.cycles;
                     self.stats.bytes_merged += pc.bytes_merged;
                     self.stats.committed_pages += 1;
+                    pages_this_commit += 1;
                     if !pc.rearmed {
                         // The merge landed but the re-protect faulted;
                         // retry the arming, degrading the page if the
@@ -493,6 +597,15 @@ impl RepairManager {
         }
         self.stats.commits += 1;
         self.stats.commit_cycles += cycles;
+        self.tracer.span(
+            "tmi.repair.commit",
+            "repair",
+            u64::from(tid.0),
+            commit_start,
+            cycles,
+            &[("pages", pages_this_commit)],
+        );
+        self.tracer.phase(Phase::Commit, cycles);
         cycles
     }
 }

@@ -9,6 +9,7 @@ use tmi_machine::{AccessOutcome, LatencyModel, VAddr, Vpn, LINE_SIZE};
 use tmi_os::{FaultResolution, Kernel, OsError, Tid};
 use tmi_perf::PerfMonitor;
 use tmi_sim::{AccessInfo, EngineCtl, PreAccess, RegionEvent, RuntimeHooks, SyncEvent};
+use tmi_telemetry::{MetricSink, MetricSource, MetricsSnapshot, Phase, PhaseProfile, Tracer};
 
 use crate::config::TmiConfig;
 use crate::consistency;
@@ -33,6 +34,20 @@ pub struct TmiStats {
     pub ticks: u64,
 }
 
+impl MetricSource for TmiStats {
+    fn metrics(&self, out: &mut MetricSink) {
+        out.u64("fs_lines", self.fs_lines.len() as u64);
+        out.u64("ts_lines", self.ts_lines.len() as u64);
+        out.u64("detected", u64::from(self.first_detection_cycle.is_some()));
+        out.u64(
+            "first_detection_cycle",
+            self.first_detection_cycle.unwrap_or(0),
+        );
+        out.u64("lock_repads", self.lock_repads);
+        out.u64("ticks", self.ticks);
+    }
+}
+
 /// The TMI runtime system (the paper's primary contribution).
 ///
 /// Construct with a [`TmiConfig`] (detect-only or protect) and the
@@ -53,6 +68,8 @@ pub struct TmiRuntime {
     /// True while an engine-level fault retry is outstanding, so the next
     /// completed access can be credited as a transient recovery.
     engine_retry_pending: bool,
+    /// Telemetry event bus; disabled (a no-op) unless a run opts in.
+    tracer: Tracer,
 }
 
 impl TmiRuntime {
@@ -76,9 +93,19 @@ impl TmiRuntime {
             last_tick: 0,
             last_commit_cycles: 0,
             engine_retry_pending: false,
+            tracer: Tracer::disabled(),
             config,
             layout,
         }
+    }
+
+    /// Installs a telemetry tracer, shared with the repair manager so the
+    /// whole repair pipeline (detect → fork → twin → commit) lands in one
+    /// event stream. Tracing is purely observational: it never charges
+    /// simulated cycles.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.repair.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Installs a fault injector on the runtime's own fault points (PEBS
@@ -95,46 +122,54 @@ impl TmiRuntime {
         &self.config
     }
 
+    /// The read-only observability facade: every view of a run — summary
+    /// stats, repair/detector/perf/lock internals, memory breakdown, phase
+    /// profile and the flat metrics snapshot — hangs off this one method.
+    pub fn observe(&self) -> RuntimeView<'_> {
+        RuntimeView { rt: self }
+    }
+
     /// Summary statistics.
+    #[deprecated(since = "0.1.0", note = "use `observe().stats()`")]
     pub fn stats(&self) -> &TmiStats {
-        &self.stats
+        self.observe().stats()
     }
 
     /// The repair manager (T2P and commit statistics, Table 3).
+    #[deprecated(since = "0.1.0", note = "use `observe().repair()`")]
     pub fn repair(&self) -> &RepairManager {
-        &self.repair
+        self.observe().repair()
     }
 
     /// The detector (line profiles and record counts).
+    #[deprecated(since = "0.1.0", note = "use `observe().detector()`")]
     pub fn detector(&self) -> &FalseSharingDetector {
-        &self.detector
+        self.observe().detector()
     }
 
     /// The perf monitor (records/events, Fig. 4).
+    #[deprecated(since = "0.1.0", note = "use `observe().perf()`")]
     pub fn perf(&self) -> &PerfMonitor {
-        &self.perf
+        self.observe().perf()
     }
 
     /// The lock redirector.
+    #[deprecated(since = "0.1.0", note = "use `observe().locks()`")]
     pub fn locks(&self) -> &LockRedirector {
-        &self.locks
+        self.observe().locks()
     }
 
     /// Whether repair has been activated during the run.
+    #[deprecated(since = "0.1.0", note = "use `observe().repaired()`")]
     pub fn repaired(&self) -> bool {
-        self.repair.active() || self.stats.lock_repads > 0
+        self.observe().repaired()
     }
 
     /// Memory breakdown for Fig. 8. `app_bytes` is the peak physical
     /// memory of the application (from the kernel).
+    #[deprecated(since = "0.1.0", note = "use `observe().memory(kernel)`")]
     pub fn memory(&self, kernel: &Kernel) -> MemoryBreakdown {
-        MemoryBreakdown {
-            app_bytes: kernel.physmem().peak_allocated_frames() as u64 * tmi_machine::FRAME_SIZE,
-            perf_bytes: self.perf.buffer_bytes(),
-            detector_bytes: self.detector.table_bytes() + self.config.detector_fixed_bytes,
-            twin_bytes: self.repair.twins().peak_bytes(),
-            lock_bytes: self.locks.bytes_used(),
-        }
+        self.observe().memory(kernel)
     }
 
     /// Arms the PTSB on `pages` immediately, converting threads to
@@ -165,6 +200,13 @@ impl TmiRuntime {
         for r in reports {
             match r.kind {
                 SharingKind::FalseSharing => {
+                    self.tracer.instant(
+                        "tmi.detect.fs_line",
+                        "detect",
+                        tmi_telemetry::GLOBAL_TID,
+                        now,
+                        &[("line", r.vline)],
+                    );
                     self.stats.fs_lines.insert(r.vline);
                     self.stats.first_detection_cycle.get_or_insert(now);
                     if self.layout.internal_line(r.vline) {
@@ -174,6 +216,13 @@ impl TmiRuntime {
                     }
                 }
                 SharingKind::TrueSharing => {
+                    self.tracer.instant(
+                        "tmi.detect.ts_line",
+                        "detect",
+                        tmi_telemetry::GLOBAL_TID,
+                        now,
+                        &[("line", r.vline)],
+                    );
                     self.stats.ts_lines.insert(r.vline);
                 }
                 SharingKind::Private => {}
@@ -187,6 +236,14 @@ impl TmiRuntime {
             self.locks.repad();
             self.stats.lock_repads += 1;
             ctl.add_cycles_all(self.config.stop_world_cycles);
+            self.tracer.instant(
+                "tmi.repair.lock_repad",
+                "repair",
+                tmi_telemetry::GLOBAL_TID,
+                now,
+                &[],
+            );
+            self.tracer.phase(Phase::Arm, self.config.stop_world_cycles);
         }
         if !app_pages.is_empty() {
             let pages: Vec<Vpn> = if self.config.targeted {
@@ -196,6 +253,93 @@ impl TmiRuntime {
             };
             self.repair.trigger(ctl, &self.config, &self.layout, &pages);
         }
+    }
+}
+
+/// Read-only observability facade over a [`TmiRuntime`], obtained from
+/// [`TmiRuntime::observe`].
+///
+/// Borrows the runtime immutably, so it can be held while the engine is
+/// paused and consulted repeatedly without re-plumbing individual accessors.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeView<'a> {
+    rt: &'a TmiRuntime,
+}
+
+impl<'a> RuntimeView<'a> {
+    /// The configuration in effect.
+    pub fn config(&self) -> &'a TmiConfig {
+        &self.rt.config
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> &'a TmiStats {
+        &self.rt.stats
+    }
+
+    /// The repair manager (T2P and commit statistics, Table 3).
+    pub fn repair(&self) -> &'a RepairManager {
+        &self.rt.repair
+    }
+
+    /// The detector (line profiles and record counts).
+    pub fn detector(&self) -> &'a FalseSharingDetector {
+        &self.rt.detector
+    }
+
+    /// The perf monitor (records/events, Fig. 4).
+    pub fn perf(&self) -> &'a PerfMonitor {
+        &self.rt.perf
+    }
+
+    /// The lock redirector.
+    pub fn locks(&self) -> &'a LockRedirector {
+        &self.rt.locks
+    }
+
+    /// Whether repair has been activated during the run.
+    pub fn repaired(&self) -> bool {
+        self.rt.repair.active() || self.rt.stats.lock_repads > 0
+    }
+
+    /// Memory breakdown for Fig. 8. `app_bytes` is the peak physical
+    /// memory of the application (from the kernel).
+    pub fn memory(&self, kernel: &Kernel) -> MemoryBreakdown {
+        MemoryBreakdown {
+            app_bytes: kernel.physmem().peak_allocated_frames() as u64 * tmi_machine::FRAME_SIZE,
+            perf_bytes: self.rt.perf.buffer_bytes(),
+            detector_bytes: self.rt.detector.table_bytes() + self.rt.config.detector_fixed_bytes,
+            twin_bytes: self.rt.repair.twins().peak_bytes(),
+            lock_bytes: self.rt.locks.bytes_used(),
+        }
+    }
+
+    /// The per-phase cycle attribution recorded by the tracer (all zeros
+    /// unless a tracer was installed).
+    pub fn phases(&self) -> PhaseProfile {
+        self.rt.tracer.phases()
+    }
+
+    /// The flat metrics snapshot of the whole runtime (no prefix; callers
+    /// composing several sources should use [`MetricSink::source`] on the
+    /// runtime instead).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot::of(self.rt)
+    }
+}
+
+impl MetricSource for TmiRuntime {
+    fn metrics(&self, out: &mut MetricSink) {
+        self.stats.metrics(out);
+        out.u64(
+            "repaired",
+            u64::from(self.repair.active() || self.stats.lock_repads > 0),
+        );
+        out.source("repair", &self.repair);
+        out.source("perf", &self.perf);
+        out.source("detector", &self.detector);
+        out.source("locks", &self.locks);
+        out.source("phase", &self.tracer.phases());
     }
 }
 
@@ -240,7 +384,9 @@ impl RuntimeHooks for TmiRuntime {
         if !self.layout.in_app(acc.vaddr) && !self.layout.in_internal(acc.vaddr) {
             return 0;
         }
-        self.perf.on_hitm(tid, acc.pc, acc.vaddr, hitm.kind)
+        let capture_cycles = self.perf.on_hitm(tid, acc.pc, acc.vaddr, hitm.kind);
+        self.tracer.phase(Phase::Detect, capture_cycles);
+        capture_cycles
     }
 
     fn on_fault(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, res: &FaultResolution) {
@@ -253,7 +399,7 @@ impl RuntimeHooks for TmiRuntime {
     fn on_fault_error(
         &mut self,
         ctl: &mut dyn EngineCtl,
-        _tid: Tid,
+        tid: Tid,
         addr: VAddr,
         err: &OsError,
         attempt: u32,
@@ -264,7 +410,16 @@ impl RuntimeHooks for TmiRuntime {
         if attempt <= self.config.repair_retry_limit {
             self.repair.note_retry();
             self.engine_retry_pending = true;
-            return Some(self.config.retry_backoff(attempt));
+            let backoff = self.config.retry_backoff(attempt);
+            self.tracer.instant(
+                "tmi.fault.retry",
+                "fault",
+                u64::from(tid.0),
+                ctl.now(),
+                &[("attempt", u64::from(attempt))],
+            );
+            self.tracer.phase(Phase::FaultHandling, backoff);
+            return Some(backoff);
         }
         // Retry budget exhausted. If the failure is on a PTSB-armed page
         // (e.g. no frame for the private copy), give that page back to
@@ -275,7 +430,9 @@ impl RuntimeHooks for TmiRuntime {
             self.repair
                 .degrade_page(ctl, &self.config, &self.layout, vpn);
             self.engine_retry_pending = true;
-            return Some(self.config.retry_backoff(attempt));
+            let backoff = self.config.retry_backoff(attempt);
+            self.tracer.phase(Phase::FaultHandling, backoff);
+            return Some(backoff);
         }
         None
     }
@@ -309,6 +466,16 @@ impl RuntimeHooks for TmiRuntime {
         let reports = self
             .detector
             .analyze_window(window_secs, self.config.fs_threshold_per_sec);
+        self.tracer.instant(
+            "tmi.detect.tick",
+            "detect",
+            tmi_telemetry::GLOBAL_TID,
+            now,
+            &[
+                ("records", records.len() as u64),
+                ("reports", reports.len() as u64),
+            ],
+        );
         self.handle_reports(ctl, &reports, now);
 
         // Repair-efficacy monitor: if the fraction of this window spent in

@@ -281,6 +281,17 @@ impl FaultStats {
     }
 }
 
+impl tmi_telemetry::MetricSource for FaultStats {
+    fn metrics(&self, out: &mut tmi_telemetry::MetricSink) {
+        for point in FaultPoint::ALL {
+            let ps = self.get(point);
+            out.u64(&format!("{}.rolls", point.name()), ps.rolls);
+            out.u64(&format!("{}.fired", point.name()), ps.fired);
+        }
+        out.u64("total_fired", self.total_fired());
+    }
+}
+
 impl fmt::Display for FaultStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;

@@ -1,5 +1,7 @@
 //! Aggregate machine statistics.
 
+use tmi_telemetry::{MetricSink, MetricSource};
+
 /// Counters accumulated by [`crate::Machine`] across a run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MachineStats {
@@ -37,6 +39,24 @@ impl MachineStats {
         } else {
             self.hitm_events as f64 / self.accesses as f64
         }
+    }
+}
+
+impl MetricSource for MachineStats {
+    fn metrics(&self, out: &mut MetricSink) {
+        out.u64("accesses", self.accesses);
+        out.u64("loads", self.loads);
+        out.u64("stores", self.stores);
+        out.u64("local_hits", self.local_hits);
+        out.u64("remote_clean_transfers", self.remote_clean_transfers);
+        out.u64("hitm_events", self.hitm_events);
+        out.u64("hitm_loads", self.hitm_loads);
+        out.u64("hitm_stores", self.hitm_stores);
+        out.u64("llc_hits", self.llc_hits);
+        out.u64("dram_accesses", self.dram_accesses);
+        out.u64("invalidations", self.invalidations);
+        out.u64("writebacks", self.writebacks);
+        out.f64("hitm_rate", self.hitm_rate());
     }
 }
 

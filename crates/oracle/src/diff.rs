@@ -206,6 +206,11 @@ impl CheckReport {
             );
             if let Some(fs) = &self.faults {
                 let _ = writeln!(s, "  {fs}");
+                let _ = writeln!(
+                    s,
+                    "  reproduce: fuzz_consistency -- --start {} --seeds 1 --faults {}",
+                    self.seed, fs.base_seed
+                );
             }
             return s;
         }
@@ -251,6 +256,34 @@ pub fn check_seed(seed: u64, cfg: &CheckConfig) -> CheckReport {
     check_litmus(&Litmus::generate(seed), cfg)
 }
 
+/// Checks `seed`'s litmus program once (no minimization) with telemetry
+/// tracing enabled, and returns the report together with the Chrome
+/// `trace_event` JSON of the repaired run — the full repair episode
+/// (trigger → fork/T2P → twin snapshots → commits) on the litmus fixture.
+pub fn trace_seed(seed: u64, cfg: &CheckConfig) -> (CheckReport, String) {
+    let lit = Litmus::generate(seed);
+    let tracer = tmi_telemetry::Tracer::enabled();
+    let (divergences, steps, faults) = run_traced(&lit, cfg, &tracer);
+    let report = CheckReport {
+        seed: lit.seed,
+        code_centric: cfg.code_centric,
+        steps,
+        divergences,
+        coverage: lit.coverage(),
+        litmus: lit,
+        minimized: false,
+        faults,
+    };
+    let events = tracer.take_events();
+    let trace = tmi_telemetry::chrome::export_trace(
+        &events,
+        &tracer.phases(),
+        tmi_machine::LatencyModel::CLOCK_HZ,
+        None,
+    );
+    (report, trace)
+}
+
 /// Checks one litmus program (see the module docs).
 pub fn check_litmus(lit: &Litmus, cfg: &CheckConfig) -> CheckReport {
     let (mut divergences, mut steps, faults) = run_once(lit, cfg);
@@ -287,6 +320,16 @@ pub fn check_litmus(lit: &Litmus, cfg: &CheckConfig) -> CheckReport {
 /// Builds the standard litmus fixture, runs the repaired execution, and
 /// diffs it against the schedule-replaying oracle.
 fn run_once(lit: &Litmus, cfg: &CheckConfig) -> (Vec<Divergence>, usize, Option<FaultSummary>) {
+    run_traced(lit, cfg, &tmi_telemetry::Tracer::disabled())
+}
+
+/// [`run_once`] with an explicit telemetry tracer (disabled in the fuzz
+/// hot path so checking stays allocation-lean).
+fn run_traced(
+    lit: &Litmus,
+    cfg: &CheckConfig,
+    tracer: &tmi_telemetry::Tracer,
+) -> (Vec<Divergence>, usize, Option<FaultSummary>) {
     let max_div = cfg.max_divergences;
     let faults = cfg.faults.map(|base| {
         let fseed = derive_fault_seed(base, lit.seed);
@@ -324,6 +367,7 @@ fn run_once(lit: &Litmus, cfg: &CheckConfig) -> (Vec<Divergence>, usize, Option<
         }
     }
     let mut rt = TmiRuntime::new(tcfg, layout);
+    rt.set_tracer(tracer.clone());
     if let Some((_, _, inj)) = &faults {
         rt.set_fault_injector(inj.clone());
     }
@@ -445,8 +489,8 @@ fn run_once(lit: &Litmus, cfg: &CheckConfig) -> (Vec<Divergence>, usize, Option<
         base_seed: base,
         fault_seed: fseed,
         stats: inj.stats(),
-        governor: engine.runtime().repair().stats().clone(),
-        state: engine.runtime().repair().state(),
+        governor: engine.runtime().observe().repair().stats().clone(),
+        state: engine.runtime().observe().repair().state(),
     });
     (divs, steps, summary)
 }

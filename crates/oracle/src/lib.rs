@@ -40,7 +40,7 @@ pub mod interp;
 pub mod litmus;
 
 pub use diff::{
-    check_litmus, check_seed, derive_fault_seed, CheckConfig, CheckReport, Divergence,
+    check_litmus, check_seed, derive_fault_seed, trace_seed, CheckConfig, CheckReport, Divergence,
     DivergenceKind, FaultSummary,
 };
 pub use interp::{Interp, RefStep};

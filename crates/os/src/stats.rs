@@ -4,6 +4,8 @@
 //! shared file-backed mappings fault once per page on first touch, so huge
 //! pages cut the fault count by 512×.
 
+use tmi_telemetry::{MetricSink, MetricSource};
+
 /// Fault and conversion counters maintained by [`crate::Kernel`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OsStats {
@@ -32,5 +34,20 @@ impl OsStats {
     /// Total demand-paging faults of all kinds.
     pub fn total_demand_faults(&self) -> u64 {
         self.minor_faults + self.major_faults + self.anon_faults + self.huge_faults
+    }
+}
+
+impl MetricSource for OsStats {
+    fn metrics(&self, out: &mut MetricSink) {
+        out.u64("minor_faults", self.minor_faults);
+        out.u64("major_faults", self.major_faults);
+        out.u64("anon_faults", self.anon_faults);
+        out.u64("cow_breaks", self.cow_breaks);
+        out.u64("huge_cow_breaks", self.huge_cow_breaks);
+        out.u64("huge_faults", self.huge_faults);
+        out.u64("conversions", self.conversions);
+        out.u64("forks", self.forks);
+        out.u64("rejoins", self.rejoins);
+        out.u64("total_demand_faults", self.total_demand_faults());
     }
 }

@@ -232,6 +232,16 @@ impl PerfMonitor {
     }
 }
 
+impl tmi_telemetry::MetricSource for PerfMonitor {
+    fn metrics(&self, out: &mut tmi_telemetry::MetricSink) {
+        out.u64("events_seen", self.events_seen());
+        out.u64("records_taken", self.records_taken());
+        out.u64("records_dropped", self.records_dropped());
+        out.u64("records_injected_dropped", self.records_injected_dropped());
+        out.u64("buffer_bytes", self.buffer_bytes());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -166,6 +166,13 @@ impl EngineCore {
         self.internal_pcs
     }
 
+    /// Registers the engine-owned counters (machine and OS layers) into a
+    /// metrics sink under the `machine.` and `os.` prefixes.
+    pub fn collect_metrics(&self, sink: &mut tmi_telemetry::MetricSink) {
+        sink.source("machine", self.machine.stats());
+        sink.source("os", self.kernel.stats());
+    }
+
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
@@ -288,6 +295,20 @@ impl<R: RuntimeHooks> Engine<R> {
     /// Consumes the engine, returning the runtime (for post-run stats).
     pub fn into_runtime(self) -> R {
         self.runtime
+    }
+
+    /// One flat metrics snapshot of the whole simulated system: the
+    /// machine and OS counters plus the runtime's own metrics under
+    /// `runtime_prefix.`. This is the engine-level face of the metrics
+    /// registry; the bench harness embeds its output in reports.
+    pub fn metrics(&self, runtime_prefix: &str) -> tmi_telemetry::MetricsSnapshot
+    where
+        R: tmi_telemetry::MetricSource,
+    {
+        let mut sink = tmi_telemetry::MetricSink::new();
+        self.core.collect_metrics(&mut sink);
+        sink.source(runtime_prefix, &self.runtime);
+        sink.finish()
     }
 
     /// Split mutable access to the runtime and the engine core, for setup

@@ -193,3 +193,7 @@ pub trait RuntimeHooks {
 pub struct NullRuntime;
 
 impl RuntimeHooks for NullRuntime {}
+
+impl tmi_telemetry::MetricSource for NullRuntime {
+    fn metrics(&self, _out: &mut tmi_telemetry::MetricSink) {}
+}

@@ -11,6 +11,15 @@
 #            its report must byte-match tests/golden/run_all_quick.txt
 #            (regenerate deliberately with
 #            target/release/run_all --quick > tests/golden/run_all_quick.txt)
+#   telemetry  the observability export gate: the metric names the
+#            registry exports must match tests/golden/metric_names.txt
+#            exactly (regenerate deliberately with
+#            target/release/validate_telemetry --schema
+#            tests/golden/metric_names.txt --write-schema), every metric
+#            in the smoke run's BENCH_harness.json must be in that
+#            schema, and the smoke run's Chrome trace must be
+#            structurally valid and contain a full repair episode
+#            (trigger -> T2P -> twin -> commit)
 #   fuzz     fixed-seed differential fuzz: 64 litmus seeds through the
 #            repair path vs the sequential oracle (must be clean), plus
 #            16 seeds with --ablate-code-centric (must diverge)
@@ -36,11 +45,17 @@ cargo test -q
 echo "== smoke: run_all --quick"
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
-(cd "$smoke_dir" && "$OLDPWD"/target/release/run_all --quick > run_all_quick.txt)
+(cd "$smoke_dir" && "$OLDPWD"/target/release/run_all --quick --trace trace_quick.json > run_all_quick.txt)
 test -s "$smoke_dir/BENCH_harness.json"
-grep -q '"schema": "tmi-bench-harness/1"' "$smoke_dir/BENCH_harness.json"
+grep -q '"schema": "tmi-bench-harness/2"' "$smoke_dir/BENCH_harness.json"
 diff -u tests/golden/run_all_quick.txt "$smoke_dir/run_all_quick.txt" \
   || { echo "run_all --quick drifted from tests/golden/run_all_quick.txt"; exit 1; }
+
+echo "== telemetry: metric schema + trace gate"
+target/release/validate_telemetry \
+  --schema tests/golden/metric_names.txt \
+  --report "$smoke_dir/BENCH_harness.json" \
+  --trace "$smoke_dir/trace_quick.json" --expect-repair-episode
 
 echo "== fuzz: differential consistency oracle"
 target/release/fuzz_consistency --seeds 64
