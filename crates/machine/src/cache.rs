@@ -5,6 +5,14 @@
 //! linearizes memory operations, so the value plane never diverges from what
 //! a real coherent machine would observe for the interleaving being
 //! simulated.
+//!
+//! The tag array is one contiguous `Box<[Way]>` (sets × ways, row-major):
+//! a lookup computes the set's offset and scans a fixed-size slice, never
+//! chasing a per-set `Vec` pointer and never allocating. Replacement is
+//! exact LRU via a monotone stamp; stamps are assigned from a per-cache tick
+//! that advances on every lookup/insert, so every resident way holds a
+//! distinct stamp and the LRU victim is unique — replacement decisions do
+//! not depend on scan order within a set.
 
 use crate::addr::LineAddr;
 
@@ -61,13 +69,25 @@ struct Way {
     state: MesiState,
     /// Monotone stamp for LRU replacement.
     stamp: u64,
+    valid: bool,
+}
+
+impl Way {
+    const INVALID: Way = Way {
+        tag: LineAddr::new(0),
+        state: MesiState::Shared,
+        stamp: 0,
+        valid: false,
+    };
 }
 
 /// A set-associative tag array.
 #[derive(Debug)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// `sets * ways` slots, row-major: set `s` occupies
+    /// `ways[s * config.ways .. (s + 1) * config.ways]`.
+    ways: Box<[Way]>,
     tick: u64,
 }
 
@@ -96,7 +116,7 @@ impl Cache {
         assert!(config.ways > 0, "ways must be positive");
         Cache {
             config,
-            sets: (0..config.sets).map(|_| Vec::new()).collect(),
+            ways: vec![Way::INVALID; config.sets * config.ways].into_boxed_slice(),
             tick: 0,
         }
     }
@@ -106,19 +126,22 @@ impl Cache {
         self.config
     }
 
-    fn set_index(&self, line: LineAddr) -> usize {
-        (line.raw() as usize) & (self.config.sets - 1)
+    #[inline]
+    fn set_range(&self, line: LineAddr) -> std::ops::Range<usize> {
+        let set = (line.raw() as usize) & (self.config.sets - 1);
+        let base = set * self.config.ways;
+        base..base + self.config.ways
     }
 
     /// Returns the MESI state of `line`, if present, refreshing its LRU
     /// position.
+    #[inline]
     pub fn lookup(&mut self, line: LineAddr) -> Option<MesiState> {
         self.tick += 1;
         let tick = self.tick;
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        for way in set.iter_mut() {
-            if way.tag == line {
+        let range = self.set_range(line);
+        for way in &mut self.ways[range] {
+            if way.valid && way.tag == line {
                 way.stamp = tick;
                 return Some(way.state);
             }
@@ -128,11 +151,12 @@ impl Cache {
 
     /// Returns the MESI state of `line` without touching LRU state (used by
     /// snoop probes from other cores, which do not constitute a use).
+    #[inline]
     pub fn peek(&self, line: LineAddr) -> Option<MesiState> {
-        let idx = self.set_index(line);
-        self.sets[idx]
+        let range = self.set_range(line);
+        self.ways[range]
             .iter()
-            .find(|w| w.tag == line)
+            .find(|w| w.valid && w.tag == line)
             .map(|w| w.state)
     }
 
@@ -142,21 +166,24 @@ impl Cache {
     ///
     /// Panics if the line is not present.
     pub fn set_state(&mut self, line: LineAddr, state: MesiState) {
-        let idx = self.set_index(line);
-        let way = self.sets[idx]
+        let range = self.set_range(line);
+        let way = self.ways[range]
             .iter_mut()
-            .find(|w| w.tag == line)
+            .find(|w| w.valid && w.tag == line)
             .expect("set_state on absent line");
         way.state = state;
     }
 
     /// Removes a line (snoop invalidation), returning its former state.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<MesiState> {
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        set.iter()
-            .position(|w| w.tag == line)
-            .map(|pos| set.swap_remove(pos).state)
+        let range = self.set_range(line);
+        self.ways[range]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == line)
+            .map(|w| {
+                w.valid = false;
+                w.state
+            })
     }
 
     /// Inserts `line` with `state`, updating in place if already present.
@@ -164,51 +191,72 @@ impl Cache {
     pub fn insert(&mut self, line: LineAddr, state: MesiState) -> Insertion {
         self.tick += 1;
         let tick = self.tick;
-        let ways = self.config.ways;
-        let idx = self.set_index(line);
-        let set = &mut self.sets[idx];
-        if let Some(way) = set.iter_mut().find(|w| w.tag == line) {
-            way.state = state;
-            way.stamp = tick;
-            return Insertion::Placed;
+        let range = self.set_range(line);
+        let set = &mut self.ways[range];
+        let mut free: Option<usize> = None;
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for (i, way) in set.iter_mut().enumerate() {
+            if !way.valid {
+                if free.is_none() {
+                    free = Some(i);
+                }
+                continue;
+            }
+            if way.tag == line {
+                way.state = state;
+                way.stamp = tick;
+                return Insertion::Placed;
+            }
+            if way.stamp < victim_stamp {
+                victim_stamp = way.stamp;
+                victim = i;
+            }
         }
-        if set.len() < ways {
-            set.push(Way {
+        if let Some(i) = free {
+            set[i] = Way {
                 tag: line,
                 state,
                 stamp: tick,
-            });
+                valid: true,
+            };
             return Insertion::Placed;
         }
-        // Evict the LRU way.
-        let (victim_pos, _) = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.stamp)
-            .expect("non-empty set");
-        let victim = set[victim_pos];
-        set[victim_pos] = Way {
+        // Evict the LRU way (stamps are distinct, so the victim is unique).
+        let old = set[victim];
+        set[victim] = Way {
             tag: line,
             state,
             stamp: tick,
+            valid: true,
         };
         Insertion::Evicted {
-            line: victim.tag,
-            dirty: victim.state == MesiState::Modified,
+            line: old.tag,
+            dirty: old.state == MesiState::Modified,
         }
     }
 
     /// Number of resident lines (for memory accounting and tests).
     pub fn resident_lines(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.ways.iter().filter(|w| w.valid).count()
     }
 
     /// Drops every resident line (e.g. when a simulated process is torn
     /// down in tests). Dirty data is already in physical memory, so no
     /// writeback is needed.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.clear();
+        for way in self.ways.iter_mut() {
+            way.valid = false;
+        }
+    }
+
+    /// Visits every resident `(line, state)` pair (diagnostics and
+    /// directory consistency checks; order is the array layout).
+    pub fn for_each_resident(&self, mut f: impl FnMut(LineAddr, MesiState)) {
+        for way in self.ways.iter() {
+            if way.valid {
+                f(way.tag, way.state);
+            }
         }
     }
 }
@@ -276,6 +324,18 @@ mod tests {
         let ins = c.insert(line(2), MesiState::Exclusive);
         assert!(matches!(ins, Insertion::Evicted { line: l, .. } if l == line(0)));
         assert!(c.peek(line(1)).is_some(), "other set is untouched");
+    }
+
+    #[test]
+    fn invalidated_slot_is_reused_before_eviction() {
+        let mut c = Cache::new(CacheConfig { sets: 1, ways: 2 });
+        c.insert(line(0), MesiState::Exclusive);
+        c.insert(line(2), MesiState::Exclusive);
+        c.invalidate(line(0));
+        // The freed way must absorb the new line without an eviction.
+        assert_eq!(c.insert(line(4), MesiState::Exclusive), Insertion::Placed);
+        assert_eq!(c.resident_lines(), 2);
+        assert!(c.peek(line(2)).is_some());
     }
 
     #[test]

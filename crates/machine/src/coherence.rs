@@ -1,19 +1,36 @@
 //! The coherent multicore: per-core private caches, a shared LLC, and the
-//! MESI protocol with snooping.
+//! MESI protocol.
 //!
 //! [`Machine::access`] is the single entry point: given a core, a physical
 //! address and an access kind it plays the coherence protocol forward,
 //! returning the latency of the access and the [`HitmEvent`] it generated,
 //! if any. The single-writer/multiple-reader invariant (§2) is enforced
 //! structurally: granting a writable copy invalidates every other copy.
-
-use std::collections::HashMap;
+//!
+//! # The sharer directory
+//!
+//! The protocol is *specified* as snooping — every remote query is defined
+//! by a broadcast probe of all sibling caches in ascending core order — but
+//! *implemented* against a sharer/owner directory: a flat open-addressed
+//! [`LineTable`] mapping each privately-cached line to a sharer bitmap and
+//! the owning core when some cache holds it Modified. The directory is
+//! **derived state**: the tag arrays remain the source of truth, the
+//! directory is updated on exactly the mutations `Machine` itself performs
+//! (fills, upgrades, downgrades, invalidations, evictions), and every
+//! directory answer is `debug_assert`-checked against the broadcast probe
+//! it replaces. Because SWMR makes the Modified holder unique and the
+//! reference probes return the *lowest* matching core id, answering from
+//! the bitmap's lowest set bit is exactly equivalent — the directory can
+//! change no observable outcome (latencies, HITM events, stats), only the
+//! host cycles spent finding it. `set_directory_enabled(false)` switches to
+//! the literal broadcast loops for differential testing.
 
 use crate::addr::{CoreId, LineAddr, PhysAddr, Width};
 use crate::cache::{Cache, CacheConfig, Insertion, MesiState};
+use crate::flat::LineTable;
 use crate::hitm::{HitmEvent, HitmKind};
 use crate::latency::LatencyModel;
-use crate::stats::MachineStats;
+use crate::stats::{DirStats, MachineStats};
 
 /// The kind of a memory access, as the cache hierarchy sees it.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -90,6 +107,28 @@ impl Default for MachineConfig {
     }
 }
 
+/// Sentinel for "no core holds this line Modified".
+const NO_OWNER: u8 = u8::MAX;
+
+/// One directory entry: which private caches hold the line, and which core
+/// (if any) holds it Modified.
+#[derive(Clone, Copy, Debug)]
+struct DirEntry {
+    /// Bit `c` set ⇔ core `c`'s private cache holds the line (any state).
+    sharers: u64,
+    /// The core holding the line Modified, or [`NO_OWNER`].
+    owner: u8,
+}
+
+impl Default for DirEntry {
+    fn default() -> Self {
+        DirEntry {
+            sharers: 0,
+            owner: NO_OWNER,
+        }
+    }
+}
+
 /// The simulated coherent multicore (tag arrays only; data lives in
 /// [`crate::PhysMem`]).
 #[derive(Debug)]
@@ -100,11 +139,21 @@ pub struct Machine {
     stats: MachineStats,
     /// Per-line HITM streak state for the queuing penalty: (sequence
     /// number of the last HITM, current streak length).
-    hitm_streaks: HashMap<LineAddr, (u64, u64)>,
+    hitm_streaks: LineTable<(u64, u64)>,
+    /// Sharer/owner directory over the private caches (derived state; see
+    /// the module docs). Empty and unused when `dir_enabled` is false.
+    dir: LineTable<DirEntry>,
+    dir_enabled: bool,
+    dir_stats: DirStats,
 }
 
 impl Machine {
     /// Creates a machine with all caches empty.
+    ///
+    /// The sharer directory is on by default; set the environment variable
+    /// `TMI_FASTPATH=off` (or call [`Machine::set_directory_enabled`]) to
+    /// force the reference broadcast-snoop path. Machines with more than
+    /// 64 cores fall back to snooping (the sharer bitmap is one `u64`).
     ///
     /// # Panics
     ///
@@ -117,7 +166,10 @@ impl Machine {
                 .collect(),
             llc: Cache::new(config.llc),
             stats: MachineStats::default(),
-            hitm_streaks: HashMap::new(),
+            hitm_streaks: LineTable::default(),
+            dir: LineTable::with_capacity(1024),
+            dir_enabled: config.cores <= 64 && !crate::fastpath_disabled_by_env(),
+            dir_stats: DirStats::default(),
             config,
         }
     }
@@ -135,6 +187,39 @@ impl Machine {
     /// Accumulated statistics.
     pub fn stats(&self) -> &MachineStats {
         &self.stats
+    }
+
+    /// Directory accelerator counters (all zero when the directory is
+    /// disabled or the machine has more than 64 cores).
+    pub fn dir_stats(&self) -> &DirStats {
+        &self.dir_stats
+    }
+
+    /// Whether the sharer directory is answering remote queries.
+    pub fn directory_enabled(&self) -> bool {
+        self.dir_enabled
+    }
+
+    /// Enables or disables the sharer directory at any point in a run.
+    /// Disabling reverts every remote query to the reference broadcast
+    /// snoop; re-enabling rebuilds the directory from the tag arrays (the
+    /// source of truth), so toggling is always safe.
+    pub fn set_directory_enabled(&mut self, enabled: bool) {
+        let enabled = enabled && self.config.cores <= 64;
+        self.dir.clear();
+        self.dir_enabled = enabled;
+        if enabled {
+            for core in 0..self.config.cores {
+                let dir = &mut self.dir;
+                self.private[core].for_each_resident(|line, state| {
+                    let e = dir.get_or_insert(line, DirEntry::default());
+                    e.sharers |= 1u64 << core;
+                    if state == MesiState::Modified {
+                        e.owner = core as u8;
+                    }
+                });
+            }
+        }
     }
 
     /// Performs one coherent memory access from `core` at physical address
@@ -187,11 +272,15 @@ impl Machine {
                 level: ServiceLevel::Local,
             };
         }
-        // Snoop the sibling caches.
-        if let Some(owner) = self.find_remote(core, line, MesiState::Modified) {
+        // Query the sibling caches (directory or snoop broadcast).
+        if let Some(owner) = self.remote_modified(core, line) {
             // HITM: the owner supplies the dirty line and downgrades to S;
             // the dirty data is considered written back to the LLC.
             self.private[owner].set_state(line, MesiState::Shared);
+            if self.dir_enabled {
+                // M → S: still a sharer, no longer the owner.
+                self.dir.get_mut(line).expect("tracked line").owner = NO_OWNER;
+            }
             self.stats.writebacks += 1;
             self.fill_llc(line);
             self.fill_private(core, line, MesiState::Shared);
@@ -211,8 +300,9 @@ impl Machine {
                 level: ServiceLevel::RemoteDirty,
             };
         }
-        if let Some(owner) = self.find_remote_any_clean(core, line) {
-            // Clean forward; an E owner downgrades to S.
+        if let Some(owner) = self.remote_any_clean(core, line) {
+            // Clean forward; an E owner downgrades to S. (E/S transitions
+            // do not touch the directory: the sharer bit is state-blind.)
             if self.private[owner].peek(line) == Some(MesiState::Exclusive) {
                 self.private[owner].set_state(line, MesiState::Shared);
             }
@@ -264,6 +354,9 @@ impl Machine {
             Some(MesiState::Exclusive) => {
                 // Silent E→M upgrade.
                 self.private[core].set_state(line, MesiState::Modified);
+                if self.dir_enabled {
+                    self.dir.get_mut(line).expect("tracked line").owner = core as u8;
+                }
                 self.stats.local_hits += 1;
                 return AccessOutcome {
                     latency: lat.local_hit,
@@ -275,6 +368,9 @@ impl Machine {
                 // Invalidating upgrade: kill every other copy.
                 let n = self.invalidate_others(core, line);
                 self.private[core].set_state(line, MesiState::Modified);
+                if self.dir_enabled {
+                    self.dir.get_mut(line).expect("tracked line").owner = core as u8;
+                }
                 self.stats.local_hits += 1;
                 self.stats.invalidations += n;
                 return AccessOutcome {
@@ -286,9 +382,12 @@ impl Machine {
             None => {}
         }
         // Miss: request for ownership.
-        if let Some(owner) = self.find_remote(core, line, MesiState::Modified) {
+        if let Some(owner) = self.remote_modified(core, line) {
             // The dirty owner forwards the line and is invalidated.
             self.private[owner].invalidate(line);
+            if self.dir_enabled {
+                self.dir_drop_sharer(line, owner);
+            }
             self.stats.writebacks += 1;
             self.stats.invalidations += 1;
             self.fill_llc(line);
@@ -316,7 +415,7 @@ impl Machine {
                 level: ServiceLevel::RemoteDirty,
             };
         }
-        let had_clean_remote = self.find_remote_any_clean(core, line).is_some();
+        let had_clean_remote = self.remote_any_clean(core, line).is_some();
         if had_clean_remote {
             let n = self.invalidate_others(core, line);
             self.stats.invalidations += n;
@@ -353,7 +452,7 @@ impl Machine {
     fn hitm_queuing(&mut self, line: LineAddr) -> u64 {
         let seq = self.stats.accesses;
         let lat = self.config.latency;
-        let e = self.hitm_streaks.entry(line).or_insert((seq, 0));
+        let e = self.hitm_streaks.get_or_insert(line, (seq, 0));
         if seq.saturating_sub(e.0) < 2_000 {
             e.1 += 1;
         } else {
@@ -363,14 +462,78 @@ impl Machine {
         lat.hitm_queuing_step * e.1.min(lat.hitm_queuing_cap)
     }
 
-    /// Finds a sibling cache (not `core`) holding `line` in exactly `state`.
+    /// The sibling cache (not `core`) holding `line` Modified, if any.
+    /// SWMR makes the holder unique, so the directory's owner field and the
+    /// ascending broadcast probe agree by construction.
+    #[inline]
+    fn remote_modified(&mut self, core: CoreId, line: LineAddr) -> Option<CoreId> {
+        if !self.dir_enabled {
+            return self.find_remote(core, line, MesiState::Modified);
+        }
+        self.dir_stats.probes += 1;
+        let answer = match self.dir.get(line) {
+            Some(e) => {
+                self.dir_stats.hits += 1;
+                match e.owner {
+                    NO_OWNER => None,
+                    o if o as usize == core => None,
+                    o => Some(o as usize),
+                }
+            }
+            None => None,
+        };
+        debug_assert_eq!(
+            answer,
+            self.find_remote(core, line, MesiState::Modified),
+            "directory/snoop divergence on remote-M query for {line:?}"
+        );
+        answer
+    }
+
+    /// The lowest-numbered sibling cache holding `line` clean (E or S), if
+    /// any. Matches the reference broadcast, which scans cores in
+    /// ascending order, by taking the lowest set sharer bit.
+    #[inline]
+    fn remote_any_clean(&mut self, core: CoreId, line: LineAddr) -> Option<CoreId> {
+        if !self.dir_enabled {
+            return self.find_remote_any_clean(core, line);
+        }
+        self.dir_stats.probes += 1;
+        let answer = match self.dir.get(line) {
+            Some(e) => {
+                self.dir_stats.hits += 1;
+                // Clean holders: every sharer except the requester and the
+                // M owner. (Callers only query after ruling out a remote M
+                // owner, so the owner mask is defensive.)
+                let mut bits = e.sharers & !(1u64 << core);
+                if e.owner != NO_OWNER {
+                    bits &= !(1u64 << e.owner);
+                }
+                if bits == 0 {
+                    None
+                } else {
+                    Some(bits.trailing_zeros() as usize)
+                }
+            }
+            None => None,
+        };
+        debug_assert_eq!(
+            answer,
+            self.find_remote_any_clean(core, line),
+            "directory/snoop divergence on remote-clean query for {line:?}"
+        );
+        answer
+    }
+
+    /// Reference path: finds a sibling cache (not `core`) holding `line` in
+    /// exactly `state` by probing every core in ascending order.
     fn find_remote(&self, core: CoreId, line: LineAddr, state: MesiState) -> Option<CoreId> {
         (0..self.config.cores)
             .filter(|&c| c != core)
             .find(|&c| self.private[c].peek(line) == Some(state))
     }
 
-    /// Finds a sibling cache holding `line` clean (E or S).
+    /// Reference path: finds a sibling cache holding `line` clean (E or S).
     fn find_remote_any_clean(&self, core: CoreId, line: LineAddr) -> Option<CoreId> {
         (0..self.config.cores).filter(|&c| c != core).find(|&c| {
             matches!(
@@ -382,13 +545,61 @@ impl Machine {
 
     /// Invalidates `line` in every cache except `core`, returning the count.
     fn invalidate_others(&mut self, core: CoreId, line: LineAddr) -> u64 {
+        if !self.dir_enabled {
+            let mut n = 0;
+            for c in 0..self.config.cores {
+                if c != core && self.private[c].invalidate(line).is_some() {
+                    n += 1;
+                }
+            }
+            return n;
+        }
         let mut n = 0;
-        for c in 0..self.config.cores {
-            if c != core && self.private[c].invalidate(line).is_some() {
+        if let Some(e) = self.dir.get(line).copied() {
+            let mut bits = e.sharers & !(1u64 << core);
+            while bits != 0 {
+                let c = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let was = self.private[c].invalidate(line);
+                debug_assert!(was.is_some(), "directory listed a non-holder {c}");
                 n += 1;
             }
+            let e = self.dir.get_mut(line).expect("tracked line");
+            e.sharers &= 1u64 << core;
+            if e.owner != NO_OWNER && e.owner as usize != core {
+                e.owner = NO_OWNER;
+            }
+            if e.sharers == 0 {
+                self.dir.remove(line);
+                self.dir_stats.removals += 1;
+            }
         }
+        debug_assert_eq!(n, {
+            // After the fact every sibling copy is gone either way; check
+            // against the stats-visible count the reference would produce.
+            let mut left = 0;
+            for c in 0..self.config.cores {
+                if c != core && self.private[c].peek(line).is_some() {
+                    left += 1;
+                }
+            }
+            n + left // `left` must be 0
+        });
         n
+    }
+
+    /// Drops `core`'s sharer bit for `line` (cache eviction or snoop
+    /// invalidation already applied to the tag array).
+    fn dir_drop_sharer(&mut self, line: LineAddr, core: CoreId) {
+        let e = self.dir.get_mut(line).expect("tracked line");
+        e.sharers &= !(1u64 << core);
+        if e.owner as usize == core {
+            e.owner = NO_OWNER;
+        }
+        if e.sharers == 0 {
+            self.dir.remove(line);
+            self.dir_stats.removals += 1;
+        }
     }
 
     fn fill_private(&mut self, core: CoreId, line: LineAddr, state: MesiState) {
@@ -396,6 +607,20 @@ impl Machine {
             if dirty {
                 self.stats.writebacks += 1;
                 self.llc.insert(v, MesiState::Modified);
+            }
+            if self.dir_enabled {
+                self.dir_drop_sharer(v, core);
+            }
+        }
+        if self.dir_enabled {
+            let installs = &mut self.dir_stats.installs;
+            let e = self.dir.get_or_insert(line, DirEntry::default());
+            if e.sharers == 0 {
+                *installs += 1;
+            }
+            e.sharers |= 1u64 << core;
+            if state == MesiState::Modified {
+                e.owner = core as u8;
             }
         }
     }
@@ -408,6 +633,42 @@ impl Machine {
     /// Read-only view of one core's private cache (tests, memory stats).
     pub fn private_cache(&self, core: CoreId) -> &Cache {
         &self.private[core]
+    }
+
+    /// Asserts that the directory exactly mirrors the tag arrays: every
+    /// resident line's sharer set and Modified owner match, and the
+    /// directory tracks no line absent from every private cache. Testing
+    /// hook; a no-op while the directory is disabled.
+    pub fn assert_directory_consistent(&self) {
+        if !self.dir_enabled {
+            return;
+        }
+        let mut expected: std::collections::BTreeMap<LineAddr, DirEntry> =
+            std::collections::BTreeMap::new();
+        for core in 0..self.config.cores {
+            self.private[core].for_each_resident(|line, state| {
+                let e = expected.entry(line).or_default();
+                e.sharers |= 1u64 << core;
+                if state == MesiState::Modified {
+                    assert_eq!(e.owner, NO_OWNER, "two Modified holders for {line:?}");
+                    e.owner = core as u8;
+                }
+            });
+        }
+        assert_eq!(
+            self.dir.len(),
+            expected.len(),
+            "directory tracks {} lines, caches hold {}",
+            self.dir.len(),
+            expected.len()
+        );
+        self.dir.for_each(|line, e| {
+            let want = expected
+                .get(&line)
+                .unwrap_or_else(|| panic!("directory tracks evicted line {line:?}"));
+            assert_eq!(e.sharers, want.sharers, "sharer bitmap for {line:?}");
+            assert_eq!(e.owner, want.owner, "owner for {line:?}");
+        });
     }
 }
 
@@ -507,6 +768,7 @@ mod tests {
             let o = m.access(c, a(0x6000), AccessKind::Load, Width::W8);
             assert_eq!(o.level, ServiceLevel::Local);
         }
+        m.assert_directory_consistent();
     }
 
     #[test]
@@ -521,6 +783,7 @@ mod tests {
         // Core 1 must now re-fetch and sees the dirty line: HITM.
         let o = m.access(1, a(0x7000), AccessKind::Load, Width::W8);
         assert!(o.hitm.is_some());
+        m.assert_directory_consistent();
     }
 
     #[test]
@@ -560,6 +823,7 @@ mod tests {
         m.access(0, a(64), AccessKind::Load, Width::W8); // evicts line 0
         let o = m.access(0, a(0), AccessKind::Load, Width::W8);
         assert_eq!(o.level, ServiceLevel::Llc);
+        m.assert_directory_consistent();
     }
 
     #[test]
@@ -572,5 +836,87 @@ mod tests {
         assert_eq!(s.accesses, 3);
         assert_eq!(s.loads, 1);
         assert_eq!(s.stores, 2);
+    }
+
+    #[test]
+    fn directory_survives_evictions() {
+        // A 1-set/1-way private cache forces an eviction on every distinct
+        // line; the directory must track exactly the resident lines.
+        let cfg = MachineConfig {
+            cores: 2,
+            private_cache: CacheConfig { sets: 1, ways: 2 },
+            llc: CacheConfig::llc_default(),
+            latency: LatencyModel::haswell(),
+        };
+        let mut m = Machine::new(cfg);
+        for i in 0..64u64 {
+            let core = (i % 2) as usize;
+            let kind = if i % 3 == 0 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            m.access(core, a(i * 64), kind, Width::W8);
+            m.assert_directory_consistent();
+        }
+    }
+
+    #[test]
+    fn directory_toggle_rebuilds_from_caches() {
+        let mut m = machine(4);
+        for i in 0..32u64 {
+            m.access(
+                (i % 4) as usize,
+                a(0x1_0000 + i * 8),
+                AccessKind::Store,
+                Width::W8,
+            );
+            m.access(
+                ((i + 1) % 4) as usize,
+                a(0x1_0000 + i * 8),
+                AccessKind::Load,
+                Width::W8,
+            );
+        }
+        m.set_directory_enabled(false);
+        assert!(!m.directory_enabled());
+        // Runs correctly on the snoop path.
+        m.access(0, a(0x1_0000), AccessKind::Store, Width::W8);
+        m.set_directory_enabled(true);
+        m.assert_directory_consistent();
+        m.access(1, a(0x1_0000), AccessKind::Load, Width::W8);
+        m.assert_directory_consistent();
+    }
+
+    #[test]
+    fn snoop_and_directory_agree_on_a_mixed_workload() {
+        // Same deterministic access stream on both paths: every outcome
+        // field and the final stats must be identical.
+        let mut fast = machine(4);
+        let mut refr = machine(4);
+        refr.set_directory_enabled(false);
+        let mut x = 0x9e37_79b9u64;
+        for _ in 0..50_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let core = (x % 4) as usize;
+            let addr = a((x >> 8) % 0x8_0000);
+            let kind = match x % 3 {
+                0 => AccessKind::Load,
+                1 => AccessKind::Store,
+                _ => AccessKind::Rmw,
+            };
+            let of = fast.access(core, addr, kind, Width::W8);
+            let or = refr.access(core, addr, kind, Width::W8);
+            assert_eq!(of.latency, or.latency);
+            assert_eq!(of.level, or.level);
+            assert_eq!(
+                of.hitm.map(|h| (h.owner, h.kind)),
+                or.hitm.map(|h| (h.owner, h.kind))
+            );
+        }
+        assert_eq!(fast.stats(), refr.stats());
+        fast.assert_directory_consistent();
     }
 }

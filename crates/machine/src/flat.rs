@@ -1,0 +1,303 @@
+//! A flat open-addressed hash table keyed by [`LineAddr`].
+//!
+//! Replaces the per-access `HashMap` probes on the coherence fast path:
+//! SipHash plus the std bucket indirection cost more than the lookups they
+//! serve. This table keeps keys in one contiguous `Box<[u64]>` (values in a
+//! parallel slab), uses Fibonacci multiplicative hashing and linear probing,
+//! and deletes with backward shifting so no tombstones accumulate. Every
+//! probe touches one or two cache lines for the realistic load factors the
+//! directory and HITM-streak maps see.
+//!
+//! Iteration order is unspecified; the coherence layer never iterates for
+//! anything behaviorally observable (only for diagnostics and consistency
+//! checks, which sort).
+
+use crate::addr::LineAddr;
+
+/// Sentinel for an empty slot. `LineAddr` values are physical addresses
+/// divided by the line size, so `u64::MAX` can never be a live key.
+const EMPTY: u64 = u64::MAX;
+
+/// Grow when `len * 8 >= capacity * 7` (87.5% load) — linear probing stays
+/// short well past this for the multiplicative hash we use, and the
+/// directory's working set is bounded by total cache capacity anyway.
+const GROW_NUM: usize = 7;
+const GROW_DEN: usize = 8;
+
+/// A flat open-addressed map from [`LineAddr`] to `V`.
+#[derive(Clone, Debug)]
+pub struct LineTable<V> {
+    /// Raw line numbers; `EMPTY` marks a vacant slot.
+    keys: Box<[u64]>,
+    /// Values parallel to `keys`; only meaningful where the key is live.
+    vals: Box<[V]>,
+    len: usize,
+    /// `capacity - 1`; capacity is always a power of two.
+    mask: usize,
+}
+
+impl<V: Copy + Default> Default for LineTable<V> {
+    fn default() -> Self {
+        Self::with_capacity(64)
+    }
+}
+
+impl<V: Copy + Default> LineTable<V> {
+    /// Creates a table sized for at least `cap` entries before growing.
+    pub fn with_capacity(cap: usize) -> Self {
+        let capacity = cap.next_power_of_two().max(8);
+        LineTable {
+            keys: vec![EMPTY; capacity].into_boxed_slice(),
+            vals: vec![V::default(); capacity].into_boxed_slice(),
+            len: 0,
+            mask: capacity - 1,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fibonacci multiplicative hash: spreads consecutive line numbers
+    /// (the common access pattern) across the table.
+    #[inline]
+    fn ideal_slot(&self, key: u64) -> usize {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // The high bits carry the mixing; fold them down onto the mask.
+        (h >> 32) as usize & self.mask
+    }
+
+    /// Slot holding `key`, if present.
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        let mut i = self.ideal_slot(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return Some(i);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Returns the value for `line`, if present.
+    #[inline]
+    pub fn get(&self, line: LineAddr) -> Option<&V> {
+        self.find(line.raw()).map(|i| &self.vals[i])
+    }
+
+    /// Returns a mutable reference to the value for `line`, if present.
+    #[inline]
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut V> {
+        self.find(line.raw()).map(move |i| &mut self.vals[i])
+    }
+
+    /// Returns a mutable reference to the value for `line`, inserting
+    /// `default` first if absent.
+    #[inline]
+    pub fn get_or_insert(&mut self, line: LineAddr, default: V) -> &mut V {
+        if self.len * GROW_DEN >= (self.mask + 1) * GROW_NUM {
+            self.grow();
+        }
+        let key = line.raw();
+        debug_assert_ne!(key, EMPTY, "LineAddr::MAX is reserved");
+        let mut i = self.ideal_slot(key);
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                return &mut self.vals[i];
+            }
+            if k == EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = default;
+                self.len += 1;
+                return &mut self.vals[i];
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Inserts or overwrites the value for `line`.
+    pub fn insert(&mut self, line: LineAddr, value: V) {
+        *self.get_or_insert(line, value) = value;
+    }
+
+    /// Removes `line`, returning its value if it was present. Uses
+    /// backward-shift deletion, so lookups never scan over tombstones.
+    pub fn remove(&mut self, line: LineAddr) -> Option<V> {
+        let mut hole = self.find(line.raw())?;
+        let removed = self.vals[hole];
+        self.len -= 1;
+        // Shift the tail of the probe run left over the hole.
+        let mut j = hole;
+        loop {
+            j = (j + 1) & self.mask;
+            let k = self.keys[j];
+            if k == EMPTY {
+                break;
+            }
+            // `j`'s entry may move into the hole only if its ideal slot is
+            // at or before the hole within this run (cyclic comparison).
+            let ideal = self.ideal_slot(k);
+            if (j.wrapping_sub(ideal) & self.mask) >= (j.wrapping_sub(hole) & self.mask) {
+                self.keys[hole] = k;
+                self.vals[hole] = self.vals[j];
+                hole = j;
+            }
+        }
+        self.keys[hole] = EMPTY;
+        Some(removed)
+    }
+
+    /// Visits every live `(line, value)` pair in unspecified order.
+    pub fn for_each(&self, mut f: impl FnMut(LineAddr, &V)) {
+        for (i, &k) in self.keys.iter().enumerate() {
+            if k != EMPTY {
+                f(LineAddr::new(k), &self.vals[i]);
+            }
+        }
+    }
+
+    /// Drops every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.len = 0;
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.mask + 1) * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap].into_boxed_slice());
+        let old_vals = std::mem::replace(
+            &mut self.vals,
+            vec![V::default(); new_cap].into_boxed_slice(),
+        );
+        self.mask = new_cap - 1;
+        self.len = 0;
+        for (i, &k) in old_keys.iter().enumerate() {
+            if k != EMPTY {
+                self.insert(LineAddr::new(k), old_vals[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::new(n)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t: LineTable<u32> = LineTable::default();
+        assert!(t.get(line(7)).is_none());
+        t.insert(line(7), 42);
+        assert_eq!(t.get(line(7)), Some(&42));
+        assert_eq!(t.remove(line(7)), Some(42));
+        assert!(t.get(line(7)).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn get_or_insert_returns_existing() {
+        let mut t: LineTable<u32> = LineTable::default();
+        *t.get_or_insert(line(1), 10) += 1;
+        *t.get_or_insert(line(1), 99) += 1;
+        assert_eq!(t.get(line(1)), Some(&12));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut t: LineTable<u64> = LineTable::with_capacity(8);
+        for i in 0..1_000 {
+            t.insert(line(i * 3), i);
+        }
+        assert_eq!(t.len(), 1_000);
+        for i in 0..1_000 {
+            assert_eq!(t.get(line(i * 3)), Some(&i));
+        }
+    }
+
+    #[test]
+    fn backward_shift_keeps_probe_runs_intact() {
+        // Force collisions by inserting keys that share an ideal slot, then
+        // delete from the middle of the run and verify the tail stays
+        // reachable.
+        let mut t: LineTable<u64> = LineTable::with_capacity(8);
+        let mut by_slot: HashMap<usize, Vec<u64>> = HashMap::new();
+        for k in 0..200u64 {
+            by_slot.entry(t.ideal_slot(k)).or_default().push(k);
+        }
+        let run = by_slot
+            .values()
+            .find(|v| v.len() >= 3)
+            .expect("some slot collides")
+            .clone();
+        for &k in &run {
+            t.insert(line(k), k);
+        }
+        t.remove(line(run[0]));
+        for &k in &run[1..] {
+            assert_eq!(t.get(line(k)), Some(&k), "key {k} lost after removal");
+        }
+    }
+
+    #[test]
+    fn mirror_against_hashmap() {
+        // Deterministic pseudo-random op sequence diffed against HashMap.
+        let mut t: LineTable<u64> = LineTable::default();
+        let mut m: HashMap<u64, u64> = HashMap::new();
+        let mut x = 0x1234_5678_9abc_def0u64;
+        for step in 0..20_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 512;
+            match x >> 61 {
+                0..=3 => {
+                    t.insert(line(key), step);
+                    m.insert(key, step);
+                }
+                4 | 5 => {
+                    assert_eq!(t.remove(line(key)), m.remove(&key));
+                }
+                _ => {
+                    assert_eq!(t.get(line(key)), m.get(&key));
+                }
+            }
+            assert_eq!(t.len(), m.len());
+        }
+        let mut seen = 0;
+        t.for_each(|l, v| {
+            assert_eq!(m.get(&l.raw()), Some(v));
+            seen += 1;
+        });
+        assert_eq!(seen, m.len());
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_empties() {
+        let mut t: LineTable<u8> = LineTable::with_capacity(8);
+        for i in 0..100 {
+            t.insert(line(i), 1);
+        }
+        t.clear();
+        assert!(t.is_empty());
+        for i in 0..100 {
+            assert!(t.get(line(i)).is_none());
+        }
+    }
+}

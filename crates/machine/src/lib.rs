@@ -41,6 +41,7 @@
 pub mod addr;
 pub mod cache;
 pub mod coherence;
+pub mod flat;
 pub mod hitm;
 pub mod latency;
 pub mod physmem;
@@ -49,7 +50,20 @@ pub mod stats;
 pub use addr::{CoreId, FrameId, LineAddr, PhysAddr, VAddr, Vpn, Width, FRAME_SIZE, LINE_SIZE};
 pub use cache::{Cache, CacheConfig, MesiState};
 pub use coherence::{AccessKind, AccessOutcome, Machine, MachineConfig};
+pub use flat::LineTable;
 pub use hitm::HitmEvent;
 pub use latency::LatencyModel;
 pub use physmem::PhysMem;
-pub use stats::MachineStats;
+pub use stats::{DirStats, MachineStats};
+
+/// True when the environment opts out of the fast-path accelerators
+/// (`TMI_FASTPATH=off|0|false|no`). Checked once per component at
+/// construction time — `Machine::new` (sharer directory) here and
+/// `Kernel::new` (software TLB) in `tmi-os` — so a process-wide toggle
+/// flips every accelerator to its reference path for differential runs.
+pub fn fastpath_disabled_by_env() -> bool {
+    matches!(
+        std::env::var("TMI_FASTPATH").as_deref(),
+        Ok("off") | Ok("0") | Ok("false") | Ok("no")
+    )
+}

@@ -60,6 +60,32 @@ impl MetricSource for MachineStats {
     }
 }
 
+/// Counters for the sharer/owner directory accelerator in
+/// [`crate::Machine`]. Purely observational: the directory answers the
+/// same queries the broadcast snoop would, so these counters measure how
+/// much snoop traffic the directory absorbed, not any behavioral change.
+/// All zero when the directory is disabled.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirStats {
+    /// Remote queries answered from the directory instead of a broadcast.
+    pub probes: u64,
+    /// Probes that found the line tracked (some private cache holds it).
+    pub hits: u64,
+    /// Lines that entered the directory (first private-cache fill).
+    pub installs: u64,
+    /// Lines dropped when their last sharer evicted or was invalidated.
+    pub removals: u64,
+}
+
+impl MetricSource for DirStats {
+    fn metrics(&self, out: &mut MetricSink) {
+        out.u64("probes", self.probes);
+        out.u64("hits", self.hits);
+        out.u64("installs", self.installs);
+        out.u64("removals", self.removals);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,7 +32,7 @@ use tmi_faultpoint::{FaultInjector, FaultPlan, FaultStats};
 use tmi_machine::{VAddr, Width};
 use tmi_os::{AsId, MapRequest, ObjId};
 use tmi_program::{width_mask, Op, SequenceProgram};
-use tmi_sim::{Engine, EngineConfig, TraceStep};
+use tmi_sim::{Engine, EngineConfig, Halt, TraceStep};
 
 use crate::interp::Interp;
 use crate::litmus::{self, Coverage, Litmus};
@@ -284,6 +284,53 @@ pub fn trace_seed(seed: u64, cfg: &CheckConfig) -> (CheckReport, String) {
     (report, trace)
 }
 
+/// Every observable of one repaired litmus run, captured for the
+/// fast-path equivalence suite: how the run halted, its simulated clocks,
+/// the executed schedule with all load observations, and the full flat
+/// metrics snapshot (machine, OS, accelerator and runtime counters).
+#[derive(Clone, Debug)]
+pub struct RawRun {
+    /// Why the run stopped.
+    pub halt: Halt,
+    /// Wall time of the run in simulated cycles.
+    pub cycles: u64,
+    /// Final clock of each thread.
+    pub thread_cycles: Vec<u64>,
+    /// Dynamic operations executed.
+    pub ops: u64,
+    /// The executed schedule and every value observed along it.
+    pub trace: Vec<TraceStep>,
+    /// Flat metrics snapshot (`machine.*`, `machine.dir.*`, `os.*`,
+    /// `os.tlb.*`, `tmi.*`).
+    pub metrics: tmi_telemetry::MetricsSnapshot,
+}
+
+/// Runs `seed`'s litmus program through the full repaired TMI stack with
+/// the fast-path accelerators (per-address-space software TLBs and the
+/// sharer/owner directory) forced on or off, and returns every observable
+/// of the run. The accelerators are required to be behaviorally
+/// invisible, so for any seed the two variants must agree on everything
+/// except the `os.tlb.*` / `machine.dir.*` counters themselves — the
+/// contract `tests/fastpath_equivalence.rs` enforces.
+pub fn run_seed_raw(seed: u64, fastpath: bool) -> RawRun {
+    let lit = Litmus::generate(seed);
+    let cfg = CheckConfig::default();
+    let (mut engine, _aspace) = build_fixture(&lit, &cfg, &tmi_telemetry::Tracer::disabled(), None);
+    engine.core_mut().machine.set_directory_enabled(fastpath);
+    engine.core_mut().kernel.set_tlb_enabled(fastpath);
+    let run = engine.run();
+    let trace = engine.take_trace();
+    let metrics = engine.metrics("tmi");
+    RawRun {
+        halt: run.halt,
+        cycles: run.cycles,
+        thread_cycles: run.thread_cycles,
+        ops: run.ops,
+        trace,
+        metrics,
+    }
+}
+
 /// Checks one litmus program (see the module docs).
 pub fn check_litmus(lit: &Litmus, cfg: &CheckConfig) -> CheckReport {
     let (mut divergences, mut steps, faults) = run_once(lit, cfg);
@@ -323,18 +370,17 @@ fn run_once(lit: &Litmus, cfg: &CheckConfig) -> (Vec<Divergence>, usize, Option<
     run_traced(lit, cfg, &tmi_telemetry::Tracer::disabled())
 }
 
-/// [`run_once`] with an explicit telemetry tracer (disabled in the fuzz
-/// hot path so checking stays allocation-lean).
-fn run_traced(
+/// Builds the standard litmus fixture: a 4-core engine running a
+/// protect-mode [`TmiRuntime`], the app and internal objects mapped, one
+/// engine thread per litmus thread, repair forced on the program's data
+/// pages, and execution tracing enabled. Shared by the differential
+/// checker and the fast-path equivalence suite ([`run_seed_raw`]).
+fn build_fixture(
     lit: &Litmus,
     cfg: &CheckConfig,
     tracer: &tmi_telemetry::Tracer,
-) -> (Vec<Divergence>, usize, Option<FaultSummary>) {
-    let max_div = cfg.max_divergences;
-    let faults = cfg.faults.map(|base| {
-        let fseed = derive_fault_seed(base, lit.seed);
-        (base, fseed, FaultInjector::new(FaultPlan::from_seed(fseed)))
-    });
+    injector: Option<&FaultInjector>,
+) -> (Engine<TmiRuntime>, AsId) {
     let mut ecfg = EngineConfig::with_cores(4);
     // Litmus runs are far too short for the sampling detector; repair is
     // forced below and the detection thread never ticks.
@@ -353,7 +399,7 @@ fn run_traced(
         fs_threshold_per_sec: f64::INFINITY,
         ..TmiConfig::protect()
     };
-    if let Some((_, _, inj)) = &faults {
+    if let Some(inj) = injector {
         // Litmus runs are far shorter than the paper's sampling period, so
         // sample every HITM — otherwise the PEBS-drop fault point never
         // sees a record to lose.
@@ -368,12 +414,12 @@ fn run_traced(
     }
     let mut rt = TmiRuntime::new(tcfg, layout);
     rt.set_tracer(tracer.clone());
-    if let Some((_, _, inj)) = &faults {
+    if let Some(inj) = injector {
         rt.set_fault_injector(inj.clone());
     }
     let mut engine = Engine::new(ecfg, rt);
     let k = &mut engine.core_mut().kernel;
-    if let Some((_, _, inj)) = &faults {
+    if let Some(inj) = injector {
         k.set_fault_injector(inj.clone());
     }
     let app = k.create_object(litmus::APP_LEN);
@@ -406,6 +452,23 @@ fn run_traced(
     let (rt, core) = engine.runtime_and_core();
     rt.force_repair(core, &pages);
     engine.enable_trace();
+    (engine, aspace)
+}
+
+/// [`run_once`] with an explicit telemetry tracer (disabled in the fuzz
+/// hot path so checking stays allocation-lean).
+fn run_traced(
+    lit: &Litmus,
+    cfg: &CheckConfig,
+    tracer: &tmi_telemetry::Tracer,
+) -> (Vec<Divergence>, usize, Option<FaultSummary>) {
+    let max_div = cfg.max_divergences;
+    let faults = cfg.faults.map(|base| {
+        let fseed = derive_fault_seed(base, lit.seed);
+        (base, fseed, FaultInjector::new(FaultPlan::from_seed(fseed)))
+    });
+    let (mut engine, aspace) =
+        build_fixture(lit, cfg, tracer, faults.as_ref().map(|(_, _, inj)| inj));
     let run = engine.run();
     let trace = engine.take_trace();
     let steps = trace.len();

@@ -40,8 +40,8 @@ pub mod interp;
 pub mod litmus;
 
 pub use diff::{
-    check_litmus, check_seed, derive_fault_seed, trace_seed, CheckConfig, CheckReport, Divergence,
-    DivergenceKind, FaultSummary,
+    check_litmus, check_seed, derive_fault_seed, run_seed_raw, trace_seed, CheckConfig,
+    CheckReport, Divergence, DivergenceKind, FaultSummary, RawRun,
 };
 pub use interp::{Interp, RefStep};
 pub use litmus::{Coverage, Guard, GuardKind, Litmus, Slot, SlotClass};

@@ -4,6 +4,7 @@ use std::collections::BTreeMap;
 
 use tmi_machine::{FrameId, PhysAddr, VAddr, Vpn};
 
+use crate::tlb::Tlb;
 use crate::vma::Vma;
 
 /// Identifier of an [`AddressSpace`].
@@ -29,33 +30,78 @@ pub struct Pte {
 }
 
 /// One simulated address space: the analogue of an `mm_struct`.
-#[derive(Debug, Default)]
+///
+/// VMAs are kept sorted by start address (they are disjoint by
+/// construction), so covering-VMA lookup and overlap checks are binary
+/// searches. Present-page translation goes through a per-space software
+/// [`Tlb`] that every PTE mutation shoots down; see the `tlb` module docs.
+#[derive(Debug)]
 pub struct AddressSpace {
+    /// Sorted by `start`; pairwise disjoint.
     vmas: Vec<Vma>,
     ptes: BTreeMap<Vpn, Pte>,
+    tlb: Tlb,
 }
 
 impl AddressSpace {
-    pub(crate) fn new() -> Self {
-        Self::default()
+    pub(crate) fn new(tlb_enabled: bool) -> Self {
+        AddressSpace {
+            vmas: Vec::new(),
+            ptes: BTreeMap::new(),
+            tlb: Tlb::new(tlb_enabled),
+        }
     }
 
-    /// The VMA covering `addr`, if any.
+    /// The VMA covering `addr`, if any: the last VMA starting at or below
+    /// `addr` is the only candidate, because VMAs are sorted and disjoint.
     pub fn vma_for(&self, addr: VAddr) -> Option<&Vma> {
-        self.vmas.iter().find(|v| v.contains(addr))
+        let idx = self.vmas.partition_point(|v| v.start.raw() <= addr.raw());
+        let v = &self.vmas[idx.checked_sub(1)?];
+        v.contains(addr).then_some(v)
     }
 
-    /// All VMAs, in insertion order (the simulated `/proc/pid/maps`).
+    /// All VMAs, sorted by start address (the simulated `/proc/pid/maps`).
     pub fn vmas(&self) -> &[Vma] {
         &self.vmas
     }
 
+    /// Inserts a VMA at its sorted position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VMA overlaps an existing one — callers must have
+    /// checked [`AddressSpace::any_overlap`] (the kernel's `map` does).
     pub(crate) fn push_vma(&mut self, vma: Vma) {
-        self.vmas.push(vma);
+        let idx = self
+            .vmas
+            .partition_point(|v| v.start.raw() < vma.start.raw());
+        if let Some(prev) = idx.checked_sub(1).map(|i| &self.vmas[i]) {
+            assert!(
+                prev.end().raw() <= vma.start.raw(),
+                "VMA at {:?} overlaps predecessor ending at {:?}",
+                vma.start,
+                prev.end()
+            );
+        }
+        if let Some(next) = self.vmas.get(idx) {
+            assert!(
+                vma.end().raw() <= next.start.raw(),
+                "VMA ending at {:?} overlaps successor at {:?}",
+                vma.end(),
+                next.start
+            );
+        }
+        self.vmas.insert(idx, vma);
     }
 
+    /// Whether `[start, start + len)` intersects any VMA. Only the last
+    /// VMA starting below the range's end can intersect it (sorted,
+    /// disjoint), so this is one binary search plus one comparison.
     pub(crate) fn any_overlap(&self, start: VAddr, len: u64) -> bool {
-        self.vmas.iter().any(|v| v.overlaps(start, len))
+        let end = start.raw().saturating_add(len);
+        let idx = self.vmas.partition_point(|v| v.start.raw() < end);
+        idx.checked_sub(1)
+            .is_some_and(|i| self.vmas[i].overlaps(start, len))
     }
 
     /// The page-table entry for `vpn`, if present.
@@ -63,12 +109,37 @@ impl AddressSpace {
         self.ptes.get(&vpn).copied()
     }
 
+    /// The `(frame, writable)` pair for `vpn` via the TLB, falling back to
+    /// (and refilling from) the page table. This is the translation fast
+    /// path; use [`AddressSpace::pte`] when the full PTE is needed.
+    #[inline]
+    pub(crate) fn lookup_translation(&self, vpn: Vpn) -> Option<(FrameId, bool)> {
+        if let Some(hit) = self.tlb.lookup(vpn) {
+            debug_assert_eq!(
+                Some(hit),
+                self.ptes.get(&vpn).map(|p| (p.frame, p.writable)),
+                "stale TLB entry for {vpn:?}"
+            );
+            return Some(hit);
+        }
+        let pte = self.ptes.get(&vpn)?;
+        self.tlb.fill(vpn, pte.frame, pte.writable);
+        Some((pte.frame, pte.writable))
+    }
+
     pub(crate) fn set_pte(&mut self, vpn: Vpn, pte: Pte) -> Option<Pte> {
+        self.tlb.shootdown(vpn);
         self.ptes.insert(vpn, pte)
     }
 
     pub(crate) fn remove_pte(&mut self, vpn: Vpn) -> Option<Pte> {
+        self.tlb.shootdown(vpn);
         self.ptes.remove(&vpn)
+    }
+
+    /// This space's software TLB (counters and test hooks).
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
     }
 
     /// Number of resident (mapped) pages.
@@ -84,11 +155,11 @@ impl AddressSpace {
     /// Translates `addr` through the page table without faulting: returns
     /// the physical address if present and, for writes, writable.
     pub fn translate(&self, addr: VAddr, is_write: bool) -> Option<PhysAddr> {
-        let pte = self.ptes.get(&addr.vpn())?;
-        if is_write && !pte.writable {
+        let (frame, writable) = self.lookup_translation(addr.vpn())?;
+        if is_write && !writable {
             return None;
         }
-        Some(pte.frame.base().offset(addr.page_offset()))
+        Some(frame.base().offset(addr.page_offset()))
     }
 }
 
@@ -98,9 +169,19 @@ mod tests {
     use crate::vma::{Backing, PageSize, Perms};
     use tmi_machine::FRAME_SIZE;
 
+    fn anon_vma(start: u64, len: u64) -> Vma {
+        Vma {
+            start: VAddr::new(start),
+            len,
+            backing: Backing::Anon,
+            perms: Perms::rw(),
+            page_size: PageSize::Small,
+        }
+    }
+
     #[test]
     fn translate_respects_writable_bit() {
-        let mut a = AddressSpace::new();
+        let mut a = AddressSpace::new(true);
         a.set_pte(
             Vpn(4),
             Pte {
@@ -118,17 +199,75 @@ mod tests {
 
     #[test]
     fn vma_lookup() {
-        let mut a = AddressSpace::new();
-        a.push_vma(Vma {
-            start: VAddr::new(0x10000),
-            len: 0x4000,
-            backing: Backing::Anon,
-            perms: Perms::rw(),
-            page_size: PageSize::Small,
-        });
+        let mut a = AddressSpace::new(true);
+        a.push_vma(anon_vma(0x10000, 0x4000));
         assert!(a.vma_for(VAddr::new(0x10004)).is_some());
         assert!(a.vma_for(VAddr::new(0x14000)).is_none());
         assert!(a.any_overlap(VAddr::new(0x13000), 0x2000));
         assert!(!a.any_overlap(VAddr::new(0x14000), 0x1000));
+    }
+
+    #[test]
+    fn vmas_insert_sorted_and_lookup_binary_searches() {
+        let mut a = AddressSpace::new(true);
+        // Out-of-order pushes must still yield a sorted list.
+        a.push_vma(anon_vma(0x30000, 0x1000));
+        a.push_vma(anon_vma(0x10000, 0x1000));
+        a.push_vma(anon_vma(0x20000, 0x1000));
+        let starts: Vec<u64> = a.vmas().iter().map(|v| v.start.raw()).collect();
+        assert_eq!(starts, vec![0x10000, 0x20000, 0x30000]);
+        assert_eq!(
+            a.vma_for(VAddr::new(0x20fff)).map(|v| v.start.raw()),
+            Some(0x20000)
+        );
+        assert!(a.vma_for(VAddr::new(0x21000)).is_none());
+        assert!(a.vma_for(VAddr::new(0xfff)).is_none());
+        assert!(a.any_overlap(VAddr::new(0x2f000), 0x2000));
+        assert!(!a.any_overlap(VAddr::new(0x11000), 0xf000));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_push_panics() {
+        let mut a = AddressSpace::new(true);
+        a.push_vma(anon_vma(0x10000, 0x2000));
+        a.push_vma(anon_vma(0x11000, 0x2000));
+    }
+
+    #[test]
+    fn pte_mutations_shoot_down_the_tlb() {
+        let mut a = AddressSpace::new(true);
+        let addr = VAddr::new(4 * FRAME_SIZE);
+        a.set_pte(
+            Vpn(4),
+            Pte {
+                frame: FrameId(9),
+                writable: true,
+                cow: false,
+                owned: false,
+            },
+        );
+        // Walk once (miss + fill), then hit.
+        assert!(a.translate(addr, true).is_some());
+        assert!(a.translate(addr, true).is_some());
+        assert_eq!(a.tlb().stats().hits, 1);
+        // Remap onto another frame: the cached translation must die.
+        a.set_pte(
+            Vpn(4),
+            Pte {
+                frame: FrameId(11),
+                writable: true,
+                cow: false,
+                owned: false,
+            },
+        );
+        assert_eq!(a.tlb().stats().shootdowns, 1);
+        assert_eq!(
+            a.translate(addr, false).unwrap().raw(),
+            11 * FRAME_SIZE,
+            "post-shootdown walk sees the new frame"
+        );
+        a.remove_pte(Vpn(4));
+        assert_eq!(a.translate(addr, false), None);
     }
 }

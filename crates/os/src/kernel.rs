@@ -12,6 +12,7 @@ use crate::error::OsError;
 use crate::object::{MemObject, ObjId};
 use crate::stats::OsStats;
 use crate::task::{Pid, Process, Thread, Tid};
+use crate::tlb::TlbStats;
 use crate::vma::{Backing, MapRequest, PageSize, Vma};
 
 /// Why a translation failed (the hardware's view of the fault).
@@ -63,7 +64,7 @@ pub enum FaultResolution {
 /// The simulated kernel.
 ///
 /// See the crate docs for an end-to-end example.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Kernel {
     physmem: PhysMem,
     objects: Vec<MemObject>,
@@ -76,12 +77,57 @@ pub struct Kernel {
     /// Optional seeded fault schedule; `None` (the default) means every
     /// operation behaves exactly as before injection existed.
     faults: Option<FaultInjector>,
+    /// Whether newly created address spaces get a live software TLB.
+    tlb_enabled: bool,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel {
+            physmem: PhysMem::default(),
+            objects: Vec::new(),
+            aspaces: Vec::new(),
+            processes: Vec::new(),
+            threads: Vec::new(),
+            frame_refs: HashMap::new(),
+            stats: OsStats::default(),
+            faults: None,
+            tlb_enabled: !tmi_machine::fastpath_disabled_by_env(),
+        }
+    }
 }
 
 impl Kernel {
-    /// Creates an empty kernel.
+    /// Creates an empty kernel. The software TLB is on by default; set the
+    /// environment variable `TMI_FASTPATH=off` (or call
+    /// [`Kernel::set_tlb_enabled`]) to force the reference walk-every-time
+    /// path.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables or disables the software TLBs of every current and future
+    /// address space. Safe at any point in a run: toggling empties each
+    /// TLB, and lookups while disabled always fall through to the page
+    /// table.
+    pub fn set_tlb_enabled(&mut self, enabled: bool) {
+        self.tlb_enabled = enabled;
+        for a in &self.aspaces {
+            a.tlb().set_enabled(enabled);
+        }
+    }
+
+    /// Software-TLB counters summed over every address space.
+    pub fn tlb_stats(&self) -> TlbStats {
+        let mut total = TlbStats::default();
+        for a in &self.aspaces {
+            let s = a.tlb().stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.shootdowns += s.shootdowns;
+            total.flushes += s.flushes;
+        }
+        total
     }
 
     // ----- fault injection ------------------------------------------------
@@ -138,7 +184,7 @@ impl Kernel {
     /// Creates an empty address space.
     pub fn create_aspace(&mut self) -> AsId {
         let id = AsId(self.aspaces.len() as u32);
-        self.aspaces.push(AddressSpace::new());
+        self.aspaces.push(AddressSpace::new(self.tlb_enabled));
         id
     }
 
@@ -225,11 +271,14 @@ impl Kernel {
 
     // ----- translation & faults ------------------------------------------
 
-    /// Hardware-style translation: no side effects.
+    /// Hardware-style translation: no architectural side effects. (The
+    /// address space's software TLB may fill behind this call, exactly as
+    /// a hardware TLB fills on a walk — never changing the result.)
     ///
     /// # Errors
     ///
     /// Returns the [`PageFault`] the MMU would raise.
+    #[inline]
     pub fn translate(
         &self,
         aspace: AsId,
@@ -237,9 +286,9 @@ impl Kernel {
         is_write: bool,
     ) -> Result<PhysAddr, PageFault> {
         let a = self.aspace(aspace);
-        match a.pte(addr.vpn()) {
-            Some(pte) if is_write && !pte.writable => Err(PageFault::NotWritable),
-            Some(pte) => Ok(pte.frame.base().offset(addr.page_offset())),
+        match a.lookup_translation(addr.vpn()) {
+            Some((_, writable)) if is_write && !writable => Err(PageFault::NotWritable),
+            Some((frame, _)) => Ok(frame.base().offset(addr.page_offset())),
             None => Err(PageFault::NotPresent),
         }
     }
@@ -706,6 +755,10 @@ impl Kernel {
             };
             self.aspace_mut(dst).set_pte(vpn, shared_pte);
         }
+        // The per-entry rewrites above already shot down each remapped
+        // slot; real fork() ends with a broadcast shootdown of the parent,
+        // so bump its generation too (a full flush, counted as such).
+        self.aspace(src).tlb().flush();
         self.stats.forks += 1;
         Ok(dst)
     }
@@ -1196,6 +1249,70 @@ mod tests {
                 MapRequest::object(VAddr::new(0x1000), 2 * FRAME_SIZE, obj, 0)
             )
             .is_err());
+    }
+
+    #[test]
+    fn tlb_shootdown_on_mprotect_cow_break_and_fork() {
+        let (mut k, a, _) = setup();
+        let addr = VAddr::new(0x10000);
+        let vpn = addr.vpn();
+        k.force_write(a, addr, Width::W8, 1).unwrap();
+        // Warm the TLB, then check it answers.
+        k.translate(a, addr, true).unwrap();
+        k.translate(a, addr, true).unwrap();
+        assert!(k.aspace(a).tlb().stats().hits >= 1);
+
+        // mprotect analogue (PTSB arming) must shoot the cached entry
+        // down: a cached writable translation would miss the write fault.
+        let before = k.aspace(a).tlb().stats().shootdowns;
+        k.protect_page_cow(a, vpn).unwrap();
+        assert!(k.aspace(a).tlb().stats().shootdowns > before);
+        assert_eq!(k.translate(a, addr, true), Err(PageFault::NotWritable));
+
+        // COW break remaps onto a private frame; the read-only cached
+        // entry must die so the new frame is visible.
+        k.translate(a, addr, false).unwrap(); // cache the RO mapping
+        let before = k.aspace(a).tlb().stats().shootdowns;
+        k.handle_fault(a, addr, true).unwrap();
+        assert!(k.aspace(a).tlb().stats().shootdowns > before);
+        let private = k.private_frame(a, vpn).expect("broken");
+        assert_eq!(k.translate(a, addr, true).unwrap().frame(), private);
+
+        // Fork write-protects the parent's owned pages and ends with a
+        // broadcast flush of the parent's TLB.
+        let before = k.aspace(a).tlb().stats().flushes;
+        let b = k.fork_aspace(a).unwrap();
+        assert!(k.aspace(a).tlb().stats().flushes > before);
+        assert_eq!(k.translate(a, addr, true), Err(PageFault::NotWritable));
+        assert_eq!(k.translate(b, addr, true), Err(PageFault::NotWritable));
+        assert!(k.translate(a, addr, false).is_ok());
+    }
+
+    #[test]
+    fn tlb_disabled_matches_reference_translation() {
+        let run = |tlb: bool| {
+            let (mut k, a, _) = setup();
+            k.set_tlb_enabled(tlb);
+            let mut log = Vec::new();
+            for i in 0..16u64 {
+                let addr = VAddr::new(0x10000 + i * 8 % (8 * FRAME_SIZE));
+                log.push(k.translate(a, addr, i % 2 == 0));
+                let _ = k.handle_fault(a, addr, i % 2 == 0);
+                log.push(k.translate(a, addr, i % 2 == 0));
+                if i % 5 == 0 {
+                    // May fail once the page holds a private copy; both
+                    // paths must agree on that too.
+                    let armed = k.protect_page_cow(a, addr.vpn()).is_ok();
+                    log.push(if armed {
+                        k.translate(a, addr, true)
+                    } else {
+                        Err(PageFault::NotPresent)
+                    });
+                }
+            }
+            log
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod kernel;
 pub mod object;
 pub mod stats;
 pub mod task;
+pub mod tlb;
 pub mod vma;
 
 pub use aspace::{AddressSpace, AsId, Pte};
@@ -49,4 +50,5 @@ pub use kernel::{FaultResolution, Kernel, PageFault};
 pub use object::{MemObject, ObjId};
 pub use stats::OsStats;
 pub use task::{Pid, Process, Thread, Tid};
+pub use tlb::{Tlb, TlbStats};
 pub use vma::{Backing, MapRequest, PageSize, Perms, Vma};

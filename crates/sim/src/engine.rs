@@ -167,10 +167,17 @@ impl EngineCore {
     }
 
     /// Registers the engine-owned counters (machine and OS layers) into a
-    /// metrics sink under the `machine.` and `os.` prefixes.
+    /// metrics sink under the `machine.` and `os.` prefixes, plus the
+    /// fast-path accelerator counters under `machine.dir.` (sharer/owner
+    /// directory) and `os.tlb.` (software TLBs, summed across address
+    /// spaces). The accelerator counters are purely observational: they
+    /// measure absorbed snoops and short-circuited page walks, never a
+    /// behavioral difference.
     pub fn collect_metrics(&self, sink: &mut tmi_telemetry::MetricSink) {
         sink.source("machine", self.machine.stats());
+        sink.source("machine.dir", self.machine.dir_stats());
         sink.source("os", self.kernel.stats());
+        sink.source("os.tlb", &self.kernel.tlb_stats());
     }
 
     /// The engine configuration.
@@ -425,13 +432,17 @@ impl<R: RuntimeHooks> Engine<R> {
     }
 
     fn step(&mut self, idx: usize) -> Result<(), OsError> {
-        let pending = self.core.threads[idx].pending;
-        let op = match self.core.threads[idx].replay.take() {
+        // One thread-slot borrow for the whole dispatch header instead of
+        // re-indexing `threads[idx]` per field.
+        let t = &mut self.core.threads[idx];
+        let pending = t.pending;
+        t.pending = OpResult::none();
+        let replayed = t.replay.take();
+        let op = match replayed {
             Some(op) => op,
             None => self.programs[idx].next(pending),
         };
         self.core.ops += 1;
-        self.core.threads[idx].pending = OpResult::none();
         let lat = *self.core.machine.latency();
         match op {
             Op::Compute { cycles } => {
@@ -611,7 +622,14 @@ impl<R: RuntimeHooks> Engine<R> {
         order: Option<MemOrder>,
         action: DataAction,
     ) -> Result<Option<u64>, OsError> {
-        let tid = self.core.threads[idx].tid;
+        // Hoist the immutable per-thread fields (tid, pinned core, asm
+        // depth) out of the access path: hooks can add cycles to a thread
+        // but never migrate it or change its identity, so one indexed read
+        // up front serves the whole access.
+        let (tid, core_id, in_asm) = {
+            let t = &self.core.threads[idx];
+            (t.tid, t.core, t.asm_depth > 0)
+        };
         let acc = AccessInfo {
             pc,
             vaddr,
@@ -619,7 +637,7 @@ impl<R: RuntimeHooks> Engine<R> {
             kind,
             atomic,
             order,
-            in_asm: self.core.threads[idx].asm_depth > 0,
+            in_asm,
         };
         let PreAccess {
             extra_cycles,
@@ -682,7 +700,6 @@ impl<R: RuntimeHooks> Engine<R> {
             },
         };
 
-        let core_id = self.core.threads[idx].core;
         let outcome = if route == Route::Uncached {
             // Emulated access (software store buffer / remap): the value
             // plane is updated but the coherence fabric never sees it.

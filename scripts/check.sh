@@ -20,6 +20,13 @@
 #            schema, and the smoke run's Chrome trace must be
 #            structurally valid and contain a full repair episode
 #            (trigger -> T2P -> twin -> commit)
+#   bench-smoke  the fast-path wall-clock gate: the machine_throughput
+#            criterion benches (compile + a short measured run), then
+#            scripts/bench.sh --quick, which byte-diffs run_all --quick
+#            fast path vs TMI_FASTPATH=off (the accelerators must be
+#            behaviorally invisible) and emits + validates
+#            BENCH_perf.json (speedups there are advisory in CI; a
+#            malformed report or an equivalence failure is what fails)
 #   fuzz     fixed-seed differential fuzz: 64 litmus seeds through the
 #            repair path vs the sequential oracle (must be clean), plus
 #            16 seeds with --ablate-code-centric (must diverge)
@@ -56,6 +63,10 @@ target/release/validate_telemetry \
   --schema tests/golden/metric_names.txt \
   --report "$smoke_dir/BENCH_harness.json" \
   --trace "$smoke_dir/trace_quick.json" --expect-repair-episode
+
+echo "== bench-smoke: throughput benches + fast-path equivalence"
+cargo bench -p tmi-bench --bench machine_throughput
+scripts/bench.sh --quick
 
 echo "== fuzz: differential consistency oracle"
 target/release/fuzz_consistency --seeds 64

@@ -1,0 +1,88 @@
+//! The fast-path equivalence gate: the software TLBs, the sharer/owner
+//! directory and the flat tag arrays are pure accelerators, so a run with
+//! them enabled must be *byte-identical* to the reference path on every
+//! observable — halt reason, simulated cycles (total and per thread),
+//! dynamic op count, the executed schedule with all load observations,
+//! and the full metrics snapshot — differing only in the accelerator's
+//! own `os.tlb.*` / `machine.dir.*` counters.
+
+use tmi_repro::oracle::{run_seed_raw, RawRun};
+use tmi_repro::telemetry::MetricValue;
+
+/// The metrics a fast-path run is allowed to differ on: the accelerator
+/// counters themselves (zero on the reference path by construction).
+fn behavioral_metrics(r: &RawRun) -> Vec<(String, MetricValue)> {
+    r.metrics
+        .iter()
+        .filter(|(n, _)| !n.starts_with("os.tlb.") && !n.starts_with("machine.dir."))
+        .map(|(n, v)| (n.to_string(), v))
+        .collect()
+}
+
+/// 64 fuzz seeds through the full repaired stack, reference vs fast path:
+/// everything observable must agree, and in aggregate the accelerators
+/// must actually have engaged (otherwise the gate proves nothing).
+#[test]
+fn fastpath_is_behaviorally_invisible_over_64_seeds() {
+    let mut tlb_hits = 0u64;
+    let mut dir_probes = 0u64;
+    for seed in 0..64u64 {
+        let fast = run_seed_raw(seed, true);
+        let refr = run_seed_raw(seed, false);
+        assert_eq!(fast.halt, refr.halt, "seed {seed}: halt diverged");
+        assert_eq!(fast.cycles, refr.cycles, "seed {seed}: cycles diverged");
+        assert_eq!(
+            fast.thread_cycles, refr.thread_cycles,
+            "seed {seed}: per-thread clocks diverged"
+        );
+        assert_eq!(fast.ops, refr.ops, "seed {seed}: op counts diverged");
+        assert_eq!(
+            fast.trace, refr.trace,
+            "seed {seed}: schedule or observed values diverged"
+        );
+        assert_eq!(
+            fast.metrics.u64("machine.hitm_events"),
+            refr.metrics.u64("machine.hitm_events"),
+            "seed {seed}: HITM counts diverged"
+        );
+        assert_eq!(
+            behavioral_metrics(&fast),
+            behavioral_metrics(&refr),
+            "seed {seed}: behavioral metrics diverged"
+        );
+        // The reference path must not engage the accelerators at all.
+        assert_eq!(refr.metrics.u64("os.tlb.hits"), 0, "seed {seed}");
+        assert_eq!(refr.metrics.u64("os.tlb.misses"), 0, "seed {seed}");
+        assert_eq!(refr.metrics.u64("machine.dir.probes"), 0, "seed {seed}");
+        tlb_hits += fast.metrics.u64("os.tlb.hits");
+        dir_probes += fast.metrics.u64("machine.dir.probes");
+    }
+    assert!(
+        tlb_hits > 0,
+        "the fast path never hit the TLB across 64 seeds — gate is vacuous"
+    );
+    assert!(
+        dir_probes > 0,
+        "the fast path never probed the directory across 64 seeds — gate is vacuous"
+    );
+}
+
+/// Determinism of the raw-run capture itself: same seed and mode, same
+/// observables — so an equivalence failure always pins to the
+/// accelerators, never to fixture nondeterminism.
+#[test]
+fn raw_runs_reproduce_from_the_seed() {
+    for seed in [0u64, 7, 31] {
+        for fastpath in [false, true] {
+            let a = run_seed_raw(seed, fastpath);
+            let b = run_seed_raw(seed, fastpath);
+            assert_eq!(a.halt, b.halt);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(
+                a.metrics, b.metrics,
+                "seed {seed} fastpath={fastpath} not reproducible"
+            );
+        }
+    }
+}
