@@ -1,23 +1,61 @@
-//! Internal probe: times each suite workload under the baseline at small
-//! scale. Used during development; kept as a diagnostic.
+//! Internal probe: times suite workloads under a configurable spec.
+//! Used during development; kept as a diagnostic.
+//!
+//! Accepts the shared [`JobSpec`] flag set (`--runtime`, `--scale`,
+//! `--threads`, `--seed`, ...). With `--workload` it probes that one
+//! workload; without, it sweeps the whole suite under the given spec. A
+//! bare leading number is still accepted as the scale, matching the old
+//! invocation.
 use std::time::Instant;
-use tmi_bench::Experiment;
+
+use tmi_bench::{Executor, JobSpec};
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.03);
-    for name in tmi_workloads::SUITE {
+    let mut spec = JobSpec::new("");
+    spec.cfg.scale = 0.03;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Ok(scale) = arg.parse::<f64>() {
+            spec.cfg.scale = scale;
+            continue;
+        }
+        match spec.apply_cli_arg(&arg, &mut || args.next()) {
+            Ok(true) => {}
+            Ok(false) => {
+                eprintln!("unknown argument {arg:?}");
+                eprintln!("usage: probe [SCALE] {}", JobSpec::cli_usage());
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let exec = Executor::from_env();
+    let names: Vec<String> = if spec.workload.is_empty() {
+        tmi_workloads::SUITE.iter().map(|s| s.to_string()).collect()
+    } else {
+        vec![spec.workload.clone()]
+    };
+    for name in names {
+        let one = JobSpec {
+            workload: name.clone(),
+            ..spec.clone()
+        };
         let t0 = Instant::now();
-        let r = Experiment::new(name).scale(scale).run();
-        println!(
-            "{name:15} host={:6.2}s ops={:9} cycles={:12} hitm={:9} ok={}",
-            t0.elapsed().as_secs_f64(),
-            r.ops,
-            r.cycles,
-            r.hitm_events,
-            r.ok()
-        );
+        let job = exec.run_spec(&one);
+        match &job.outcome {
+            Ok(r) => println!(
+                "{name:15} host={:6.2}s ops={:9} cycles={:12} hitm={:9} ok={}",
+                t0.elapsed().as_secs_f64(),
+                r.ops,
+                r.cycles,
+                r.hitm_events,
+                r.ok()
+            ),
+            Err(e) => println!("{name:15} FAILED: {e}"),
+        }
     }
 }

@@ -38,6 +38,7 @@ use std::time::Instant;
 use tmi_telemetry::MetricsSnapshot;
 
 use crate::harness::{self, RunConfig, RunResult, RuntimeKind};
+pub use crate::spec::JobSpec;
 
 /// Fans `f(0..n)` out over a scoped pool of `workers` threads and returns
 /// the results **in index order**, independent of completion order.
@@ -82,15 +83,6 @@ where
                 .expect("worker filled every slot")
         })
         .collect()
-}
-
-/// One cell of the experiment matrix: a workload under a configuration.
-#[derive(Clone, PartialEq, Debug)]
-pub struct JobSpec {
-    /// Workload name (see `tmi_workloads::SUITE`).
-    pub workload: String,
-    /// Full run configuration.
-    pub cfg: RunConfig,
 }
 
 /// The outcome of one executed cell.
@@ -162,7 +154,9 @@ pub struct JobRecord {
     pub metrics: MetricsSnapshot,
 }
 
-/// Memoization key: the full cell identity.
+/// Memoization key: the full cell identity — `(workload, config, seed)`
+/// plus the trace flag, the same identity the service result cache keys
+/// on.
 #[derive(Clone, PartialEq, Eq, Hash)]
 struct JobKey {
     workload: String,
@@ -175,6 +169,8 @@ struct JobKey {
     period: u64,
     tick_interval: u64,
     max_ops: u64,
+    seed: u64,
+    trace: bool,
 }
 
 impl JobKey {
@@ -191,6 +187,8 @@ impl JobKey {
             period: c.period,
             tick_interval: c.tick_interval,
             max_ops: c.max_ops,
+            seed: spec.seed,
+            trace: spec.trace,
         }
     }
 }
@@ -249,6 +247,19 @@ impl Executor {
         })
     }
 
+    /// Runs a single cell through the memo cache on the current thread —
+    /// the entry point the `tmi-service` worker pool drains jobs into.
+    /// Equivalent to `run(vec![spec]).pop()` without spinning up a pool;
+    /// because runs are deterministic and the cache key is the full spec,
+    /// a repeated spec returns the *same* [`RunResult`] bytes whether it
+    /// recomputes or hits the cache. The spec's Chrome trace (if
+    /// `spec.trace`) is not retained — callers wanting the trace document
+    /// use [`Experiment::run_traced`].
+    pub fn run_spec(&self, spec: &JobSpec) -> JobResult {
+        let batch = self.batches.fetch_add(1, Ordering::Relaxed);
+        self.run_one(batch, 0, spec)
+    }
+
     fn run_one(&self, batch: usize, index: usize, spec: &JobSpec) -> JobResult {
         let key = JobKey::of(spec);
         if let Some(hit) = self.cache.lock().unwrap().get(&key).cloned() {
@@ -262,9 +273,7 @@ impl Executor {
             };
         }
         let t0 = Instant::now();
-        let caught = catch_unwind(AssertUnwindSafe(|| {
-            harness::execute(&spec.workload, &spec.cfg)
-        }));
+        let caught = catch_unwind(AssertUnwindSafe(|| harness::execute_spec(spec).0));
         let host_seconds = t0.elapsed().as_secs_f64();
         let outcome = match caught {
             Ok(r) => Ok(r),
@@ -438,8 +447,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Experiment {
-    workload: String,
-    cfg: RunConfig,
+    spec: JobSpec,
 }
 
 impl Experiment {
@@ -447,8 +455,7 @@ impl Experiment {
     /// (pthreads, 8 threads, benchmark scale); see [`RunConfig::new`].
     pub fn new(workload: impl Into<String>) -> Self {
         Experiment {
-            workload: workload.into(),
-            cfg: RunConfig::new(RuntimeKind::Pthreads),
+            spec: JobSpec::new(workload),
         }
     }
 
@@ -456,88 +463,97 @@ impl Experiment {
     /// fast detection tick); see [`RunConfig::repair`].
     pub fn repair(workload: impl Into<String>) -> Self {
         Experiment {
-            workload: workload.into(),
-            cfg: RunConfig::repair(RuntimeKind::Pthreads),
+            spec: JobSpec {
+                cfg: RunConfig::repair(RuntimeKind::Pthreads),
+                ..JobSpec::new(workload)
+            },
         }
     }
 
     /// Sets the supervising runtime.
     pub fn runtime(mut self, rt: RuntimeKind) -> Self {
-        self.cfg.runtime = rt;
+        self.spec.cfg.runtime = rt;
         self
     }
 
     /// Sets the worker-thread (= core) count.
     pub fn threads(mut self, threads: usize) -> Self {
-        self.cfg.threads = threads;
+        self.spec.cfg.threads = threads;
         self
     }
 
     /// Sets the work scale (1.0 = benchmark size).
     pub fn scale(mut self, scale: f64) -> Self {
-        self.cfg.scale = scale;
+        self.spec.cfg.scale = scale;
         self
     }
 
     /// Applies the manual source fix (the `manual` bars of Fig. 9).
     pub fn fixed(mut self) -> Self {
-        self.cfg.fixed = true;
+        self.spec.cfg.fixed = true;
         self
     }
 
     /// Forces the misaligned allocation that exposes allocator-sensitive
     /// false sharing (§4.3).
     pub fn misaligned(mut self) -> Self {
-        self.cfg.misaligned = true;
+        self.spec.cfg.misaligned = true;
         self
     }
 
     /// Maps application memory with 2 MiB huge pages (§4.4).
     pub fn huge_pages(mut self) -> Self {
-        self.cfg.huge_pages = true;
+        self.spec.cfg.huge_pages = true;
         self
     }
 
     /// Sets the perf sampling period (Fig. 4 sweeps this).
     pub fn period(mut self, period: u64) -> Self {
-        self.cfg.period = period;
+        self.spec.cfg.period = period;
         self
     }
 
     /// Sets the detection-tick interval in cycles.
     pub fn tick_interval(mut self, cycles: u64) -> Self {
-        self.cfg.tick_interval = cycles;
+        self.spec.cfg.tick_interval = cycles;
         self
     }
 
     /// Sets the livelock backstop in dynamic ops.
     pub fn max_ops(mut self, ops: u64) -> Self {
-        self.cfg.max_ops = ops;
+        self.spec.cfg.max_ops = ops;
         self
     }
 
     /// Replaces the entire configuration (escape hatch for presets).
     pub fn config(mut self, cfg: RunConfig) -> Self {
-        self.cfg = cfg;
+        self.spec.cfg = cfg;
+        self
+    }
+
+    /// Runs the cell under the seeded fault schedule
+    /// ([`tmi_faultpoint::FaultPlan::from_seed`]); `0` (the default)
+    /// disables injection. The seed is part of the cell's identity:
+    /// executors memoize and the service caches per `(workload, config,
+    /// seed)`.
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
         self
     }
 
     /// The workload name.
     pub fn workload(&self) -> &str {
-        &self.workload
+        &self.spec.workload
     }
 
     /// The assembled configuration.
     pub fn run_config(&self) -> &RunConfig {
-        &self.cfg
+        &self.spec.cfg
     }
 
     /// Lowers the builder into a queueable cell.
     pub fn spec(self) -> JobSpec {
-        JobSpec {
-            workload: self.workload,
-            cfg: self.cfg,
-        }
+        self.spec
     }
 
     /// Runs this cell synchronously on the current thread.
@@ -546,14 +562,14 @@ impl Experiment {
     ///
     /// Panics on unknown workload names, like the harness.
     pub fn run(self) -> RunResult {
-        harness::execute(&self.workload, &self.cfg)
+        harness::execute_spec(&self.spec).0
     }
 
     /// Runs under `tmi-detect` and also returns the perf-c2c-style
     /// contention report plus the Cheetah-style predicted manual-fix
     /// speedup (the runtime is forced to [`RuntimeKind::TmiDetect`]).
     pub fn run_detect_report(self) -> (RunResult, tmi::ContentionReport, f64) {
-        harness::execute_detect_report(&self.workload, &self.cfg)
+        harness::execute_detect_report(&self.spec.workload, &self.spec.cfg)
     }
 
     /// Runs this cell with telemetry tracing enabled and returns the
@@ -561,8 +577,10 @@ impl Experiment {
     /// `chrome://tracing` or <https://ui.perfetto.dev>. The trace embeds
     /// the run's metrics snapshot and per-phase cycle profile under
     /// `otherData`.
-    pub fn run_traced(self) -> (RunResult, String) {
-        harness::execute_traced(&self.workload, &self.cfg)
+    pub fn run_traced(mut self) -> (RunResult, String) {
+        self.spec.trace = true;
+        let (r, trace) = harness::execute_spec(&self.spec);
+        (r, trace.expect("traced run returns a trace document"))
     }
 }
 

@@ -22,6 +22,8 @@ use tmi_faultpoint::{FaultPoint, FaultStats};
 use tmi_oracle::{check_seed, CheckConfig, CheckReport, Coverage};
 
 use crate::exec::pool_map;
+use crate::harness::{RunConfig, RuntimeKind};
+use crate::spec::JobSpec;
 
 /// Campaign parameters.
 #[derive(Clone, Debug)]
@@ -79,20 +81,22 @@ pub struct CampaignFaults {
 }
 
 impl CampaignFaults {
-    /// True if the campaign exercised the whole governor: every fault
-    /// point fired at least once, and retry, rollback and efficacy-revert
-    /// each happened in at least one run.
+    /// True if the campaign exercised the whole governor: every
+    /// simulator-level fault point fired at least once, and retry,
+    /// rollback and efficacy-revert each happened in at least one run.
+    /// (The service points — worker kill, queue full, cache drop — belong
+    /// to `tmi-service`'s own chaos campaign, not the litmus matrix.)
     pub fn coverage_ok(&self) -> bool {
-        FaultPoint::ALL.iter().all(|&p| self.stats.get(p).fired > 0)
+        FaultPoint::SIM.iter().all(|&p| self.stats.get(p).fired > 0)
             && self.retries > 0
             && self.recoveries > 0
             && self.rollbacks > 0
             && self.reverts > 0
     }
 
-    /// Fault points that never fired.
+    /// Simulator fault points that never fired.
     fn unfired(&self) -> Vec<&'static str> {
-        FaultPoint::ALL
+        FaultPoint::SIM
             .iter()
             .filter(|&&p| self.stats.get(p).fired == 0)
             .map(|p| p.name())
@@ -230,14 +234,45 @@ impl CampaignResult {
     }
 }
 
-/// Runs the campaign: checks every seed in the range in parallel and
-/// aggregates in seed order.
-pub fn run_campaign(cfg: &FuzzConfig) -> CampaignResult {
+/// Checks one litmus job through the differential oracle — the litmus
+/// half of the shared-[`JobSpec`] vocabulary. The spec's workload must be
+/// `litmus:<seed>`; its runtime selects the campaign mode
+/// ([`RuntimeKind::TmiNoCodeCentric`] = the code-centric ablation, any
+/// other TMI runtime = the shipping configuration); its fault-schedule
+/// seed, if nonzero, is the campaign base seed mixed per program via
+/// `tmi_oracle::derive_fault_seed`. This is the entry point `tmi-service`
+/// routes litmus jobs through, so a job submitted over the wire checks
+/// exactly like a campaign seed.
+pub fn check_spec(spec: &JobSpec) -> Result<CheckReport, String> {
+    let seed = spec
+        .litmus_seed()
+        .ok_or_else(|| format!("not a litmus job: {:?}", spec.workload))?;
     let check = CheckConfig {
-        code_centric: !cfg.ablate_code_centric,
-        faults: cfg.faults,
+        code_centric: spec.cfg.runtime != RuntimeKind::TmiNoCodeCentric,
+        faults: (spec.seed != 0).then_some(spec.seed),
         ..CheckConfig::default()
     };
+    Ok(check_seed(seed, &check))
+}
+
+/// The [`JobSpec`] for one campaign seed under the campaign config.
+fn campaign_spec(cfg: &FuzzConfig, seed: u64) -> JobSpec {
+    let runtime = if cfg.ablate_code_centric {
+        RuntimeKind::TmiNoCodeCentric
+    } else {
+        RuntimeKind::TmiProtect
+    };
+    JobSpec {
+        cfg: RunConfig::repair(runtime),
+        seed: cfg.faults.unwrap_or(0),
+        ..JobSpec::litmus(seed)
+    }
+}
+
+/// Runs the campaign: lowers every seed in the range to a litmus
+/// [`JobSpec`], checks them in parallel via [`check_spec`], and
+/// aggregates in seed order.
+pub fn run_campaign(cfg: &FuzzConfig) -> CampaignResult {
     let workers = cfg.workers.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -245,7 +280,8 @@ pub fn run_campaign(cfg: &FuzzConfig) -> CampaignResult {
     });
     let n = usize::try_from(cfg.seeds).expect("seed count fits usize");
     let results = pool_map(workers, n, |i| {
-        check_seed(cfg.start_seed + i as u64, &check)
+        let spec = campaign_spec(cfg, cfg.start_seed + i as u64);
+        check_spec(&spec).expect("campaign specs are litmus jobs")
     });
 
     let mut out = CampaignResult {
@@ -336,6 +372,15 @@ mod tests {
         assert!(rolls > 0, "fault points must have been rolled");
         assert!(r.render().contains("fault campaign (base seed 7)"));
         assert!(r.render().contains("fault coverage:"));
+    }
+
+    #[test]
+    fn check_spec_matches_direct_check_seed() {
+        let spec = campaign_spec(&FuzzConfig::default(), 3);
+        let via_spec = check_spec(&spec).unwrap();
+        let direct = check_seed(3, &CheckConfig::default());
+        assert_eq!(via_spec.render(), direct.render());
+        assert!(check_spec(&JobSpec::new("histogram")).is_err());
     }
 
     #[test]

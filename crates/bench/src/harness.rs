@@ -7,12 +7,15 @@ use tmi_alloc::{AllocConfig, AllocPolicy, SimAllocator};
 use tmi_baselines::{
     LaserConfig, LaserRuntime, PlasticConfig, PlasticRuntime, SheriffConfig, SheriffRuntime,
 };
+use tmi_faultpoint::{FaultInjector, FaultPlan};
 use tmi_machine::{LatencyModel, VAddr, FRAME_SIZE};
 use tmi_os::MapRequest;
 use tmi_perf::PerfConfig;
 use tmi_sim::{Engine, EngineConfig, Halt, NullRuntime, RuntimeHooks};
 use tmi_telemetry::{MetricSource, MetricsSnapshot, Tracer};
 use tmi_workloads::{SetupCtx, Workload, WorkloadParams};
+
+use crate::spec::JobSpec;
 
 /// Base of the primary application mapping.
 pub const APP_START: u64 = 0x40_0000 * 16; // 64 MiB mark, 2 MiB aligned
@@ -50,6 +53,26 @@ pub enum RuntimeKind {
 }
 
 impl RuntimeKind {
+    /// Every runtime, in figure order.
+    pub const ALL: [RuntimeKind; 10] = [
+        RuntimeKind::Pthreads,
+        RuntimeKind::TmiAlloc,
+        RuntimeKind::TmiDetect,
+        RuntimeKind::TmiProtect,
+        RuntimeKind::TmiPtsbEverywhere,
+        RuntimeKind::TmiNoCodeCentric,
+        RuntimeKind::SheriffDetect,
+        RuntimeKind::SheriffProtect,
+        RuntimeKind::Laser,
+        RuntimeKind::Plastic,
+    ];
+
+    /// The inverse of [`RuntimeKind::label`] — how wire requests and CLI
+    /// flags name a runtime.
+    pub fn from_label(label: &str) -> Option<RuntimeKind> {
+        Self::ALL.iter().copied().find(|r| r.label() == label)
+    }
+
     /// Short label used in reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -386,8 +409,20 @@ fn finish<R: RuntimeHooks + MetricSource>(
     cfg: &RunConfig,
     metric_prefix: &str,
     mut built: Built<R>,
+    faults: Option<&FaultInjector>,
     fill: impl FnOnce(&R, &tmi_sim::EngineCore, &mut RunResult),
 ) -> RunResult {
+    // Faults target the simulated run, not workload setup: the injector
+    // reaches the kernel only once the machine is assembled, so every
+    // roll lands between the first and last simulated instruction and
+    // the schedule is identical for any host interleaving.
+    if let Some(inj) = faults {
+        built
+            .engine
+            .core_mut()
+            .kernel
+            .set_fault_injector(inj.clone());
+    }
     let report = built.engine.run();
     let mut r = base_result(name, cfg);
     r.halt = report.halt.clone();
@@ -418,45 +453,43 @@ fn finish<R: RuntimeHooks + MetricSource>(
     r
 }
 
-/// Runs one workload under one configuration and returns all metrics.
-///
-/// Deprecated entry point kept for compatibility; build the run with
-/// [`crate::Experiment`] instead (`Experiment::new(name).config(*cfg).run()`),
-/// or batch it through [`crate::ExperimentSet`] for parallel execution.
-///
-/// # Panics
-///
-/// Panics on unknown workload names; simulation errors are reported in
-/// [`RunResult::halt`].
-#[deprecated(since = "0.1.0", note = "use tmi_bench::Experiment instead")]
-pub fn run(name: &str, cfg: &RunConfig) -> RunResult {
-    execute(name, cfg)
+/// The single synchronous entry point every run funnels through: the
+/// [`crate::Experiment`] builder, the executor and the service worker
+/// pool all lower to a [`JobSpec`] and land here. Honors the spec's
+/// fault-schedule seed (a seeded [`FaultInjector`] installed into the
+/// kernel and, for TMI runtimes, the perf monitor and repair governor)
+/// and its trace flag (second member of the pair: the Chrome
+/// `trace_event` JSON document).
+pub(crate) fn execute_spec(spec: &JobSpec) -> (RunResult, Option<String>) {
+    let injector = (spec.seed != 0).then(|| FaultInjector::new(FaultPlan::from_seed(spec.seed)));
+    if spec.trace {
+        let tracer = Tracer::enabled();
+        let r = execute_with_tracer(&spec.workload, &spec.cfg, &tracer, injector.as_ref());
+        let events = tracer.take_events();
+        let trace = tmi_telemetry::chrome::export_trace(
+            &events,
+            &tracer.phases(),
+            LatencyModel::CLOCK_HZ,
+            Some(&r.metrics),
+        );
+        (r, Some(trace))
+    } else {
+        let r = execute_with_tracer(
+            &spec.workload,
+            &spec.cfg,
+            &Tracer::disabled(),
+            injector.as_ref(),
+        );
+        (r, None)
+    }
 }
 
-/// The single synchronous entry point every run funnels through
-/// ([`crate::Experiment::run`] and the executor both land here).
-pub(crate) fn execute(name: &str, cfg: &RunConfig) -> RunResult {
-    execute_with_tracer(name, cfg, &Tracer::disabled())
-}
-
-/// Like [`execute`], but with telemetry tracing enabled. Returns the run
-/// result together with the Chrome `trace_event` JSON document (load it at
-/// `chrome://tracing` or in Perfetto). Runtimes without tracer support
-/// (pthreads, LASER, Plastic) produce a trace with metrics but no events.
-pub(crate) fn execute_traced(name: &str, cfg: &RunConfig) -> (RunResult, String) {
-    let tracer = Tracer::enabled();
-    let r = execute_with_tracer(name, cfg, &tracer);
-    let events = tracer.take_events();
-    let trace = tmi_telemetry::chrome::export_trace(
-        &events,
-        &tracer.phases(),
-        LatencyModel::CLOCK_HZ,
-        Some(&r.metrics),
-    );
-    (r, trace)
-}
-
-fn execute_with_tracer(name: &str, cfg: &RunConfig, tracer: &Tracer) -> RunResult {
+fn execute_with_tracer(
+    name: &str,
+    cfg: &RunConfig,
+    tracer: &Tracer,
+    faults: Option<&FaultInjector>,
+) -> RunResult {
     let tmi_cfg = |preset: TmiConfig| TmiConfig {
         perf: PerfConfig::with_period(cfg.period),
         ..preset
@@ -465,6 +498,9 @@ fn execute_with_tracer(name: &str, cfg: &RunConfig, tracer: &Tracer) -> RunResul
         move |l: AppLayout| {
             let mut rt = TmiRuntime::new(c, l);
             rt.set_tracer(tracer.clone());
+            if let Some(inj) = faults {
+                rt.set_fault_injector(inj.clone());
+            }
             rt
         }
     };
@@ -478,19 +514,19 @@ fn execute_with_tracer(name: &str, cfg: &RunConfig, tracer: &Tracer) -> RunResul
     match cfg.runtime {
         RuntimeKind::Pthreads | RuntimeKind::TmiAlloc => {
             let built = build(name, cfg, |_| NullRuntime);
-            finish(name, cfg, "runtime", built, |_rt, _core, _r| {})
+            finish(name, cfg, "runtime", built, faults, |_rt, _core, _r| {})
         }
         RuntimeKind::TmiDetect => {
             let built = build(name, cfg, make_tmi(tmi_cfg(TmiConfig::detect_only())));
-            finish(name, cfg, "tmi", built, fill_tmi)
+            finish(name, cfg, "tmi", built, faults, fill_tmi)
         }
         RuntimeKind::TmiProtect => {
             let built = build(name, cfg, make_tmi(tmi_cfg(TmiConfig::protect())));
-            finish(name, cfg, "tmi", built, fill_tmi)
+            finish(name, cfg, "tmi", built, faults, fill_tmi)
         }
         RuntimeKind::TmiPtsbEverywhere => {
             let built = build(name, cfg, make_tmi(tmi_cfg(TmiConfig::ptsb_everywhere())));
-            finish(name, cfg, "tmi", built, fill_tmi)
+            finish(name, cfg, "tmi", built, faults, fill_tmi)
         }
         RuntimeKind::TmiNoCodeCentric => {
             let c = TmiConfig {
@@ -498,15 +534,15 @@ fn execute_with_tracer(name: &str, cfg: &RunConfig, tracer: &Tracer) -> RunResul
                 ..tmi_cfg(TmiConfig::protect())
             };
             let built = build(name, cfg, make_tmi(c));
-            finish(name, cfg, "tmi", built, fill_tmi)
+            finish(name, cfg, "tmi", built, faults, fill_tmi)
         }
         RuntimeKind::SheriffDetect => {
             let built = build(name, cfg, make_sheriff(SheriffConfig::detect()));
-            finish(name, cfg, "sheriff", built, fill_sheriff)
+            finish(name, cfg, "sheriff", built, faults, fill_sheriff)
         }
         RuntimeKind::SheriffProtect => {
             let built = build(name, cfg, make_sheriff(SheriffConfig::protect()));
-            finish(name, cfg, "sheriff", built, fill_sheriff)
+            finish(name, cfg, "sheriff", built, faults, fill_sheriff)
         }
         RuntimeKind::Laser => {
             let c = LaserConfig {
@@ -514,7 +550,7 @@ fn execute_with_tracer(name: &str, cfg: &RunConfig, tracer: &Tracer) -> RunResul
                 ..Default::default()
             };
             let built = build(name, cfg, |l| LaserRuntime::new(c, l));
-            finish(name, cfg, "laser", built, |_rt, _core, r| {
+            finish(name, cfg, "laser", built, faults, |_rt, _core, r| {
                 r.repaired = r.metrics.u64("laser.repaired") != 0;
                 r.perf_events = r.metrics.u64("laser.emulated_stores"); // proxy
             })
@@ -525,7 +561,7 @@ fn execute_with_tracer(name: &str, cfg: &RunConfig, tracer: &Tracer) -> RunResul
                 ..Default::default()
             };
             let built = build(name, cfg, |l| PlasticRuntime::new(c, l));
-            finish(name, cfg, "plastic", built, |_rt, _core, r| {
+            finish(name, cfg, "plastic", built, faults, |_rt, _core, r| {
                 r.repaired = r.metrics.u64("plastic.remapped_lines") > 0;
             })
         }
@@ -556,17 +592,6 @@ fn fill_sheriff(_rt: &SheriffRuntime, _core: &tmi_sim::EngineCore, r: &mut RunRe
     r.memory_bytes = r.app_bytes + r.metrics.u64("sheriff.repair.twin_peak_bytes");
 }
 
-/// Runs a workload under `tmi-detect` and additionally returns the
-/// perf-c2c-style [`tmi::ContentionReport`] plus the Cheetah-style
-/// predicted manual-fix speedup.
-///
-/// Deprecated entry point kept for compatibility; use
-/// [`crate::Experiment::run_detect_report`] instead.
-#[deprecated(since = "0.1.0", note = "use Experiment::run_detect_report instead")]
-pub fn run_detect_report(name: &str, cfg: &RunConfig) -> (RunResult, tmi::ContentionReport, f64) {
-    execute_detect_report(name, cfg)
-}
-
 /// Implementation behind [`crate::Experiment::run_detect_report`].
 pub(crate) fn execute_detect_report(
     name: &str,
@@ -580,7 +605,7 @@ pub(crate) fn execute_detect_report(
     };
     let built = build(name, &cfg, |l| TmiRuntime::new(c, l));
     let mut report = tmi::ContentionReport::default();
-    let r = finish(name, &cfg, "tmi", built, |rt, core, res| {
+    let r = finish(name, &cfg, "tmi", built, None, |rt, core, res| {
         fill_tmi(rt, core, res);
         report = tmi::ContentionReport::build(rt.observe().detector(), &core.code, 16);
     });

@@ -33,13 +33,13 @@ pub mod figures;
 pub mod fuzz;
 pub mod harness;
 pub mod report;
+pub mod spec;
 pub mod telemetry;
 
-#[allow(deprecated)]
-pub use harness::{run, run_detect_report};
 pub use harness::{RunConfig, RunResult, RuntimeKind};
 pub use harness::{APP_START, INTERNAL_LEN, INTERNAL_START};
 
-pub use exec::{pool_map, Executor, Experiment, ExperimentSet, JobResult, JobSpec};
-pub use fuzz::{run_campaign, CampaignResult, FuzzConfig};
+pub use exec::{pool_map, Executor, Experiment, ExperimentSet, JobResult};
+pub use fuzz::{check_spec, run_campaign, CampaignResult, FuzzConfig};
 pub use report::SpeedupTable;
+pub use spec::JobSpec;

@@ -1,0 +1,302 @@
+//! The shared job-specification vocabulary.
+//!
+//! [`JobSpec`] is the one config type every way of running a simulation
+//! speaks: the [`crate::Experiment`] builder lowers into it, the
+//! [`crate::Executor`] memoizes on it, the fuzz driver
+//! ([`crate::fuzz::check_spec`]) consumes it for litmus jobs, and the
+//! `tmi-service` wire protocol serializes it as the request body. One
+//! vocabulary end to end means a job submitted over the socket, replayed
+//! from a CLI flag set, or built in a test is *the same job* — same
+//! memoization key, same deterministic result bytes.
+//!
+//! Two codecs live here so every entry point agrees on spelling:
+//!
+//! * **JSON** ([`JobSpec::to_json`] / [`JobSpec::from_json`]) — the wire
+//!   form, built on the workspace's hand-rolled [`tmi_telemetry::json`]
+//!   (offline-build clean, no serde).
+//! * **CLI** ([`JobSpec::apply_cli_arg`] / [`JobSpec::cli_usage`]) — the
+//!   flag set shared by `tmi_client`, `probe` and friends, replacing the
+//!   per-bin ad-hoc parsers.
+
+use tmi_telemetry::json::{self, Json};
+
+use crate::harness::{RunConfig, RuntimeKind};
+
+/// One cell of the experiment matrix: a workload under a configuration,
+/// plus the fault-schedule seed and telemetry flags that complete a job's
+/// identity.
+///
+/// `workload` is either a suite workload name (`tmi_workloads::SUITE`) or
+/// the pseudo-workload `litmus:<seed>`, which runs the seeded litmus
+/// program through the differential oracle instead of the harness — the
+/// job shape schedule-exploration clients submit.
+#[derive(Clone, PartialEq, Debug)]
+pub struct JobSpec {
+    /// Workload name (see `tmi_workloads::SUITE`), or `litmus:<seed>`.
+    pub workload: String,
+    /// Full run configuration.
+    pub cfg: RunConfig,
+    /// Fault-schedule seed. `0` disables injection; any other value runs
+    /// the job under the seeded [`tmi_faultpoint::FaultPlan`] (for litmus
+    /// jobs, the campaign base seed that
+    /// [`tmi_oracle::derive_fault_seed`] mixes per program). Part of the
+    /// memoization key: the same `(workload, config, seed)` always
+    /// returns the same bytes.
+    pub seed: u64,
+    /// Collect a Chrome `trace_event` timeline alongside the result
+    /// (ignored by runtimes without tracer support).
+    pub trace: bool,
+}
+
+impl JobSpec {
+    /// A spec on `workload` with the detection-machine defaults
+    /// ([`RunConfig::new`], pthreads, no faults, no trace).
+    pub fn new(workload: impl Into<String>) -> Self {
+        JobSpec {
+            workload: workload.into(),
+            cfg: RunConfig::new(RuntimeKind::Pthreads),
+            seed: 0,
+            trace: false,
+        }
+    }
+
+    /// A litmus-check job on the given program seed under full TMI
+    /// repair — the unit of work of the differential fuzz campaign and
+    /// of schedule-exploration service clients.
+    pub fn litmus(program_seed: u64) -> Self {
+        JobSpec {
+            workload: format!("litmus:{program_seed}"),
+            cfg: RunConfig::repair(RuntimeKind::TmiProtect),
+            seed: 0,
+            trace: false,
+        }
+    }
+
+    /// The litmus program seed, if this is a litmus job.
+    pub fn litmus_seed(&self) -> Option<u64> {
+        self.workload.strip_prefix("litmus:")?.parse().ok()
+    }
+
+    /// True if this job runs through the differential oracle rather than
+    /// the workload harness.
+    pub fn is_litmus(&self) -> bool {
+        self.litmus_seed().is_some()
+    }
+
+    /// Renders the canonical wire form: a JSON object with every field
+    /// spelled out in stable order. Byte-stable for equal specs, so it
+    /// doubles as a cache key.
+    pub fn to_json(&self) -> String {
+        let c = &self.cfg;
+        format!(
+            "{{\"workload\": {}, \"runtime\": {}, \"threads\": {}, \
+             \"scale\": {}, \"fixed\": {}, \"misaligned\": {}, \
+             \"huge_pages\": {}, \"period\": {}, \"tick_interval\": {}, \
+             \"max_ops\": {}, \"seed\": {}, \"trace\": {}}}",
+            json::string(&self.workload),
+            json::string(c.runtime.label()),
+            c.threads,
+            json::fmt_f64(c.scale),
+            c.fixed,
+            c.misaligned,
+            c.huge_pages,
+            c.period,
+            c.tick_interval,
+            c.max_ops,
+            self.seed,
+            self.trace,
+        )
+    }
+
+    /// Decodes the wire form. Only `workload` is required; every other
+    /// member defaults from [`RunConfig::new`] under the requested (or
+    /// pthreads) runtime, so minimal requests stay minimal.
+    pub fn from_json(v: &Json) -> Result<JobSpec, String> {
+        let obj = v.as_obj().ok_or("job spec must be a JSON object")?;
+        let workload = v
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or("job spec needs a string \"workload\"")?
+            .to_string();
+        let runtime = match v.get("runtime") {
+            None => RuntimeKind::Pthreads,
+            Some(r) => {
+                let label = r.as_str().ok_or("\"runtime\" must be a string label")?;
+                RuntimeKind::from_label(label)
+                    .ok_or_else(|| format!("unknown runtime {label:?}"))?
+            }
+        };
+        let mut cfg = RunConfig::new(runtime);
+        let num = |key: &str| -> Result<Option<f64>, String> {
+            match obj.get(key) {
+                None => Ok(None),
+                Some(j) => j
+                    .as_f64()
+                    .map(Some)
+                    .ok_or_else(|| format!("\"{key}\" must be a number")),
+            }
+        };
+        let flag = |key: &str| -> Result<Option<bool>, String> {
+            match obj.get(key) {
+                None => Ok(None),
+                Some(Json::Bool(b)) => Ok(Some(*b)),
+                Some(_) => Err(format!("\"{key}\" must be a boolean")),
+            }
+        };
+        if let Some(t) = num("threads")? {
+            cfg.threads = t as usize;
+        }
+        if let Some(s) = num("scale")? {
+            cfg.scale = s;
+        }
+        if let Some(p) = num("period")? {
+            cfg.period = p as u64;
+        }
+        if let Some(t) = num("tick_interval")? {
+            cfg.tick_interval = t as u64;
+        }
+        if let Some(m) = num("max_ops")? {
+            cfg.max_ops = m as u64;
+        }
+        cfg.fixed = flag("fixed")?.unwrap_or(false);
+        cfg.misaligned = flag("misaligned")?.unwrap_or(false);
+        cfg.huge_pages = flag("huge_pages")?.unwrap_or(false);
+        Ok(JobSpec {
+            workload,
+            cfg,
+            seed: num("seed")?.map(|s| s as u64).unwrap_or(0),
+            trace: flag("trace")?.unwrap_or(false),
+        })
+    }
+
+    /// Parses one CLI argument against this spec, pulling flag values
+    /// from `next`. Returns `Ok(true)` if consumed, `Ok(false)` if the
+    /// argument is not a spec flag (the caller's to handle).
+    pub fn apply_cli_arg(
+        &mut self,
+        arg: &str,
+        next: &mut dyn FnMut() -> Option<String>,
+    ) -> Result<bool, String> {
+        let mut value = |name: &str| next().ok_or_else(|| format!("{name} expects a value"));
+        let parse_u64 = |name: &str, v: String| {
+            v.parse::<u64>()
+                .map_err(|_| format!("{name} expects a number, got {v:?}"))
+        };
+        match arg {
+            "--workload" => self.workload = value("--workload")?,
+            "--runtime" => {
+                let label = value("--runtime")?;
+                self.cfg.runtime = RuntimeKind::from_label(&label)
+                    .ok_or_else(|| format!("unknown runtime {label:?}"))?;
+            }
+            "--threads" => self.cfg.threads = parse_u64("--threads", value("--threads")?)? as usize,
+            "--scale" => {
+                let v = value("--scale")?;
+                self.cfg.scale = v
+                    .parse::<f64>()
+                    .map_err(|_| format!("--scale expects a number, got {v:?}"))?;
+            }
+            "--period" => self.cfg.period = parse_u64("--period", value("--period")?)?,
+            "--tick-interval" => {
+                self.cfg.tick_interval = parse_u64("--tick-interval", value("--tick-interval")?)?
+            }
+            "--max-ops" => self.cfg.max_ops = parse_u64("--max-ops", value("--max-ops")?)?,
+            "--seed" => self.seed = parse_u64("--seed", value("--seed")?)?,
+            "--fixed" => self.cfg.fixed = true,
+            "--misaligned" => self.cfg.misaligned = true,
+            "--huge-pages" => self.cfg.huge_pages = true,
+            "--spec-trace" => self.trace = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// The usage string for the shared CLI flags, for bins to append to
+    /// their own usage lines.
+    pub fn cli_usage() -> &'static str {
+        "--workload NAME|litmus:<seed> [--runtime LABEL] [--threads N] \
+         [--scale F] [--period N] [--tick-interval N] [--max-ops N] \
+         [--seed N] [--fixed] [--misaligned] [--huge-pages] [--spec-trace]"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let mut spec = JobSpec::new("histogramfs");
+        spec.cfg = RunConfig::repair(RuntimeKind::TmiProtect)
+            .scale(0.25)
+            .misaligned()
+            .period(10);
+        spec.seed = 42;
+        spec.trace = true;
+        let doc = spec.to_json();
+        let parsed = JobSpec::from_json(&json::parse(&doc).unwrap()).unwrap();
+        assert_eq!(parsed, spec);
+        // The canonical form is byte-stable: encode → decode → encode.
+        assert_eq!(parsed.to_json(), doc);
+    }
+
+    #[test]
+    fn minimal_request_defaults_like_run_config_new() {
+        let v = json::parse(r#"{"workload": "histogram"}"#).unwrap();
+        let spec = JobSpec::from_json(&v).unwrap();
+        assert_eq!(spec, JobSpec::new("histogram"));
+        assert_eq!(spec.cfg, RunConfig::new(RuntimeKind::Pthreads));
+    }
+
+    #[test]
+    fn decode_rejects_unknown_runtime_and_bad_types() {
+        let bad_rt = json::parse(r#"{"workload": "x", "runtime": "gpu"}"#).unwrap();
+        assert!(JobSpec::from_json(&bad_rt).unwrap_err().contains("gpu"));
+        let bad_threads = json::parse(r#"{"workload": "x", "threads": "four"}"#).unwrap();
+        assert!(JobSpec::from_json(&bad_threads).is_err());
+        let no_workload = json::parse(r#"{"threads": 4}"#).unwrap();
+        assert!(JobSpec::from_json(&no_workload).is_err());
+    }
+
+    #[test]
+    fn litmus_jobs_parse_their_seed() {
+        let spec = JobSpec::litmus(97);
+        assert_eq!(spec.litmus_seed(), Some(97));
+        assert!(spec.is_litmus());
+        assert!(!JobSpec::new("histogram").is_litmus());
+        assert!(!JobSpec::new("litmus:notanumber").is_litmus());
+    }
+
+    #[test]
+    fn cli_flags_compose_with_caller_flags() {
+        let args = [
+            "--workload",
+            "lreg",
+            "--runtime",
+            "tmi-protect",
+            "--threads",
+            "2",
+            "--scale",
+            "0.5",
+            "--seed",
+            "7",
+            "--misaligned",
+            "--not-ours",
+        ];
+        let mut spec = JobSpec::new("histogram");
+        let mut it = args.iter().map(|s| s.to_string());
+        let mut leftover = Vec::new();
+        while let Some(arg) = it.next() {
+            if !spec.apply_cli_arg(&arg, &mut || it.next()).unwrap() {
+                leftover.push(arg);
+            }
+        }
+        assert_eq!(spec.workload, "lreg");
+        assert_eq!(spec.cfg.runtime, RuntimeKind::TmiProtect);
+        assert_eq!(spec.cfg.threads, 2);
+        assert_eq!(spec.cfg.scale, 0.5);
+        assert_eq!(spec.seed, 7);
+        assert!(spec.cfg.misaligned);
+        assert_eq!(leftover, ["--not-ours"]);
+    }
+}

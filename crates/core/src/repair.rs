@@ -988,7 +988,7 @@ mod tests {
         ctl.kernel.force_write(root, base, Width::W8, 1).unwrap();
 
         rt.force_repair(&mut ctl, &[base.vpn()]);
-        assert!(rt.repair().active());
+        assert!(rt.observe().repair().active());
         let a0 = ctl.kernel.thread_aspace(t0);
         let res = ctl.kernel.handle_fault(a0, base, true).unwrap();
         rt.on_fault(&mut ctl, t0, &res);
@@ -997,12 +997,12 @@ mod tests {
         assert!(rt.on_sync(&mut ctl, t0, SyncEvent::MutexUnlock(base)) > 0);
 
         rt.on_tick(&mut ctl, 1_000_000);
-        assert_eq!(rt.repair().state(), GovernorState::Reverted);
-        assert_eq!(rt.repair().stats().efficacy_reverts, 1);
+        assert_eq!(rt.observe().repair().state(), GovernorState::Reverted);
+        assert_eq!(rt.observe().repair().stats().efficacy_reverts, 1);
         assert_eq!(ctl.kernel.force_read(root, base, Width::W8).unwrap(), 42);
         // Later ticks are no-ops for the monitor.
         rt.on_tick(&mut ctl, 2_000_000);
-        assert_eq!(rt.repair().stats().efficacy_reverts, 1);
+        assert_eq!(rt.observe().repair().stats().efficacy_reverts, 1);
     }
 
     /// Helper used in a test above.

@@ -129,49 +129,6 @@ impl TmiRuntime {
         RuntimeView { rt: self }
     }
 
-    /// Summary statistics.
-    #[deprecated(since = "0.1.0", note = "use `observe().stats()`")]
-    pub fn stats(&self) -> &TmiStats {
-        self.observe().stats()
-    }
-
-    /// The repair manager (T2P and commit statistics, Table 3).
-    #[deprecated(since = "0.1.0", note = "use `observe().repair()`")]
-    pub fn repair(&self) -> &RepairManager {
-        self.observe().repair()
-    }
-
-    /// The detector (line profiles and record counts).
-    #[deprecated(since = "0.1.0", note = "use `observe().detector()`")]
-    pub fn detector(&self) -> &FalseSharingDetector {
-        self.observe().detector()
-    }
-
-    /// The perf monitor (records/events, Fig. 4).
-    #[deprecated(since = "0.1.0", note = "use `observe().perf()`")]
-    pub fn perf(&self) -> &PerfMonitor {
-        self.observe().perf()
-    }
-
-    /// The lock redirector.
-    #[deprecated(since = "0.1.0", note = "use `observe().locks()`")]
-    pub fn locks(&self) -> &LockRedirector {
-        self.observe().locks()
-    }
-
-    /// Whether repair has been activated during the run.
-    #[deprecated(since = "0.1.0", note = "use `observe().repaired()`")]
-    pub fn repaired(&self) -> bool {
-        self.observe().repaired()
-    }
-
-    /// Memory breakdown for Fig. 8. `app_bytes` is the peak physical
-    /// memory of the application (from the kernel).
-    #[deprecated(since = "0.1.0", note = "use `observe().memory(kernel)`")]
-    pub fn memory(&self, kernel: &Kernel) -> MemoryBreakdown {
-        self.observe().memory(kernel)
-    }
-
     /// Arms the PTSB on `pages` immediately, converting threads to
     /// processes on the first call — exactly what a detector threshold
     /// crossing would do, minus the sampling warm-up.

@@ -52,12 +52,40 @@ pub enum FaultPoint {
     PebsDrop,
     /// Twin-snapshot buffer allocation fails (may turn persistent).
     TwinAlloc,
+    /// A `tmi-service` worker dies mid-job (the chaos-campaign analogue
+    /// of an OOM-killed or segfaulted worker process); the job must be
+    /// requeued and retried with an identical result.
+    WorkerKill,
+    /// The service admission queue reports full even when capacity
+    /// remains (load-shedding under pressure); the client must receive a
+    /// backpressure reply, never a hang.
+    QueueFull,
+    /// The service result-cache store is dropped after a computed job
+    /// (cache eviction under memory pressure); later duplicates recompute
+    /// and must still produce byte-identical payloads.
+    CacheDrop,
 }
 
 impl FaultPoint {
     /// Every fault point, in stable order (used for stats aggregation
     /// and deterministic rendering).
-    pub const ALL: [FaultPoint; 6] = [
+    pub const ALL: [FaultPoint; 9] = [
+        FaultPoint::FrameAlloc,
+        FaultPoint::MapTransient,
+        FaultPoint::ProtectPage,
+        FaultPoint::Fork,
+        FaultPoint::PebsDrop,
+        FaultPoint::TwinAlloc,
+        FaultPoint::WorkerKill,
+        FaultPoint::QueueFull,
+        FaultPoint::CacheDrop,
+    ];
+
+    /// The simulator-level points — the subset [`FaultPlan::from_seed`]
+    /// schedules and the litmus fault campaign's coverage gate requires.
+    /// The service points are driven by `tmi-service`'s own plans and
+    /// never fire inside a simulated machine.
+    pub const SIM: [FaultPoint; 6] = [
         FaultPoint::FrameAlloc,
         FaultPoint::MapTransient,
         FaultPoint::ProtectPage,
@@ -75,6 +103,9 @@ impl FaultPoint {
             FaultPoint::Fork => "fork",
             FaultPoint::PebsDrop => "pebs_drop",
             FaultPoint::TwinAlloc => "twin_alloc",
+            FaultPoint::WorkerKill => "worker_kill",
+            FaultPoint::QueueFull => "queue_full",
+            FaultPoint::CacheDrop => "cache_drop",
         }
     }
 
@@ -86,6 +117,9 @@ impl FaultPoint {
             FaultPoint::Fork => 3,
             FaultPoint::PebsDrop => 4,
             FaultPoint::TwinAlloc => 5,
+            FaultPoint::WorkerKill => 6,
+            FaultPoint::QueueFull => 7,
+            FaultPoint::CacheDrop => 8,
         }
     }
 }
@@ -178,6 +212,10 @@ impl FaultPlan {
     /// burst is always followed by at least one healthy roll — the
     /// invariant that makes bounded retry sufficient for every
     /// non-persistent point.
+    ///
+    /// Only the [`FaultPoint::SIM`] points are scheduled; the service
+    /// points stay [`PointPlan::OFF`] (a simulated machine has no service
+    /// around it) and are planned by `tmi-service` via [`FaultPlan::with`].
     pub fn from_seed(seed: u64) -> FaultPlan {
         let mut s = seed ^ 0xF417_0F417_u64.wrapping_mul(0x2545_F491_4F6C_DD1D);
         let mut plans = [PointPlan::OFF; NPOINTS];
@@ -506,10 +544,12 @@ mod tests {
     }
 
     #[test]
-    fn seed_range_covers_every_point_and_mode() {
-        // Over a modest seed range, every point fires somewhere and the
-        // persistent/probe modes all occur — the property the campaign's
-        // coverage gate relies on.
+    fn seed_range_covers_every_sim_point_and_mode() {
+        // Over a modest seed range, every simulator point fires somewhere
+        // and the persistent/probe modes all occur — the property the
+        // campaign's coverage gate relies on. The service points must
+        // stay quiet: they are planned by the service layer, never by the
+        // seeded simulator schedule.
         let mut fired = [false; NPOINTS];
         let (mut fork_p, mut prot_p, mut twin_p, mut probe) = (false, false, false, false);
         for seed in 0..64 {
@@ -527,7 +567,16 @@ mod tests {
                 }
             }
         }
-        assert!(fired.iter().all(|f| *f), "fired: {fired:?}");
+        for p in FaultPoint::SIM {
+            assert!(fired[p.index()], "sim point {p} never fired");
+        }
+        for p in [
+            FaultPoint::WorkerKill,
+            FaultPoint::QueueFull,
+            FaultPoint::CacheDrop,
+        ] {
+            assert!(!fired[p.index()], "service point {p} fired from a sim seed");
+        }
         assert!(fork_p && prot_p && twin_p && probe);
     }
 }

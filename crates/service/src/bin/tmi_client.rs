@@ -1,0 +1,127 @@
+//! `tmi_client` — submit jobs to a running `tmi_serve` daemon.
+//!
+//! ```text
+//! tmi_client (--addr HOST:PORT | --port-file PATH) run [SPEC FLAGS]
+//!            [--tenant NAME] [--priority N] [--fresh] [--no-stream]
+//! tmi_client (--addr ... | --port-file ...) stats
+//! tmi_client (--addr ... | --port-file ...) shutdown
+//! ```
+//!
+//! `run` takes the shared [`JobSpec`] flags (`--workload`, `--runtime`,
+//! `--threads`, `--scale`, `--seed`, ... — the same vocabulary as
+//! `probe` and the library's `Experiment` builder), streams progress to
+//! **stderr**, and prints exactly the result payload to **stdout** — so
+//! two invocations can be compared with `cmp` to prove the service's
+//! byte-determinism (cold vs cached vs fault-retried).
+
+use std::io::Write;
+use std::process::exit;
+
+use tmi_service::{Client, JobSpec};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tmi_client (--addr HOST:PORT | --port-file PATH) COMMAND\n\
+         commands:\n  \
+         run [SPEC FLAGS] [--tenant NAME] [--priority N] [--fresh] [--no-stream]\n  \
+         stats\n  \
+         shutdown\n\
+         spec flags:\n{}",
+        JobSpec::cli_usage()
+    );
+    exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("tmi_client: {msg}");
+    exit(1);
+}
+
+fn main() {
+    let mut addr: Option<String> = None;
+    let mut command: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(args.next().unwrap_or_else(|| usage())),
+            "--port-file" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                match std::fs::read_to_string(&path) {
+                    Ok(s) => addr = Some(s.trim().to_string()),
+                    Err(e) => fail(&format!("failed to read {path}: {e}")),
+                }
+            }
+            "run" | "stats" | "shutdown" => {
+                command = Some(arg);
+                break;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+    let Some(command) = command else { usage() };
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => fail(&format!("failed to connect to {addr}: {e}")),
+    };
+
+    match command.as_str() {
+        "stats" => match client.stats() {
+            Ok(metrics) => println!("{metrics}"),
+            Err(e) => fail(&e),
+        },
+        "shutdown" => match client.shutdown() {
+            Ok(()) => eprintln!("server shut down"),
+            Err(e) => fail(&e),
+        },
+        "run" => {
+            let mut spec = JobSpec::new("histogramfs");
+            let mut tenant = "cli".to_string();
+            let mut priority = 1usize;
+            let mut fresh = false;
+            let mut quiet = false;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--tenant" => tenant = args.next().unwrap_or_else(|| usage()),
+                    "--priority" => {
+                        priority = args
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage())
+                    }
+                    "--fresh" => fresh = true,
+                    "--no-stream" => quiet = true,
+                    other => {
+                        let mut next = || args.next();
+                        match spec.apply_cli_arg(other, &mut next) {
+                            Ok(true) => {}
+                            Ok(false) => usage(),
+                            Err(e) => fail(&e),
+                        }
+                    }
+                }
+            }
+            let outcome = client.run(&tenant, &spec, priority, fresh, |p| {
+                if !quiet {
+                    eprintln!(
+                        "progress: job {} {} (attempt {})",
+                        p.job_id, p.state, p.attempt
+                    );
+                }
+            });
+            match outcome {
+                Ok(out) => {
+                    eprintln!(
+                        "job {} done: cached={} attempts={}",
+                        out.job_id, out.cached, out.attempts
+                    );
+                    let mut stdout = std::io::stdout().lock();
+                    let _ = writeln!(stdout, "{}", out.payload);
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,83 @@
+//! `tmi_serve` — boot the multi-tenant simulation job server.
+//!
+//! ```text
+//! tmi_serve [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+//!           [--quota N] [--max-attempts N] [--service-faults SEED]
+//!           [--chrome-trace PATH] [--port-file PATH]
+//! ```
+//!
+//! Binds (port 0 picks a free port), prints `listening on HOST:PORT`,
+//! optionally writes the bound address to `--port-file` (for scripts
+//! that need to find the daemon), and serves until a client sends
+//! `shutdown`. On shutdown, prints the final `service.*` metrics and —
+//! with `--chrome-trace` — writes the per-job span trace.
+//!
+//! `--service-faults SEED` arms the deterministic service chaos plan
+//! ([`tmi_service::chaos_plan`]): seeded `worker_kill` and `cache_drop`
+//! firings that the retry and cache layers must absorb without changing
+//! a single result byte.
+
+use std::process::exit;
+
+use tmi_service::{chaos_plan, Service, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tmi_serve [--addr HOST:PORT] [--workers N] [--queue-capacity N] \
+         [--quota N] [--max-attempts N] [--service-faults SEED] \
+         [--chrome-trace PATH] [--port-file PATH]"
+    );
+    exit(2);
+}
+
+fn main() {
+    let mut cfg = ServiceConfig::default();
+    let mut chrome_trace: Option<String> = None;
+    let mut port_file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        let parse = |v: String, what: &str| -> u64 {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("{what} expects a number, got {v:?}");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value(),
+            "--workers" => cfg.workers = parse(value(), "--workers") as usize,
+            "--queue-capacity" => cfg.queue_capacity = parse(value(), "--queue-capacity") as usize,
+            "--quota" => cfg.default_quota = parse(value(), "--quota") as usize,
+            "--max-attempts" => cfg.max_attempts = (parse(value(), "--max-attempts") as u32).max(1),
+            "--service-faults" => cfg.faults = chaos_plan(parse(value(), "--service-faults")),
+            "--chrome-trace" => chrome_trace = Some(value()),
+            "--port-file" => port_file = Some(value()),
+            _ => usage(),
+        }
+    }
+
+    let service = match Service::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tmi_serve: failed to start: {e}");
+            exit(1);
+        }
+    };
+    println!("listening on {}", service.addr());
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", service.addr())) {
+            eprintln!("tmi_serve: failed to write {path}: {e}");
+            exit(1);
+        }
+    }
+
+    let report = service.wait();
+    println!("{}", report.metrics.to_json(""));
+    if let Some(path) = chrome_trace {
+        if let Err(e) = std::fs::write(&path, &report.chrome_trace) {
+            eprintln!("tmi_serve: failed to write {path}: {e}");
+            exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}

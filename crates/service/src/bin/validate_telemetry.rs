@@ -7,10 +7,15 @@
 //!                    [--write-schema]
 //! ```
 //!
+//! Lives in `tmi-service` so the gated schema covers the whole deployed
+//! surface: the simulation registry
+//! ([`tmi_bench::telemetry::registered_metric_names`]) **plus** the job
+//! server's `service.*` aggregates
+//! ([`tmi_service::service_metric_names`]).
+//!
 //! Three checks, any failure exits non-zero:
 //!
-//! 1. **Schema drift** — the metric names the registry currently exports
-//!    ([`tmi_bench::telemetry::registered_metric_names`]) must equal the
+//! 1. **Schema drift** — the merged metric-name list must equal the
 //!    checked-in schema file line for line. A renamed or unregistered
 //!    metric fails here even before any report is inspected. Regenerate
 //!    deliberately with `--write-schema` after an intentional change.
@@ -25,6 +30,16 @@ use std::collections::BTreeSet;
 use std::process::exit;
 
 use tmi_bench::telemetry::{registered_metric_names, validate_report, validate_trace};
+use tmi_service::service_metric_names;
+
+/// Simulation registry names merged with the service aggregates, sorted.
+fn schema_metric_names() -> Vec<String> {
+    let mut names = registered_metric_names();
+    names.extend(service_metric_names());
+    names.sort();
+    names.dedup();
+    names
+}
 
 fn main() {
     let mut schema_path: Option<String> = None;
@@ -60,7 +75,7 @@ fn main() {
         exit(2);
     };
 
-    let current = registered_metric_names();
+    let current = schema_metric_names();
     if write_schema {
         let mut doc = current.join("\n");
         doc.push('\n');

@@ -1,0 +1,173 @@
+//! A blocking NDJSON client for the job server — the library behind
+//! `tmi_client` and the integration suite.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use tmi_bench::JobSpec;
+use tmi_telemetry::json::{self, Json};
+
+use crate::proto;
+
+/// The terminal outcome of one submitted job.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Server-assigned job id.
+    pub job_id: u64,
+    /// Whether the reply was served from the result cache.
+    pub cached: bool,
+    /// Attempts the job took (> 1 means a worker died and the job was
+    /// retried).
+    pub attempts: u32,
+    /// The deterministic result payload, byte-exact as sent on the wire
+    /// (extracted with [`proto::extract_payload`]).
+    pub payload: String,
+}
+
+/// One streamed progress event.
+#[derive(Clone, Debug)]
+pub struct Progress {
+    /// Job the event belongs to.
+    pub job_id: u64,
+    /// `queued`, `running`, `retrying`, `done`, or `failed`.
+    pub state: String,
+    /// Attempt the event happened on (0 before first pickup).
+    pub attempt: u32,
+    /// Rendered `service.*` snapshot at event time.
+    pub metrics: String,
+}
+
+/// A connected client. One request/reply conversation at a time.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("send failed: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("server closed the connection".to_string()),
+            Ok(_) => Ok(line.trim_end().to_string()),
+            Err(e) => Err(format!("receive failed: {e}")),
+        }
+    }
+
+    /// Submits a job and blocks to its terminal reply, feeding each
+    /// progress event to `on_progress`. `fresh` bypasses the cache read.
+    pub fn run(
+        &mut self,
+        tenant: &str,
+        spec: &JobSpec,
+        priority: usize,
+        fresh: bool,
+        mut on_progress: impl FnMut(&Progress),
+    ) -> Result<RunOutcome, String> {
+        self.send(&proto::render_submit(tenant, spec, priority, fresh, true))?;
+        loop {
+            let line = self.recv()?;
+            let v = json::parse(&line).map_err(|e| format!("bad reply {line:?}: {e}"))?;
+            let num = |key: &str| v.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+            match v.get("type").and_then(Json::as_str).unwrap_or("") {
+                "accepted" => {}
+                "progress" => on_progress(&Progress {
+                    job_id: num("job_id"),
+                    state: v
+                        .get("state")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    attempt: num("attempt") as u32,
+                    metrics: v
+                        .get("metrics")
+                        .map(|_| extract_object(&line, "\"metrics\": "))
+                        .unwrap_or_default(),
+                }),
+                "result" => {
+                    let payload = proto::extract_payload(&line)
+                        .ok_or_else(|| format!("result line without payload: {line:?}"))?
+                        .to_string();
+                    return Ok(RunOutcome {
+                        job_id: num("job_id"),
+                        cached: matches!(v.get("cached"), Some(Json::Bool(true))),
+                        attempts: num("attempts") as u32,
+                        payload,
+                    });
+                }
+                "rejected" => {
+                    return Err(format!(
+                        "rejected ({}): {}",
+                        v.get("reason").and_then(Json::as_str).unwrap_or("?"),
+                        v.get("detail").and_then(Json::as_str).unwrap_or(""),
+                    ))
+                }
+                "job_error" => {
+                    return Err(format!(
+                        "job failed: {}",
+                        v.get("message").and_then(Json::as_str).unwrap_or("?"),
+                    ))
+                }
+                "error" => {
+                    return Err(format!(
+                        "protocol error: {}",
+                        v.get("message").and_then(Json::as_str).unwrap_or("?"),
+                    ))
+                }
+                other => return Err(format!("unexpected reply type {other:?}")),
+            }
+        }
+    }
+
+    /// Fetches the server's metrics document (rendered JSON object).
+    pub fn stats(&mut self) -> Result<String, String> {
+        self.send("{\"type\": \"stats\"}")?;
+        let line = self.recv()?;
+        let v = json::parse(&line).map_err(|e| format!("bad reply {line:?}: {e}"))?;
+        match v.get("type").and_then(Json::as_str) {
+            Some("stats") => Ok(extract_object(&line, "\"metrics\": ")),
+            _ => Err(format!("unexpected reply {line:?}")),
+        }
+    }
+
+    /// Asks the server to shut down; returns once acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        self.send("{\"type\": \"shutdown\"}")?;
+        let line = self.recv()?;
+        match json::parse(&line)
+            .ok()
+            .as_ref()
+            .and_then(|v| v.get("type"))
+            .and_then(Json::as_str)
+        {
+            Some("ok") => Ok(()),
+            _ => Err(format!("unexpected reply {line:?}")),
+        }
+    }
+}
+
+/// Pulls the raw bytes of a trailing JSON object member out of a reply
+/// line (reply renderers always place the object member last).
+fn extract_object(line: &str, marker: &str) -> String {
+    match line.find(marker) {
+        Some(at) => {
+            let line = line.trim_end();
+            line[at + marker.len()..line.len() - 1].to_string()
+        }
+        None => String::new(),
+    }
+}

@@ -1,0 +1,51 @@
+//! # tmi-service — the multi-tenant simulation job server
+//!
+//! Long-running service wrapping the deterministic simulation stack: a
+//! TCP listener speaking newline-delimited JSON, a bounded admission
+//! queue per priority class, per-tenant quotas, a worker pool layered
+//! on the [`tmi_bench::Executor`], a memoized result cache keyed on the
+//! full [`JobSpec`] identity, and streaming progress sourced from the
+//! `service.*` metrics registry.
+//!
+//! The request-facing vocabulary is the same [`JobSpec`] used by the
+//! [`tmi_bench::Experiment`] builder, the fuzz campaign, and the CLI
+//! flags — one job description across library, wire, and command line.
+//!
+//! ```no_run
+//! use tmi_service::{Client, Service, ServiceConfig};
+//! use tmi_bench::JobSpec;
+//!
+//! let service = Service::start(ServiceConfig::default()).unwrap();
+//! let mut client = Client::connect(service.addr()).unwrap();
+//! let mut spec = JobSpec::new("histogramfs");
+//! spec.cfg.scale = 0.05;
+//! let out = client.run("ci", &spec, 1, false, |_| {}).unwrap();
+//! assert!(!out.cached);
+//! // Identical spec → byte-identical payload, served from the cache.
+//! let again = client.run("ci", &spec, 1, false, |_| {}).unwrap();
+//! assert!(again.cached);
+//! assert_eq!(out.payload, again.payload);
+//! client.shutdown().unwrap();
+//! service.wait();
+//! ```
+//!
+//! Fault points (`worker_kill`, `queue_full`, `cache_drop` from
+//! [`tmi_faultpoint`]) are wired through the admission and worker
+//! paths; [`chaos_plan`] is the deterministic plan CI boots the daemon
+//! with to prove retried results stay byte-identical.
+
+pub mod client;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use client::{Client, Progress, RunOutcome};
+pub use proto::Request;
+pub use queue::BoundedQueue;
+pub use server::{chaos_plan, Service, ServiceConfig, ServiceReport};
+pub use stats::{service_metric_names, ServiceStats};
+
+// The spec type is re-exported so service users need not also depend on
+// tmi-bench for the common case.
+pub use tmi_bench::JobSpec;

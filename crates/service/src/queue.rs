@@ -1,0 +1,227 @@
+//! A bounded lock-free MPMC ring buffer (Vyukov's algorithm) — the
+//! admission queue underneath the job server.
+//!
+//! Why lock-free in a repo about false sharing: the queue is the one
+//! structure every connection thread and every worker hammers
+//! concurrently, and it doubles as a worked example of the layout
+//! discipline the paper is about — the producer and consumer cursors
+//! live on separate cache lines ([`CachePadded`]) precisely so the
+//! enqueue and dequeue sides do not falsely share, and each slot carries
+//! its own sequence word instead of a shared flag array.
+//!
+//! Capacity is rounded up to a power of two. `push` never blocks: a full
+//! ring returns the item back to the caller, which the server turns into
+//! an explicit backpressure reply — admission pressure must surface to
+//! the client, never stall a connection thread.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pads a hot cursor to its own cache line so the producer and consumer
+/// sides of the ring never contend on one.
+#[repr(align(64))]
+struct CachePadded<T>(T);
+
+struct Slot<T> {
+    /// Vyukov sequence word: `pos` when free for lap `pos / cap`,
+    /// `pos + 1` when holding the value enqueued at `pos`.
+    sequence: AtomicUsize,
+    value: UnsafeCell<Option<T>>,
+}
+
+/// Bounded multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: CachePadded<AtomicUsize>,
+    dequeue_pos: CachePadded<AtomicUsize>,
+}
+
+// Safety: values move through the queue whole (a slot is published by its
+// sequence word with release/acquire ordering), so sending `T` between
+// threads is the only capability required.
+unsafe impl<T: Send> Send for BoundedQueue<T> {}
+unsafe impl<T: Send> Sync for BoundedQueue<T> {}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at least `capacity` items (rounded up to a power
+    /// of two, minimum 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                sequence: AtomicUsize::new(i),
+                value: UnsafeCell::new(None),
+            })
+            .collect();
+        BoundedQueue {
+            slots,
+            mask: cap - 1,
+            enqueue_pos: CachePadded(AtomicUsize::new(0)),
+            dequeue_pos: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Usable capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Enqueues `item`, or returns it if the ring is full. Never blocks.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let dif = seq as isize - pos as isize;
+            if dif == 0 {
+                match self.enqueue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: winning the CAS grants exclusive write
+                        // access to this slot until the sequence store.
+                        unsafe { *slot.value.get() = Some(item) };
+                        slot.sequence.store(pos + 1, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                return Err(item); // a full lap behind: ring is full
+            } else {
+                pos = self.enqueue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest item, or `None` if the ring is empty. Never
+    /// blocks.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let dif = seq as isize - (pos + 1) as isize;
+            if dif == 0 {
+                match self.dequeue_pos.0.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: winning the CAS grants exclusive read
+                        // access to this slot until the sequence store.
+                        let item = unsafe { (*slot.value.get()).take() };
+                        slot.sequence.store(pos + self.mask + 1, Ordering::Release);
+                        return item;
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if dif < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Approximate occupancy (exact when quiescent).
+    pub fn len(&self) -> usize {
+        let head = self.enqueue_pos.0.load(Ordering::Relaxed);
+        let tail = self.dequeue_pos.0.load(Ordering::Relaxed);
+        head.saturating_sub(tail)
+    }
+
+    /// True if the ring holds nothing (approximate under contention).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        assert_eq!(q.capacity(), 4);
+        for i in 0..4 {
+            assert!(q.push(i).is_ok());
+        }
+        assert_eq!(q.push(99), Err(99), "full ring hands the item back");
+        assert_eq!(q.len(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(BoundedQueue::<u8>::new(0).capacity(), 2);
+        assert_eq!(BoundedQueue::<u8>::new(3).capacity(), 4);
+        assert_eq!(BoundedQueue::<u8>::new(64).capacity(), 64);
+    }
+
+    #[test]
+    fn wraps_across_many_laps() {
+        let q = BoundedQueue::new(2);
+        for lap in 0u64..1000 {
+            assert!(q.push(lap).is_ok());
+            assert_eq!(q.pop(), Some(lap));
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        const PER_PRODUCER: u64 = 2000;
+        let q = BoundedQueue::new(8);
+        let sum = AtomicU64::new(0);
+        let taken = AtomicU64::new(0);
+        let total = 4 * PER_PRODUCER;
+        std::thread::scope(|s| {
+            for p in 0..4u64 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        let mut item = p * PER_PRODUCER + i;
+                        loop {
+                            match q.push(item) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    item = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let (q, sum, taken) = (&q, &sum, &taken);
+                s.spawn(move || loop {
+                    if taken.load(Ordering::Relaxed) >= total {
+                        break;
+                    }
+                    match q.pop() {
+                        Some(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            taken.fetch_add(1, Ordering::Relaxed);
+                        }
+                        None => std::thread::yield_now(),
+                    }
+                });
+            }
+        });
+        assert_eq!(taken.load(Ordering::Relaxed), total);
+        assert_eq!(sum.load(Ordering::Relaxed), (0..total).sum::<u64>());
+    }
+}

@@ -1,0 +1,780 @@
+//! The multi-tenant job server.
+//!
+//! One [`Service`] owns a TCP listener, a fixed worker pool layered on
+//! the deterministic [`tmi_bench::Executor`], three priority-classed
+//! admission rings ([`BoundedQueue`]), a memoized result cache keyed on
+//! the full [`JobSpec`] identity, per-tenant quota accounting, and a
+//! supervisor that respawns workers the `worker_kill` fault point
+//! murders mid-job.
+//!
+//! ## Determinism contract
+//!
+//! A job's result payload is a pure function of its spec. The service
+//! holds that line through every path a reply can take:
+//!
+//! * **computed** — workers run specs through the shared [`Executor`],
+//!   whose runs are deterministic;
+//! * **cache-served** — the cache stores the rendered payload bytes, so
+//!   a hit replays exactly what compute produced;
+//! * **retried** — the `worker_kill` fault fires *before* compute
+//!   starts, the job is requeued, and the respawned worker recomputes
+//!   the same bytes.
+//!
+//! The integration suite and `scripts/check.sh` byte-compare all three.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tmi_bench::{Executor, JobSpec};
+use tmi_faultpoint::{FaultInjector, FaultPlan, FaultPoint, PointPlan};
+use tmi_telemetry::{chrome, EventKind, MetricSink, MetricsSnapshot, PhaseProfile, TraceEvent};
+
+use crate::proto::{self, Request, PRIORITIES};
+use crate::queue::BoundedQueue;
+use crate::stats::ServiceStats;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Bind address; port 0 picks a free port (read it back with
+    /// [`Service::addr`]).
+    pub addr: String,
+    /// Worker pool size. 0 runs the server admission-only — jobs queue
+    /// but never execute (the backpressure tests use this to fill the
+    /// rings deterministically).
+    pub workers: usize,
+    /// Capacity of each priority ring (rounded up to a power of two).
+    pub queue_capacity: usize,
+    /// Outstanding-job quota applied to tenants.
+    pub default_quota: usize,
+    /// Total attempts a job gets before it fails (≥ 1); attempts beyond
+    /// the first happen only when a worker dies mid-job.
+    pub max_attempts: u32,
+    /// Fault plan for the service fault points (`worker_kill`,
+    /// `queue_full`, `cache_drop`); `None` runs clean.
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            default_quota: 8,
+            max_attempts: 3,
+            faults: None,
+        }
+    }
+}
+
+/// The deterministic chaos plan used by CI and the fault campaign tests:
+/// every second worker pickup dies, every third cache store is dropped.
+/// `queue_full` stays off (backpressure is exercised by actually filling
+/// the ring). Seed 0 means no faults.
+pub fn chaos_plan(seed: u64) -> Option<FaultPlan> {
+    (seed != 0).then(|| {
+        FaultPlan::quiet()
+            .with(FaultPoint::WorkerKill, PointPlan::transient(2, 1))
+            .with(FaultPoint::CacheDrop, PointPlan::transient(3, 1))
+    })
+}
+
+/// Per-job progress event, retained for streaming and `wait` replay.
+struct JobEvent {
+    state: &'static str,
+    attempt: u32,
+    /// Rendered `service.*` snapshot at the moment of the event — the
+    /// metrics registry is the source of streamed progress.
+    metrics: String,
+}
+
+enum JobState {
+    Queued,
+    Running,
+    Done { payload: Arc<String>, cached: bool },
+    Failed { message: String },
+}
+
+struct Job {
+    tenant: String,
+    spec: JobSpec,
+    priority: usize,
+    attempts: u32,
+    state: JobState,
+    events: Vec<JobEvent>,
+}
+
+#[derive(Default)]
+struct Tenant {
+    quota: usize,
+    outstanding: usize,
+    submitted: u64,
+    completed: u64,
+    rejected: u64,
+}
+
+/// Everything the connection, worker, and supervisor threads share.
+struct ServiceInner {
+    cfg: ServiceConfig,
+    /// One ring per priority class; workers drain 0 first.
+    queues: [BoundedQueue<u64>; PRIORITIES],
+    /// Wakes idle workers when a job is queued (or shutdown begins).
+    queue_signal: (Mutex<()>, Condvar),
+    /// Job table indexed by `job_id - 1`; `job_cv` wakes streamers on
+    /// any job-state change.
+    jobs: Mutex<Vec<Job>>,
+    job_cv: Condvar,
+    /// Result cache: canonical spec JSON → rendered payload bytes.
+    cache: Mutex<HashMap<String, Arc<String>>>,
+    tenants: Mutex<BTreeMap<String, Tenant>>,
+    stats: ServiceStats,
+    faults: Option<FaultInjector>,
+    executor: Executor,
+    shutdown: AtomicBool,
+    /// Chrome-trace spans (one per job completion), stamped in host
+    /// microseconds since boot.
+    trace: Mutex<Vec<TraceEvent>>,
+    started: Instant,
+}
+
+/// What `submit` admission decided.
+enum Admission {
+    Accepted(u64),
+    Rejected {
+        reason: &'static str,
+        detail: String,
+    },
+}
+
+impl ServiceInner {
+    fn now_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    fn rendered_stats(&self) -> String {
+        self.stats.snapshot().to_json("")
+    }
+
+    /// The full metrics document for `stats` replies: the schema-stable
+    /// `service.*` aggregates plus dynamic per-tenant counters (never
+    /// part of the golden schema).
+    fn stats_with_tenants(&self) -> MetricsSnapshot {
+        let mut sink = MetricSink::new();
+        sink.source("service", &self.stats);
+        for (name, t) in self.tenants.lock().unwrap().iter() {
+            let k = |field: &str| format!("service.tenant.{name}.{field}");
+            sink.u64(&k("quota"), t.quota as u64);
+            sink.u64(&k("outstanding"), t.outstanding as u64);
+            sink.u64(&k("submitted"), t.submitted);
+            sink.u64(&k("completed"), t.completed);
+            sink.u64(&k("rejected"), t.rejected);
+        }
+        sink.finish()
+    }
+
+    fn roll(&self, point: FaultPoint) -> bool {
+        self.faults
+            .as_ref()
+            .map(|inj| inj.should_fail(point))
+            .unwrap_or(false)
+    }
+
+    /// Appends a progress event to a job (caller holds the jobs lock —
+    /// the snapshot is rendered before locking).
+    fn push_event(job: &mut Job, state: &'static str, metrics: String) {
+        let attempt = job.attempts;
+        job.events.push(JobEvent {
+            state,
+            attempt,
+            metrics,
+        });
+    }
+
+    /// Decrements a tenant's outstanding count (job reached a terminal
+    /// state or was served from cache at admission).
+    fn release_tenant(&self, tenant: &str, completed: bool) {
+        let mut tenants = self.tenants.lock().unwrap();
+        if let Some(t) = tenants.get_mut(tenant) {
+            t.outstanding = t.outstanding.saturating_sub(1);
+            if completed {
+                t.completed += 1;
+            }
+        }
+    }
+
+    /// The admission path: validate, check quota, consult the cache,
+    /// roll the `queue_full` fault, enqueue.
+    fn admit(&self, tenant_name: &str, spec: JobSpec, priority: usize, fresh: bool) -> Admission {
+        // Reject jobs naming no known workload before they consume quota.
+        let known = spec.is_litmus() || tmi_workloads::by_name(&spec.workload).is_some();
+        if !known {
+            self.stats.inc(&self.stats.reject_bad_request);
+            self.note_tenant_reject(tenant_name);
+            return Admission::Rejected {
+                reason: "bad_request",
+                detail: format!("unknown workload {:?}", spec.workload),
+            };
+        }
+        if spec.is_litmus() && spec.litmus_seed().is_none() {
+            self.stats.inc(&self.stats.reject_bad_request);
+            self.note_tenant_reject(tenant_name);
+            return Admission::Rejected {
+                reason: "bad_request",
+                detail: format!("bad litmus workload {:?}", spec.workload),
+            };
+        }
+
+        // Quota: reserve an outstanding slot under the tenants lock.
+        {
+            let mut tenants = self.tenants.lock().unwrap();
+            let t = tenants.entry(tenant_name.to_string()).or_insert_with(|| {
+                self.stats.inc(&self.stats.tenants);
+                Tenant {
+                    quota: self.cfg.default_quota,
+                    ..Tenant::default()
+                }
+            });
+            if t.outstanding >= t.quota {
+                t.rejected += 1;
+                self.stats.inc(&self.stats.reject_quota);
+                return Admission::Rejected {
+                    reason: "quota_exceeded",
+                    detail: format!(
+                        "tenant {tenant_name:?} has {} outstanding jobs (quota {})",
+                        t.outstanding, t.quota
+                    ),
+                };
+            }
+            t.outstanding += 1;
+        }
+
+        let cache_key = spec.to_json();
+        if !fresh {
+            let hit = self.cache.lock().unwrap().get(&cache_key).cloned();
+            if let Some(payload) = hit {
+                // Served straight from the cache: the job is born Done
+                // and never touches the rings or the workers.
+                self.stats.inc(&self.stats.cache_hits);
+                self.stats.inc(&self.stats.jobs_submitted);
+                self.stats.inc(&self.stats.jobs_completed);
+                self.release_tenant(tenant_name, true);
+                if let Some(t) = self.tenants.lock().unwrap().get_mut(tenant_name) {
+                    t.submitted += 1;
+                }
+                let snapshot = self.rendered_stats();
+                let mut jobs = self.jobs.lock().unwrap();
+                let id = jobs.len() as u64 + 1;
+                let mut job = Job {
+                    tenant: tenant_name.to_string(),
+                    spec,
+                    priority,
+                    attempts: 0,
+                    state: JobState::Done {
+                        payload,
+                        cached: true,
+                    },
+                    events: Vec::new(),
+                };
+                Self::push_event(&mut job, "done", snapshot);
+                jobs.push(job);
+                self.job_cv.notify_all();
+                return Admission::Accepted(id);
+            }
+        }
+        self.stats.inc(&self.stats.cache_misses);
+
+        // The queue_full fault point models load-shedding under
+        // admission pressure: a firing sheds this request even though
+        // the ring has room.
+        if self.roll(FaultPoint::QueueFull) {
+            self.stats.inc(&self.stats.reject_queue_full);
+            self.release_tenant(tenant_name, false);
+            self.note_tenant_reject(tenant_name);
+            return Admission::Rejected {
+                reason: "queue_full",
+                detail: "admission shed by the queue_full fault point".to_string(),
+            };
+        }
+
+        // Create the job, then publish its id to the priority ring.
+        let snapshot = self.rendered_stats();
+        let id = {
+            let mut jobs = self.jobs.lock().unwrap();
+            let id = jobs.len() as u64 + 1;
+            let mut job = Job {
+                tenant: tenant_name.to_string(),
+                spec,
+                priority,
+                attempts: 0,
+                state: JobState::Queued,
+                events: Vec::new(),
+            };
+            Self::push_event(&mut job, "queued", snapshot);
+            jobs.push(job);
+            id
+        };
+        if self.queues[priority].push(id).is_err() {
+            // Ring full: true backpressure. The job record stays as a
+            // tombstone so its id never re-enters circulation.
+            let detail = format!(
+                "priority-{priority} ring at capacity {}",
+                self.queues[priority].capacity()
+            );
+            self.fail_job(id, "rejected at admission: queue full".to_string());
+            self.stats.inc(&self.stats.reject_queue_full);
+            self.note_tenant_reject(tenant_name);
+            return Admission::Rejected {
+                reason: "queue_full",
+                detail,
+            };
+        }
+        self.stats.inc(&self.stats.jobs_submitted);
+        if let Some(t) = self.tenants.lock().unwrap().get_mut(tenant_name) {
+            t.submitted += 1;
+        }
+        self.stats
+            .note_queue_depth(self.queues[priority].len() as u64);
+        self.queue_signal.1.notify_one();
+        Admission::Accepted(id)
+    }
+
+    fn note_tenant_reject(&self, tenant: &str) {
+        if let Some(t) = self.tenants.lock().unwrap().get_mut(tenant) {
+            t.rejected += 1;
+        }
+    }
+
+    /// Moves a job to `Failed` and releases its tenant slot.
+    fn fail_job(&self, id: u64, message: String) {
+        self.stats.inc(&self.stats.jobs_failed);
+        let snapshot = self.rendered_stats();
+        let tenant;
+        {
+            let mut jobs = self.jobs.lock().unwrap();
+            let job = &mut jobs[id as usize - 1];
+            tenant = job.tenant.clone();
+            job.state = JobState::Failed {
+                message: message.clone(),
+            };
+            Self::push_event(job, "failed", snapshot);
+        }
+        self.release_tenant(&tenant, false);
+        self.job_cv.notify_all();
+    }
+
+    /// Moves a job to `Done`, stores the payload in the result cache
+    /// (unless `cache_drop` fires), emits the job's trace span, and
+    /// releases the tenant slot.
+    fn complete_job(&self, id: u64, payload: String, span_start_us: u64, worker: u64) {
+        let payload = Arc::new(payload);
+        let (cache_key, tenant, priority, attempts);
+        {
+            let jobs = self.jobs.lock().unwrap();
+            let job = &jobs[id as usize - 1];
+            cache_key = job.spec.to_json();
+            tenant = job.tenant.clone();
+            priority = job.priority;
+            attempts = job.attempts;
+        }
+        if self.roll(FaultPoint::CacheDrop) {
+            self.stats.inc(&self.stats.cache_drops);
+        } else {
+            self.cache
+                .lock()
+                .unwrap()
+                .insert(cache_key, Arc::clone(&payload));
+        }
+        self.stats.inc(&self.stats.jobs_completed);
+        self.release_tenant(&tenant, true);
+        let snapshot = self.rendered_stats();
+        {
+            let mut jobs = self.jobs.lock().unwrap();
+            let job = &mut jobs[id as usize - 1];
+            job.state = JobState::Done {
+                payload,
+                cached: false,
+            };
+            Self::push_event(job, "done", snapshot);
+        }
+        let end = self.now_us();
+        self.trace.lock().unwrap().push(TraceEvent {
+            name: "service.job",
+            cat: "service",
+            tid: worker,
+            cycle: span_start_us,
+            kind: EventKind::Complete {
+                dur_cycles: end.saturating_sub(span_start_us),
+            },
+            args: vec![
+                ("job_id", id),
+                ("attempt", attempts as u64),
+                ("priority", priority as u64),
+            ],
+        });
+        self.job_cv.notify_all();
+    }
+
+    /// Pops the highest-priority queued job id.
+    fn next_job(&self) -> Option<u64> {
+        self.queues.iter().find_map(BoundedQueue::pop)
+    }
+
+    /// One worker thread: drain the rings; park on the condvar when
+    /// idle. A `worker_kill` firing panics the thread *after* arranging
+    /// the job's retry — the supervisor respawns the worker and the
+    /// respawned pool recomputes the identical result.
+    fn worker_loop(self: &Arc<Self>, worker: u64) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let Some(id) = self.next_job() else {
+                let guard = self.queue_signal.0.lock().unwrap();
+                let _ = self
+                    .queue_signal
+                    .1
+                    .wait_timeout(guard, Duration::from_millis(10))
+                    .unwrap();
+                continue;
+            };
+
+            let span_start = self.now_us();
+            let spec = {
+                let snapshot = self.rendered_stats();
+                let mut jobs = self.jobs.lock().unwrap();
+                let job = &mut jobs[id as usize - 1];
+                job.attempts += 1;
+                job.state = JobState::Running;
+                Self::push_event(job, "running", snapshot);
+                job.spec.clone()
+            };
+            self.job_cv.notify_all();
+
+            // The kill point sits between pickup and compute, so a
+            // killed attempt has observably done no work — the retry
+            // recomputes from scratch and must produce the same bytes.
+            if self.roll(FaultPoint::WorkerKill) {
+                self.stats.inc(&self.stats.worker_kills);
+                let (attempts, priority) = {
+                    let jobs = self.jobs.lock().unwrap();
+                    let job = &jobs[id as usize - 1];
+                    (job.attempts, job.priority)
+                };
+                if attempts < self.cfg.max_attempts && self.queues[priority].push(id).is_ok() {
+                    self.stats.inc(&self.stats.jobs_retried);
+                    let snapshot = self.rendered_stats();
+                    {
+                        let mut jobs = self.jobs.lock().unwrap();
+                        let job = &mut jobs[id as usize - 1];
+                        job.state = JobState::Queued;
+                        Self::push_event(job, "retrying", snapshot);
+                    }
+                    self.job_cv.notify_all();
+                    self.queue_signal.1.notify_one();
+                } else {
+                    self.fail_job(id, format!("worker killed on final attempt {attempts}"));
+                }
+                panic!("worker {worker} killed by fault injection");
+            }
+
+            let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if spec.is_litmus() {
+                    tmi_bench::check_spec(&spec).map(|report| proto::litmus_payload(&spec, &report))
+                } else {
+                    let job = self.executor.run_spec(&spec);
+                    job.outcome.map(|r| proto::run_payload(&spec, &r))
+                }
+            }));
+            match computed {
+                Ok(Ok(payload)) => self.complete_job(id, payload, span_start, worker),
+                Ok(Err(e)) => self.fail_job(id, e),
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "job panicked".to_string());
+                    self.fail_job(id, format!("job panicked: {msg}"));
+                }
+            }
+        }
+    }
+
+    /// Streams a job's progress events and final line to `out`.
+    /// `stream` = false skips progress and writes only the final line.
+    fn stream_job(&self, id: u64, stream: bool, out: &mut TcpStream) -> std::io::Result<()> {
+        let mut next_event = 0usize;
+        loop {
+            // Collect under the lock, write outside it.
+            let (batch, terminal) = {
+                let jobs = self.jobs.lock().unwrap();
+                let Some(job) = jobs.get(id as usize - 1) else {
+                    return writeln!(out, "{}", proto::error(&format!("unknown job id {id}")));
+                };
+                let batch: Vec<String> = if stream {
+                    job.events[next_event..]
+                        .iter()
+                        .map(|e| proto::progress(id, e.state, e.attempt, &e.metrics))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                next_event = job.events.len();
+                let terminal = match &job.state {
+                    JobState::Done { payload, cached } => {
+                        Some(proto::result(id, *cached, job.attempts.max(1), payload))
+                    }
+                    JobState::Failed { message } => Some(proto::job_error(id, message)),
+                    _ => None,
+                };
+                (batch, terminal)
+            };
+            for line in &batch {
+                writeln!(out, "{line}")?;
+            }
+            if let Some(line) = terminal {
+                return writeln!(out, "{line}");
+            }
+            let guard = self.jobs.lock().unwrap();
+            let _ = self
+                .job_cv
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap();
+        }
+    }
+
+    /// One connection: read request lines, write reply lines. Malformed
+    /// lines get an `error` reply and the connection stays open.
+    fn serve_connection(self: &Arc<Self>, stream: TcpStream) {
+        let mut writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let reader = BufReader::new(stream);
+        for line in reader.lines() {
+            let Ok(line) = line else { return };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let req = match proto::parse_request(&line) {
+                Ok(req) => req,
+                Err(e) => {
+                    self.stats.inc(&self.stats.malformed_requests);
+                    if writeln!(writer, "{}", proto::error(&e)).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            let io = match req {
+                Request::Submit {
+                    tenant,
+                    job,
+                    priority,
+                    fresh,
+                    stream,
+                } => match self.admit(&tenant, job, priority, fresh) {
+                    Admission::Accepted(id) => writeln!(writer, "{}", proto::accepted(id))
+                        .and_then(|()| {
+                            if stream {
+                                self.stream_job(id, true, &mut writer)
+                            } else {
+                                Ok(())
+                            }
+                        }),
+                    Admission::Rejected { reason, detail } => {
+                        writeln!(writer, "{}", proto::rejected(reason, &detail))
+                    }
+                },
+                Request::Wait { job_id, stream } => {
+                    let known = job_id >= 1 && (job_id as usize) <= self.jobs.lock().unwrap().len();
+                    if known {
+                        self.stream_job(job_id, stream, &mut writer)
+                    } else {
+                        writeln!(
+                            writer,
+                            "{}",
+                            proto::error(&format!("unknown job id {job_id}"))
+                        )
+                    }
+                }
+                Request::Stats => writeln!(
+                    writer,
+                    "{}",
+                    proto::stats_reply(&self.stats_with_tenants().to_json(""))
+                ),
+                Request::Shutdown => {
+                    let io = writeln!(writer, "{}", proto::ok());
+                    self.shutdown.store(true, Ordering::SeqCst);
+                    self.queue_signal.1.notify_all();
+                    self.job_cv.notify_all();
+                    return io.unwrap_or(());
+                }
+            };
+            if io.is_err() {
+                return;
+            }
+        }
+    }
+}
+
+/// Final report from a stopped service: the boot-to-shutdown stats and
+/// the Chrome trace of every completed job.
+pub struct ServiceReport {
+    /// `service.*` aggregates at shutdown.
+    pub metrics: MetricsSnapshot,
+    /// Chrome `trace_event` JSON (one `service.job` span per computed
+    /// job, microsecond timestamps).
+    pub chrome_trace: String,
+}
+
+/// A running job server. Dropping the handle does not stop the server;
+/// send a `shutdown` request (e.g. [`crate::Client::shutdown`]) and then
+/// call [`Service::wait`].
+pub struct Service {
+    inner: Arc<ServiceInner>,
+    addr: std::net::SocketAddr,
+    listener: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Binds, spawns the worker pool, supervisor, and accept loop, and
+    /// returns once the server is reachable.
+    pub fn start(cfg: ServiceConfig) -> std::io::Result<Service> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let workers = cfg.workers;
+        let inner = Arc::new(ServiceInner {
+            faults: cfg.faults.clone().map(FaultInjector::new),
+            queues: std::array::from_fn(|_| BoundedQueue::new(cfg.queue_capacity)),
+            queue_signal: (Mutex::new(()), Condvar::new()),
+            jobs: Mutex::new(Vec::new()),
+            job_cv: Condvar::new(),
+            cache: Mutex::new(HashMap::new()),
+            tenants: Mutex::new(BTreeMap::new()),
+            stats: ServiceStats::default(),
+            executor: Executor::new(1),
+            shutdown: AtomicBool::new(false),
+            trace: Mutex::new(Vec::new()),
+            started: Instant::now(),
+            cfg,
+        });
+
+        let spawn_worker = |inner: Arc<ServiceInner>, idx: u64| {
+            std::thread::Builder::new()
+                .name(format!("tmi-service-worker-{idx}"))
+                .spawn(move || inner.worker_loop(idx))
+                .expect("spawn worker")
+        };
+        let mut pool: Vec<(u64, JoinHandle<()>)> = (0..workers as u64)
+            .map(|i| (i, spawn_worker(Arc::clone(&inner), i)))
+            .collect();
+
+        // Supervisor: respawn any worker that died (the worker_kill
+        // fault panics the thread) until shutdown, then join the pool.
+        let supervisor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("tmi-service-supervisor".to_string())
+                .spawn(move || loop {
+                    if inner.shutdown.load(Ordering::SeqCst) {
+                        for (_, handle) in pool.drain(..) {
+                            let _ = handle.join();
+                        }
+                        return;
+                    }
+                    for (idx, handle) in pool.iter_mut() {
+                        if handle.is_finished() {
+                            let replacement = spawn_worker(Arc::clone(&inner), *idx);
+                            let dead = std::mem::replace(handle, replacement);
+                            let _ = dead.join(); // reap the panic
+                            inner.stats.inc(&inner.stats.workers_respawned);
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                })
+                .expect("spawn supervisor")
+        };
+
+        // Accept loop: nonblocking so it can notice shutdown promptly.
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("tmi-service-accept".to_string())
+                .spawn(move || loop {
+                    if inner.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = stream.set_nodelay(true);
+                            let inner = Arc::clone(&inner);
+                            let _ = std::thread::Builder::new()
+                                .name("tmi-service-conn".to_string())
+                                .spawn(move || inner.serve_connection(stream));
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => return,
+                    }
+                })
+                .expect("spawn accept loop")
+        };
+
+        Ok(Service {
+            inner,
+            addr,
+            listener: Some(accept),
+            supervisor: Some(supervisor),
+        })
+    }
+
+    /// The bound address (use this when the config asked for port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// A live `service.*` snapshot (aggregates only).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Requests shutdown without a client connection (tests/embedders).
+    pub fn shutdown_now(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_signal.1.notify_all();
+        self.inner.job_cv.notify_all();
+    }
+
+    /// Blocks until the server has shut down (a client must have sent
+    /// `shutdown`, or [`Service::shutdown_now`] was called) and returns
+    /// the final report.
+    pub fn wait(mut self) -> ServiceReport {
+        if let Some(h) = self.listener.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+        let metrics = self.inner.stats.snapshot();
+        let events = self.inner.trace.lock().unwrap();
+        // clock_hz = 1e6 maps the host-microsecond stamps 1:1 onto the
+        // trace format's microsecond timeline.
+        let chrome_trace =
+            chrome::export_trace(&events, &PhaseProfile::new(), 1_000_000, Some(&metrics));
+        ServiceReport {
+            metrics,
+            chrome_trace,
+        }
+    }
+}

@@ -27,6 +27,14 @@
 #            behaviorally invisible) and emits + validates
 #            BENCH_perf.json (speedups there are advisory in CI; a
 #            malformed report or an equivalence failure is what fails)
+#   service  the job-server determinism proof: boot the tmi_serve daemon
+#            with the seeded service chaos plan (--service-faults 1,
+#            which kills a worker on every second pickup), drive the
+#            same job through it three ways — cold compute, cache-served
+#            duplicate, and --fresh recompute whose worker is killed and
+#            retried — and byte-diff the three result payloads; the
+#            server's stats must show the kill, the retry and the cache
+#            hit actually happened
 #   fuzz     fixed-seed differential fuzz: 64 litmus seeds through the
 #            repair path vs the sequential oracle (must be clean), plus
 #            16 seeds with --ablate-code-centric (must diverge)
@@ -46,7 +54,7 @@ echo "== clippy"
 cargo clippy --workspace -- -D warnings
 
 echo "== tier-1 build + test"
-cargo build --release
+cargo build --release --workspace
 cargo test -q
 
 echo "== smoke: run_all --quick"
@@ -63,6 +71,36 @@ target/release/validate_telemetry \
   --schema tests/golden/metric_names.txt \
   --report "$smoke_dir/BENCH_harness.json" \
   --trace "$smoke_dir/trace_quick.json" --expect-repair-episode
+
+echo "== service: daemon boot + cold/cached/fault-retried byte equality"
+target/release/tmi_serve --workers 2 --service-faults 1 \
+  --port-file "$smoke_dir/service.port" \
+  --chrome-trace "$smoke_dir/service_trace.json" > "$smoke_dir/service.log" &
+serve_pid=$!
+for _ in $(seq 1 100); do test -s "$smoke_dir/service.port" && break; sleep 0.1; done
+test -s "$smoke_dir/service.port" || { echo "tmi_serve did not come up"; exit 1; }
+job="run --workload histogramfs --runtime tmi-protect --threads 4 --scale 0.05 --misaligned --tenant ci"
+target/release/tmi_client --port-file "$smoke_dir/service.port" $job \
+  > "$smoke_dir/service_cold.json" 2> /dev/null
+target/release/tmi_client --port-file "$smoke_dir/service.port" $job \
+  > "$smoke_dir/service_cached.json" 2> /dev/null
+target/release/tmi_client --port-file "$smoke_dir/service.port" $job --fresh \
+  > "$smoke_dir/service_fault.json" 2> /dev/null
+cmp "$smoke_dir/service_cold.json" "$smoke_dir/service_cached.json" \
+  || { echo "cache-served payload differs from cold compute"; exit 1; }
+cmp "$smoke_dir/service_cold.json" "$smoke_dir/service_fault.json" \
+  || { echo "fault-retried payload differs from cold compute"; exit 1; }
+svc_stats=$(target/release/tmi_client --port-file "$smoke_dir/service.port" stats 2> /dev/null)
+for want in '"service.worker_kills": 1' '"service.jobs_retried": 1' \
+            '"service.cache_hits": 1' '"service.workers_respawned": 1'; do
+  printf '%s\n' "$svc_stats" | grep -qF "$want" \
+    || { printf '%s\n' "$svc_stats"; echo "service stats missing $want"; exit 1; }
+done
+target/release/tmi_client --port-file "$smoke_dir/service.port" shutdown 2> /dev/null
+wait "$serve_pid"
+test -s "$smoke_dir/service_trace.json"
+grep -q '"service.job"' "$smoke_dir/service_trace.json" \
+  || { echo "service trace has no job spans"; exit 1; }
 
 echo "== bench-smoke: throughput benches + fast-path equivalence"
 cargo bench -p tmi-bench --bench machine_throughput

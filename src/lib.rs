@@ -12,6 +12,7 @@ pub use tmi_oracle as oracle;
 pub use tmi_os as os;
 pub use tmi_perf as perf;
 pub use tmi_program as program;
+pub use tmi_service as service;
 pub use tmi_sim as sim;
 pub use tmi_telemetry as telemetry;
 pub use tmi_workloads as workloads;
