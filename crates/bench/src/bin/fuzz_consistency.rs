@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! fuzz_consistency [--seeds N] [--start N] [--ablate-code-centric]
+//!                  [--transistency] [--enumerate N] [--ablate-shootdown]
 //!                  [--workers N] [--faults SEED] [--trace out.json]
 //! ```
 //!
@@ -14,6 +15,16 @@
 //! divergences with code-centric consistency on, at least one with the
 //! `--ablate-code-centric` ablation (the Figs. 11–12 failure modes must
 //! reproduce) — and 1 otherwise.
+//!
+//! `--transistency` fuzzes VM operations × consistency: each seed's
+//! litmus program interleaves `mprotect`, COW breaks, forced T2P
+//! conversions, twin commits and TLB shootdowns with the load/store
+//! vocabulary. `--enumerate N` adds a bounded DPOR-lite sweep — up to N
+//! deterministic VM-op placements per seed over a small base program.
+//! `--ablate-shootdown` drops precise per-PTE TLB shootdowns in the
+//! simulated kernel; the campaign must then find divergences (stale
+//! translations serving dead frames), or the transistency fuzzer has no
+//! teeth.
 //!
 //! `--faults SEED` runs every checked program under a seeded fault
 //! schedule (fork vetoes, out-of-frames, transient mprotect faults, PEBS
@@ -49,6 +60,9 @@ fn main() {
             "--start" => cfg.start_seed = num("--start"),
             "--workers" => cfg.workers = Some(num("--workers") as usize),
             "--ablate-code-centric" => cfg.ablate_code_centric = true,
+            "--transistency" => cfg.transistency = true,
+            "--enumerate" => cfg.enumerate = num("--enumerate"),
+            "--ablate-shootdown" => cfg.ablate_shootdown = true,
             "--faults" => cfg.faults = Some(num("--faults")),
             "--trace" => match args.next() {
                 Some(p) => trace_path = Some(p),
@@ -60,18 +74,23 @@ fn main() {
             _ => {
                 eprintln!(
                     "usage: fuzz_consistency [--seeds N] [--start N] \
-                     [--ablate-code-centric] [--workers N] [--faults SEED] \
+                     [--ablate-code-centric] [--transistency] [--enumerate N] \
+                     [--ablate-shootdown] [--workers N] [--faults SEED] \
                      [--trace out.json]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if cfg.faults.is_some() && cfg.ablate_code_centric {
+    if cfg.faults.is_some() && (cfg.ablate_code_centric || cfg.ablate_shootdown) {
         eprintln!(
-            "--faults asserts zero divergence and cannot combine with \
-             --ablate-code-centric (which expects divergences)"
+            "--faults asserts zero divergence and cannot combine with an \
+             ablation (which expects divergences)"
         );
+        std::process::exit(2);
+    }
+    if (cfg.ablate_shootdown || cfg.enumerate > 0) && !cfg.transistency {
+        eprintln!("--ablate-shootdown and --enumerate require --transistency");
         std::process::exit(2);
     }
 

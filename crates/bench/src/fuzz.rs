@@ -16,10 +16,21 @@
 //!   (stale atomic reads, lost RMW updates, torn words — the Figs. 11–12
 //!   failure modes). A clean ablated campaign means the fuzzer lost its
 //!   teeth.
+//!
+//! `--transistency` switches both modes to VM-op litmus programs
+//! (`mprotect`, COW breaks, T2P conversions, twin commits, TLB
+//! shootdowns interleaved with loads and stores), `--enumerate N` adds
+//! the bounded DPOR-lite sweep over deterministic VM-op placements, and
+//! `--ablate-shootdown` is the transistency counterpart of the
+//! code-centric ablation: precise per-PTE shootdowns stop landing, stale
+//! translations survive, and the campaign must find divergences.
 
 use tmi::GovernorState;
 use tmi_faultpoint::{FaultPoint, FaultStats};
-use tmi_oracle::{check_seed, CheckConfig, CheckReport, Coverage};
+use tmi_oracle::{
+    check_seed, check_transistency_seed, check_transistency_variants, CheckConfig, CheckReport,
+    Coverage,
+};
 
 use crate::exec::pool_map;
 use crate::harness::{RunConfig, RuntimeKind};
@@ -44,6 +55,23 @@ pub struct FuzzConfig {
     /// [`tmi_oracle::derive_fault_seed`]). Repair may retry, degrade,
     /// abort or revert — the campaign must still find zero divergences.
     pub faults: Option<u64>,
+    /// Transistency mode: check each seed's *VM-op* litmus program
+    /// ([`tmi_oracle::Litmus::generate_vm`] — `mprotect`, COW breaks, T2P
+    /// conversions, twin commits, TLB shootdowns interleaved with the
+    /// consistency vocabulary) instead of the plain one.
+    pub transistency: bool,
+    /// Bounded schedule enumeration (DPOR-lite): additionally check up to
+    /// this many deterministic VM-op *placements* of each seed's small
+    /// base program ([`tmi_oracle::Litmus::vm_variants`]). `0` disables;
+    /// requires [`FuzzConfig::transistency`].
+    pub enumerate: u64,
+    /// Disable precise per-PTE TLB shootdowns in the repaired runs — the
+    /// transistency ablation that *must* diverge (stale translations
+    /// serve dead frames and bypass COW tracking). Requires
+    /// [`FuzzConfig::transistency`]; not representable as a [`JobSpec`],
+    /// so ablated campaigns check directly rather than via the service
+    /// job vocabulary.
+    pub ablate_shootdown: bool,
 }
 
 impl Default for FuzzConfig {
@@ -55,6 +83,9 @@ impl Default for FuzzConfig {
             workers: None,
             max_reports: 5,
             faults: None,
+            transistency: false,
+            enumerate: 0,
+            ablate_shootdown: false,
         }
     }
 }
@@ -109,7 +140,8 @@ impl CampaignFaults {
 pub struct CampaignResult {
     /// The configuration that ran.
     pub cfg: FuzzConfig,
-    /// Seeds checked.
+    /// Programs checked: one per seed, plus every enumerated VM-op
+    /// variant in `--enumerate` mode.
     pub checked: u64,
     /// Seeds with at least one divergence, in seed order.
     pub divergent_seeds: Vec<u64>,
@@ -125,10 +157,10 @@ pub struct CampaignResult {
 }
 
 impl CampaignResult {
-    /// True if the campaign outcome matches its mode: clean when
-    /// code-centric is on, divergent when ablated.
+    /// True if the campaign outcome matches its mode: clean under the
+    /// shipping configuration, divergent under either ablation.
     pub fn ok(&self) -> bool {
-        if self.cfg.ablate_code_centric {
+        if self.cfg.ablate_code_centric || self.cfg.ablate_shootdown {
             !self.divergent_seeds.is_empty()
         } else {
             self.divergent_seeds.is_empty()
@@ -139,19 +171,35 @@ impl CampaignResult {
     /// divergent seeds).
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
-        let mode = if self.cfg.ablate_code_centric {
+        let mut mode = String::from(if self.cfg.ablate_code_centric {
             "code-centric OFF (ablation)"
         } else {
             "code-centric on"
+        });
+        if self.cfg.ablate_shootdown {
+            mode.push_str(", TLB shootdowns OFF (ablation)");
+        }
+        let kind = if self.cfg.transistency {
+            "transistency seeds"
+        } else {
+            "seeds"
         };
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "fuzz_consistency: {} seeds [{}, {}) under {mode}",
-            self.checked,
+            "fuzz_consistency: {} {kind} [{}, {}) under {mode}",
+            self.cfg.seeds,
             self.cfg.start_seed,
             self.cfg.start_seed + self.cfg.seeds
         );
+        if self.cfg.enumerate > 0 {
+            let _ = writeln!(
+                s,
+                "  schedule enumeration: up to {} VM-op placements per seed; \
+                 {} programs checked",
+                self.cfg.enumerate, self.checked
+            );
+        }
         let _ = writeln!(
             s,
             "  trace steps: {} total; coverage: {}",
@@ -218,13 +266,14 @@ impl CampaignResult {
             let _ = writeln!(s, "---");
             s.push_str(&r.render());
         }
+        let ablated = self.cfg.ablate_code_centric || self.cfg.ablate_shootdown;
         let verdict = if self.ok() {
-            if self.cfg.ablate_code_centric {
+            if ablated {
                 "OK (ablation diverges as the paper predicts)"
             } else {
                 "OK (repaired runs are indistinguishable from the oracle)"
             }
-        } else if self.cfg.ablate_code_centric {
+        } else if ablated {
             "FAIL (ablated campaign found no divergence — fuzzer has no teeth)"
         } else {
             "FAIL (repair path diverged from the sequential oracle)"
@@ -244,28 +293,39 @@ impl CampaignResult {
 /// routes litmus jobs through, so a job submitted over the wire checks
 /// exactly like a campaign seed.
 pub fn check_spec(spec: &JobSpec) -> Result<CheckReport, String> {
-    let seed = spec
-        .litmus_seed()
-        .ok_or_else(|| format!("not a litmus job: {:?}", spec.workload))?;
     let check = CheckConfig {
         code_centric: spec.cfg.runtime != RuntimeKind::TmiNoCodeCentric,
         faults: (spec.seed != 0).then_some(spec.seed),
         ..CheckConfig::default()
     };
-    Ok(check_seed(seed, &check))
+    if let Some(seed) = spec.litmus_vm_seed() {
+        Ok(check_transistency_seed(seed, &check))
+    } else if let Some(seed) = spec.litmus_seed() {
+        Ok(check_seed(seed, &check))
+    } else {
+        Err(format!("not a litmus job: {:?}", spec.workload))
+    }
 }
 
 /// The [`JobSpec`] for one campaign seed under the campaign config.
+/// (The shootdown ablation is deliberately *not* representable here — a
+/// service client cannot request a broken kernel — so ablated campaigns
+/// bypass the spec and call the checker directly.)
 fn campaign_spec(cfg: &FuzzConfig, seed: u64) -> JobSpec {
     let runtime = if cfg.ablate_code_centric {
         RuntimeKind::TmiNoCodeCentric
     } else {
         RuntimeKind::TmiProtect
     };
+    let base = if cfg.transistency {
+        JobSpec::litmus_vm(seed)
+    } else {
+        JobSpec::litmus(seed)
+    };
     JobSpec {
         cfg: RunConfig::repair(runtime),
         seed: cfg.faults.unwrap_or(0),
-        ..JobSpec::litmus(seed)
+        ..base
     }
 }
 
@@ -280,20 +340,55 @@ pub fn run_campaign(cfg: &FuzzConfig) -> CampaignResult {
     });
     let n = usize::try_from(cfg.seeds).expect("seed count fits usize");
     let results = pool_map(workers, n, |i| {
-        let spec = campaign_spec(cfg, cfg.start_seed + i as u64);
-        check_spec(&spec).expect("campaign specs are litmus jobs")
+        let seed = cfg.start_seed + i as u64;
+        let mut reports = Vec::new();
+        if cfg.ablate_shootdown {
+            // Not representable as a JobSpec (see `campaign_spec`): check
+            // directly with the broken-kernel configuration.
+            let check = CheckConfig {
+                code_centric: !cfg.ablate_code_centric,
+                ablate_shootdown: true,
+                faults: cfg.faults,
+                ..CheckConfig::default()
+            };
+            reports.push(check_transistency_seed(seed, &check));
+            if cfg.enumerate > 0 {
+                reports.extend(check_transistency_variants(
+                    seed,
+                    cfg.enumerate as usize,
+                    &check,
+                ));
+            }
+        } else {
+            let spec = campaign_spec(cfg, seed);
+            reports.push(check_spec(&spec).expect("campaign specs are litmus jobs"));
+            if cfg.enumerate > 0 {
+                let check = CheckConfig {
+                    code_centric: !cfg.ablate_code_centric,
+                    faults: cfg.faults,
+                    ..CheckConfig::default()
+                };
+                reports.extend(check_transistency_variants(
+                    seed,
+                    cfg.enumerate as usize,
+                    &check,
+                ));
+            }
+        }
+        reports
     });
 
     let mut out = CampaignResult {
         cfg: cfg.clone(),
-        checked: cfg.seeds,
+        checked: 0,
         divergent_seeds: Vec::new(),
         total_steps: 0,
         coverage: Coverage::default(),
         reports: Vec::new(),
         faults: cfg.faults.map(|_| CampaignFaults::default()),
     };
-    for r in results {
+    for r in results.into_iter().flatten() {
+        out.checked += 1;
         out.total_steps += r.steps as u64;
         out.coverage.add(&r.coverage);
         if let (Some(agg), Some(fs)) = (&mut out.faults, &r.faults) {
@@ -310,7 +405,10 @@ pub fn run_campaign(cfg: &FuzzConfig) -> CampaignResult {
             }
         }
         if !r.clean() {
-            out.divergent_seeds.push(r.seed);
+            // Enumerated variants share their seed; record each seed once.
+            if out.divergent_seeds.last() != Some(&r.seed) {
+                out.divergent_seeds.push(r.seed);
+            }
             if out.reports.len() < cfg.max_reports {
                 out.reports.push(r);
             }
@@ -381,6 +479,63 @@ mod tests {
         let direct = check_seed(3, &CheckConfig::default());
         assert_eq!(via_spec.render(), direct.render());
         assert!(check_spec(&JobSpec::new("histogram")).is_err());
+    }
+
+    #[test]
+    fn transistency_campaign_checks_clean_and_enumerates() {
+        let cfg = FuzzConfig {
+            seeds: 4,
+            start_seed: 0,
+            transistency: true,
+            enumerate: 4,
+            workers: Some(2),
+            ..FuzzConfig::default()
+        };
+        let r = run_campaign(&cfg);
+        assert!(
+            r.ok(),
+            "transistency campaign must stay clean:\n{}",
+            r.render()
+        );
+        assert!(
+            r.checked > cfg.seeds,
+            "enumeration must add variant programs ({} checked)",
+            r.checked
+        );
+        assert!(r.coverage.vm_ops() > 0, "campaign must execute VM ops");
+        assert!(r.render().contains("transistency seeds"));
+        assert!(r.render().contains("schedule enumeration"));
+    }
+
+    #[test]
+    fn shootdown_ablated_campaign_finds_divergences() {
+        let cfg = FuzzConfig {
+            seeds: 24,
+            start_seed: 0,
+            transistency: true,
+            ablate_shootdown: true,
+            workers: Some(4),
+            ..FuzzConfig::default()
+        };
+        let r = run_campaign(&cfg);
+        assert!(r.ok(), "shootdown ablation must diverge:\n{}", r.render());
+        assert!(!r.reports.is_empty());
+        assert!(r.render().contains("TLB shootdowns OFF"));
+        let report = &r.reports[0];
+        assert!(report.render().contains("--ablate-shootdown"));
+    }
+
+    #[test]
+    fn transistency_spec_routes_through_check_spec() {
+        let cfg = FuzzConfig {
+            transistency: true,
+            ..FuzzConfig::default()
+        };
+        let spec = campaign_spec(&cfg, 3);
+        assert_eq!(spec.litmus_vm_seed(), Some(3));
+        let via_spec = check_spec(&spec).unwrap();
+        let direct = check_transistency_seed(3, &CheckConfig::default());
+        assert_eq!(via_spec.render(), direct.render());
     }
 
     #[test]

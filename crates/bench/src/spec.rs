@@ -27,12 +27,15 @@ use crate::harness::{RunConfig, RuntimeKind};
 /// identity.
 ///
 /// `workload` is either a suite workload name (`tmi_workloads::SUITE`) or
-/// the pseudo-workload `litmus:<seed>`, which runs the seeded litmus
-/// program through the differential oracle instead of the harness — the
-/// job shape schedule-exploration clients submit.
+/// a pseudo-workload: `litmus:<seed>` runs the seeded litmus program
+/// through the differential oracle instead of the harness (the job shape
+/// schedule-exploration clients submit), and `litmus+vm:<seed>` runs the
+/// seed's *transistency* program (VM operations interleaved with the
+/// consistency vocabulary) the same way.
 #[derive(Clone, PartialEq, Debug)]
 pub struct JobSpec {
-    /// Workload name (see `tmi_workloads::SUITE`), or `litmus:<seed>`.
+    /// Workload name (see `tmi_workloads::SUITE`), `litmus:<seed>`, or
+    /// `litmus+vm:<seed>`.
     pub workload: String,
     /// Full run configuration.
     pub cfg: RunConfig,
@@ -72,15 +75,32 @@ impl JobSpec {
         }
     }
 
-    /// The litmus program seed, if this is a litmus job.
+    /// A *transistency* litmus-check job: the seeded VM-op program
+    /// ([`tmi_oracle::Litmus::generate_vm`] — `mprotect`, COW breaks, T2P
+    /// conversions, twin commits, TLB shootdowns interleaved with the
+    /// consistency vocabulary) through the differential oracle.
+    pub fn litmus_vm(program_seed: u64) -> Self {
+        JobSpec {
+            workload: format!("litmus+vm:{program_seed}"),
+            ..JobSpec::litmus(program_seed)
+        }
+    }
+
+    /// The litmus program seed, if this is a plain litmus job.
     pub fn litmus_seed(&self) -> Option<u64> {
         self.workload.strip_prefix("litmus:")?.parse().ok()
+    }
+
+    /// The litmus program seed, if this is a transistency (VM-op) litmus
+    /// job.
+    pub fn litmus_vm_seed(&self) -> Option<u64> {
+        self.workload.strip_prefix("litmus+vm:")?.parse().ok()
     }
 
     /// True if this job runs through the differential oracle rather than
     /// the workload harness.
     pub fn is_litmus(&self) -> bool {
-        self.litmus_seed().is_some()
+        self.litmus_seed().is_some() || self.litmus_vm_seed().is_some()
     }
 
     /// Renders the canonical wire form: a JSON object with every field
@@ -214,7 +234,7 @@ impl JobSpec {
     /// The usage string for the shared CLI flags, for bins to append to
     /// their own usage lines.
     pub fn cli_usage() -> &'static str {
-        "--workload NAME|litmus:<seed> [--runtime LABEL] [--threads N] \
+        "--workload NAME|litmus:<seed>|litmus+vm:<seed> [--runtime LABEL] [--threads N] \
          [--scale F] [--period N] [--tick-interval N] [--max-ops N] \
          [--seed N] [--fixed] [--misaligned] [--huge-pages] [--spec-trace]"
     }
@@ -223,6 +243,7 @@ impl JobSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn json_round_trip_preserves_every_field() {
@@ -265,6 +286,108 @@ mod tests {
         assert!(spec.is_litmus());
         assert!(!JobSpec::new("histogram").is_litmus());
         assert!(!JobSpec::new("litmus:notanumber").is_litmus());
+    }
+
+    #[test]
+    fn transistency_jobs_parse_their_seed_and_stay_disjoint() {
+        let spec = JobSpec::litmus_vm(31);
+        assert_eq!(spec.workload, "litmus+vm:31");
+        assert_eq!(spec.litmus_vm_seed(), Some(31));
+        assert_eq!(spec.litmus_seed(), None, "vm jobs are not plain litmus");
+        assert!(spec.is_litmus());
+        assert_eq!(spec.cfg, JobSpec::litmus(31).cfg);
+        assert_eq!(JobSpec::litmus(31).litmus_vm_seed(), None);
+        // The pseudo-workload survives the wire codec like any other name.
+        let parsed = JobSpec::from_json(&json::parse(&spec.to_json()).unwrap()).unwrap();
+        assert_eq!(parsed.litmus_vm_seed(), Some(31));
+    }
+
+    fn spec_strategy() -> impl Strategy<Value = JobSpec> {
+        let workload = prop_oneof![
+            Just("histogram".to_string()),
+            Just("lreg".to_string()),
+            (0u64..10_000).prop_map(|s| format!("litmus:{s}")),
+            (0u64..10_000).prop_map(|s| format!("litmus+vm:{s}")),
+        ];
+        let runtime = (0usize..RuntimeKind::ALL.len()).prop_map(|i| RuntimeKind::ALL[i]);
+        (
+            (workload, runtime, 1usize..16, 1u32..64),
+            (any::<bool>(), any::<bool>(), any::<bool>(), 1u64..1000),
+            // Seeds stay below 2^32: the JSON codec routes numbers through
+            // f64, which is exact only up to 2^53.
+            (
+                1u64..10_000_000,
+                1u64..100_000_000,
+                0u64..1 << 32,
+                any::<bool>(),
+            ),
+        )
+            .prop_map(
+                |(
+                    (workload, runtime, threads, scale16),
+                    (fixed, misaligned, huge_pages, period),
+                    (tick_interval, max_ops, seed, trace),
+                )| {
+                    let mut cfg = RunConfig::new(runtime);
+                    cfg.threads = threads;
+                    // Sixteenths are exact in f64 and print/parse exactly.
+                    cfg.scale = f64::from(scale16) / 16.0;
+                    cfg.fixed = fixed;
+                    cfg.misaligned = misaligned;
+                    cfg.huge_pages = huge_pages;
+                    cfg.period = period;
+                    cfg.tick_interval = tick_interval;
+                    cfg.max_ops = max_ops;
+                    JobSpec {
+                        workload,
+                        cfg,
+                        seed,
+                        trace,
+                    }
+                },
+            )
+    }
+
+    proptest! {
+        /// JSON codec: decode(encode(spec)) == spec for every reachable
+        /// spec, and the canonical form is byte-stable (it doubles as the
+        /// executor's memoization key).
+        #[test]
+        fn json_codec_round_trips(spec in spec_strategy()) {
+            let doc = spec.to_json();
+            let parsed = JobSpec::from_json(&json::parse(&doc).unwrap()).unwrap();
+            prop_assert_eq!(&parsed, &spec);
+            prop_assert_eq!(parsed.to_json(), doc);
+        }
+
+        /// CLI codec: rendering a spec to its flag vector and re-applying
+        /// the flags to a default spec reproduces it exactly.
+        #[test]
+        fn cli_codec_round_trips(spec in spec_strategy()) {
+            let mut args = vec![
+                "--workload".to_string(), spec.workload.clone(),
+                "--runtime".to_string(), spec.cfg.runtime.label().to_string(),
+                "--threads".to_string(), spec.cfg.threads.to_string(),
+                "--scale".to_string(), format!("{}", spec.cfg.scale),
+                "--period".to_string(), spec.cfg.period.to_string(),
+                "--tick-interval".to_string(), spec.cfg.tick_interval.to_string(),
+                "--max-ops".to_string(), spec.cfg.max_ops.to_string(),
+                "--seed".to_string(), spec.seed.to_string(),
+            ];
+            if spec.cfg.fixed { args.push("--fixed".into()); }
+            if spec.cfg.misaligned { args.push("--misaligned".into()); }
+            if spec.cfg.huge_pages { args.push("--huge-pages".into()); }
+            if spec.trace { args.push("--spec-trace".into()); }
+            let mut rebuilt = JobSpec::new("placeholder");
+            let mut it = args.into_iter();
+            while let Some(arg) = it.next() {
+                prop_assert!(
+                    rebuilt.apply_cli_arg(&arg, &mut || it.next()).unwrap(),
+                    "flag {} not consumed", arg
+                );
+            }
+            prop_assert_eq!(rebuilt, spec);
+        }
     }
 
     #[test]

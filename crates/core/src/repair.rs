@@ -1005,6 +1005,127 @@ mod tests {
         assert_eq!(rt.observe().repair().stats().efficacy_reverts, 1);
     }
 
+    // ------------------------------------------------------------------
+    // Governor transitions driven through the VM-op litmus vocabulary
+    // (the transistency campaigns' mid-schedule repair forcing).
+    // ------------------------------------------------------------------
+
+    use tmi_os::FaultResolution;
+    use tmi_program::VmOp;
+
+    #[test]
+    fn vm_t2p_denied_by_fork_mid_schedule_rolls_back_byte_for_byte() {
+        let (mut ctl, layout) = setup(2);
+        let mut rt = TmiRuntime::new(TmiConfig::default(), layout);
+        let base = VAddr::new(0x10000);
+        let t0 = ctl.tids[0];
+        let home_pid = ctl.kernel.thread(t0).pid;
+        let home_aspace = ctl.kernel.thread_aspace(t0);
+        ctl.kernel
+            .force_write(home_aspace, base, Width::W8, 11)
+            .unwrap();
+        let frames_before = ctl.kernel.physmem().allocated_frames();
+
+        // Every fork is vetoed: the schedule's T2P op exhausts the retry
+        // budget mid-conversion and the governor must roll back.
+        let inj = FaultInjector::new(
+            FaultPlan::quiet().with(FaultPoint::Fork, PointPlan::persistent_after(1, 1)),
+        );
+        ctl.kernel.set_fault_injector(inj.clone());
+        rt.set_fault_injector(inj);
+
+        assert_eq!(
+            rt.on_vm_op(&mut ctl, t0, VmOp::T2p, base),
+            0,
+            "denied conversion reports the page unprotected"
+        );
+        assert_eq!(rt.observe().repair().state(), GovernorState::Aborted);
+        assert_eq!(rt.observe().repair().stats().rollbacks, 1);
+        assert_eq!(rt.observe().repair().protected_pages(), 0);
+        assert_eq!(rt.observe().repair().twins().current_bytes(), 0);
+        assert_eq!(
+            ctl.kernel.physmem().allocated_frames(),
+            frames_before,
+            "aborted conversion must return every frame"
+        );
+        assert_eq!(ctl.kernel.thread(t0).pid, home_pid);
+        assert_eq!(ctl.kernel.thread_aspace(t0), home_aspace);
+        assert_eq!(
+            ctl.kernel.force_read(home_aspace, base, Width::W8).unwrap(),
+            11,
+            "pre-repair memory contents survive the rollback byte-for-byte"
+        );
+
+        // The rest of the schedule's VM ops land on a downed governor:
+        // all benign no-ops (bar the unconditional shootdown), no
+        // resurrection, no leaked frames or twins.
+        assert_eq!(rt.on_vm_op(&mut ctl, t0, VmOp::Mprotect, base), 0);
+        assert_eq!(rt.on_vm_op(&mut ctl, t0, VmOp::TwinCommit, base), 0);
+        assert_eq!(rt.on_vm_op(&mut ctl, t0, VmOp::CowBreak, base), 0);
+        assert_eq!(rt.on_vm_op(&mut ctl, t0, VmOp::Shootdown, base), 1);
+        assert_eq!(rt.observe().repair().state(), GovernorState::Aborted);
+        assert_eq!(rt.observe().repair().stats().rollbacks, 1);
+        assert_eq!(rt.observe().repair().twins().current_bytes(), 0);
+        assert_eq!(ctl.kernel.physmem().allocated_frames(), frames_before);
+    }
+
+    #[test]
+    fn seeded_fault_plans_leave_vm_schedules_in_consistent_states() {
+        // The campaign convention: `FaultPlan::from_seed` schedules drive
+        // a fixed VM-op sequence (T2P, COW break + write, commit, second
+        // protect round); whatever the governor decides, an aborted run
+        // must have restored frame and twin counters byte-for-byte.
+        let (mut aborted, mut survived) = (0u32, 0u32);
+        for seed in 0..200u64 {
+            let (mut ctl, layout) = setup(2);
+            let cfg = TmiConfig::default();
+            let mut rm = RepairManager::new();
+            let base = VAddr::new(0x10000);
+            let t0 = ctl.tids[0];
+            ctl.kernel
+                .force_write(ctl.kernel.thread_aspace(t0), base, Width::W8, 5)
+                .unwrap();
+            let frames_before = ctl.kernel.physmem().allocated_frames();
+            inject(&mut ctl, &mut rm, FaultPlan::from_seed(seed));
+
+            rm.trigger(&mut ctl, &cfg, &layout, &[base.vpn()]);
+            if rm.active() {
+                let a0 = ctl.kernel.thread_aspace(t0);
+                if ctl.kernel.translate(a0, base, true).is_err() {
+                    if let Ok(FaultResolution::CowBroken { pages, .. }) =
+                        ctl.kernel.handle_fault(a0, base, true)
+                    {
+                        rm.on_cow(&mut ctl, t0, base.vpn(), pages, &cfg, &layout);
+                        ctl.kernel.force_write(a0, base, Width::W8, 6).unwrap();
+                    }
+                }
+                rm.commit_thread(&mut ctl, t0, &cfg, &layout);
+                rm.trigger(&mut ctl, &cfg, &layout, &[VAddr::new(0x11000).vpn()]);
+            }
+
+            if rm.state() == GovernorState::Aborted {
+                aborted += 1;
+                assert_eq!(rm.protected_pages(), 0, "seed {seed}");
+                assert_eq!(rm.twins().current_bytes(), 0, "seed {seed}");
+                assert_eq!(
+                    ctl.kernel.physmem().allocated_frames(),
+                    frames_before,
+                    "seed {seed}: aborted repair must return every frame"
+                );
+            } else {
+                survived += 1;
+            }
+            if aborted > 0 && survived > 0 && seed >= 31 {
+                break;
+            }
+        }
+        assert!(aborted > 0, "no seeded plan aborted — the sweep is vacuous");
+        assert!(
+            survived > 0,
+            "every seeded plan aborted — the sweep is vacuous"
+        );
+    }
+
     /// Helper used in a test above.
     trait IntoAspace {
         fn into_aspace(self, k: &Kernel) -> tmi_os::AsId;

@@ -8,6 +8,7 @@ use tmi_faultpoint::FaultInjector;
 use tmi_machine::{AccessOutcome, LatencyModel, VAddr, Vpn, LINE_SIZE};
 use tmi_os::{FaultResolution, Kernel, OsError, Tid};
 use tmi_perf::PerfMonitor;
+use tmi_program::VmOp;
 use tmi_sim::{AccessInfo, EngineCtl, PreAccess, RegionEvent, RuntimeHooks, SyncEvent};
 use tmi_telemetry::{MetricSink, MetricSource, MetricsSnapshot, Phase, PhaseProfile, Tracer};
 
@@ -396,6 +397,73 @@ impl RuntimeHooks for TmiRuntime {
 
     fn on_sync(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, _ev: SyncEvent) -> u64 {
         self.flush_cost(ctl, tid)
+    }
+
+    /// Explicit VM operations — the transistency litmus vocabulary. Each
+    /// arm drives the same governor/kernel entry point the organic path
+    /// uses (detector trigger, COW fault, sync-point commit), just at a
+    /// program-chosen instant, so fuzzed schedules can force repair
+    /// transitions mid-run that sampling would take millions of cycles to
+    /// reach. Outcome codes depend only on PTE/governor state — never on
+    /// TLB or directory contents — keeping them fast-path invariant.
+    fn on_vm_op(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, op: VmOp, addr: VAddr) -> u64 {
+        let vpn = addr.vpn();
+        match op {
+            VmOp::T2p => {
+                // Start (or extend) a repair episode on this page, exactly
+                // as a detector threshold crossing would.
+                self.repair.trigger(ctl, &self.config, &self.layout, &[vpn]);
+                u64::from(self.repair.is_protected(vpn))
+            }
+            VmOp::Mprotect => {
+                if !self.repair.active() {
+                    // No episode to arm pages under; a bare mprotect with
+                    // no governor is not part of TMI's repertoire.
+                    return 0;
+                }
+                self.repair.trigger(ctl, &self.config, &self.layout, &[vpn]);
+                u64::from(self.repair.is_protected(vpn))
+            }
+            VmOp::CowBreak => {
+                // Take the write-fault path on the page as if a store had
+                // hit the armed mapping. On an unarmed page this resolves
+                // Spurious (or demand-pages) — outcome 0.
+                let res = {
+                    let k = ctl.kernel();
+                    let aspace = k.thread_aspace(tid);
+                    k.handle_fault(aspace, addr, true)
+                };
+                match res {
+                    Ok(FaultResolution::CowBroken { vpn, pages, .. }) => {
+                        self.repair
+                            .on_cow(ctl, tid, vpn, pages, &self.config, &self.layout);
+                        1
+                    }
+                    // Transient kernel failures (injected out-of-frames)
+                    // make the forced break a no-op rather than a retry
+                    // loop: the litmus program observes outcome 0.
+                    Ok(_) | Err(_) => 0,
+                }
+            }
+            VmOp::TwinCommit => {
+                if !self.repair.active() {
+                    return 0;
+                }
+                let cycles = self
+                    .repair
+                    .commit_thread(ctl, tid, &self.config, &self.layout);
+                ctl.add_cycles(tid, cycles);
+                1
+            }
+            VmOp::Shootdown => {
+                let k = ctl.kernel();
+                let aspace = k.thread_aspace(tid);
+                k.shootdown_page(aspace, vpn);
+                // Constant outcome: whether the IPI actually lands is
+                // accelerator state, invisible by design.
+                1
+            }
+        }
     }
 
     fn on_region(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, ev: RegionEvent) -> u64 {

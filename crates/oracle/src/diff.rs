@@ -54,6 +54,12 @@ pub struct CheckConfig {
     /// roll back or revert under the schedule — results still may not
     /// diverge from the oracle.
     pub faults: Option<u64>,
+    /// Transistency ablation: run the repaired execution with precise
+    /// per-PTE TLB shootdowns disabled (the "forgotten IPI" bug class) and
+    /// the software TLB forced on so stale translations can actually
+    /// serve. Expected to diverge on VM-op programs — the proof that the
+    /// oracle can see transistency violations.
+    pub ablate_shootdown: bool,
 }
 
 impl Default for CheckConfig {
@@ -63,6 +69,7 @@ impl Default for CheckConfig {
             minimize: true,
             max_divergences: 8,
             faults: None,
+            ablate_shootdown: false,
         }
     }
 }
@@ -167,6 +174,8 @@ pub struct CheckReport {
     pub seed: u64,
     /// Consistency mode of the repaired run.
     pub code_centric: bool,
+    /// Whether precise TLB shootdowns were ablated for the repaired run.
+    pub ablate_shootdown: bool,
     /// Trace length of the (possibly minimized) repaired run.
     pub steps: usize,
     /// Divergences found (empty means the oracle agrees).
@@ -192,10 +201,21 @@ impl CheckReport {
     /// command reproducing it from the seed.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
-        let mode = if self.code_centric {
-            "code-centric on"
+        let mode = match (self.code_centric, self.ablate_shootdown) {
+            (true, false) => "code-centric on",
+            (false, false) => "code-centric OFF",
+            (true, true) => "code-centric on, shootdown OFF",
+            (false, true) => "code-centric OFF, shootdown OFF",
+        };
+        let vm_flag = if self.litmus.has_vm_ops() {
+            " --transistency"
         } else {
-            "code-centric OFF"
+            ""
+        };
+        let shootdown_flag = if self.ablate_shootdown {
+            " --ablate-shootdown"
+        } else {
+            ""
         };
         let mut s = String::new();
         if self.clean() {
@@ -208,7 +228,7 @@ impl CheckReport {
                 let _ = writeln!(s, "  {fs}");
                 let _ = writeln!(
                     s,
-                    "  reproduce: fuzz_consistency -- --start {} --seeds 1 --faults {}",
+                    "  reproduce: fuzz_consistency -- --start {} --seeds 1{vm_flag} --faults {}",
                     self.seed, fs.base_seed
                 );
             }
@@ -239,7 +259,7 @@ impl CheckReport {
         };
         let _ = writeln!(
             s,
-            "reproduce: fuzz_consistency -- --start {} --seeds 1{}{faults_flag}",
+            "reproduce: fuzz_consistency -- --start {} --seeds 1{vm_flag}{}{shootdown_flag}{faults_flag}",
             self.seed,
             if self.code_centric {
                 ""
@@ -256,6 +276,24 @@ pub fn check_seed(seed: u64, cfg: &CheckConfig) -> CheckReport {
     check_litmus(&Litmus::generate(seed), cfg)
 }
 
+/// Generates the *transistency* litmus program for `seed` — VM operations
+/// (`mprotect`, COW break, T2P conversion, twin commit, TLB shootdown)
+/// interleaved with the consistency vocabulary — and checks it.
+pub fn check_transistency_seed(seed: u64, cfg: &CheckConfig) -> CheckReport {
+    check_litmus(&Litmus::generate_vm(seed), cfg)
+}
+
+/// The bounded schedule-enumeration (DPOR-lite) mode: checks every
+/// deterministic VM-op placement of `seed`'s small base program (see
+/// [`Litmus::vm_variants`]), up to `cap` variants. Returns one report per
+/// variant, in enumeration order.
+pub fn check_transistency_variants(seed: u64, cap: usize, cfg: &CheckConfig) -> Vec<CheckReport> {
+    Litmus::vm_variants(seed, cap)
+        .iter()
+        .map(|lit| check_litmus(lit, cfg))
+        .collect()
+}
+
 /// Checks `seed`'s litmus program once (no minimization) with telemetry
 /// tracing enabled, and returns the report together with the Chrome
 /// `trace_event` JSON of the repaired run — the full repair episode
@@ -267,6 +305,7 @@ pub fn trace_seed(seed: u64, cfg: &CheckConfig) -> (CheckReport, String) {
     let report = CheckReport {
         seed: lit.seed,
         code_centric: cfg.code_centric,
+        ablate_shootdown: cfg.ablate_shootdown,
         steps,
         divergences,
         coverage: lit.coverage(),
@@ -313,9 +352,20 @@ pub struct RawRun {
 /// except the `os.tlb.*` / `machine.dir.*` counters themselves — the
 /// contract `tests/fastpath_equivalence.rs` enforces.
 pub fn run_seed_raw(seed: u64, fastpath: bool) -> RawRun {
-    let lit = Litmus::generate(seed);
+    run_litmus_raw(&Litmus::generate(seed), fastpath)
+}
+
+/// [`run_seed_raw`] over the transistency program of `seed`: the same
+/// accelerator-invisibility contract, but the run now exercises explicit
+/// VM operations — whose outcome codes land in the trace value slots and
+/// therefore must also be byte-identical across the two variants.
+pub fn run_transistency_seed_raw(seed: u64, fastpath: bool) -> RawRun {
+    run_litmus_raw(&Litmus::generate_vm(seed), fastpath)
+}
+
+fn run_litmus_raw(lit: &Litmus, fastpath: bool) -> RawRun {
     let cfg = CheckConfig::default();
-    let (mut engine, _aspace) = build_fixture(&lit, &cfg, &tmi_telemetry::Tracer::disabled(), None);
+    let (mut engine, _aspace) = build_fixture(lit, &cfg, &tmi_telemetry::Tracer::disabled(), None);
     engine.core_mut().machine.set_directory_enabled(fastpath);
     engine.core_mut().kernel.set_tlb_enabled(fastpath);
     let run = engine.run();
@@ -355,6 +405,7 @@ pub fn check_litmus(lit: &Litmus, cfg: &CheckConfig) -> CheckReport {
     CheckReport {
         seed: lit.seed,
         code_centric: cfg.code_centric,
+        ablate_shootdown: cfg.ablate_shootdown,
         steps,
         divergences,
         coverage: litmus.coverage(),
@@ -422,6 +473,14 @@ fn build_fixture(
     if let Some(inj) = injector {
         k.set_fault_injector(inj.clone());
     }
+    if cfg.ablate_shootdown {
+        // The ablation models a forgotten shootdown IPI, which is only
+        // observable if cached translations can actually serve — force the
+        // TLB on (independent of `TMI_FASTPATH`) and drop per-PTE
+        // shootdowns.
+        k.set_tlb_enabled(true);
+        k.set_tlb_shootdown(false);
+    }
     let app = k.create_object(litmus::APP_LEN);
     let internal = k.create_object(litmus::INTERNAL_LEN);
     let aspace = k.create_aspace();
@@ -448,9 +507,14 @@ fn build_fixture(
     for ops in &lit.threads {
         engine.add_thread(Box::new(SequenceProgram::new(ops.clone())));
     }
-    let pages = lit.data_pages();
-    let (rt, core) = engine.runtime_and_core();
-    rt.force_repair(core, &pages);
+    if !lit.has_vm_ops() {
+        // Transistency programs carry a mandatory pre-barrier T2P op and
+        // trigger repair *mid-schedule* themselves — forcing it up front
+        // would erase exactly the conversion window they probe.
+        let pages = lit.data_pages();
+        let (rt, core) = engine.runtime_and_core();
+        rt.force_repair(core, &pages);
+    }
     engine.enable_trace();
     (engine, aspace)
 }
@@ -508,7 +572,12 @@ fn run_traced(
                         replay_complete = false;
                         break;
                     }
-                    if r.value != st.value && divs.len() < max_div {
+                    // VM-op trace values are engine outcome codes, not
+                    // memory observations — the SC oracle has no mapping
+                    // state to predict them (they are checked fast-vs-
+                    // reference path by the equivalence suite instead).
+                    let vm = matches!(st.op, Op::Vm { .. });
+                    if !vm && r.value != st.value && divs.len() < max_div {
                         divs.push(Divergence {
                             kind: DivergenceKind::ValueMismatch,
                             step: Some(k),
@@ -706,6 +775,23 @@ fn minimize(lit: &Litmus, cfg: &CheckConfig, target: DivergenceKind) -> Litmus {
     if cand != cur && diverges(&cand) {
         cur = cand;
     }
+    // Drop VM ops one at a time, back to front so indices stay valid.
+    // They are depth-neutral single ops, so removal never unbalances a
+    // region; even the generator's mandatory T2P may go if the divergence
+    // survives without it.
+    for t in 0..cur.threads.len() {
+        let mut i = cur.threads[t].len();
+        while i > 0 {
+            i -= 1;
+            if matches!(cur.threads[t][i], Op::Vm { .. }) {
+                let mut cand = cur.clone();
+                cand.threads[t].remove(i);
+                if diverges(&cand) {
+                    cur = cand;
+                }
+            }
+        }
+    }
     loop {
         let mut improved = false;
         for t in 0..cur.threads.len() {
@@ -849,6 +935,49 @@ mod tests {
         let r = check_seed(5, &CheckConfig::default());
         assert!(r.faults.is_none());
         assert!(!r.render().contains("faults("));
+    }
+
+    #[test]
+    fn transistency_seeds_check_clean_with_tmi_on() {
+        let cfg = CheckConfig::default();
+        for seed in 0..8 {
+            let r = check_transistency_seed(seed, &cfg);
+            assert!(
+                r.litmus.has_vm_ops(),
+                "seed {seed}: transistency program must carry VM ops"
+            );
+            assert!(r.clean(), "seed {seed} diverged:\n{}", r.render());
+        }
+    }
+
+    #[test]
+    fn enumerated_vm_variants_check_clean() {
+        let cfg = CheckConfig::default();
+        let reports = check_transistency_variants(11, 12, &cfg);
+        assert!(!reports.is_empty());
+        for (k, r) in reports.iter().enumerate() {
+            assert!(r.clean(), "variant {k} diverged:\n{}", r.render());
+        }
+    }
+
+    #[test]
+    fn shootdown_ablation_diverges_deterministically_and_minimizes() {
+        let cfg = CheckConfig {
+            ablate_shootdown: true,
+            ..CheckConfig::default()
+        };
+        let seed = (0..64)
+            .find(|&s| !check_transistency_seed(s, &cfg).clean())
+            .expect("some transistency seed must diverge with shootdowns ablated");
+        let a = check_transistency_seed(seed, &cfg);
+        let b = check_transistency_seed(seed, &cfg);
+        assert_eq!(a.render(), b.render(), "report must be deterministic");
+        assert!(a.render().contains("--transistency"), "{}", a.render());
+        assert!(a.render().contains("--ablate-shootdown"), "{}", a.render());
+        assert!(
+            a.litmus.total_ops() <= Litmus::generate_vm(seed).total_ops(),
+            "minimization never grows the program"
+        );
     }
 
     #[test]

@@ -235,6 +235,15 @@ impl Interp {
                     self.threads[idx].state = ThreadState::Blocked;
                 }
             }
+            // VM operations are memory-transparent under SC: mprotect, COW
+            // breaks, T2P conversions, twin commits and shootdowns change
+            // *mappings*, never the values a correct engine lets the program
+            // observe. The engine reports an outcome code through the trace
+            // value slot; the interpreter has no mapping state, so it yields
+            // no value and the differential checker skips value comparison
+            // for these steps (outcome codes are checked fast-vs-reference
+            // path instead).
+            Op::Vm { .. } => {}
             Op::Exit => {
                 if self.threads[idx].asm_depth != 0 {
                     return Err(format!("t{thread}: exit inside asm region"));

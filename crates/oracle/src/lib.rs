@@ -28,6 +28,17 @@
 //! `--ablate-code-centric` ablation the same seeds reproduce the stale
 //! atomic reads, lost updates and torn words of the paper's Figs. 11–12.
 //!
+//! The *transistency* extension fuzzes VM operations × consistency:
+//! [`Litmus::generate_vm`] interleaves explicit `mprotect`, COW-break,
+//! T2P-conversion, twin-commit and TLB-shootdown ops with the consistency
+//! vocabulary, [`Litmus::vm_variants`] deterministically enumerates VM-op
+//! placements over a small base program (DPOR-lite), and
+//! [`check_transistency_seed`] / [`check_transistency_variants`] run them
+//! through the same differential checker. With TMI on every transistency
+//! seed must check clean; with `--ablate-shootdown` (drop precise per-PTE
+//! TLB shootdowns, [`CheckConfig::ablate_shootdown`]) stale translations
+//! surface as value, final-memory and permission divergences.
+//!
 //! ```
 //! use tmi_oracle::{check_seed, CheckConfig};
 //!
@@ -40,7 +51,8 @@ pub mod interp;
 pub mod litmus;
 
 pub use diff::{
-    check_litmus, check_seed, derive_fault_seed, run_seed_raw, trace_seed, CheckConfig,
+    check_litmus, check_seed, check_transistency_seed, check_transistency_variants,
+    derive_fault_seed, run_seed_raw, run_transistency_seed_raw, trace_seed, CheckConfig,
     CheckReport, Divergence, DivergenceKind, FaultSummary, RawRun,
 };
 pub use interp::{Interp, RefStep};

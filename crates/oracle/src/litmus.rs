@@ -40,7 +40,7 @@ use std::fmt::Write as _;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use tmi_machine::{VAddr, Vpn, Width, FRAME_SIZE};
-use tmi_program::{MemOrder, Op, OpBuilder, Pc, RmwOp};
+use tmi_program::{MemOrder, Op, OpBuilder, Pc, RmwOp, VmOp};
 
 /// Base of the application shared object every litmus program maps.
 pub const APP_START: u64 = 0x10_0000;
@@ -156,6 +156,17 @@ pub struct Coverage {
     pub barrier_ops: u64,
     /// Fences.
     pub fences: u64,
+    /// Explicit `mprotect` VM ops (transistency programs only; all the
+    /// `vm_*` counters stay zero for [`Litmus::generate`] programs).
+    pub vm_mprotect: u64,
+    /// Explicit COW-break VM ops.
+    pub vm_cow_break: u64,
+    /// Explicit T2P-conversion VM ops.
+    pub vm_t2p: u64,
+    /// Explicit twin-commit VM ops.
+    pub vm_twin_commit: u64,
+    /// Explicit TLB-shootdown VM ops.
+    pub vm_shootdown: u64,
 }
 
 impl Coverage {
@@ -169,6 +180,11 @@ impl Coverage {
         self.spin_ops += o.spin_ops;
         self.barrier_ops += o.barrier_ops;
         self.fences += o.fences;
+        self.vm_mprotect += o.vm_mprotect;
+        self.vm_cow_break += o.vm_cow_break;
+        self.vm_t2p += o.vm_t2p;
+        self.vm_twin_commit += o.vm_twin_commit;
+        self.vm_shootdown += o.vm_shootdown;
     }
 
     /// True if every Table 2 access row (regular, relaxed atomic, ordering
@@ -178,6 +194,21 @@ impl Coverage {
             && self.atomic_relaxed > 0
             && self.atomic_ordering > 0
             && self.asm_accesses > 0
+    }
+
+    /// Total explicit VM operations of every kind.
+    pub fn vm_ops(&self) -> u64 {
+        self.vm_mprotect + self.vm_cow_break + self.vm_t2p + self.vm_twin_commit + self.vm_shootdown
+    }
+
+    /// True if all five VM-op kinds appear (the transistency analogue of
+    /// [`Coverage::all_table2_rows`]).
+    pub fn all_vm_kinds(&self) -> bool {
+        self.vm_mprotect > 0
+            && self.vm_cow_break > 0
+            && self.vm_t2p > 0
+            && self.vm_twin_commit > 0
+            && self.vm_shootdown > 0
     }
 }
 
@@ -194,7 +225,19 @@ impl std::fmt::Display for Coverage {
             self.spin_ops,
             self.barrier_ops,
             self.fences
-        )
+        )?;
+        if self.vm_ops() > 0 {
+            write!(
+                f,
+                " vm(mprotect={} cow={} t2p={} commit={} shootdown={})",
+                self.vm_mprotect,
+                self.vm_cow_break,
+                self.vm_t2p,
+                self.vm_twin_commit,
+                self.vm_shootdown
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -235,7 +278,29 @@ fn pick_width(rng: &mut StdRng) -> Width {
 
 impl Litmus {
     /// Generates the litmus program for `seed` (pure, deterministic).
+    ///
+    /// The RNG draw order of this entry point is a stability contract:
+    /// golden replay gates and fixed-seed campaigns depend on
+    /// `generate(seed)` producing byte-identical programs across
+    /// releases. Transistency programs therefore live behind the
+    /// separate [`Litmus::generate_vm`] entry point instead of a flag
+    /// that would perturb the shared draw sequence.
     pub fn generate(seed: u64) -> Litmus {
+        Self::generate_with(seed, false)
+    }
+
+    /// Generates the transistency litmus program for `seed`: the same
+    /// program family as [`Litmus::generate`], with explicit VM
+    /// operations (`mprotect`, COW break, T2P conversion, twin commit,
+    /// TLB shootdown) interleaved at balanced positions, plus one
+    /// guaranteed pre-barrier T2P in thread 0 so every program forces a
+    /// repair episode to start *mid-schedule* rather than being armed up
+    /// front by the checker.
+    pub fn generate_vm(seed: u64) -> Litmus {
+        Self::generate_with(seed, true)
+    }
+
+    fn generate_with(seed: u64, vm: bool) -> Litmus {
         let mut rng = StdRng::seed_from_u64(seed);
         let n_threads = 2 + pick(&mut rng, 3) as usize;
         let n_mutex = 1 + pick(&mut rng, 2) as usize;
@@ -287,11 +352,11 @@ impl Litmus {
         let ctx = Ctx::new(&slots, &guards, n_threads);
         let mut threads = Vec::with_capacity(n_threads);
         for t in 0..n_threads {
-            let mut ops = gen_phase(&mut rng, 0, t, &ctx);
+            let mut ops = gen_phase(&mut rng, 0, t, &ctx, vm);
             ops.push(Op::BarrierWait {
                 barrier: barrier_addr(),
             });
-            ops.extend(gen_phase(&mut rng, 1, t, &ctx));
+            ops.extend(gen_phase(&mut rng, 1, t, &ctx, vm));
             threads.push(ops);
         }
 
@@ -313,12 +378,38 @@ impl Litmus {
             }
         }
 
+        if vm {
+            // Guarantee the repair episode starts mid-run: one T2P on the
+            // first data page, at a random balanced pre-barrier position
+            // in thread 0. Everything before it runs unrepaired (plain
+            // shared memory, still SC), everything after runs armed.
+            let points = vm_insertion_points(&threads[0]);
+            let pos = points[pick(&mut rng, points.len() as u64) as usize];
+            threads[0].insert(
+                pos,
+                Op::Vm {
+                    op: VmOp::T2p,
+                    addr: VAddr::new(APP_START),
+                },
+            );
+        }
+
         Litmus {
             seed,
             threads,
             slots,
             guards,
         }
+    }
+
+    /// True if any thread issues an explicit VM operation (i.e. this is a
+    /// transistency program; the checker then lets the program trigger
+    /// repair itself instead of arming pages up front).
+    pub fn has_vm_ops(&self) -> bool {
+        self.threads
+            .iter()
+            .flatten()
+            .any(|op| matches!(op, Op::Vm { .. }))
     }
 
     /// The PTSB-armed pages the checker must hand to `force_repair`.
@@ -363,11 +454,138 @@ impl Litmus {
                     Op::SpinLock { .. } | Op::SpinUnlock { .. } => c.spin_ops += 1,
                     Op::BarrierWait { .. } => c.barrier_ops += 1,
                     Op::Fence { .. } => c.fences += 1,
+                    Op::Vm { op, .. } => match op {
+                        VmOp::Mprotect => c.vm_mprotect += 1,
+                        VmOp::CowBreak => c.vm_cow_break += 1,
+                        VmOp::T2p => c.vm_t2p += 1,
+                        VmOp::TwinCommit => c.vm_twin_commit += 1,
+                        VmOp::Shootdown => c.vm_shootdown += 1,
+                    },
                     Op::Compute { .. } | Op::Exit => {}
                 }
             }
         }
         c
+    }
+
+    /// Bounded schedule enumeration (DPOR-lite) for `seed`: a small
+    /// two-thread base program, with the VM-op "sync points" — one T2P in
+    /// thread 0, one seed-chosen second op in thread 1, one seed-chosen
+    /// trailing op in thread 0 — placed at *every* pair of balanced
+    /// pre-barrier positions, in deterministic order, capped at `cap`
+    /// variants. Where the seeded mode samples VM-op placements randomly,
+    /// this mode exhausts them for programs small enough to afford it:
+    /// the transistency analogue of enumerating interleavings around sync
+    /// points rather than fuzzing them.
+    pub fn vm_variants(seed: u64, cap: usize) -> Vec<Litmus> {
+        let base = Litmus::generate_small(seed);
+        // Draws for the movable ops' kinds come from a distinct stream so
+        // they cannot perturb (or be perturbed by) base-program growth.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7472_616E_7369_7374); // "transist"
+        let second = vm_op_kind(&mut rng);
+        let trailing = vm_op_kind(&mut rng);
+        let p0 = vm_insertion_points(&base.threads[0]);
+        let p1 = vm_insertion_points(&base.threads[1]);
+        let mut out = Vec::new();
+        for &i in &p0 {
+            for &j in &p1 {
+                if out.len() >= cap {
+                    return out;
+                }
+                let mut v = base.clone();
+                v.threads[0].insert(
+                    i,
+                    Op::Vm {
+                        op: VmOp::T2p,
+                        addr: VAddr::new(APP_START),
+                    },
+                );
+                v.threads[1].insert(
+                    j,
+                    Op::Vm {
+                        op: second,
+                        addr: VAddr::new(APP_START + (DATA_PAGE_COUNT - 1) * FRAME_SIZE),
+                    },
+                );
+                v.threads[0].push(Op::Vm {
+                    op: trailing,
+                    addr: VAddr::new(APP_START),
+                });
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// A deliberately small two-thread program for the enumeration mode:
+    /// few slots, short phases, one mutex — enough surface for VM-op
+    /// placements to interact with real accesses while keeping the
+    /// placement cross-product tractable.
+    fn generate_small(seed: u64) -> Litmus {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        let n_threads = 2;
+        let guards = vec![Guard {
+            addr: guard_addr(0),
+            kind: GuardKind::Mutex,
+        }];
+        let n_slots = 4 + pick(&mut rng, 3) as usize;
+        let mut slots = Vec::with_capacity(n_slots);
+        for i in 0..n_slots {
+            let page = (i % DATA_PAGE_COUNT as usize) as u64;
+            let addr = VAddr::new(APP_START + page * FRAME_SIZE + (i as u64 / DATA_PAGE_COUNT) * 8);
+            let mut width = pick_width(&mut rng);
+            let class = if i == 0 {
+                SlotClass::Atomic
+            } else if i == 1 {
+                SlotClass::Asm
+            } else {
+                match pick(&mut rng, 100) {
+                    0..=24 => SlotClass::Guarded { guard: 0 },
+                    25..=59 => SlotClass::Private {
+                        owner: pick(&mut rng, n_threads as u64) as usize,
+                    },
+                    _ => SlotClass::Phase {
+                        writer: pick(&mut rng, n_threads as u64) as usize,
+                    },
+                }
+            };
+            if class == SlotClass::Atomic && width == Width::W1 {
+                width = Width::W8;
+            }
+            slots.push(Slot { addr, width, class });
+        }
+        let ctx = Ctx::new(&slots, &guards, n_threads);
+        let mut threads = Vec::with_capacity(n_threads);
+        for t in 0..n_threads {
+            let pre = 2 + pick(&mut rng, 2);
+            let mut ops = gen_phase_n(&mut rng, 0, t, &ctx, false, pre);
+            ops.push(Op::BarrierWait {
+                barrier: barrier_addr(),
+            });
+            let post = 2 + pick(&mut rng, 2);
+            ops.extend(gen_phase_n(&mut rng, 1, t, &ctx, false, post));
+            threads.push(ops);
+        }
+        for slot in slots.iter() {
+            if let SlotClass::Phase { writer } = slot.class {
+                let value = rng.next_u64();
+                threads[writer].insert(
+                    0,
+                    Op::Store {
+                        pc: PC_ST,
+                        addr: slot.addr,
+                        width: slot.width,
+                        value,
+                    },
+                );
+            }
+        }
+        Litmus {
+            seed,
+            threads,
+            slots,
+            guards,
+        }
     }
 
     /// Human-readable program listing for divergence reports.
@@ -508,16 +726,77 @@ fn atomic_op(rng: &mut StdRng, slot: Slot, b: OpBuilder) -> OpBuilder {
     }
 }
 
-fn gen_phase(rng: &mut StdRng, phase: usize, t: usize, ctx: &Ctx) -> Vec<Op> {
-    let mut b = OpBuilder::new();
+fn gen_phase(rng: &mut StdRng, phase: usize, t: usize, ctx: &Ctx, vm: bool) -> Vec<Op> {
     let n_actions = 3 + pick(rng, 6);
+    gen_phase_n(rng, phase, t, ctx, vm, n_actions)
+}
+
+fn gen_phase_n(
+    rng: &mut StdRng,
+    phase: usize,
+    t: usize,
+    ctx: &Ctx,
+    vm: bool,
+    n_actions: u64,
+) -> Vec<Op> {
+    let mut b = OpBuilder::new();
     for _ in 0..n_actions {
-        b = gen_action(rng, phase, t, ctx, b);
+        b = gen_action(rng, phase, t, ctx, vm, b);
     }
     b.build()
 }
 
-fn gen_action(rng: &mut StdRng, phase: usize, t: usize, ctx: &Ctx, b: OpBuilder) -> OpBuilder {
+/// Balanced insertion points in a thread's pre-barrier prefix: indices
+/// where a depth-neutral op can go without landing inside an asm region
+/// or a critical section. Includes the position just before the barrier.
+fn vm_insertion_points(ops: &[Op]) -> Vec<usize> {
+    let mut points = Vec::new();
+    let mut depth = 0i32;
+    let mut held = false;
+    for (i, op) in ops.iter().enumerate() {
+        if depth == 0 && !held {
+            points.push(i);
+        }
+        match op {
+            Op::AsmEnter => depth += 1,
+            Op::AsmExit => depth -= 1,
+            Op::MutexLock { .. } | Op::SpinLock { .. } => held = true,
+            Op::MutexUnlock { .. } | Op::SpinUnlock { .. } => held = false,
+            Op::BarrierWait { .. } => return points,
+            _ => {}
+        }
+    }
+    points.push(ops.len());
+    points
+}
+
+fn vm_op_kind(rng: &mut StdRng) -> VmOp {
+    match pick(rng, 5) {
+        0 => VmOp::Mprotect,
+        1 => VmOp::CowBreak,
+        2 => VmOp::T2p,
+        3 => VmOp::TwinCommit,
+        _ => VmOp::Shootdown,
+    }
+}
+
+fn gen_action(
+    rng: &mut StdRng,
+    phase: usize,
+    t: usize,
+    ctx: &Ctx,
+    vm: bool,
+    b: OpBuilder,
+) -> OpBuilder {
+    if vm && pick(rng, 100) < 18 {
+        // Transistency mode: interleave a VM operation on one of the
+        // armed data pages. gen_action only runs at depth 0 outside
+        // critical sections (lock/asm bodies are built by closures), so
+        // the op lands at a balanced position by construction.
+        let kind = vm_op_kind(rng);
+        let page = pick(rng, DATA_PAGE_COUNT);
+        return b.vm(kind, VAddr::new(APP_START + page * FRAME_SIZE));
+    }
     match pick(rng, 100) {
         0..=24 => {
             let slot = ctx.pick_slot(rng, &ctx.atomic);
@@ -602,7 +881,17 @@ mod tests {
     #[test]
     fn programs_are_structurally_well_formed() {
         for seed in 0..64 {
-            let lit = Litmus::generate(seed);
+            for lit in [Litmus::generate(seed), Litmus::generate_vm(seed)] {
+                check_structure(&lit, seed);
+            }
+        }
+        for (k, lit) in Litmus::vm_variants(3, 64).iter().enumerate() {
+            check_structure(lit, k as u64);
+        }
+    }
+
+    fn check_structure(lit: &Litmus, seed: u64) {
+        {
             assert!((2..=4).contains(&lit.threads.len()), "seed {seed}");
             let data_pages = lit.data_pages();
             for ops in &lit.threads {
@@ -639,6 +928,11 @@ mod tests {
                         Op::Load { addr, .. } | Op::Store { addr, .. } => {
                             assert!(data_pages.contains(&addr.vpn()), "seed {seed}");
                         }
+                        Op::Vm { addr, .. } => {
+                            assert!(data_pages.contains(&addr.vpn()), "seed {seed}");
+                            assert_eq!(depth, 0, "seed {seed}: vm op inside asm");
+                            assert_eq!(held, None, "seed {seed}: vm op inside lock");
+                        }
                         Op::Fence { .. } | Op::Compute { .. } | Op::Exit => {}
                     }
                 }
@@ -652,50 +946,57 @@ mod tests {
     #[test]
     fn slot_discipline_is_respected() {
         for seed in 0..64 {
-            let lit = Litmus::generate(seed);
-            let slot_of = |addr: VAddr| lit.slots.iter().find(|s| s.addr == addr);
-            for (t, ops) in lit.threads.iter().enumerate() {
-                let mut depth = 0u32;
-                let mut held: Option<VAddr> = None;
-                let mut past_barrier = false;
-                for op in ops {
-                    match *op {
-                        Op::AsmEnter => depth += 1,
-                        Op::AsmExit => depth -= 1,
-                        Op::MutexLock { lock } | Op::SpinLock { lock } => held = Some(lock),
-                        Op::MutexUnlock { .. } | Op::SpinUnlock { .. } => held = None,
-                        Op::BarrierWait { .. } => past_barrier = true,
-                        Op::Load { addr, .. } | Op::Store { addr, .. } => {
-                            let slot = slot_of(addr).expect("plain access to a known slot");
-                            match slot.class {
-                                SlotClass::Asm => assert!(depth > 0, "seed {seed}"),
-                                SlotClass::Guarded { guard } => {
-                                    assert_eq!(held, Some(lit.guards[guard].addr), "seed {seed}");
-                                }
-                                SlotClass::Private { owner } => assert_eq!(owner, t),
-                                SlotClass::Phase { writer } => {
-                                    let is_store = matches!(op, Op::Store { .. });
-                                    if past_barrier {
-                                        assert!(
-                                            !is_store,
-                                            "seed {seed}: phase store after barrier"
+            for lit in [Litmus::generate(seed), Litmus::generate_vm(seed)] {
+                let slot_of = |addr: VAddr| lit.slots.iter().find(|s| s.addr == addr);
+                for (t, ops) in lit.threads.iter().enumerate() {
+                    let mut depth = 0u32;
+                    let mut held: Option<VAddr> = None;
+                    let mut past_barrier = false;
+                    for op in ops {
+                        match *op {
+                            Op::AsmEnter => depth += 1,
+                            Op::AsmExit => depth -= 1,
+                            Op::MutexLock { lock } | Op::SpinLock { lock } => held = Some(lock),
+                            Op::MutexUnlock { .. } | Op::SpinUnlock { .. } => held = None,
+                            Op::BarrierWait { .. } => past_barrier = true,
+                            Op::Load { addr, .. } | Op::Store { addr, .. } => {
+                                let slot = slot_of(addr).expect("plain access to a known slot");
+                                match slot.class {
+                                    SlotClass::Asm => assert!(depth > 0, "seed {seed}"),
+                                    SlotClass::Guarded { guard } => {
+                                        assert_eq!(
+                                            held,
+                                            Some(lit.guards[guard].addr),
+                                            "seed {seed}"
                                         );
-                                    } else {
-                                        assert!(is_store && writer == t, "seed {seed}");
+                                    }
+                                    SlotClass::Private { owner } => assert_eq!(owner, t),
+                                    SlotClass::Phase { writer } => {
+                                        let is_store = matches!(op, Op::Store { .. });
+                                        if past_barrier {
+                                            assert!(
+                                                !is_store,
+                                                "seed {seed}: phase store after barrier"
+                                            );
+                                        } else {
+                                            assert!(is_store && writer == t, "seed {seed}");
+                                        }
+                                    }
+                                    SlotClass::Atomic => {
+                                        panic!("seed {seed}: plain op on atomic slot")
                                     }
                                 }
-                                SlotClass::Atomic => panic!("seed {seed}: plain op on atomic slot"),
                             }
+                            Op::AtomicLoad { addr, .. }
+                            | Op::AtomicStore { addr, .. }
+                            | Op::AtomicRmw { addr, .. }
+                            | Op::Cas { addr, .. } => {
+                                let slot = slot_of(addr).expect("atomic access to a known slot");
+                                assert_eq!(slot.class, SlotClass::Atomic, "seed {seed}");
+                                assert_eq!(slot.width, atomic_width(op), "seed {seed}");
+                            }
+                            _ => {}
                         }
-                        Op::AtomicLoad { addr, .. }
-                        | Op::AtomicStore { addr, .. }
-                        | Op::AtomicRmw { addr, .. }
-                        | Op::Cas { addr, .. } => {
-                            let slot = slot_of(addr).expect("atomic access to a known slot");
-                            assert_eq!(slot.class, SlotClass::Atomic, "seed {seed}");
-                            assert_eq!(slot.width, atomic_width(op), "seed {seed}");
-                        }
-                        _ => {}
                     }
                 }
             }
@@ -721,6 +1022,64 @@ mod tests {
         assert!(c.all_table2_rows(), "{c}");
         assert!(c.mutex_ops > 0 && c.barrier_ops > 0 && c.fences > 0, "{c}");
         assert!(c.spin_ops > 0, "{c}");
+    }
+
+    #[test]
+    fn vm_generation_is_deterministic_and_distinct_from_plain() {
+        assert_eq!(Litmus::generate_vm(42), Litmus::generate_vm(42));
+        // The plain entry point is a stability contract: adding the VM
+        // mode must not have perturbed its draw sequence, so plain
+        // programs contain no VM ops and differ from the VM variant.
+        let plain = Litmus::generate(42);
+        assert!(!plain.has_vm_ops());
+        let vm = Litmus::generate_vm(42);
+        assert!(vm.has_vm_ops());
+        assert_ne!(plain, vm);
+    }
+
+    #[test]
+    fn every_vm_program_forces_a_pre_barrier_t2p() {
+        for seed in 0..64 {
+            let lit = Litmus::generate_vm(seed);
+            let pre_barrier_t2p = lit.threads[0]
+                .iter()
+                .take_while(|op| !matches!(op, Op::BarrierWait { .. }))
+                .any(|op| matches!(op, Op::Vm { op: VmOp::T2p, .. }));
+            assert!(pre_barrier_t2p, "seed {seed}: no guaranteed T2p");
+        }
+    }
+
+    #[test]
+    fn vm_seeds_cover_every_vm_kind() {
+        let mut c = Coverage::default();
+        for seed in 0..64 {
+            c.add(&Litmus::generate_vm(seed).coverage());
+        }
+        assert!(c.all_vm_kinds(), "{c}");
+        assert!(c.all_table2_rows(), "{c}");
+        // Plain programs never contain VM ops.
+        for seed in 0..64 {
+            assert_eq!(Litmus::generate(seed).coverage().vm_ops(), 0);
+        }
+    }
+
+    #[test]
+    fn vm_variants_enumerate_deterministically_and_respect_the_cap() {
+        let a = Litmus::vm_variants(9, 32);
+        let b = Litmus::vm_variants(9, 32);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.len() <= 32);
+        assert_eq!(Litmus::vm_variants(9, 4).len(), 4);
+        assert_eq!(Litmus::vm_variants(9, 4), a[..4].to_vec());
+        // Every variant is a distinct placement of the same base program.
+        for (i, v) in a.iter().enumerate() {
+            assert_eq!(v.threads.len(), 2, "variant {i}");
+            assert!(v.has_vm_ops(), "variant {i}");
+            for w in &a[i + 1..] {
+                assert_ne!(v.threads, w.threads, "duplicate placement");
+            }
+        }
     }
 
     #[test]

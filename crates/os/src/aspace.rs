@@ -115,9 +115,12 @@ impl AddressSpace {
     #[inline]
     pub(crate) fn lookup_translation(&self, vpn: Vpn) -> Option<(FrameId, bool)> {
         if let Some(hit) = self.tlb.lookup(vpn) {
-            debug_assert_eq!(
-                Some(hit),
-                self.ptes.get(&vpn).map(|p| (p.frame, p.writable)),
+            // With precise shootdowns ablated, stale entries are the whole
+            // point — the differential oracle, not this assert, must
+            // catch what they break.
+            debug_assert!(
+                !self.tlb.precise()
+                    || Some(hit) == self.ptes.get(&vpn).map(|p| (p.frame, p.writable)),
                 "stale TLB entry for {vpn:?}"
             );
             return Some(hit);

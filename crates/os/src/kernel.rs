@@ -79,6 +79,10 @@ pub struct Kernel {
     faults: Option<FaultInjector>,
     /// Whether newly created address spaces get a live software TLB.
     tlb_enabled: bool,
+    /// Whether PTE-mutation shootdowns land (see
+    /// [`Kernel::set_tlb_shootdown`]); `false` only under the
+    /// transistency ablation.
+    tlb_precise: bool,
 }
 
 impl Default for Kernel {
@@ -93,6 +97,7 @@ impl Default for Kernel {
             stats: OsStats::default(),
             faults: None,
             tlb_enabled: !tmi_machine::fastpath_disabled_by_env(),
+            tlb_precise: true,
         }
     }
 }
@@ -115,6 +120,27 @@ impl Kernel {
         for a in &self.aspaces {
             a.tlb().set_enabled(enabled);
         }
+    }
+
+    /// Enables or disables precise PTE-mutation TLB shootdowns in every
+    /// current and future address space. `false` is the transistency
+    /// ablation: PTE mutations stop invalidating cached translations
+    /// (the "forgotten IPI" bug class), so stale entries survive until
+    /// the next full flush or local fault — which the differential
+    /// oracle must then flag. Real runs never turn this off.
+    pub fn set_tlb_shootdown(&mut self, precise: bool) {
+        self.tlb_precise = precise;
+        for a in &self.aspaces {
+            a.tlb().set_precise(precise);
+        }
+    }
+
+    /// Explicit single-page shootdown request (the `Op::Vm` shootdown
+    /// litmus op): invalidates `vpn`'s cached translation in `aspace`.
+    /// Honors the [`Kernel::set_tlb_shootdown`] ablation — an ablated
+    /// kernel drops explicit requests just like implicit ones.
+    pub fn shootdown_page(&mut self, aspace: AsId, vpn: Vpn) {
+        self.aspace(aspace).tlb().shootdown(vpn);
     }
 
     /// Software-TLB counters summed over every address space.
@@ -184,7 +210,9 @@ impl Kernel {
     /// Creates an empty address space.
     pub fn create_aspace(&mut self) -> AsId {
         let id = AsId(self.aspaces.len() as u32);
-        self.aspaces.push(AddressSpace::new(self.tlb_enabled));
+        let a = AddressSpace::new(self.tlb_enabled);
+        a.tlb().set_precise(self.tlb_precise);
+        self.aspaces.push(a);
         id
     }
 
@@ -316,7 +344,18 @@ impl Kernel {
                     Err(OsError::ProtectionViolation { aspace, addr })
                 }
             }
-            Some(_) => Ok(FaultResolution::Spurious),
+            Some(_) => {
+                // The PTE already permits the access, so the fault can only
+                // have come from a translation source that is out of date —
+                // i.e. a stale TLB entry surviving under the shootdown
+                // ablation. The faulting core always invalidates its own
+                // entry (bypassing the ablation: that models a forgotten
+                // remote IPI, not a core that cannot fix its own TLB), so
+                // the retried access makes progress instead of spinning.
+                // Unreachable with precise shootdowns on.
+                self.aspace(aspace).tlb().invalidate(vpn);
+                Ok(FaultResolution::Spurious)
+            }
         }
     }
 
@@ -514,7 +553,15 @@ impl Kernel {
         *refs -= 1;
         if *refs == 0 {
             self.frame_refs.remove(&frame);
-            self.physmem.free_frame(frame);
+            // An ablated kernel (see [`Kernel::set_tlb_shootdown`])
+            // quarantines dead frames instead of recycling them: some
+            // stale TLB entry may still point here, and on real hardware
+            // that use-after-free reads the frame's stale bytes — which
+            // the differential oracle must observe as a divergence, not
+            // as a simulator panic on an unallocated frame.
+            if self.tlb_precise {
+                self.physmem.free_frame(frame);
+            }
         }
     }
 
@@ -1286,6 +1333,126 @@ mod tests {
         assert_eq!(k.translate(a, addr, true), Err(PageFault::NotWritable));
         assert_eq!(k.translate(b, addr, true), Err(PageFault::NotWritable));
         assert!(k.translate(a, addr, false).is_ok());
+    }
+
+    #[test]
+    fn pte_mutation_shootdowns_hit_only_the_targeted_page() {
+        let (mut k, a, _) = setup();
+        let hot = VAddr::new(0x10000); // vpn base + 0
+        let cold = VAddr::new(0x10000 + FRAME_SIZE); // neighbor page
+        k.force_write(a, hot, Width::W8, 1).unwrap();
+        k.force_write(a, cold, Width::W8, 2).unwrap();
+        // Warm both translations into the TLB.
+        k.translate(a, hot, true).unwrap();
+        k.translate(a, cold, true).unwrap();
+
+        // Arm only `hot`: exactly its entry must be invalidated. The
+        // neighbor keeps answering from the TLB — its hit counter moves
+        // and its miss counter does not.
+        k.protect_page_cow(a, hot.vpn()).unwrap();
+        let s0 = k.aspace(a).tlb().stats();
+        assert!(k.translate(a, cold, true).is_ok());
+        let s1 = k.aspace(a).tlb().stats();
+        assert_eq!((s1.hits, s1.misses), (s0.hits + 1, s0.misses));
+        // The armed page itself walks the table and faults the write.
+        assert_eq!(k.translate(a, hot, true), Err(PageFault::NotWritable));
+        let s2 = k.aspace(a).tlb().stats();
+        assert_eq!(s2.misses, s1.misses + 1);
+
+        // Breaking the COW (a set_pte remap) is just as precise.
+        k.translate(a, hot, false).unwrap(); // re-cache the RO entry
+        k.translate(a, cold, false).unwrap();
+        let before = k.aspace(a).tlb().stats().shootdowns;
+        k.handle_fault(a, hot, true).unwrap();
+        assert!(k.aspace(a).tlb().stats().shootdowns > before);
+        let s3 = k.aspace(a).tlb().stats();
+        assert!(k.translate(a, cold, false).is_ok());
+        assert_eq!(k.aspace(a).tlb().stats().hits, s3.hits + 1);
+
+        // Dropping the private copy (remove_pte + set_pte) shoots down
+        // the remapped page, and only it.
+        k.translate(a, hot, true).unwrap(); // cache the private mapping
+        let before = k.aspace(a).tlb().stats().shootdowns;
+        k.unprotect_page(a, hot.vpn()).unwrap();
+        assert!(k.aspace(a).tlb().stats().shootdowns > before);
+        let s4 = k.aspace(a).tlb().stats();
+        assert!(k.translate(a, cold, false).is_ok());
+        assert_eq!(k.aspace(a).tlb().stats().hits, s4.hits + 1);
+    }
+
+    #[test]
+    fn fork_flush_leaves_no_stale_service_even_when_ablated() {
+        // The shootdown ablation only drops per-PTE IPIs; fork's broadcast
+        // flush is a generation bump and must keep working, so no entry
+        // cached before the fork can ever serve a translation after it.
+        let (mut k, a, _) = setup();
+        k.set_tlb_shootdown(false);
+        let addrs: Vec<VAddr> = (0..8)
+            .map(|i| VAddr::new(0x10000 + i * FRAME_SIZE))
+            .collect();
+        for (i, &addr) in addrs.iter().enumerate() {
+            k.force_write(a, addr, Width::W8, i as u64).unwrap();
+            // Give each page a private (owned) frame — fork only
+            // write-protects owned pages — then cache the writable entry.
+            k.protect_page_cow(a, addr.vpn()).unwrap();
+            k.handle_fault(a, addr, true).unwrap();
+            k.translate(a, addr, true).unwrap();
+        }
+        let b = k.fork_aspace(a).unwrap();
+        for &addr in &addrs {
+            // A stale writable entry would let this write through; the
+            // post-fork truth is read-only COW on both sides.
+            assert_eq!(k.translate(a, addr, true), Err(PageFault::NotWritable));
+            assert_eq!(k.translate(b, addr, true), Err(PageFault::NotWritable));
+        }
+    }
+
+    #[test]
+    fn ablated_shootdowns_leave_stale_entries_and_faults_self_heal() {
+        let (mut k, a, _) = setup();
+        k.set_tlb_shootdown(false);
+        let addr = VAddr::new(0x10000);
+        k.force_write(a, addr, Width::W8, 7).unwrap();
+        k.translate(a, addr, true).unwrap(); // cache a writable entry
+        k.protect_page_cow(a, addr.vpn()).unwrap();
+        // The ablated kernel forgot the IPI: the stale writable entry
+        // still answers a write the armed PTE should have faulted — this
+        // is exactly the bug class the transistency oracle must catch.
+        assert!(k.translate(a, addr, true).is_ok(), "stale entry serves");
+
+        // Now build the opposite staleness: cache the read-only truth
+        // (after deliberately dropping the stale entry via the enable
+        // toggle, whose generation bump is not an IPI), then break the
+        // COW so the cached entry is stale-RO.
+        k.set_tlb_enabled(true);
+        k.translate(a, addr, false).unwrap();
+        k.handle_fault(a, addr, true).unwrap(); // COW break, IPI dropped
+        assert_eq!(
+            k.translate(a, addr, true),
+            Err(PageFault::NotWritable),
+            "stale read-only entry shadows the new private mapping"
+        );
+        // The local fault handler invalidates its own entry (Spurious
+        // resolution), so the retried access makes progress instead of
+        // spinning on the stale translation forever.
+        assert!(matches!(
+            k.handle_fault(a, addr, true),
+            Ok(FaultResolution::Spurious)
+        ));
+        assert!(k.translate(a, addr, true).is_ok());
+
+        // Explicit shootdown requests are dropped while ablated, and
+        // land again once precision is restored.
+        k.translate(a, addr, false).unwrap();
+        let cached = k.aspace(a).tlb().stats().hits;
+        k.shootdown_page(a, addr.vpn());
+        k.translate(a, addr, false).unwrap();
+        assert_eq!(k.aspace(a).tlb().stats().hits, cached + 1, "still cached");
+        k.set_tlb_shootdown(true);
+        k.shootdown_page(a, addr.vpn());
+        let misses = k.aspace(a).tlb().stats().misses;
+        k.translate(a, addr, false).unwrap();
+        assert_eq!(k.aspace(a).tlb().stats().misses, misses + 1);
     }
 
     #[test]

@@ -89,6 +89,14 @@ pub struct Tlb {
     /// Starts at 1 so the zeroed [`INVALID`] entry never matches.
     gen: Cell<u64>,
     enabled: Cell<bool>,
+    /// Whether PTE-mutation shootdowns actually land. Always `true` in
+    /// real runs; the transistency oracle flips it off to prove the
+    /// differential checker can see the stale-translation bugs a
+    /// forgotten shootdown causes (an ablation with teeth). Local fault
+    /// handling ([`Tlb::invalidate`]) and full flushes ignore this flag —
+    /// the ablation models *forgetting the remote IPI*, not a core that
+    /// cannot maintain its own TLB.
+    precise: Cell<bool>,
     hits: Cell<u64>,
     misses: Cell<u64>,
     shootdowns: Cell<u64>,
@@ -101,6 +109,7 @@ impl Tlb {
             slots: vec![Cell::new(INVALID); SLOTS].into_boxed_slice(),
             gen: Cell::new(1),
             enabled: Cell::new(enabled),
+            precise: Cell::new(true),
             hits: Cell::new(0),
             misses: Cell::new(0),
             shootdowns: Cell::new(0),
@@ -149,7 +158,7 @@ impl Tlb {
     /// Called on every PTE mutation.
     #[inline]
     pub(crate) fn shootdown(&self, vpn: Vpn) {
-        if !self.enabled.get() {
+        if !self.enabled.get() || !self.precise.get() {
             return;
         }
         let s = self.slot(vpn);
@@ -157,6 +166,22 @@ impl Tlb {
         if e.gen == self.gen.get() && e.vpn == vpn.0 {
             s.set(INVALID);
             self.shootdowns.set(self.shootdowns.get() + 1);
+        }
+    }
+
+    /// Unconditional local invalidation of `vpn`'s slot, bypassing the
+    /// `precise` ablation and the shootdown counter. Models a core
+    /// invalidating its own entry while handling a fault — something
+    /// even the ablated (IPI-forgetting) configuration still does.
+    #[inline]
+    pub(crate) fn invalidate(&self, vpn: Vpn) {
+        if !self.enabled.get() {
+            return;
+        }
+        let s = self.slot(vpn);
+        let e = s.get();
+        if e.gen == self.gen.get() && e.vpn == vpn.0 {
+            s.set(INVALID);
         }
     }
 
@@ -181,6 +206,17 @@ impl Tlb {
     /// Whether lookups are being answered.
     pub fn enabled(&self) -> bool {
         self.enabled.get()
+    }
+
+    /// Enables or disables precise PTE-mutation shootdowns (the
+    /// transistency ablation; see the `precise` field).
+    pub(crate) fn set_precise(&self, precise: bool) {
+        self.precise.set(precise);
+    }
+
+    /// Whether PTE-mutation shootdowns are landing.
+    pub fn precise(&self) -> bool {
+        self.precise.get()
     }
 
     /// This TLB's counters.
@@ -252,6 +288,37 @@ mod tests {
         t.shootdown(Vpn(1));
         t.flush();
         assert_eq!(t.stats(), TlbStats::default());
+    }
+
+    #[test]
+    fn imprecise_mode_drops_shootdowns_but_not_local_invalidations() {
+        let t = Tlb::new(true);
+        t.set_precise(false);
+        t.fill(Vpn(4), FrameId(4), true);
+        t.shootdown(Vpn(4));
+        assert_eq!(
+            t.lookup(Vpn(4)),
+            Some((FrameId(4), true)),
+            "ablated shootdown must leave the stale entry in place"
+        );
+        assert_eq!(t.stats().shootdowns, 0);
+        t.invalidate(Vpn(4));
+        assert_eq!(t.lookup(Vpn(4)), None, "local invalidation still lands");
+        // Full flushes are generation bumps, not IPIs: still effective.
+        t.fill(Vpn(4), FrameId(4), true);
+        t.flush();
+        assert_eq!(t.lookup(Vpn(4)), None);
+    }
+
+    #[test]
+    fn invalidate_is_uncounted_and_precise() {
+        let t = Tlb::new(true);
+        t.fill(Vpn(1), FrameId(1), true);
+        t.fill(Vpn(2), FrameId(2), true);
+        t.invalidate(Vpn(1));
+        assert_eq!(t.lookup(Vpn(1)), None);
+        assert_eq!(t.lookup(Vpn(2)), Some((FrameId(2), true)));
+        assert_eq!(t.stats().shootdowns, 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 use tmi_machine::{VAddr, Width};
 
 use crate::code::Pc;
-use crate::op::{MemOrder, Op, RmwOp};
+use crate::op::{MemOrder, Op, RmwOp, VmOp};
 
 /// Builder for a structurally well-formed op sequence.
 #[derive(Debug, Default)]
@@ -145,6 +145,12 @@ impl OpBuilder {
     /// A barrier arrival.
     pub fn barrier(self, barrier: VAddr) -> Self {
         self.push(Op::BarrierWait { barrier })
+    }
+
+    /// An explicit virtual-memory operation on the page containing
+    /// `addr` (the transistency litmus vocabulary).
+    pub fn vm(self, op: VmOp, addr: VAddr) -> Self {
+        self.push(Op::Vm { op, addr })
     }
 
     /// An inline-assembly region: `AsmEnter`, the body, `AsmExit`.

@@ -44,5 +44,5 @@ pub mod program;
 
 pub use build::OpBuilder;
 pub use code::{CodeRegistry, InstrInfo, InstrKind, Pc};
-pub use op::{width_mask, MemOrder, Op, RmwOp};
+pub use op::{width_mask, MemOrder, Op, RmwOp, VmOp};
 pub use program::{OpResult, SequenceProgram, SharedLog, ThreadProgram};

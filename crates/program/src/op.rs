@@ -73,6 +73,29 @@ pub fn width_mask(width: Width) -> u64 {
     }
 }
 
+/// A virtual-memory operation a thread can request mid-program, the
+/// vocabulary of transistency litmus tests (TransForm): VM ops
+/// interleaved with plain accesses, so remapping-under-running-threads
+/// bugs (stale TLB entries, lost twin commits, partial rollbacks)
+/// become observable as consistency divergences.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VmOp {
+    /// Arm the page read-only/COW (TMI's page protection step). A no-op
+    /// unless a repair episode is active.
+    Mprotect,
+    /// Force a COW break: perform the write-fault path on the page as if
+    /// a store had hit a read-only COW mapping.
+    CowBreak,
+    /// Force a T2P conversion + arming of the page (starts a repair
+    /// episode on the governor if none is active).
+    T2p,
+    /// Commit this thread's twin for the page set (diff-and-merge), as a
+    /// sync point would.
+    TwinCommit,
+    /// Request a TLB shootdown of the page's translation on every core.
+    Shootdown,
+}
+
 /// One dynamic operation issued by a thread program.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Op {
@@ -194,6 +217,16 @@ pub enum Op {
         /// Cycle cost.
         cycles: u64,
     },
+    /// A virtual-memory operation on the page containing `addr`
+    /// (transistency litmus vocabulary). The engine feeds back a small
+    /// outcome code via [`crate::OpResult::value`]: `1` if the operation
+    /// took effect, `0` if it was a no-op in the current governor state.
+    Vm {
+        /// Which VM operation.
+        op: VmOp,
+        /// Any address on the targeted page.
+        addr: VAddr,
+    },
     /// Thread termination; the engine will not call the program again.
     Exit,
 }
@@ -241,6 +274,19 @@ impl fmt::Display for MemOrder {
             MemOrder::Release => "release",
             MemOrder::AcqRel => "acq_rel",
             MemOrder::SeqCst => "seq_cst",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for VmOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VmOp::Mprotect => "mprotect",
+            VmOp::CowBreak => "cow_break",
+            VmOp::T2p => "t2p",
+            VmOp::TwinCommit => "twin_commit",
+            VmOp::Shootdown => "shootdown",
         };
         f.write_str(s)
     }
@@ -307,6 +353,7 @@ impl fmt::Display for Op {
             Op::SpinUnlock { lock } => write!(f, "spin_unlock {lock}"),
             Op::BarrierWait { barrier } => write!(f, "barrier_wait {barrier}"),
             Op::Compute { cycles } => write!(f, "compute {cycles}"),
+            Op::Vm { op, addr } => write!(f, "vm.{op} {addr}"),
             Op::Exit => f.write_str("exit"),
         }
     }
@@ -365,5 +412,13 @@ mod tests {
         assert!(lock.is_sync());
         assert_eq!(lock.pc(), None);
         assert!(!Op::Exit.is_atomic());
+        let vm = Op::Vm {
+            op: VmOp::Shootdown,
+            addr: VAddr::new(0x1000),
+        };
+        assert!(!vm.is_atomic());
+        assert!(!vm.is_sync());
+        assert_eq!(vm.pc(), None);
+        assert_eq!(vm.to_string(), "vm.shootdown 0x1000");
     }
 }

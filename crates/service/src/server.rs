@@ -211,7 +211,10 @@ impl ServiceInner {
     /// The admission path: validate, check quota, consult the cache,
     /// roll the `queue_full` fault, enqueue.
     fn admit(&self, tenant_name: &str, spec: JobSpec, priority: usize, fresh: bool) -> Admission {
-        // Reject jobs naming no known workload before they consume quota.
+        // Reject jobs naming no known workload before they consume
+        // quota. `is_litmus` is seed-parse-strict (a malformed
+        // `litmus:`/`litmus+vm:` seed makes it false), so this one check
+        // also covers bad litmus workloads.
         let known = spec.is_litmus() || tmi_workloads::by_name(&spec.workload).is_some();
         if !known {
             self.stats.inc(&self.stats.reject_bad_request);
@@ -219,14 +222,6 @@ impl ServiceInner {
             return Admission::Rejected {
                 reason: "bad_request",
                 detail: format!("unknown workload {:?}", spec.workload),
-            };
-        }
-        if spec.is_litmus() && spec.litmus_seed().is_none() {
-            self.stats.inc(&self.stats.reject_bad_request);
-            self.note_tenant_reject(tenant_name);
-            return Admission::Rejected {
-                reason: "bad_request",
-                detail: format!("bad litmus workload {:?}", spec.workload),
             };
         }
 

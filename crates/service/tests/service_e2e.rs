@@ -238,6 +238,19 @@ fn priorities_and_litmus_jobs_flow_through_the_service() {
     assert_eq!(v.get("litmus_seed").and_then(Json::as_f64), Some(7.0));
     assert!(matches!(v.get("clean"), Some(Json::Bool(_))));
 
+    // Transistency (VM-op) litmus jobs are first-class service workloads
+    // too: same payload shape, routed through the transistency checker.
+    let vm = JobSpec::litmus_vm(7);
+    let out = client.run("oracle", &vm, 0, false, |_| {}).unwrap();
+    let v = json::parse(&out.payload).unwrap();
+    assert_eq!(reply_field(&v, "kind"), "litmus");
+    assert_eq!(v.get("litmus_seed").and_then(Json::as_f64), Some(7.0));
+    assert_eq!(
+        v.get("clean"),
+        Some(&Json::Bool(true)),
+        "vm litmus seed 7 must check clean through the service"
+    );
+
     // Stats carry both the schema-stable aggregates and the dynamic
     // per-tenant counters.
     let stats = client.stats().unwrap();
@@ -246,7 +259,7 @@ fn priorities_and_litmus_jobs_flow_through_the_service() {
     assert_eq!(
         sv.get("service.tenant.oracle.submitted")
             .and_then(Json::as_f64),
-        Some(1.0)
+        Some(2.0)
     );
     client.shutdown().unwrap();
     service.wait();

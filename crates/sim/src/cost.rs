@@ -32,6 +32,10 @@ pub struct CostModel {
     pub wake: u64,
     /// Cycles burned per failed spinlock attempt before retrying.
     pub spin_retry: u64,
+    /// Syscall overhead of an explicit VM operation request
+    /// ([`tmi_program::Op::Vm`]) before whatever the runtime charges for
+    /// the operation itself (fork, twin commit, shootdown IPIs...).
+    pub vm_op: u64,
 }
 
 impl CostModel {
@@ -48,6 +52,7 @@ impl CostModel {
             barrier_op: 120,
             wake: 250,
             spin_retry: 35,
+            vm_op: 350,
         }
     }
 }

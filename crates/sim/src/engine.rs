@@ -594,6 +594,14 @@ impl<R: RuntimeHooks> Engine<R> {
                     .on_region(&mut self.core, tid, RegionEvent::AsmExit);
                 self.core.threads[idx].clock += extra;
             }
+            Op::Vm { op: vm, addr } => {
+                let tid = self.core.threads[idx].tid;
+                let outcome = self.runtime.on_vm_op(&mut self.core, tid, vm, addr);
+                self.core.threads[idx].clock += self.core.config.costs.vm_op;
+                self.core.threads[idx].pending = OpResult {
+                    value: Some(outcome),
+                };
+            }
             Op::MutexLock { lock } => self.mutex_lock(idx, lock)?,
             Op::MutexUnlock { lock } => self.mutex_unlock(idx, lock)?,
             Op::SpinLock { lock } => self.spin_lock(idx, op, lock)?,

@@ -17,7 +17,7 @@
 
 use tmi_machine::{AccessKind, AccessOutcome, VAddr, Width};
 use tmi_os::{FaultResolution, Tid};
-use tmi_program::{MemOrder, Pc};
+use tmi_program::{MemOrder, Pc, VmOp};
 
 /// Description of a memory access about to execute (or just executed).
 #[derive(Clone, Copy, Debug)]
@@ -173,6 +173,21 @@ pub trait RuntimeHooks {
     /// Called at code-centric consistency region boundaries.
     /// Returns extra cycles.
     fn on_region(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, ev: RegionEvent) -> u64 {
+        0
+    }
+
+    /// Called when a thread issues an explicit virtual-memory operation
+    /// ([`tmi_program::Op::Vm`], the transistency litmus vocabulary).
+    /// Returns a small outcome code that the engine feeds back to the
+    /// program and records in the trace: `1` if the operation took
+    /// effect, `0` if it was a no-op in the current runtime state.
+    ///
+    /// The outcome must depend only on architectural state (page tables,
+    /// governor state machine) — never on accelerator contents such as
+    /// TLB occupancy — so that fast-path and reference-path runs stay
+    /// byte-identical. The default ignores the request: a runtime
+    /// without a repair governor has no remapping machinery to drive.
+    fn on_vm_op(&mut self, ctl: &mut dyn EngineCtl, tid: Tid, op: VmOp, addr: VAddr) -> u64 {
         0
     }
 

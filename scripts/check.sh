@@ -44,6 +44,15 @@
 #            efficacy-revert each exercised (the binary exits non-zero
 #            on incomplete coverage; see EXPERIMENTS.md "Fault
 #            campaigns")
+#   transistency  fixed-seed VM-operation litmus campaign: 500 seeds of
+#            mprotect / COW-break / T2P / twin-commit / TLB-shootdown
+#            programs plus a bounded DPOR-lite enumeration (up to 8
+#            VM-op placements per seed) must check clean against the
+#            sequential oracle with TMI on, and the --ablate-shootdown
+#            sanity run (imprecise TLB shootdowns over 40 seeds) must
+#            find divergences with a minimized reproducer, or the
+#            campaign has no teeth (see EXPERIMENTS.md "Transistency
+#            campaigns")
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -116,5 +125,12 @@ fault_out=$(target/release/fuzz_consistency --seeds 128 --faults 1) \
   || { printf '%s\n' "$fault_out"; echo "fault campaign diverged or left coverage incomplete"; exit 1; }
 printf '%s\n' "$fault_out" | grep -q 'fault coverage: OK' \
   || { printf '%s\n' "$fault_out"; echo "fault campaign coverage incomplete"; exit 1; }
+
+echo "== transistency: VM operations x consistency"
+target/release/fuzz_consistency --transistency --seeds 500 --enumerate 8
+ablate_out=$(target/release/fuzz_consistency --transistency --ablate-shootdown --seeds 40) \
+  || { printf '%s\n' "$ablate_out"; echo "shootdown-ablated campaign failed to diverge"; exit 1; }
+printf '%s\n' "$ablate_out" | grep -q -- '--ablate-shootdown' \
+  || { printf '%s\n' "$ablate_out"; echo "ablated campaign report lacks a reproducer line"; exit 1; }
 
 echo "== ok"

@@ -6,7 +6,8 @@
 //! and the full metrics snapshot — differing only in the accelerator's
 //! own `os.tlb.*` / `machine.dir.*` counters.
 
-use tmi_repro::oracle::{run_seed_raw, RawRun};
+use tmi_repro::oracle::{run_seed_raw, run_transistency_seed_raw, RawRun};
+use tmi_repro::program::Op;
 use tmi_repro::telemetry::MetricValue;
 
 /// The metrics a fast-path run is allowed to differ on: the accelerator
@@ -64,6 +65,47 @@ fn fastpath_is_behaviorally_invisible_over_64_seeds() {
     assert!(
         dir_probes > 0,
         "the fast path never probed the directory across 64 seeds — gate is vacuous"
+    );
+}
+
+/// The same gate over a fixed block of *transistency* seeds: VM-op
+/// litmus programs whose `mprotect` / COW-break / T2P / twin-commit /
+/// shootdown outcome codes land in the trace value slots. The codes are
+/// required to be fast-path invariant (they depend on PTE and governor
+/// state, never on TLB or directory contents), so the full trace —
+/// including every VM-op outcome — must be byte-identical across paths.
+#[test]
+fn fastpath_is_invisible_to_transistency_programs() {
+    let mut vm_steps = 0u64;
+    for seed in 0..24u64 {
+        let fast = run_transistency_seed_raw(seed, true);
+        let refr = run_transistency_seed_raw(seed, false);
+        assert_eq!(fast.halt, refr.halt, "vm seed {seed}: halt diverged");
+        assert_eq!(fast.cycles, refr.cycles, "vm seed {seed}: cycles diverged");
+        assert_eq!(
+            fast.thread_cycles, refr.thread_cycles,
+            "vm seed {seed}: per-thread clocks diverged"
+        );
+        assert_eq!(fast.ops, refr.ops, "vm seed {seed}: op counts diverged");
+        assert_eq!(
+            fast.trace, refr.trace,
+            "vm seed {seed}: schedule, observed values or VM-op outcome \
+             codes diverged"
+        );
+        assert_eq!(
+            behavioral_metrics(&fast),
+            behavioral_metrics(&refr),
+            "vm seed {seed}: behavioral metrics diverged"
+        );
+        vm_steps += fast
+            .trace
+            .iter()
+            .filter(|st| matches!(st.op, Op::Vm { .. }))
+            .count() as u64;
+    }
+    assert!(
+        vm_steps > 0,
+        "no VM ops executed across 24 transistency seeds — gate is vacuous"
     );
 }
 
