@@ -10,12 +10,21 @@
 //! wall times (seconds, fast path vs `TMI_FASTPATH=off` reference) as a
 //! `run_all_quick` object — `scripts/bench.sh` measures and passes them.
 //!
-//! Every cell times the same workload twice in this process — once with
-//! the fast-path accelerators (software TLBs, sharer/owner directory)
-//! forced on and once forced off — and reports host-time throughput for
-//! both plus the speedup. The simulated behavior of the two variants is
-//! byte-identical (see `tests/fastpath_equivalence.rs`); only host time
-//! may differ. Cells:
+//! Every cell times the same workload with the fast-path accelerators
+//! (software TLBs, sharer/owner directory) forced on and forced off, and
+//! reports host-time throughput for both plus the speedup. The simulated
+//! behavior of the two variants is byte-identical (see
+//! `tests/fastpath_equivalence.rs`); only host time may differ.
+//!
+//! Wall-clock ratios on shared machines are noisy, so each microbenchmark
+//! cell runs several back-to-back fast/reference pairs and reports the
+//! quietest pair — the one with the smallest combined wall time (ambient
+//! load only ever adds time). Both variants are taken from the same pair
+//! so that slow host-speed drift (frequency scaling, hypervisor steal)
+//! cancels out of the ratio instead of biasing whichever variant caught
+//! the lucky window. Rep sizes are fixed; `--quick` only reduces the
+//! number of pairs. The end-to-end cell stays single-shot — it runs
+//! seconds, not milliseconds, and amortizes its own noise. Cells:
 //!
 //! * `machine/local_hit` — repeated private-cache hits: the flat tag
 //!   array's best case, no coherence traffic.
@@ -57,6 +66,29 @@ fn sample(ops: u64, f: impl FnOnce()) -> Sample {
         ns_per_op: secs * 1e9 / ops as f64,
         ops_per_sec: ops as f64 / secs,
     }
+}
+
+/// Runs `reps` back-to-back (fast, reference) pairs of `cell` and returns
+/// the pair with the smallest combined wall time. Both reported variants
+/// come from the *same* pair on purpose: on hosts whose effective CPU
+/// speed drifts slowly (frequency scaling, hypervisor steal), per-variant
+/// minima land in different time windows and a lucky window for one
+/// variant alone skews the ratio, while within one back-to-back pair the
+/// drift cancels out of it.
+fn best_of(ops: u64, reps: usize, cell: impl Fn(u64, bool) -> Sample) -> (Sample, Sample) {
+    let mut best: Option<(Sample, Sample)> = None;
+    for _ in 0..reps {
+        let fast = cell(ops, true);
+        let reference = cell(ops, false);
+        let better = match &best {
+            None => true,
+            Some((bf, br)) => fast.secs + reference.secs < bf.secs + br.secs,
+        };
+        if better {
+            best = Some((fast, reference));
+        }
+    }
+    best.expect("reps is positive")
 }
 
 struct Cell {
@@ -179,33 +211,31 @@ fn histogram_e2e(runs: u64, fastpath: bool) -> Sample {
 }
 
 fn run_cells(quick: bool) -> Vec<Cell> {
-    let scale = if quick { 1 } else { 8 };
-    let n = |base: u64| base * scale;
+    // Rep sizes are fixed per cell — small enough that one fast/reference
+    // pair completes inside a host-speed drift window, large enough to
+    // amortize timer and dispatch overhead. `--quick` reduces the number
+    // of pairs, not their size, so both modes measure the same thing and
+    // differ only in how hard they squeeze the noise.
+    let reps = |full: usize| if quick { (full / 3).max(2) } else { full };
+    let micro = |name: &'static str, ops: u64, n_reps: usize, cell: fn(u64, bool) -> Sample| {
+        let (fast, reference) = best_of(ops, n_reps, cell);
+        Cell {
+            name,
+            ops,
+            fast,
+            reference,
+        }
+    };
     let cells = vec![
-        Cell {
-            name: "machine/local_hit",
-            ops: n(2_000_000),
-            fast: local_hit(n(2_000_000), true),
-            reference: local_hit(n(2_000_000), false),
-        },
-        Cell {
-            name: "machine/false_sharing_pingpong",
-            ops: n(1_000_000),
-            fast: pingpong(n(1_000_000), true),
-            reference: pingpong(n(1_000_000), false),
-        },
-        Cell {
-            name: "machine/snoop_storm",
-            ops: n(1_000_000),
-            fast: snoop_storm(n(1_000_000), true),
-            reference: snoop_storm(n(1_000_000), false),
-        },
-        Cell {
-            name: "os/translate_hit",
-            ops: n(2_000_000),
-            fast: translate_hit(n(2_000_000), true),
-            reference: translate_hit(n(2_000_000), false),
-        },
+        micro("machine/local_hit", 4_000_000, reps(15), local_hit),
+        micro(
+            "machine/false_sharing_pingpong",
+            4_000_000,
+            reps(15),
+            pingpong,
+        ),
+        micro("machine/snoop_storm", 1_000_000, reps(9), snoop_storm),
+        micro("os/translate_hit", 4_000_000, reps(9), translate_hit),
         Cell {
             name: "sim/histogram_e2e",
             ops: 1,

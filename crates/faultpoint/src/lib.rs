@@ -64,12 +64,24 @@ pub enum FaultPoint {
     /// (cache eviction under memory pressure); later duplicates recompute
     /// and must still produce byte-identical payloads.
     CacheDrop,
+    /// A durable-log frame write is torn mid-record (the power-cut /
+    /// kill -9 analogue at the IO layer): only a prefix of the frame
+    /// reaches the file, and replay must skip the torn tail cleanly.
+    JournalTear,
+    /// A persisted cache frame is corrupted on the way to disk (bit rot /
+    /// partial sector write); the CRC must reject it at load time and the
+    /// entry silently degrades to a recompute, never a wrong payload.
+    CacheCorrupt,
+    /// A durability flush (`File::sync_data`) is skipped (the fsync-lost
+    /// analogue); the write stays buffered, so a crash right after may
+    /// lose it — bookkeeping must tolerate the gap.
+    FlushFail,
 }
 
 impl FaultPoint {
     /// Every fault point, in stable order (used for stats aggregation
     /// and deterministic rendering).
-    pub const ALL: [FaultPoint; 9] = [
+    pub const ALL: [FaultPoint; 12] = [
         FaultPoint::FrameAlloc,
         FaultPoint::MapTransient,
         FaultPoint::ProtectPage,
@@ -79,6 +91,9 @@ impl FaultPoint {
         FaultPoint::WorkerKill,
         FaultPoint::QueueFull,
         FaultPoint::CacheDrop,
+        FaultPoint::JournalTear,
+        FaultPoint::CacheCorrupt,
+        FaultPoint::FlushFail,
     ];
 
     /// The simulator-level points — the subset [`FaultPlan::from_seed`]
@@ -106,6 +121,9 @@ impl FaultPoint {
             FaultPoint::WorkerKill => "worker_kill",
             FaultPoint::QueueFull => "queue_full",
             FaultPoint::CacheDrop => "cache_drop",
+            FaultPoint::JournalTear => "journal_tear",
+            FaultPoint::CacheCorrupt => "cache_corrupt",
+            FaultPoint::FlushFail => "flush_fail",
         }
     }
 
@@ -120,6 +138,9 @@ impl FaultPoint {
             FaultPoint::WorkerKill => 6,
             FaultPoint::QueueFull => 7,
             FaultPoint::CacheDrop => 8,
+            FaultPoint::JournalTear => 9,
+            FaultPoint::CacheCorrupt => 10,
+            FaultPoint::FlushFail => 11,
         }
     }
 }
@@ -574,6 +595,9 @@ mod tests {
             FaultPoint::WorkerKill,
             FaultPoint::QueueFull,
             FaultPoint::CacheDrop,
+            FaultPoint::JournalTear,
+            FaultPoint::CacheCorrupt,
+            FaultPoint::FlushFail,
         ] {
             assert!(!fired[p.index()], "service point {p} fired from a sim seed");
         }

@@ -1,0 +1,77 @@
+//! Ad-hoc probe: replay the snoop_storm / pingpong bench patterns and
+//! dump directory counters plus best-of-N wall time per variant.
+
+use std::time::Instant;
+use tmi_machine::{AccessKind, Machine, MachineConfig, PhysAddr, Width};
+
+fn storm_once(ops: u64, directory: bool) -> f64 {
+    const CORES: usize = 32;
+    let mut m = Machine::new(MachineConfig::with_cores(CORES));
+    m.set_directory_enabled(directory);
+    let mut x = 0x9E37_79B9u64;
+    let t0 = Instant::now();
+    for i in 0..ops {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let line = x % 4096;
+        let kind = if x & 3 == 0 {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        m.access(
+            (i as usize) % CORES,
+            PhysAddr::new(line * 64),
+            kind,
+            Width::W8,
+        );
+    }
+    let ns = t0.elapsed().as_secs_f64() * 1e9 / ops as f64;
+    if std::env::var_os("DIR_PROBE_STATS").is_some() {
+        println!("  dir={:?} stats={:?}", m.dir_stats(), m.stats());
+    }
+    ns
+}
+
+fn pingpong_once(ops: u64, directory: bool) -> f64 {
+    let mut m = Machine::new(MachineConfig::with_cores(2));
+    m.set_directory_enabled(directory);
+    let a = PhysAddr::new(0x2000);
+    let t0 = Instant::now();
+    for i in 0..ops {
+        m.access((i & 1) as usize, a, AccessKind::Store, Width::W8);
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / ops as f64
+}
+
+fn local_once(ops: u64, directory: bool) -> f64 {
+    let mut m = Machine::new(MachineConfig::with_cores(4));
+    m.set_directory_enabled(directory);
+    let a = PhysAddr::new(0x1000);
+    m.access(0, a, AccessKind::Store, Width::W8);
+    let t0 = Instant::now();
+    for _ in 0..ops {
+        m.access(0, a, AccessKind::Load, Width::W8);
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / ops as f64
+}
+
+fn best(label: &str, ops: u64, reps: usize, f: impl Fn(u64, bool) -> f64) {
+    let mut fast = f64::INFINITY;
+    let mut refr = f64::INFINITY;
+    for _ in 0..reps {
+        fast = fast.min(f(ops, true));
+        refr = refr.min(f(ops, false));
+    }
+    println!(
+        "{label}: fast {fast:.1} ns/op  ref {refr:.1} ns/op  speedup {:.2}x",
+        refr / fast
+    );
+}
+
+fn main() {
+    best("storm", 4_000_000, 5, storm_once);
+    best("pingpong", 4_000_000, 5, pingpong_once);
+    best("local", 8_000_000, 5, local_once);
+}

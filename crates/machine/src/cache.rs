@@ -261,6 +261,116 @@ impl Cache {
     }
 }
 
+/// Empty-slot sentinel for [`LlcTags`]: line addresses are physical
+/// addresses shifted right by the line-size bits, so the all-ones value
+/// can never name a real line.
+const EMPTY_TAG: u64 = u64::MAX;
+
+/// Tag array specialized for the shared LLC.
+///
+/// The LLC differs from the private caches in two ways that allow a leaner
+/// layout: its MESI state is never read back (the machine only asks
+/// "present or not"), and it sits on every writeback path, so each HITM
+/// pays a way scan. Storing tags and LRU stamps as separate dense arrays
+/// keeps the 16-way tag scan inside two cache lines instead of walking six
+/// lines of 24-byte way records. Replacement is exact LRU with the same
+/// tick/stamp discipline as [`Cache`] — one tick per lookup or insert,
+/// first-free-slot placement, unique minimum-stamp victim — so hit/miss
+/// sequences are identical to the general layout (asserted differentially
+/// in the tests).
+#[derive(Debug)]
+pub struct LlcTags {
+    config: CacheConfig,
+    /// Line address per way slot, or [`EMPTY_TAG`]; row-major sets as in
+    /// [`Cache`].
+    tags: Box<[u64]>,
+    /// Monotone LRU stamp per way slot (meaningful where the tag is set).
+    stamps: Box<[u64]>,
+    tick: u64,
+}
+
+impl LlcTags {
+    /// Creates an empty LLC tag array with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(config.ways > 0, "ways must be positive");
+        LlcTags {
+            config,
+            tags: vec![EMPTY_TAG; config.sets * config.ways].into_boxed_slice(),
+            stamps: vec![0u64; config.sets * config.ways].into_boxed_slice(),
+            tick: 0,
+        }
+    }
+
+    /// Returns the cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    #[inline]
+    fn set_base(&self, line: LineAddr) -> usize {
+        ((line.raw() as usize) & (self.config.sets - 1)) * self.config.ways
+    }
+
+    /// Whether `line` is resident, refreshing its LRU position if so.
+    #[inline]
+    pub fn lookup(&mut self, line: LineAddr) -> bool {
+        self.tick += 1;
+        let base = self.set_base(line);
+        let raw = line.raw();
+        for i in base..base + self.config.ways {
+            if self.tags[i] == raw {
+                self.stamps[i] = self.tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts `line`, refreshing its LRU position if already present and
+    /// evicting the LRU way if the set is full. LLC victims fall to
+    /// memory, so the victim is not reported.
+    #[inline]
+    pub fn insert(&mut self, line: LineAddr) {
+        self.tick += 1;
+        let base = self.set_base(line);
+        let raw = line.raw();
+        let mut victim = base;
+        let mut victim_stamp = u64::MAX;
+        for i in base..base + self.config.ways {
+            let tag = self.tags[i];
+            if tag == raw {
+                self.stamps[i] = self.tick;
+                return;
+            }
+            if tag == EMPTY_TAG {
+                // The LLC is never snoop-invalidated, so a set's occupied
+                // slots form a prefix: reaching a free slot proves the
+                // line is absent from the rest of the set, and first-free
+                // placement matches [`Cache`] exactly.
+                self.tags[i] = raw;
+                self.stamps[i] = self.tick;
+                return;
+            }
+            if self.stamps[i] < victim_stamp {
+                victim_stamp = self.stamps[i];
+                victim = i;
+            }
+        }
+        self.tags[victim] = raw;
+        self.stamps[victim] = self.tick;
+    }
+
+    /// Number of resident lines (memory accounting and tests).
+    pub fn resident_lines(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != EMPTY_TAG).count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,5 +458,46 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_pow2_sets_rejected() {
         let _ = Cache::new(CacheConfig { sets: 3, ways: 1 });
+    }
+
+    #[test]
+    fn llc_tags_match_general_layout_hit_for_hit() {
+        // The dense LLC layout must reproduce the general cache's LRU
+        // behavior exactly: same lookup hits, same residency, under a
+        // mixed lookup/insert stream with heavy set conflicts.
+        let cfg = CacheConfig { sets: 4, ways: 3 };
+        let mut general = Cache::new(cfg);
+        let mut dense = LlcTags::new(cfg);
+        let mut x = 0xDEAD_BEEFu64;
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let l = line(x % 32); // 8 lines per set: constant thrash
+            if x & 1 == 0 {
+                assert_eq!(
+                    general.lookup(l).is_some(),
+                    dense.lookup(l),
+                    "lookup({l:?})"
+                );
+            } else {
+                general.insert(l, MesiState::Shared);
+                dense.insert(l);
+            }
+            assert_eq!(general.resident_lines(), dense.resident_lines());
+        }
+    }
+
+    #[test]
+    fn llc_tags_evict_lru() {
+        let mut t = LlcTags::new(CacheConfig { sets: 1, ways: 2 });
+        t.insert(line(1));
+        t.insert(line(2));
+        assert!(t.lookup(line(1))); // line 2 becomes LRU
+        t.insert(line(3));
+        assert!(t.lookup(line(1)));
+        assert!(!t.lookup(line(2)));
+        assert!(t.lookup(line(3)));
+        assert_eq!(t.resident_lines(), 2);
     }
 }

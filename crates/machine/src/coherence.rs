@@ -24,9 +24,32 @@
 //! change no observable outcome (latencies, HITM events, stats), only the
 //! host cycles spent finding it. `set_directory_enabled(false)` switches to
 //! the literal broadcast loops for differential testing.
+//!
+//! ## Lazy activation
+//!
+//! Tracking every resident line costs a table update per fill and per
+//! eviction, which on low-contention machines (a line ping-ponging between
+//! two cores, or a single core hitting locally) is pure overhead: a 2-core
+//! broadcast is cheaper than the bookkeeping it replaces. The directory is
+//! therefore **lazily activated per line**: lines start untracked and
+//! answer remote queries via broadcast, and a line is promoted into the
+//! directory (a one-time tag-array scan seeds the exact entry) when it
+//! proves itself contended, by either trigger:
+//!
+//! 1. a clean fill takes its holder count past two, or
+//! 2. it sustains a back-to-back HITM streak — exclusive-ownership
+//!    ping-pong keeps the instantaneous holder count at one, but each
+//!    bounce pays an O(cores) broadcast the directory can absorb.
+//!
+//! Promotion is sticky: once tracked a line stays tracked — through
+//! write ping-pong, invalidation storms, even after every copy evicts (a
+//! drained entry answers "no holders" in O(1)). Machines with at most
+//! two cores skip both triggers; their directory stays empty and every
+//! query broadcasts — exactly the regime where the broadcast wins.
 
 use crate::addr::{CoreId, LineAddr, PhysAddr, Width};
-use crate::cache::{Cache, CacheConfig, Insertion, MesiState};
+use crate::cache::{Cache, CacheConfig, Insertion, LlcTags, MesiState};
+use crate::dirtab::{streak_step, DirEntry, DirTable, NO_HITM, NO_OWNER};
 use crate::flat::LineTable;
 use crate::hitm::{HitmEvent, HitmKind};
 use crate::latency::LatencyModel;
@@ -107,42 +130,20 @@ impl Default for MachineConfig {
     }
 }
 
-/// Sentinel for "no core holds this line Modified".
-const NO_OWNER: u8 = u8::MAX;
-
-/// One directory entry: which private caches hold the line, and which core
-/// (if any) holds it Modified.
-#[derive(Clone, Copy, Debug)]
-struct DirEntry {
-    /// Bit `c` set ⇔ core `c`'s private cache holds the line (any state).
-    sharers: u64,
-    /// The core holding the line Modified, or [`NO_OWNER`].
-    owner: u8,
-}
-
-impl Default for DirEntry {
-    fn default() -> Self {
-        DirEntry {
-            sharers: 0,
-            owner: NO_OWNER,
-        }
-    }
-}
-
 /// The simulated coherent multicore (tag arrays only; data lives in
 /// [`crate::PhysMem`]).
 #[derive(Debug)]
 pub struct Machine {
     config: MachineConfig,
     private: Vec<Cache>,
-    llc: Cache,
+    llc: LlcTags,
     stats: MachineStats,
     /// Per-line HITM streak state for the queuing penalty: (sequence
     /// number of the last HITM, current streak length).
     hitm_streaks: LineTable<(u64, u64)>,
     /// Sharer/owner directory over the private caches (derived state; see
     /// the module docs). Empty and unused when `dir_enabled` is false.
-    dir: LineTable<DirEntry>,
+    dir: DirTable,
     dir_enabled: bool,
     dir_stats: DirStats,
 }
@@ -164,10 +165,10 @@ impl Machine {
             private: (0..config.cores)
                 .map(|_| Cache::new(config.private_cache))
                 .collect(),
-            llc: Cache::new(config.llc),
+            llc: LlcTags::new(config.llc),
             stats: MachineStats::default(),
             hitm_streaks: LineTable::default(),
-            dir: LineTable::with_capacity(1024),
+            dir: DirTable::with_capacity(1024),
             dir_enabled: config.cores <= 64 && !crate::fastpath_disabled_by_env(),
             dir_stats: DirStats::default(),
             config,
@@ -203,21 +204,48 @@ impl Machine {
     /// Enables or disables the sharer directory at any point in a run.
     /// Disabling reverts every remote query to the reference broadcast
     /// snoop; re-enabling rebuilds the directory from the tag arrays (the
-    /// source of truth), so toggling is always safe.
+    /// source of truth), so toggling is always safe. The rebuild honors
+    /// lazy activation: only lines already held by three or more caches
+    /// are installed; the rest stay on broadcast until they re-promote.
     pub fn set_directory_enabled(&mut self, enabled: bool) {
         let enabled = enabled && self.config.cores <= 64;
+        // Tracked lines carry their HITM streak inside the directory entry;
+        // write it back to the broadcast-path table before dropping the
+        // entries, so a toggle (either direction) never forgets a streak
+        // the reference machine would remember.
+        {
+            let (dir, streaks) = (&self.dir, &mut self.hitm_streaks);
+            dir.for_each(|line, e| {
+                if e.last_hitm != NO_HITM {
+                    *streaks.get_or_insert(line, (NO_HITM, 0)) = (e.last_hitm, e.streak as u64);
+                }
+            });
+        }
         self.dir.clear();
         self.dir_enabled = enabled;
         if enabled {
+            let mut resident: std::collections::BTreeMap<LineAddr, DirEntry> =
+                std::collections::BTreeMap::new();
             for core in 0..self.config.cores {
-                let dir = &mut self.dir;
                 self.private[core].for_each_resident(|line, state| {
-                    let e = dir.get_or_insert(line, DirEntry::default());
+                    let e = resident.entry(line).or_default();
                     e.sharers |= 1u64 << core;
                     if state == MesiState::Modified {
                         e.owner = core as u8;
                     }
                 });
+            }
+            for (line, mut e) in resident {
+                if e.sharers.count_ones() >= 3 {
+                    // Re-installed entries resume the streak state the
+                    // broadcast path accumulated.
+                    let (last, streak) =
+                        self.hitm_streaks.get(line).copied().unwrap_or((NO_HITM, 0));
+                    e.last_hitm = last;
+                    e.streak = streak.min(u32::MAX as u64) as u32;
+                    self.dir.insert(line, e);
+                    self.dir_stats.installs += 1;
+                }
             }
         }
     }
@@ -272,49 +300,123 @@ impl Machine {
                 level: ServiceLevel::Local,
             };
         }
-        // Query the sibling caches (directory or snoop broadcast).
-        if let Some(owner) = self.remote_modified(core, line) {
-            // HITM: the owner supplies the dirty line and downgrades to S;
-            // the dirty data is considered written back to the LLC.
-            self.private[owner].set_state(line, MesiState::Shared);
-            if self.dir_enabled {
-                // M → S: still a sharer, no longer the owner.
-                self.dir.get_mut(line).expect("tracked line").owner = NO_OWNER;
+        // Query the sibling caches. A tracked line answers every sibling
+        // question — dirty owner, lowest clean holder, requester-join and
+        // the HITM streak — in one directory touch; untracked lines fall
+        // through to the broadcast probes below.
+        let mut tracked = false;
+        if self.dir_enabled && !self.dir.is_empty() {
+            self.dir_stats.probes += 1;
+            let seq = self.stats.accesses;
+            if let Some(e) = self.dir.get_mut(line) {
+                self.dir_stats.hits += 1;
+                tracked = true;
+                debug_assert_eq!(e.sharers & (1u64 << core), 0, "local miss but bit set");
+                if e.owner != NO_OWNER {
+                    // HITM: M → S handoff. The old owner keeps a shared
+                    // copy, the requester joins, and the dirty data is
+                    // considered written back to the LLC.
+                    let owner = e.owner as usize;
+                    e.sharers |= 1u64 << core;
+                    e.owner = NO_OWNER;
+                    let queuing = e.hitm_streak_step(seq, &lat);
+                    debug_assert_eq!(
+                        Some(owner),
+                        self.find_remote(core, line, MesiState::Modified),
+                        "directory/snoop divergence on remote-M query for {line:?}"
+                    );
+                    self.private[owner].set_state(line, MesiState::Shared);
+                    self.stats.writebacks += 1;
+                    self.fill_llc(line);
+                    self.fill_tags(core, line, MesiState::Shared);
+                    self.stats.hitm_events += 1;
+                    self.stats.hitm_loads += 1;
+                    return AccessOutcome {
+                        latency: lat.hitm + queuing,
+                        hitm: Some(HitmEvent {
+                            requester: core,
+                            owner,
+                            line,
+                            paddr,
+                            width,
+                            kind: HitmKind::Load,
+                        }),
+                        level: ServiceLevel::RemoteDirty,
+                    };
+                }
+                let bits = e.sharers;
+                if bits != 0 {
+                    // Clean forward from the lowest holder (the reference
+                    // broadcast scans cores in ascending order); an E
+                    // owner downgrades to S.
+                    let fwd = bits.trailing_zeros() as usize;
+                    e.sharers |= 1u64 << core;
+                    debug_assert_eq!(
+                        Some(fwd),
+                        self.find_remote_any_clean(core, line),
+                        "directory/snoop divergence on remote-clean query for {line:?}"
+                    );
+                    if self.private[fwd].peek(line) == Some(MesiState::Exclusive) {
+                        self.private[fwd].set_state(line, MesiState::Shared);
+                    }
+                    self.fill_tags(core, line, MesiState::Shared);
+                    self.stats.remote_clean_transfers += 1;
+                    return AccessOutcome {
+                        latency: lat.remote_clean,
+                        hitm: None,
+                        level: ServiceLevel::RemoteClean,
+                    };
+                }
+                // Drained sticky entry: no sibling holds a copy — skip the
+                // broadcasts and go straight to the LLC. The Exclusive
+                // fill below re-adds the requester to the entry.
+                debug_assert!(
+                    self.find_remote_any_clean(core, line).is_none()
+                        && self.find_remote(core, line, MesiState::Modified).is_none(),
+                    "drained entry but a sibling holds {line:?}"
+                );
             }
-            self.stats.writebacks += 1;
-            self.fill_llc(line);
-            self.fill_private(core, line, MesiState::Shared);
-            self.stats.hitm_events += 1;
-            self.stats.hitm_loads += 1;
-            let queuing = self.hitm_queuing(line);
-            return AccessOutcome {
-                latency: lat.hitm + queuing,
-                hitm: Some(HitmEvent {
-                    requester: core,
-                    owner,
-                    line,
-                    paddr,
-                    width,
-                    kind: HitmKind::Load,
-                }),
-                level: ServiceLevel::RemoteDirty,
-            };
         }
-        if let Some(owner) = self.remote_any_clean(core, line) {
-            // Clean forward; an E owner downgrades to S. (E/S transitions
-            // do not touch the directory: the sharer bit is state-blind.)
-            if self.private[owner].peek(line) == Some(MesiState::Exclusive) {
+        if !tracked {
+            if let Some(owner) = self.find_remote(core, line, MesiState::Modified) {
+                // HITM on an untracked line: broadcast found the owner.
                 self.private[owner].set_state(line, MesiState::Shared);
+                self.stats.writebacks += 1;
+                self.fill_llc(line);
+                self.fill_tags(core, line, MesiState::Shared);
+                self.stats.hitm_events += 1;
+                self.stats.hitm_loads += 1;
+                let queuing = self.hitm_queuing(line);
+                return AccessOutcome {
+                    latency: lat.hitm + queuing,
+                    hitm: Some(HitmEvent {
+                        requester: core,
+                        owner,
+                        line,
+                        paddr,
+                        width,
+                        kind: HitmKind::Load,
+                    }),
+                    level: ServiceLevel::RemoteDirty,
+                };
             }
-            self.fill_private(core, line, MesiState::Shared);
-            self.stats.remote_clean_transfers += 1;
-            return AccessOutcome {
-                latency: lat.remote_clean,
-                hitm: None,
-                level: ServiceLevel::RemoteClean,
-            };
+            if let Some(owner) = self.find_remote_any_clean(core, line) {
+                // Clean forward; an E owner downgrades to S. (E/S
+                // transitions do not touch the directory: the sharer bit
+                // is state-blind.)
+                if self.private[owner].peek(line) == Some(MesiState::Exclusive) {
+                    self.private[owner].set_state(line, MesiState::Shared);
+                }
+                self.fill_private(core, line, MesiState::Shared);
+                self.stats.remote_clean_transfers += 1;
+                return AccessOutcome {
+                    latency: lat.remote_clean,
+                    hitm: None,
+                    level: ServiceLevel::RemoteClean,
+                };
+            }
         }
-        if self.llc.lookup(line).is_some() {
+        if self.llc.lookup(line) {
             self.fill_private(core, line, MesiState::Exclusive);
             self.stats.llc_hits += 1;
             return AccessOutcome {
@@ -354,8 +456,10 @@ impl Machine {
             Some(MesiState::Exclusive) => {
                 // Silent E→M upgrade.
                 self.private[core].set_state(line, MesiState::Modified);
-                if self.dir_enabled {
-                    self.dir.get_mut(line).expect("tracked line").owner = core as u8;
+                if !self.dir.is_empty() {
+                    if let Some(e) = self.dir.get_mut(line) {
+                        e.owner = core as u8;
+                    }
                 }
                 self.stats.local_hits += 1;
                 return AccessOutcome {
@@ -365,12 +469,14 @@ impl Machine {
                 };
             }
             Some(MesiState::Shared) => {
-                // Invalidating upgrade: kill every other copy.
-                let n = self.invalidate_others(core, line);
+                // Invalidating upgrade: kill every other copy. A tracked
+                // line claims ownership and walks its sharer bitmap in one
+                // directory touch; untracked lines broadcast.
+                let n = match self.dir_claim_exclusive(core, line) {
+                    Some(n) => n,
+                    None => self.invalidate_others(core, line),
+                };
                 self.private[core].set_state(line, MesiState::Modified);
-                if self.dir_enabled {
-                    self.dir.get_mut(line).expect("tracked line").owner = core as u8;
-                }
                 self.stats.local_hits += 1;
                 self.stats.invalidations += n;
                 return AccessOutcome {
@@ -381,53 +487,147 @@ impl Machine {
             }
             None => {}
         }
-        // Miss: request for ownership.
-        if let Some(owner) = self.remote_modified(core, line) {
-            // The dirty owner forwards the line and is invalidated.
-            self.private[owner].invalidate(line);
-            if self.dir_enabled {
-                self.dir_drop_sharer(line, owner);
+        // Miss: request for ownership. A tracked line answers the owner
+        // query, performs the handoff bookkeeping, and advances the HITM
+        // streak in a single directory touch; untracked lines fall through
+        // to the broadcast probes below.
+        let mut tracked = false;
+        if self.dir_enabled && !self.dir.is_empty() {
+            self.dir_stats.probes += 1;
+            let seq = self.stats.accesses;
+            if let Some(e) = self.dir.get_mut(line) {
+                self.dir_stats.hits += 1;
+                tracked = true;
+                debug_assert_eq!(e.sharers & (1u64 << core), 0, "local miss but bit set");
+                if e.owner != NO_OWNER {
+                    // M → M handoff: SWMR means the old owner was the only
+                    // holder, so the entry now describes exactly the new
+                    // writer. Keeping the entry (rather than drop +
+                    // re-install) is what holds a promoted line under the
+                    // directory through ping-pong.
+                    let owner = e.owner as usize;
+                    debug_assert_eq!(e.sharers, 1u64 << owner, "M line with extra sharers");
+                    e.sharers = 1u64 << core;
+                    e.owner = core as u8;
+                    let queuing = e.hitm_streak_step(seq, &lat);
+                    debug_assert_eq!(
+                        Some(owner),
+                        self.find_remote(core, line, MesiState::Modified),
+                        "directory/snoop divergence on remote-M query for {line:?}"
+                    );
+                    // The dirty owner forwards the line and is invalidated.
+                    self.private[owner].invalidate(line);
+                    self.stats.writebacks += 1;
+                    self.stats.invalidations += 1;
+                    self.fill_llc(line);
+                    self.fill_tags(core, line, MesiState::Modified);
+                    self.stats.hitm_events += 1;
+                    self.stats.hitm_stores += 1;
+                    let hitm_kind = if kind == AccessKind::Rmw {
+                        HitmKind::Load
+                    } else {
+                        HitmKind::Store
+                    };
+                    return AccessOutcome {
+                        latency: lat.hitm + lat.invalidate + queuing,
+                        hitm: Some(HitmEvent {
+                            requester: core,
+                            owner,
+                            line,
+                            paddr,
+                            width,
+                            kind: hitm_kind,
+                        }),
+                        level: ServiceLevel::RemoteDirty,
+                    };
+                }
+                let bits = e.sharers;
+                if bits != 0 {
+                    // Clean remote holders: claim the entry for the writer
+                    // and invalidate every copy the bitmap lists.
+                    e.sharers = 1u64 << core;
+                    e.owner = core as u8;
+                    debug_assert_eq!(
+                        Some(bits.trailing_zeros() as usize),
+                        self.find_remote_any_clean(core, line),
+                        "directory/snoop divergence on remote-clean query for {line:?}"
+                    );
+                    let mut rest = bits;
+                    let mut n = 0;
+                    while rest != 0 {
+                        let c = rest.trailing_zeros() as usize;
+                        rest &= rest - 1;
+                        let was = self.private[c].invalidate(line);
+                        debug_assert!(was.is_some(), "directory listed a non-holder {c}");
+                        n += 1;
+                    }
+                    debug_assert!(
+                        self.find_remote_any_clean(core, line).is_none(),
+                        "sibling copy survived a tracked invalidation of {line:?}"
+                    );
+                    self.stats.invalidations += n;
+                    self.fill_tags(core, line, MesiState::Modified);
+                    self.stats.remote_clean_transfers += 1;
+                    return AccessOutcome {
+                        latency: lat.remote_clean + lat.invalidate,
+                        hitm: None,
+                        level: ServiceLevel::RemoteClean,
+                    };
+                }
+                // Drained sticky entry: no sibling copies — skip the
+                // broadcasts; the Modified fill below re-claims the entry.
+                debug_assert!(
+                    self.find_remote_any_clean(core, line).is_none()
+                        && self.find_remote(core, line, MesiState::Modified).is_none(),
+                    "drained entry but a sibling holds {line:?}"
+                );
             }
-            self.stats.writebacks += 1;
-            self.stats.invalidations += 1;
-            self.fill_llc(line);
-            self.fill_private(core, line, MesiState::Modified);
-            self.stats.hitm_events += 1;
-            self.stats.hitm_stores += 1;
-            let queuing = self.hitm_queuing(line);
-            let hitm_kind = if kind == AccessKind::Rmw {
-                // RMWs are reported as loads by the HITM load event (the
-                // load half of the RMW performs the snoop).
-                HitmKind::Load
-            } else {
-                HitmKind::Store
-            };
-            return AccessOutcome {
-                latency: lat.hitm + lat.invalidate + queuing,
-                hitm: Some(HitmEvent {
-                    requester: core,
-                    owner,
-                    line,
-                    paddr,
-                    width,
-                    kind: hitm_kind,
-                }),
-                level: ServiceLevel::RemoteDirty,
-            };
         }
-        let had_clean_remote = self.remote_any_clean(core, line).is_some();
-        if had_clean_remote {
-            let n = self.invalidate_others(core, line);
-            self.stats.invalidations += n;
-            self.fill_private(core, line, MesiState::Modified);
-            self.stats.remote_clean_transfers += 1;
-            return AccessOutcome {
-                latency: lat.remote_clean + lat.invalidate,
-                hitm: None,
-                level: ServiceLevel::RemoteClean,
-            };
+        if !tracked {
+            if let Some(owner) = self.find_remote(core, line, MesiState::Modified) {
+                // HITM on an untracked line: the dirty owner forwards the
+                // line and is invalidated.
+                self.private[owner].invalidate(line);
+                self.stats.writebacks += 1;
+                self.stats.invalidations += 1;
+                self.fill_llc(line);
+                self.fill_tags(core, line, MesiState::Modified);
+                self.stats.hitm_events += 1;
+                self.stats.hitm_stores += 1;
+                let queuing = self.hitm_queuing(line);
+                let hitm_kind = if kind == AccessKind::Rmw {
+                    // RMWs are reported as loads by the HITM load event
+                    // (the load half of the RMW performs the snoop).
+                    HitmKind::Load
+                } else {
+                    HitmKind::Store
+                };
+                return AccessOutcome {
+                    latency: lat.hitm + lat.invalidate + queuing,
+                    hitm: Some(HitmEvent {
+                        requester: core,
+                        owner,
+                        line,
+                        paddr,
+                        width,
+                        kind: hitm_kind,
+                    }),
+                    level: ServiceLevel::RemoteDirty,
+                };
+            }
+            if self.find_remote_any_clean(core, line).is_some() {
+                let n = self.invalidate_others(core, line);
+                self.stats.invalidations += n;
+                self.fill_private(core, line, MesiState::Modified);
+                self.stats.remote_clean_transfers += 1;
+                return AccessOutcome {
+                    latency: lat.remote_clean + lat.invalidate,
+                    hitm: None,
+                    level: ServiceLevel::RemoteClean,
+                };
+            }
         }
-        if self.llc.lookup(line).is_some() {
+        if self.llc.lookup(line) {
             self.fill_private(core, line, MesiState::Modified);
             self.stats.llc_hits += 1;
             return AccessOutcome {
@@ -446,83 +646,64 @@ impl Machine {
         }
     }
 
-    /// Queuing penalty for a HITM on `line`: grows with the current
-    /// back-to-back transfer streak, modeling coherence-fabric saturation
-    /// under sustained ping-pong.
+    /// Queuing penalty for a HITM on an *untracked* `line` (tracked lines
+    /// keep their streak inside the directory entry and never reach this
+    /// table): grows with the current back-to-back transfer streak,
+    /// modeling coherence-fabric saturation under sustained ping-pong.
+    /// The streak doubles as the second lazy promotion trigger: a line
+    /// bouncing between exclusive owners never raises its instantaneous
+    /// holder count above one, but a sustained streak proves the
+    /// broadcast is being paid over and over, so the line moves under the
+    /// directory.
     fn hitm_queuing(&mut self, line: LineAddr) -> u64 {
         let seq = self.stats.accesses;
         let lat = self.config.latency;
-        let e = self.hitm_streaks.get_or_insert(line, (seq, 0));
-        if seq.saturating_sub(e.0) < 2_000 {
-            e.1 += 1;
-        } else {
-            e.1 = 0;
+        let e = self.hitm_streaks.get_or_insert(line, (NO_HITM, 0));
+        let penalty = streak_step(seq, &lat, &mut e.0, &mut e.1);
+        // Promote exactly at the crossing, not on every later HITM: hot
+        // lines keep their streak above the threshold for the whole run
+        // and must not pay a lookup per event.
+        if e.1 == 2 && self.dir_enabled && self.config.cores > 2 {
+            self.promote_contended(line);
         }
-        e.0 = seq;
-        lat.hitm_queuing_step * e.1.min(lat.hitm_queuing_cap)
+        penalty
     }
 
-    /// The sibling cache (not `core`) holding `line` Modified, if any.
-    /// SWMR makes the holder unique, so the directory's owner field and the
-    /// ascending broadcast probe agree by construction.
-    #[inline]
-    fn remote_modified(&mut self, core: CoreId, line: LineAddr) -> Option<CoreId> {
-        if !self.dir_enabled {
-            return self.find_remote(core, line, MesiState::Modified);
-        }
-        self.dir_stats.probes += 1;
-        let answer = match self.dir.get(line) {
-            Some(e) => {
-                self.dir_stats.hits += 1;
-                match e.owner {
-                    NO_OWNER => None,
-                    o if o as usize == core => None,
-                    o => Some(o as usize),
+    /// Scans the tag arrays for `line`'s holders and Modified owner, and
+    /// carries over any broadcast-path streak state — the one-time cost
+    /// of promoting a line into the directory.
+    fn scan_holders(&self, line: LineAddr) -> DirEntry {
+        let mut sharers = 0u64;
+        let mut owner = NO_OWNER;
+        for c in 0..self.config.cores {
+            if let Some(s) = self.private[c].peek(line) {
+                sharers |= 1u64 << c;
+                if s == MesiState::Modified {
+                    owner = c as u8;
                 }
             }
-            None => None,
-        };
-        debug_assert_eq!(
-            answer,
-            self.find_remote(core, line, MesiState::Modified),
-            "directory/snoop divergence on remote-M query for {line:?}"
-        );
-        answer
+        }
+        let (last_hitm, streak) = self.hitm_streaks.get(line).copied().unwrap_or((NO_HITM, 0));
+        DirEntry {
+            sharers,
+            last_hitm,
+            streak: streak.min(u32::MAX as u64) as u32,
+            owner,
+        }
     }
 
-    /// The lowest-numbered sibling cache holding `line` clean (E or S), if
-    /// any. Matches the reference broadcast, which scans cores in
-    /// ascending order, by taking the lowest set sharer bit.
-    #[inline]
-    fn remote_any_clean(&mut self, core: CoreId, line: LineAddr) -> Option<CoreId> {
-        if !self.dir_enabled {
-            return self.find_remote_any_clean(core, line);
+    /// Promotes a HITM-streaking line that the holder-count trigger can
+    /// never catch (ownership ping-pong keeps the count at one). Out of
+    /// line so the common single-HITM case stays branch-only.
+    #[inline(never)]
+    fn promote_contended(&mut self, line: LineAddr) {
+        if self.dir.get(line).is_some() {
+            return;
         }
-        self.dir_stats.probes += 1;
-        let answer = match self.dir.get(line) {
-            Some(e) => {
-                self.dir_stats.hits += 1;
-                // Clean holders: every sharer except the requester and the
-                // M owner. (Callers only query after ruling out a remote M
-                // owner, so the owner mask is defensive.)
-                let mut bits = e.sharers & !(1u64 << core);
-                if e.owner != NO_OWNER {
-                    bits &= !(1u64 << e.owner);
-                }
-                if bits == 0 {
-                    None
-                } else {
-                    Some(bits.trailing_zeros() as usize)
-                }
-            }
-            None => None,
-        };
-        debug_assert_eq!(
-            answer,
-            self.find_remote_any_clean(core, line),
-            "directory/snoop divergence on remote-clean query for {line:?}"
-        );
-        answer
+        let e = self.scan_holders(line);
+        self.dir.insert(line, e);
+        self.dir_stats.installs += 1;
+        self.dir_stats.promotions += 1;
     }
 
     /// Reference path: finds a sibling cache (not `core`) holding `line` in
@@ -543,91 +724,121 @@ impl Machine {
         })
     }
 
-    /// Invalidates `line` in every cache except `core`, returning the count.
-    fn invalidate_others(&mut self, core: CoreId, line: LineAddr) -> u64 {
-        if !self.dir_enabled {
-            let mut n = 0;
-            for c in 0..self.config.cores {
-                if c != core && self.private[c].invalidate(line).is_some() {
-                    n += 1;
-                }
-            }
-            return n;
+    /// Tracked-line invalidating upgrade for a writer that already holds
+    /// the line Shared: one directory touch claims exclusive ownership for
+    /// `core`, then the copied bitmap drives the invalidations — no
+    /// broadcast, no second lookup. Returns `None` when the line is
+    /// untracked (caller falls back to [`Machine::invalidate_others`]).
+    fn dir_claim_exclusive(&mut self, core: CoreId, line: LineAddr) -> Option<u64> {
+        if !self.dir_enabled || self.dir.is_empty() {
+            return None;
         }
+        self.dir_stats.probes += 1;
+        let e = self.dir.get_mut(line)?;
+        self.dir_stats.hits += 1;
+        // The requester holds the line Shared, so MESI says no core holds
+        // it Modified.
+        debug_assert_eq!(e.owner, NO_OWNER, "S upgrade with an M owner for {line:?}");
+        let bits = e.sharers & !(1u64 << core);
+        e.sharers = 1u64 << core;
+        e.owner = core as u8;
+        let mut rest = bits;
         let mut n = 0;
-        if let Some(e) = self.dir.get(line).copied() {
-            let mut bits = e.sharers & !(1u64 << core);
-            while bits != 0 {
-                let c = bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let was = self.private[c].invalidate(line);
-                debug_assert!(was.is_some(), "directory listed a non-holder {c}");
+        while rest != 0 {
+            let c = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let was = self.private[c].invalidate(line);
+            debug_assert!(was.is_some(), "directory listed a non-holder {c}");
+            n += 1;
+        }
+        debug_assert!(
+            self.find_remote_any_clean(core, line).is_none(),
+            "sibling copy survived a tracked invalidation of {line:?}"
+        );
+        Some(n)
+    }
+
+    /// Reference path: invalidates `line` in every sibling cache by
+    /// probing all cores in ascending order, returning the count. Only
+    /// reached for untracked lines, so there is no directory entry to
+    /// maintain.
+    fn invalidate_others(&mut self, core: CoreId, line: LineAddr) -> u64 {
+        let mut n = 0;
+        for c in 0..self.config.cores {
+            if c != core && self.private[c].invalidate(line).is_some() {
                 n += 1;
             }
-            let e = self.dir.get_mut(line).expect("tracked line");
-            e.sharers &= 1u64 << core;
-            if e.owner != NO_OWNER && e.owner as usize != core {
-                e.owner = NO_OWNER;
-            }
-            if e.sharers == 0 {
-                self.dir.remove(line);
-                self.dir_stats.removals += 1;
-            }
         }
-        debug_assert_eq!(n, {
-            // After the fact every sibling copy is gone either way; check
-            // against the stats-visible count the reference would produce.
-            let mut left = 0;
-            for c in 0..self.config.cores {
-                if c != core && self.private[c].peek(line).is_some() {
-                    left += 1;
-                }
-            }
-            n + left // `left` must be 0
-        });
         n
     }
 
-    /// Drops `core`'s sharer bit for `line` (cache eviction or snoop
-    /// invalidation already applied to the tag array).
+    /// Drops `core`'s sharer bit for `line` (cache eviction already
+    /// applied to the tag array). A no-op for untracked lines. Promotion
+    /// is sticky: an entry whose sharer set drains to empty is *kept* —
+    /// it answers "no remote holder" in O(1), and the next fill re-adds
+    /// the holder without a re-promotion scan.
     fn dir_drop_sharer(&mut self, line: LineAddr, core: CoreId) {
-        let e = self.dir.get_mut(line).expect("tracked line");
+        if self.dir.is_empty() {
+            return;
+        }
+        let Some(e) = self.dir.get_mut(line) else {
+            return;
+        };
         e.sharers &= !(1u64 << core);
         if e.owner as usize == core {
             e.owner = NO_OWNER;
         }
         if e.sharers == 0 {
-            self.dir.remove(line);
             self.dir_stats.removals += 1;
         }
     }
 
-    fn fill_private(&mut self, core: CoreId, line: LineAddr, state: MesiState) {
+    /// Tag-array insert plus victim handling, without the requester-line
+    /// directory update — for callers that fold that update into a
+    /// directory touch they make anyway (the HITM handoff paths).
+    fn fill_tags(&mut self, core: CoreId, line: LineAddr, state: MesiState) {
         if let Insertion::Evicted { line: v, dirty } = self.private[core].insert(line, state) {
             if dirty {
                 self.stats.writebacks += 1;
-                self.llc.insert(v, MesiState::Modified);
+                self.llc.insert(v);
             }
             if self.dir_enabled {
                 self.dir_drop_sharer(v, core);
             }
         }
-        if self.dir_enabled {
-            let installs = &mut self.dir_stats.installs;
-            let e = self.dir.get_or_insert(line, DirEntry::default());
-            if e.sharers == 0 {
-                *installs += 1;
-            }
+    }
+
+    fn fill_private(&mut self, core: CoreId, line: LineAddr, state: MesiState) {
+        self.fill_tags(core, line, state);
+        // Machines with one or two cores can never reach three sharers,
+        // so their directory is permanently empty: skip every probe.
+        if !self.dir_enabled || self.config.cores <= 2 {
+            return;
+        }
+        if let Some(e) = self.dir.get_mut(line) {
+            // Already tracked: update in place.
             e.sharers |= 1u64 << core;
             if state == MesiState::Modified {
                 e.owner = core as u8;
+            }
+        } else if state == MesiState::Shared {
+            // Lazy activation, trigger one: an untracked line is promoted
+            // on the fill that takes its holder count past two. Only a
+            // Shared fill can do that — an Exclusive fill means no other
+            // holder existed and a Modified fill just invalidated every
+            // other copy, so neither pays the scan.
+            let e = self.scan_holders(line);
+            if e.sharers.count_ones() >= 3 {
+                self.dir.insert(line, e);
+                self.dir_stats.installs += 1;
+                self.dir_stats.promotions += 1;
             }
         }
     }
 
     fn fill_llc(&mut self, line: LineAddr) {
         // LLC victims just fall to memory; nothing to track.
-        let _ = self.llc.insert(line, MesiState::Shared);
+        self.llc.insert(line);
     }
 
     /// Read-only view of one core's private cache (tests, memory stats).
@@ -635,10 +846,13 @@ impl Machine {
         &self.private[core]
     }
 
-    /// Asserts that the directory exactly mirrors the tag arrays: every
-    /// resident line's sharer set and Modified owner match, and the
-    /// directory tracks no line absent from every private cache. Testing
-    /// hook; a no-op while the directory is disabled.
+    /// Asserts that the directory is a consistent *subset* of the tag
+    /// arrays: every tracked line with a non-empty sharer set matches the
+    /// caches exactly, and every drained (sticky) entry tracks a line no
+    /// cache holds. Lazy activation means untracked resident lines are
+    /// fine (they answer by broadcast); a tracked line the caches disagree
+    /// with is a bug. Testing hook; a no-op while the directory is
+    /// disabled.
     pub fn assert_directory_consistent(&self) {
         if !self.dir_enabled {
             return;
@@ -655,14 +869,17 @@ impl Machine {
                 }
             });
         }
-        assert_eq!(
-            self.dir.len(),
-            expected.len(),
-            "directory tracks {} lines, caches hold {}",
-            self.dir.len(),
-            expected.len()
-        );
         self.dir.for_each(|line, e| {
+            if e.sharers == 0 {
+                // Sticky entry: every copy evicted, kept to answer "no
+                // holders" without a broadcast. No owner without a copy.
+                assert_eq!(e.owner, NO_OWNER, "owner on a drained entry {line:?}");
+                assert!(
+                    !expected.contains_key(&line),
+                    "drained entry but caches hold {line:?}"
+                );
+                return;
+            }
             let want = expected
                 .get(&line)
                 .unwrap_or_else(|| panic!("directory tracks evicted line {line:?}"));
@@ -840,25 +1057,81 @@ mod tests {
 
     #[test]
     fn directory_survives_evictions() {
-        // A 1-set/1-way private cache forces an eviction on every distinct
-        // line; the directory must track exactly the resident lines.
+        // Tiny private caches over a small hot set: lines get promoted
+        // (three or more sharers), then constantly evicted and refilled.
+        // The directory must stay a consistent subset of the tag arrays
+        // throughout, and last-copy evictions must drop entries.
         let cfg = MachineConfig {
-            cores: 2,
-            private_cache: CacheConfig { sets: 1, ways: 2 },
+            cores: 4,
+            private_cache: CacheConfig { sets: 2, ways: 2 },
             llc: CacheConfig::llc_default(),
             latency: LatencyModel::haswell(),
         };
         let mut m = Machine::new(cfg);
-        for i in 0..64u64 {
-            let core = (i % 2) as usize;
-            let kind = if i % 3 == 0 {
+        let mut x = 0x1234_5678u64;
+        for _ in 0..2_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let core = (x % 4) as usize;
+            let addr = a((x >> 4) % (16 * 64)); // 16 lines: shared and thrashed
+            let kind = if x % 5 == 0 {
                 AccessKind::Store
             } else {
                 AccessKind::Load
             };
-            m.access(core, a(i * 64), kind, Width::W8);
+            m.access(core, addr, kind, Width::W8);
             m.assert_directory_consistent();
         }
+        assert!(
+            m.dir_stats().promotions > 0,
+            "workload never promoted a line"
+        );
+        assert!(
+            m.dir_stats().removals > 0,
+            "evictions never emptied an entry"
+        );
+    }
+
+    #[test]
+    fn promotion_happens_on_the_third_sharer() {
+        let mut m = machine(4);
+        m.access(0, a(0xA000), AccessKind::Load, Width::W8);
+        m.access(1, a(0xA000), AccessKind::Load, Width::W8);
+        // Two holders: still on broadcast.
+        assert_eq!(m.dir_stats().promotions, 0);
+        m.access(2, a(0xA000), AccessKind::Load, Width::W8);
+        // Third holder: promoted with the exact sharer set.
+        assert_eq!(m.dir_stats().promotions, 1);
+        m.assert_directory_consistent();
+        // A write from a fourth core invalidates the sharers but keeps the
+        // line tracked: the next remote query answers from the directory.
+        m.access(3, a(0xA000), AccessKind::Store, Width::W8);
+        m.assert_directory_consistent();
+        let hits = m.dir_stats().hits;
+        let o = m.access(0, a(0xA000), AccessKind::Load, Width::W8);
+        assert_eq!(o.level, ServiceLevel::RemoteDirty);
+        assert!(
+            m.dir_stats().hits > hits,
+            "tracked line answered by broadcast"
+        );
+        assert_eq!(m.dir_stats().promotions, 1, "no re-promotion churn");
+    }
+
+    #[test]
+    fn two_core_machines_never_promote() {
+        // With at most two cores a line cannot reach three sharers, so the
+        // directory stays empty and every query takes the broadcast path.
+        let mut m = machine(2);
+        for i in 0..100u64 {
+            let addr = a((i % 8) * 64);
+            m.access(0, addr, AccessKind::Load, Width::W8);
+            m.access(1, addr, AccessKind::Load, Width::W8);
+        }
+        assert_eq!(m.dir_stats().promotions, 0);
+        assert_eq!(m.dir_stats().installs, 0);
+        assert_eq!(m.dir_stats().hits, 0);
+        m.assert_directory_consistent();
     }
 
     #[test]

@@ -41,6 +41,7 @@
 pub mod addr;
 pub mod cache;
 pub mod coherence;
+mod dirtab;
 pub mod flat;
 pub mod hitm;
 pub mod latency;

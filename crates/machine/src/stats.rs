@@ -67,14 +67,20 @@ impl MetricSource for MachineStats {
 /// All zero when the directory is disabled.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DirStats {
-    /// Remote queries answered from the directory instead of a broadcast.
+    /// Remote queries consulted against a non-empty directory.
     pub probes: u64,
-    /// Probes that found the line tracked (some private cache holds it).
+    /// Probes that found the line tracked — the broadcast snoop the
+    /// directory answer replaced. Untracked lines fall back to broadcast.
     pub hits: u64,
-    /// Lines that entered the directory (first private-cache fill).
+    /// Directory entries created (lazy promotions plus toggle rebuilds).
     pub installs: u64,
-    /// Lines dropped when their last sharer evicted or was invalidated.
+    /// Tracked lines whose sharer set drained to empty (last private
+    /// copy evicted). Sticky entries are retained, so this counts drain
+    /// events rather than table deletions.
     pub removals: u64,
+    /// Lazy-activation promotions: broadcast-tracked lines whose sharer
+    /// count first exceeded two and moved under the directory.
+    pub promotions: u64,
 }
 
 impl MetricSource for DirStats {
@@ -83,6 +89,7 @@ impl MetricSource for DirStats {
         out.u64("hits", self.hits);
         out.u64("installs", self.installs);
         out.u64("removals", self.removals);
+        out.u64("promotions", self.promotions);
     }
 }
 

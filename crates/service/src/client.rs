@@ -3,11 +3,103 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use tmi_bench::JobSpec;
 use tmi_telemetry::json::{self, Json};
 
 use crate::proto;
+
+/// Deadlines and retry policy for a hardened client.
+///
+/// Every field has a bounded default so a vanished daemon turns into an
+/// error the caller can act on instead of a read that blocks forever.
+/// Retried submissions are safe because replies are deterministic
+/// functions of the [`JobSpec`]: a resubmission either hits the result
+/// cache or recomputes the identical payload.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Deadline for each blocking read (accept/progress/result lines).
+    pub read_timeout: Duration,
+    /// Additional attempts after the first (0 = single shot).
+    pub retries: u32,
+    /// Base backoff between attempts; doubles per attempt plus jitter.
+    pub backoff_base_ms: u64,
+    /// Seed for the deterministic backoff jitter.
+    pub retry_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(30),
+            retries: 3,
+            backoff_base_ms: 50,
+            retry_seed: 1,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Whether a `run` error is transient — worth a fresh connection —
+/// rather than a server verdict on the job itself.
+fn is_transient(err: &str) -> bool {
+    err.starts_with("connect failed")
+        || err.starts_with("send failed")
+        || err.starts_with("receive failed")
+        || err.starts_with("server closed")
+        || err.starts_with("rejected (draining)")
+}
+
+/// Submits `spec` with bounded retries: each attempt opens a fresh
+/// connection under `cfg`'s deadlines, and transient failures (refused
+/// or dropped connections, read timeouts, `draining` rejections) back
+/// off with seeded jitter before resubmitting. Non-transient verdicts
+/// (quota, bad request, job failure) surface immediately. The terminal
+/// error is a single actionable line carrying the address, elapsed
+/// time, and attempt count.
+pub fn run_with_retry(
+    addr: &str,
+    cfg: &ClientConfig,
+    tenant: &str,
+    spec: &JobSpec,
+    priority: usize,
+    fresh: bool,
+    mut on_progress: impl FnMut(&Progress),
+) -> Result<RunOutcome, String> {
+    let started = Instant::now();
+    let attempts = cfg.retries + 1;
+    let mut last = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            let base = cfg.backoff_base_ms << (attempt - 1).min(6);
+            let jitter = splitmix64(cfg.retry_seed.wrapping_add(u64::from(attempt)))
+                % cfg.backoff_base_ms.max(1);
+            std::thread::sleep(Duration::from_millis(base + jitter));
+        }
+        let result = Client::connect_with(addr, cfg)
+            .map_err(|e| format!("connect failed: {e}"))
+            .and_then(|mut c| c.run(tenant, spec, priority, fresh, &mut on_progress));
+        match result {
+            Ok(out) => return Ok(out),
+            Err(e) if is_transient(&e) => last = e,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(format!(
+        "run failed after {attempts} attempts over {:.1}s against {addr}: {last}",
+        started.elapsed().as_secs_f64(),
+    ))
+}
 
 /// The terminal outcome of one submitted job.
 #[derive(Clone, Debug)]
@@ -44,9 +136,30 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server (no deadlines — test/library use).
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Connects under `cfg`'s connect deadline and arms its read
+    /// deadline on the stream, so a daemon that vanishes mid-reply
+    /// yields a timeout error instead of blocking forever.
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: &ClientConfig) -> std::io::Result<Client> {
+        let mut last = std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no address");
+        for resolved in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&resolved, cfg.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(cfg.read_timeout))?;
+                    return Client::from_stream(stream);
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<Client> {
         stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {
@@ -140,6 +253,22 @@ impl Client {
         let v = json::parse(&line).map_err(|e| format!("bad reply {line:?}: {e}"))?;
         match v.get("type").and_then(Json::as_str) {
             Some("stats") => Ok(extract_object(&line, "\"metrics\": ")),
+            _ => Err(format!("unexpected reply {line:?}")),
+        }
+    }
+
+    /// Asks the server to drain gracefully (finish in-flight jobs,
+    /// flush durable state, exit); returns once acknowledged.
+    pub fn drain(&mut self) -> Result<(), String> {
+        self.send("{\"type\": \"drain\"}")?;
+        let line = self.recv()?;
+        match json::parse(&line)
+            .ok()
+            .as_ref()
+            .and_then(|v| v.get("type"))
+            .and_then(Json::as_str)
+        {
+            Some("ok") => Ok(()),
             _ => Err(format!("unexpected reply {line:?}")),
         }
     }

@@ -35,15 +35,19 @@
 //! with to prove retried results stay byte-identical.
 
 pub mod client;
+pub mod journal;
+pub mod persist;
 pub mod proto;
 pub mod queue;
 pub mod server;
 pub mod stats;
 
-pub use client::{Client, Progress, RunOutcome};
+pub use client::{run_with_retry, Client, ClientConfig, Progress, RunOutcome};
+pub use journal::{Journal, JournalRecord};
+pub use persist::{CacheSpill, FrameLog};
 pub use proto::Request;
 pub use queue::BoundedQueue;
-pub use server::{chaos_plan, Service, ServiceConfig, ServiceReport};
+pub use server::{chaos_plan, persist_chaos_plan, Service, ServiceConfig, ServiceReport};
 pub use stats::{service_metric_names, ServiceStats};
 
 // The spec type is re-exported so service users need not also depend on

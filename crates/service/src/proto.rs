@@ -14,13 +14,14 @@
 //!  "priority": 1, "fresh": false, "stream": true}
 //! {"type": "wait", "job_id": 3, "stream": true}
 //! {"type": "stats"}
+//! {"type": "drain"}
 //! {"type": "shutdown"}
 //! ```
 //!
 //! ## Replies
 //!
 //! `submit` answers `accepted` or `rejected` (reasons: `queue_full`,
-//! `quota_exceeded`, `bad_request`) on the first line. An accepted
+//! `quota_exceeded`, `bad_request`, `draining`) on the first line. An accepted
 //! streaming submission is followed by `progress` events — each carrying
 //! the live `service.*` metrics snapshot — and finally one `result` (or
 //! `job_error`) line. The `payload` member of a `result` line is the
@@ -63,6 +64,10 @@ pub enum Request {
     },
     /// Fetch the `service.*` metrics (including per-tenant counters).
     Stats,
+    /// Begin a graceful drain: refuse new submissions with a
+    /// `draining` rejection, finish in-flight jobs, flush durable
+    /// state, then stop.
+    Drain,
     /// Stop the server after replying.
     Shutdown,
 }
@@ -119,6 +124,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "stats" => Ok(Request::Stats),
+        "drain" => Ok(Request::Drain),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown request type {other:?}")),
     }
@@ -321,6 +327,10 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"type": "stats"}"#).unwrap(),
             Request::Stats
+        );
+        assert_eq!(
+            parse_request(r#"{"type": "drain"}"#).unwrap(),
+            Request::Drain
         );
         assert_eq!(
             parse_request(r#"{"type": "shutdown"}"#).unwrap(),

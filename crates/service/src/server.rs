@@ -25,6 +25,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -34,6 +35,8 @@ use tmi_bench::{Executor, JobSpec};
 use tmi_faultpoint::{FaultInjector, FaultPlan, FaultPoint, PointPlan};
 use tmi_telemetry::{chrome, EventKind, MetricSink, MetricsSnapshot, PhaseProfile, TraceEvent};
 
+use crate::journal::{Journal, JournalRecord};
+use crate::persist::CacheSpill;
 use crate::proto::{self, Request, PRIORITIES};
 use crate::queue::BoundedQueue;
 use crate::stats::ServiceStats;
@@ -56,8 +59,16 @@ pub struct ServiceConfig {
     /// the first happen only when a worker dies mid-job.
     pub max_attempts: u32,
     /// Fault plan for the service fault points (`worker_kill`,
-    /// `queue_full`, `cache_drop`); `None` runs clean.
+    /// `queue_full`, `cache_drop`, `journal_tear`, `cache_corrupt`,
+    /// `flush_fail`); `None` runs clean.
     pub faults: Option<FaultPlan>,
+    /// Durable-state directory (job journal + result-cache spill).
+    /// `None` runs fully in-memory, exactly as before this layer
+    /// existed. With a directory, a restarted daemon replays the
+    /// journal (re-enqueueing unfinished jobs and rebuilding tenant
+    /// quota state) and reloads the spilled cache, so warm restarts
+    /// serve byte-identical cached replies without re-simulating.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -69,6 +80,7 @@ impl Default for ServiceConfig {
             default_quota: 8,
             max_attempts: 3,
             faults: None,
+            data_dir: None,
         }
     }
 }
@@ -83,6 +95,30 @@ pub fn chaos_plan(seed: u64) -> Option<FaultPlan> {
             .with(FaultPoint::WorkerKill, PointPlan::transient(2, 1))
             .with(FaultPoint::CacheDrop, PointPlan::transient(3, 1))
     })
+}
+
+/// Extends `base` with one of the deterministic persistence fault
+/// plans the crash matrix drives: `"journal"` tears every third journal
+/// frame and skips every second flush; `"cache"` corrupts every second
+/// spilled cache frame and skips every third flush. `"none"` (or any
+/// other string) leaves `base` untouched. All damage is at-rest only —
+/// replies must stay byte-identical, the faults just force replay and
+/// recompute work after a restart.
+pub fn persist_chaos_plan(kind: &str, base: Option<FaultPlan>) -> Option<FaultPlan> {
+    let base_plan = || base.clone().unwrap_or_else(FaultPlan::quiet);
+    match kind {
+        "journal" => Some(
+            base_plan()
+                .with(FaultPoint::JournalTear, PointPlan::transient(3, 1))
+                .with(FaultPoint::FlushFail, PointPlan::transient(2, 1)),
+        ),
+        "cache" => Some(
+            base_plan()
+                .with(FaultPoint::CacheCorrupt, PointPlan::transient(2, 1))
+                .with(FaultPoint::FlushFail, PointPlan::transient(3, 1)),
+        ),
+        _ => base,
+    }
 }
 
 /// Per-job progress event, retained for streaming and `wait` replay.
@@ -119,6 +155,13 @@ struct Tenant {
     rejected: u64,
 }
 
+/// One result-cache slot. `warm` marks entries loaded from the disk
+/// spill at boot (first hit on one counts as a warm-restart hit).
+struct CacheEntry {
+    payload: Arc<String>,
+    warm: bool,
+}
+
 /// Everything the connection, worker, and supervisor threads share.
 struct ServiceInner {
     cfg: ServiceConfig,
@@ -131,11 +174,18 @@ struct ServiceInner {
     jobs: Mutex<Vec<Job>>,
     job_cv: Condvar,
     /// Result cache: canonical spec JSON → rendered payload bytes.
-    cache: Mutex<HashMap<String, Arc<String>>>,
+    cache: Mutex<HashMap<String, CacheEntry>>,
     tenants: Mutex<BTreeMap<String, Tenant>>,
     stats: ServiceStats,
     faults: Option<FaultInjector>,
     executor: Executor,
+    /// Write-ahead job journal (None without a `data_dir`).
+    journal: Option<Mutex<Journal>>,
+    /// Result-cache spill file (None without a `data_dir`).
+    spill: Option<Mutex<CacheSpill>>,
+    /// Graceful drain in progress: admission refuses, in-flight jobs
+    /// finish, then the supervisor flips `shutdown`.
+    draining: AtomicBool,
     shutdown: AtomicBool,
     /// Chrome-trace spans (one per job completion), stamped in host
     /// microseconds since boot.
@@ -208,9 +258,31 @@ impl ServiceInner {
         }
     }
 
-    /// The admission path: validate, check quota, consult the cache,
-    /// roll the `queue_full` fault, enqueue.
+    /// Appends one record to the job journal (no-op without a
+    /// `data_dir`), surfacing skipped flushes in the metrics.
+    fn journal_append(&self, record: &JournalRecord) {
+        if let Some(journal) = &self.journal {
+            let out = journal.lock().unwrap().append(record, self.faults.as_ref());
+            self.stats.inc(&self.stats.journal_appended);
+            if out.flush_skipped {
+                self.stats.inc(&self.stats.flush_fails);
+            }
+        }
+    }
+
+    /// The admission path: validate, check drain state, check quota,
+    /// consult the cache, roll the `queue_full` fault, journal, enqueue.
     fn admit(&self, tenant_name: &str, spec: JobSpec, priority: usize, fresh: bool) -> Admission {
+        // Draining servers admit nothing: the client's retry layer
+        // treats this reply as transient and resubmits elsewhere/later.
+        if self.draining.load(Ordering::SeqCst) {
+            self.stats.inc(&self.stats.drain_rejected_submits);
+            return Admission::Rejected {
+                reason: "draining",
+                detail: "server is draining; resubmit after restart".to_string(),
+            };
+        }
+
         // Reject jobs naming no known workload before they consume
         // quota. `is_litmus` is seed-parse-strict (a malformed
         // `litmus:`/`litmus+vm:` seed makes it false), so this one check
@@ -251,10 +323,20 @@ impl ServiceInner {
 
         let cache_key = spec.to_json();
         if !fresh {
-            let hit = self.cache.lock().unwrap().get(&cache_key).cloned();
-            if let Some(payload) = hit {
+            let hit = {
+                let cache = self.cache.lock().unwrap();
+                cache
+                    .get(&cache_key)
+                    .map(|e| (Arc::clone(&e.payload), e.warm))
+            };
+            if let Some((payload, warm)) = hit {
                 // Served straight from the cache: the job is born Done
-                // and never touches the rings or the workers.
+                // and never touches the rings or the workers. A `warm`
+                // entry came off disk — this hit is the restart saving
+                // a re-simulation.
+                if warm {
+                    self.stats.inc(&self.stats.cache_warm_hits);
+                }
                 self.stats.inc(&self.stats.cache_hits);
                 self.stats.inc(&self.stats.jobs_submitted);
                 self.stats.inc(&self.stats.jobs_completed);
@@ -299,6 +381,7 @@ impl ServiceInner {
 
         // Create the job, then publish its id to the priority ring.
         let snapshot = self.rendered_stats();
+        let spec_for_journal = spec.clone();
         let id = {
             let mut jobs = self.jobs.lock().unwrap();
             let id = jobs.len() as u64 + 1;
@@ -314,6 +397,16 @@ impl ServiceInner {
             jobs.push(job);
             id
         };
+        // Write-ahead: the accepted record hits the journal before the
+        // job can run (or the accepted reply can flush), so a crash
+        // from here on leaves a record to replay. A ring-full rejection
+        // below lands a terminal `failed` record after it.
+        self.journal_append(&JournalRecord::Accepted {
+            id,
+            tenant: tenant_name.to_string(),
+            priority,
+            spec: spec_for_journal,
+        });
         if self.queues[priority].push(id).is_err() {
             // Ring full: true backpressure. The job record stays as a
             // tombstone so its id never re-enters circulation.
@@ -347,6 +440,7 @@ impl ServiceInner {
 
     /// Moves a job to `Failed` and releases its tenant slot.
     fn fail_job(&self, id: u64, message: String) {
+        self.journal_append(&JournalRecord::Failed { id });
         self.stats.inc(&self.stats.jobs_failed);
         let snapshot = self.rendered_stats();
         let tenant;
@@ -380,11 +474,25 @@ impl ServiceInner {
         if self.roll(FaultPoint::CacheDrop) {
             self.stats.inc(&self.stats.cache_drops);
         } else {
-            self.cache
-                .lock()
-                .unwrap()
-                .insert(cache_key, Arc::clone(&payload));
+            if let Some(spill) = &self.spill {
+                let out = spill
+                    .lock()
+                    .unwrap()
+                    .store(&cache_key, &payload, self.faults.as_ref());
+                self.stats.inc(&self.stats.cache_stores);
+                if out.flush_skipped {
+                    self.stats.inc(&self.stats.flush_fails);
+                }
+            }
+            self.cache.lock().unwrap().insert(
+                cache_key,
+                CacheEntry {
+                    payload: Arc::clone(&payload),
+                    warm: false,
+                },
+            );
         }
+        self.journal_append(&JournalRecord::Done { id });
         self.stats.inc(&self.stats.jobs_completed);
         self.release_tenant(&tenant, true);
         let snapshot = self.rendered_stats();
@@ -418,6 +526,39 @@ impl ServiceInner {
     /// Pops the highest-priority queued job id.
     fn next_job(&self) -> Option<u64> {
         self.queues.iter().find_map(BoundedQueue::pop)
+    }
+
+    /// Flips the server into drain mode (idempotent): admission starts
+    /// refusing, and the supervisor shuts the server down once every
+    /// admitted job has reached a terminal state.
+    fn begin_drain(&self) {
+        if !self.draining.swap(true, Ordering::SeqCst) {
+            self.stats.inc(&self.stats.drain_requests);
+        }
+        self.queue_signal.1.notify_all();
+    }
+
+    /// Whether a draining server has finished its in-flight work: every
+    /// ring empty and every job terminal.
+    fn drained(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+            && self
+                .jobs
+                .lock()
+                .unwrap()
+                .iter()
+                .all(|j| matches!(j.state, JobState::Done { .. } | JobState::Failed { .. }))
+    }
+
+    /// Final durability flush on the drain path (best-effort — replay
+    /// recovers anything a failed flush loses).
+    fn flush_durable(&self) {
+        if let Some(journal) = &self.journal {
+            let _ = journal.lock().unwrap().sync();
+        }
+        if let Some(spill) = &self.spill {
+            let _ = spill.lock().unwrap().sync();
+        }
     }
 
     /// One worker thread: drain the rings; park on the condvar when
@@ -604,6 +745,10 @@ impl ServiceInner {
                     "{}",
                     proto::stats_reply(&self.stats_with_tenants().to_json(""))
                 ),
+                Request::Drain => {
+                    self.begin_drain();
+                    writeln!(writer, "{}", proto::ok())
+                }
                 Request::Shutdown => {
                     let io = writeln!(writer, "{}", proto::ok());
                     self.shutdown.store(true, Ordering::SeqCst);
@@ -648,6 +793,49 @@ impl Service {
         listener.set_nonblocking(true)?;
 
         let workers = cfg.workers;
+
+        // Crash recovery, step 1: reload durable state before anything
+        // can execute. The cache spill comes back warm; the journal is
+        // replayed (torn tail skipped) and compacted down to just the
+        // unfinished jobs, renumbered under this boot's ids 1..k.
+        let mut journal = None;
+        let mut spill = None;
+        let mut warm_cache: Vec<(String, Arc<String>)> = Vec::new();
+        let mut recovery: Option<crate::journal::Replay> = None;
+        let mut loaded_corrupt = 0u64;
+        if let Some(dir) = &cfg.data_dir {
+            std::fs::create_dir_all(dir)?;
+            let journal_path = dir.join("journal.log");
+            let spill_path = dir.join("cache.log");
+            let load = CacheSpill::load(&spill_path)?;
+            loaded_corrupt = load.corrupt_dropped + u64::from(load.torn);
+            warm_cache = load.entries;
+            let replay = Journal::replay(&journal_path)?;
+            let renumbered: Vec<JournalRecord> = replay
+                .unfinished
+                .iter()
+                .enumerate()
+                .map(|(i, rec)| match rec {
+                    JournalRecord::Accepted {
+                        tenant,
+                        priority,
+                        spec,
+                        ..
+                    } => JournalRecord::Accepted {
+                        id: i as u64 + 1,
+                        tenant: tenant.clone(),
+                        priority: *priority,
+                        spec: spec.clone(),
+                    },
+                    other => other.clone(),
+                })
+                .collect();
+            Journal::compact(&journal_path, &renumbered)?;
+            journal = Some(Mutex::new(Journal::open(&journal_path)?));
+            spill = Some(Mutex::new(CacheSpill::open(&spill_path)?));
+            recovery = Some(replay);
+        }
+
         let inner = Arc::new(ServiceInner {
             faults: cfg.faults.clone().map(FaultInjector::new),
             queues: std::array::from_fn(|_| BoundedQueue::new(cfg.queue_capacity)),
@@ -658,11 +846,130 @@ impl Service {
             tenants: Mutex::new(BTreeMap::new()),
             stats: ServiceStats::default(),
             executor: Executor::new(1),
+            journal,
+            spill,
+            draining: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             trace: Mutex::new(Vec::new()),
             started: Instant::now(),
             cfg,
         });
+
+        // Crash recovery, step 2: publish the recovered state. Warm
+        // cache entries answer admission hits without re-simulating;
+        // unfinished jobs are re-created (under their compacted ids)
+        // and re-enqueued so each re-executes exactly once; tenant
+        // accounting picks up where the dead process left off.
+        for (key, payload) in warm_cache {
+            inner.stats.inc(&inner.stats.cache_loaded);
+            inner.cache.lock().unwrap().insert(
+                key,
+                CacheEntry {
+                    payload,
+                    warm: true,
+                },
+            );
+        }
+        for _ in 0..loaded_corrupt {
+            inner.stats.inc(&inner.stats.cache_corrupt_dropped);
+        }
+        if let Some(replay) = recovery {
+            inner.stats.inc(&inner.stats.journal_compactions);
+            for _ in 0..replay.records {
+                inner.stats.inc(&inner.stats.journal_replayed);
+            }
+            for _ in 0..replay.skipped {
+                inner.stats.inc(&inner.stats.journal_torn_skipped);
+            }
+            for (name, submitted, completed) in replay.tenants {
+                inner.stats.inc(&inner.stats.tenants);
+                inner.tenants.lock().unwrap().insert(
+                    name,
+                    Tenant {
+                        quota: inner.cfg.default_quota,
+                        outstanding: 0,
+                        submitted,
+                        completed,
+                        rejected: 0,
+                    },
+                );
+            }
+            for rec in replay.unfinished {
+                let JournalRecord::Accepted {
+                    tenant,
+                    priority,
+                    spec,
+                    ..
+                } = rec
+                else {
+                    continue;
+                };
+                let priority = priority.min(PRIORITIES - 1);
+                inner.stats.inc(&inner.stats.jobs_submitted);
+
+                // If the job's payload survived in the spilled cache
+                // (its `done` journal record was torn but the result
+                // store landed), it is born Done from the warm entry —
+                // re-simulating would be pure waste. Otherwise it
+                // re-enqueues and re-executes exactly once.
+                let warm_payload = {
+                    let cache = inner.cache.lock().unwrap();
+                    cache.get(&spec.to_json()).map(|e| Arc::clone(&e.payload))
+                };
+                if let Some(payload) = warm_payload {
+                    inner.stats.inc(&inner.stats.cache_hits);
+                    inner.stats.inc(&inner.stats.cache_warm_hits);
+                    inner.stats.inc(&inner.stats.jobs_completed);
+                    if let Some(t) = inner.tenants.lock().unwrap().get_mut(&tenant) {
+                        t.completed += 1;
+                    }
+                    let snapshot = inner.rendered_stats();
+                    let id = {
+                        let mut jobs = inner.jobs.lock().unwrap();
+                        let id = jobs.len() as u64 + 1;
+                        let mut job = Job {
+                            tenant,
+                            spec,
+                            priority,
+                            attempts: 0,
+                            state: JobState::Done {
+                                payload,
+                                cached: true,
+                            },
+                            events: Vec::new(),
+                        };
+                        ServiceInner::push_event(&mut job, "done", snapshot);
+                        jobs.push(job);
+                        id
+                    };
+                    inner.journal_append(&JournalRecord::Done { id });
+                    continue;
+                }
+
+                let snapshot = inner.rendered_stats();
+                let id = {
+                    let mut jobs = inner.jobs.lock().unwrap();
+                    let id = jobs.len() as u64 + 1;
+                    let mut job = Job {
+                        tenant: tenant.clone(),
+                        spec,
+                        priority,
+                        attempts: 0,
+                        state: JobState::Queued,
+                        events: Vec::new(),
+                    };
+                    ServiceInner::push_event(&mut job, "queued", snapshot);
+                    jobs.push(job);
+                    id
+                };
+                if let Some(t) = inner.tenants.lock().unwrap().get_mut(&tenant) {
+                    t.outstanding += 1;
+                }
+                if inner.queues[priority].push(id).is_err() {
+                    inner.fail_job(id, "recovery re-enqueue: queue full".to_string());
+                }
+            }
+        }
 
         let spawn_worker = |inner: Arc<ServiceInner>, idx: u64| {
             std::thread::Builder::new()
@@ -686,6 +993,15 @@ impl Service {
                             let _ = handle.join();
                         }
                         return;
+                    }
+                    // Drain completion: once every admitted job is
+                    // terminal, flush durable state and stop cleanly.
+                    if inner.draining.load(Ordering::SeqCst) && inner.drained() {
+                        inner.flush_durable();
+                        inner.shutdown.store(true, Ordering::SeqCst);
+                        inner.queue_signal.1.notify_all();
+                        inner.job_cv.notify_all();
+                        continue;
                     }
                     for (idx, handle) in pool.iter_mut() {
                         if handle.is_finished() {
@@ -742,6 +1058,20 @@ impl Service {
     /// A live `service.*` snapshot (aggregates only).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.inner.stats.snapshot()
+    }
+
+    /// Begins a graceful drain without a client connection (the signal
+    /// handlers in `tmi_serve` use this): admission starts refusing
+    /// with `draining` replies, in-flight jobs finish, durable state is
+    /// flushed, then the server stops and [`Service::wait`] returns.
+    pub fn begin_drain(&self) {
+        self.inner.begin_drain();
+    }
+
+    /// Whether the server has fully stopped (drain finished or
+    /// shutdown requested) — pollable without consuming the handle.
+    pub fn is_stopped(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
     }
 
     /// Requests shutdown without a client connection (tests/embedders).

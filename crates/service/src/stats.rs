@@ -46,6 +46,28 @@ pub struct ServiceStats {
     pub queue_peak_depth: AtomicU64,
     /// Distinct tenants seen since boot.
     pub tenants: AtomicU64,
+    /// Journal records appended (write-ahead accepted/done/failed).
+    pub journal_appended: AtomicU64,
+    /// Intact journal records replayed at boot.
+    pub journal_replayed: AtomicU64,
+    /// Torn/corrupt journal records skipped during replay.
+    pub journal_torn_skipped: AtomicU64,
+    /// Boot-time journal compactions (rewrite to unfinished jobs only).
+    pub journal_compactions: AtomicU64,
+    /// Result payloads spilled to the on-disk cache.
+    pub cache_stores: AtomicU64,
+    /// Cache entries loaded intact from disk at boot.
+    pub cache_loaded: AtomicU64,
+    /// Admission cache hits served from a disk-loaded (warm) entry.
+    pub cache_warm_hits: AtomicU64,
+    /// Spilled cache entries dropped for checksum damage at load.
+    pub cache_corrupt_dropped: AtomicU64,
+    /// Durability flushes skipped by the `flush_fail` fault point.
+    pub flush_fails: AtomicU64,
+    /// Drain requests received (graceful-shutdown entries).
+    pub drain_requests: AtomicU64,
+    /// Submissions refused with a `draining` reply.
+    pub drain_rejected_submits: AtomicU64,
 }
 
 impl ServiceStats {
@@ -85,6 +107,23 @@ impl MetricSource for ServiceStats {
         out.u64("workers_respawned", g(&self.workers_respawned));
         out.u64("queue_peak_depth", g(&self.queue_peak_depth));
         out.u64("tenants", g(&self.tenants));
+        out.u64("persist.journal.appended", g(&self.journal_appended));
+        out.u64("persist.journal.replayed", g(&self.journal_replayed));
+        out.u64(
+            "persist.journal.torn_skipped",
+            g(&self.journal_torn_skipped),
+        );
+        out.u64("persist.journal.compactions", g(&self.journal_compactions));
+        out.u64("persist.cache.stores", g(&self.cache_stores));
+        out.u64("persist.cache.loaded", g(&self.cache_loaded));
+        out.u64("persist.cache.warm_hits", g(&self.cache_warm_hits));
+        out.u64(
+            "persist.cache.corrupt_dropped",
+            g(&self.cache_corrupt_dropped),
+        );
+        out.u64("persist.flush_fails", g(&self.flush_fails));
+        out.u64("drain.requests", g(&self.drain_requests));
+        out.u64("drain.rejected_submits", g(&self.drain_rejected_submits));
     }
 }
 
@@ -106,12 +145,14 @@ mod tests {
     #[test]
     fn names_are_stable_sorted_and_prefixed() {
         let names = service_metric_names();
-        assert_eq!(names.len(), 15);
+        assert_eq!(names.len(), 26);
         let mut sorted = names.clone();
         sorted.sort();
         assert_eq!(names, sorted, "snapshot order is sorted");
         assert!(names.iter().all(|n| n.starts_with("service.")));
         assert!(names.contains(&"service.worker_kills".to_string()));
+        assert!(names.contains(&"service.persist.cache.warm_hits".to_string()));
+        assert!(names.contains(&"service.drain.requests".to_string()));
     }
 
     #[test]

@@ -35,6 +35,16 @@
 #            retried — and byte-diff the three result payloads; the
 #            server's stats must show the kill, the retry and the cache
 #            hit actually happened
+#   crash    the crash-recovery proof: crash_matrix boots tmi_serve on a
+#            durable data dir, kills it with SIGKILL at 8 seeded points
+#            x {none, journal-tear, cache-corrupt} persistence fault
+#            plans, restarts it on the same dir, and three-way byte-diffs
+#            every reply stream (pre-kill, post-restart, unkilled
+#            reference); each cell must also show warm cache hits
+#            (service.persist.cache.warm_hits > 0), exactly-once
+#            re-execution of journal-replayed jobs, and a graceful
+#            SIGTERM drain with exit 0 (see EXPERIMENTS.md "Crash
+#            recovery")
 #   fuzz     fixed-seed differential fuzz: 64 litmus seeds through the
 #            repair path vs the sequential oracle (must be clean), plus
 #            16 seeds with --ablate-code-centric (must diverge)
@@ -114,6 +124,9 @@ grep -q '"service.job"' "$smoke_dir/service_trace.json" \
 echo "== bench-smoke: throughput benches + fast-path equivalence"
 cargo bench -p tmi-bench --bench machine_throughput
 scripts/bench.sh --quick
+
+echo "== crash: seeded kill -9 matrix + byte-identical recovery"
+target/release/crash_matrix --kill-points 8 --data-root "$smoke_dir/crash"
 
 echo "== fuzz: differential consistency oracle"
 target/release/fuzz_consistency --seeds 64
