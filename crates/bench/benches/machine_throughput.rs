@@ -56,8 +56,10 @@ fn bench_directory(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             const CORES: usize = 32;
-            let mut m = Machine::new(MachineConfig::with_cores(CORES));
-            m.set_directory_enabled(directory);
+            let mut m = Machine::new(MachineConfig {
+                directory,
+                ..MachineConfig::with_cores(CORES)
+            });
             let mut x = 0x9E37_79B9u64;
             let mut i = 0usize;
             b.iter(|| {
@@ -76,8 +78,10 @@ fn bench_directory(c: &mut Criterion) {
     }
     for (name, directory) in [("pingpong_directory", true), ("pingpong_reference", false)] {
         g.bench_function(name, |b| {
-            let mut m = Machine::new(MachineConfig::with_cores(2));
-            m.set_directory_enabled(directory);
+            let mut m = Machine::new(MachineConfig {
+                directory,
+                ..MachineConfig::with_cores(2)
+            });
             let mut side = 0usize;
             b.iter(|| {
                 side ^= 1;

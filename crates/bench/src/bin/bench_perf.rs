@@ -3,12 +3,21 @@
 //!
 //! ```text
 //! bench_perf [--quick] [--out BENCH_perf.json] [--run-all-wall FAST REF]
+//!            [--par-wall THREADS SECS]...
 //! bench_perf --check BENCH_perf.json
 //! ```
 //!
 //! `--run-all-wall FAST REF` embeds externally measured `run_all --quick`
 //! wall times (seconds, fast path vs `TMI_FASTPATH=off` reference) as a
 //! `run_all_quick` object — `scripts/bench.sh` measures and passes them.
+//!
+//! `--par-wall THREADS SECS` (repeatable) embeds externally measured
+//! `run_all --quick` wall times at different `TMI_SIM_THREADS` shard
+//! counts. Each non-baseline count becomes a `sim/run_all_par{N}` cell
+//! whose `fast` variant is the N-shard wall and whose `reference` is the
+//! 1-shard wall, so `speedup` reads as parallel scaling. The simulated
+//! output is byte-identical across shard counts (`scripts/bench.sh`
+//! diffs it); only the wall clock moves.
 //!
 //! Every cell times the same workload with the fast-path accelerators
 //! (software TLBs, sharer/owner directory) forced on and forced off, and
@@ -35,7 +44,8 @@
 //! * `os/translate_hit` — the kernel translation fast path over resident
 //!   pages: TLB hit vs full page-table walk.
 //! * `sim/histogram_e2e` — one full harness experiment end to end
-//!   (`ops` counts runs, not accesses), toggled via `TMI_FASTPATH`.
+//!   (`ops` counts runs, not accesses), toggled via the typed
+//!   [`tmi_sim::FastPath`] configuration.
 //!
 //! `--check` re-parses an emitted report and fails (exit 1) if it is
 //! malformed: wrong schema tag, no cells, or non-positive timings. It
@@ -92,7 +102,7 @@ fn best_of(ops: u64, reps: usize, cell: impl Fn(u64, bool) -> Sample) -> (Sample
 }
 
 struct Cell {
-    name: &'static str,
+    name: String,
     ops: u64,
     fast: Sample,
     reference: Sample,
@@ -105,9 +115,10 @@ impl Cell {
 }
 
 fn machine(cores: usize, directory: bool) -> Machine {
-    let mut m = Machine::new(MachineConfig::with_cores(cores));
-    m.set_directory_enabled(directory);
-    m
+    Machine::new(MachineConfig {
+        directory,
+        ..MachineConfig::with_cores(cores)
+    })
 }
 
 /// Repeated loads of one resident line on one core.
@@ -166,8 +177,7 @@ fn translate_hit(ops: u64, tlb: bool) -> Sample {
     use tmi_machine::{VAddr, FRAME_SIZE};
     use tmi_os::{Kernel, MapRequest};
     const PAGES: u64 = 64;
-    let mut k = Kernel::new();
-    k.set_tlb_enabled(tlb);
+    let mut k = Kernel::with_tlb(tlb);
     let obj = k.create_object(PAGES * FRAME_SIZE);
     let aspace = k.create_aspace();
     k.map(
@@ -187,27 +197,28 @@ fn translate_hit(ops: u64, tlb: bool) -> Sample {
     })
 }
 
-/// One full harness experiment end to end; `TMI_FASTPATH=off` is how an
-/// external reference run would disable the accelerators, so the toggle
-/// is exercised through the same environment path here.
+/// One full harness experiment end to end; the reference variant disables
+/// the accelerators through the typed [`tmi_sim::FastPath`] config — the
+/// same knob `TMI_FASTPATH=off` snapshots at startup — so no process
+/// environment is mutated mid-run (the old `set_var`/`remove_var` toggle
+/// raced with the parallel executor's worker threads).
 fn histogram_e2e(runs: u64, fastpath: bool) -> Sample {
-    if fastpath {
-        std::env::remove_var("TMI_FASTPATH");
+    let fp = if fastpath {
+        tmi_sim::FastPath::enabled()
     } else {
-        std::env::set_var("TMI_FASTPATH", "off");
-    }
-    let s = sample(runs, || {
+        tmi_sim::FastPath::reference()
+    };
+    sample(runs, || {
         for _ in 0..runs {
             let r = Experiment::repair("histogram")
                 .runtime(RuntimeKind::TmiProtect)
                 .scale(0.05)
                 .misaligned()
+                .fast_path(fp)
                 .run();
             assert!(r.ok(), "histogram experiment failed");
         }
-    });
-    std::env::remove_var("TMI_FASTPATH");
-    s
+    })
 }
 
 fn run_cells(quick: bool) -> Vec<Cell> {
@@ -220,7 +231,7 @@ fn run_cells(quick: bool) -> Vec<Cell> {
     let micro = |name: &'static str, ops: u64, n_reps: usize, cell: fn(u64, bool) -> Sample| {
         let (fast, reference) = best_of(ops, n_reps, cell);
         Cell {
-            name,
+            name: name.to_string(),
             ops,
             fast,
             reference,
@@ -237,13 +248,44 @@ fn run_cells(quick: bool) -> Vec<Cell> {
         micro("machine/snoop_storm", 1_000_000, reps(9), snoop_storm),
         micro("os/translate_hit", 4_000_000, reps(9), translate_hit),
         Cell {
-            name: "sim/histogram_e2e",
+            name: "sim/histogram_e2e".to_string(),
             ops: 1,
             fast: histogram_e2e(1, true),
             reference: histogram_e2e(1, false),
         },
     ];
     cells
+}
+
+/// Synthesizes the `sim/run_all_par{N}` parallel-scaling cells from
+/// externally measured `run_all --quick` walls (`--par-wall`). The
+/// 1-shard wall is the reference of every cell; each other shard count
+/// is a `fast` variant, so the reported speedup is the scaling ratio.
+fn par_scale_cells(walls: &[(usize, f64)]) -> Vec<Cell> {
+    let wall_sample = |secs: f64| {
+        let secs = secs.max(1e-9);
+        Sample {
+            secs,
+            ns_per_op: secs * 1e9,
+            ops_per_sec: 1.0 / secs,
+        }
+    };
+    let Some(&(_, base)) = walls.iter().find(|(n, _)| *n == 1) else {
+        if !walls.is_empty() {
+            eprintln!("--par-wall needs a 1-thread baseline; ignoring parallel-scaling cells");
+        }
+        return Vec::new();
+    };
+    walls
+        .iter()
+        .filter(|(n, _)| *n != 1)
+        .map(|&(n, secs)| Cell {
+            name: format!("sim/run_all_par{n}"),
+            ops: 1,
+            fast: wall_sample(secs),
+            reference: wall_sample(base),
+        })
+        .collect()
 }
 
 fn render_json(cells: &[Cell], quick: bool, run_all_wall: Option<(f64, f64)>) -> String {
@@ -350,6 +392,7 @@ fn main() {
     let mut out: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut run_all_wall: Option<(f64, f64)> = None;
+    let mut par_walls: Vec<(usize, f64)> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -373,10 +416,21 @@ fn main() {
                 let reference = parse(value("--run-all-wall"));
                 run_all_wall = Some((fast, reference));
             }
+            "--par-wall" => {
+                let threads = value("--par-wall").parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("--par-wall expects a thread count and seconds");
+                    exit(2);
+                });
+                let secs = value("--par-wall").parse::<f64>().unwrap_or_else(|_| {
+                    eprintln!("--par-wall expects a thread count and seconds");
+                    exit(2);
+                });
+                par_walls.push((threads, secs));
+            }
             _ => {
                 eprintln!(
-                    "usage: bench_perf [--quick] [--out FILE] [--run-all-wall FAST REF] | \
-                     bench_perf --check FILE"
+                    "usage: bench_perf [--quick] [--out FILE] [--run-all-wall FAST REF] \
+                     [--par-wall THREADS SECS]... | bench_perf --check FILE"
                 );
                 exit(2);
             }
@@ -396,7 +450,8 @@ fn main() {
         }
     }
 
-    let cells = run_cells(quick);
+    let mut cells = run_cells(quick);
+    cells.extend(par_scale_cells(&par_walls));
     println!(
         "{:32} {:>12} {:>12} {:>12} {:>8}",
         "cell", "fast ns/op", "ref ns/op", "fast ops/s", "speedup"

@@ -169,6 +169,8 @@ struct JobKey {
     period: u64,
     tick_interval: u64,
     max_ops: u64,
+    fast_path: tmi_sim::FastPath,
+    sim_threads: usize,
     seed: u64,
     trace: bool,
 }
@@ -187,6 +189,8 @@ impl JobKey {
             period: c.period,
             tick_interval: c.tick_interval,
             max_ops: c.max_ops,
+            fast_path: c.fast_path,
+            sim_threads: c.sim_threads,
             seed: spec.seed,
             trace: spec.trace,
         }
@@ -522,6 +526,22 @@ impl Experiment {
     /// Sets the livelock backstop in dynamic ops.
     pub fn max_ops(mut self, ops: u64) -> Self {
         self.spec.cfg.max_ops = ops;
+        self
+    }
+
+    /// Sets the simulator fast-path configuration (typed replacement for
+    /// the old process-global `TMI_FASTPATH` toggle — no environment
+    /// mutation, so concurrent cells can differ).
+    pub fn fast_path(mut self, fp: tmi_sim::FastPath) -> Self {
+        self.spec.cfg = self.spec.cfg.fast_path(fp);
+        self
+    }
+
+    /// Sets the host-thread count the engine shards cores over (clamped
+    /// to ≥ 1). Results are bit-identical at any value; only wall-clock
+    /// changes.
+    pub fn sim_threads(mut self, n: usize) -> Self {
+        self.spec.cfg = self.spec.cfg.sim_threads(n);
         self
     }
 

@@ -112,7 +112,8 @@ impl JobSpec {
             "{{\"workload\": {}, \"runtime\": {}, \"threads\": {}, \
              \"scale\": {}, \"fixed\": {}, \"misaligned\": {}, \
              \"huge_pages\": {}, \"period\": {}, \"tick_interval\": {}, \
-             \"max_ops\": {}, \"seed\": {}, \"trace\": {}}}",
+             \"max_ops\": {}, \"fastpath_tlb\": {}, \"fastpath_dir\": {}, \
+             \"sim_threads\": {}, \"seed\": {}, \"trace\": {}}}",
             json::string(&self.workload),
             json::string(c.runtime.label()),
             c.threads,
@@ -123,6 +124,9 @@ impl JobSpec {
             c.period,
             c.tick_interval,
             c.max_ops,
+            c.fast_path.tlb,
+            c.fast_path.directory,
+            c.sim_threads,
             self.seed,
             self.trace,
         )
@@ -181,6 +185,18 @@ impl JobSpec {
         cfg.fixed = flag("fixed")?.unwrap_or(false);
         cfg.misaligned = flag("misaligned")?.unwrap_or(false);
         cfg.huge_pages = flag("huge_pages")?.unwrap_or(false);
+        // Absent fast-path / shard members keep the RunConfig::new
+        // defaults (the once-per-process env snapshot), so minimal
+        // requests behave exactly like a fresh CLI run.
+        if let Some(b) = flag("fastpath_tlb")? {
+            cfg.fast_path.tlb = b;
+        }
+        if let Some(b) = flag("fastpath_dir")? {
+            cfg.fast_path.directory = b;
+        }
+        if let Some(n) = num("sim_threads")? {
+            cfg.sim_threads = (n as usize).max(1);
+        }
         Ok(JobSpec {
             workload,
             cfg,
@@ -202,6 +218,11 @@ impl JobSpec {
             v.parse::<u64>()
                 .map_err(|_| format!("{name} expects a number, got {v:?}"))
         };
+        let parse_bool = |name: &str, v: String| match v.as_str() {
+            "true" | "on" | "1" => Ok(true),
+            "false" | "off" | "0" => Ok(false),
+            _ => Err(format!("{name} expects true|false, got {v:?}")),
+        };
         match arg {
             "--workload" => self.workload = value("--workload")?,
             "--runtime" => {
@@ -221,6 +242,17 @@ impl JobSpec {
                 self.cfg.tick_interval = parse_u64("--tick-interval", value("--tick-interval")?)?
             }
             "--max-ops" => self.cfg.max_ops = parse_u64("--max-ops", value("--max-ops")?)?,
+            "--fastpath-tlb" => {
+                self.cfg.fast_path.tlb = parse_bool("--fastpath-tlb", value("--fastpath-tlb")?)?
+            }
+            "--fastpath-dir" => {
+                self.cfg.fast_path.directory =
+                    parse_bool("--fastpath-dir", value("--fastpath-dir")?)?
+            }
+            "--sim-threads" => {
+                self.cfg.sim_threads =
+                    (parse_u64("--sim-threads", value("--sim-threads")?)? as usize).max(1)
+            }
             "--seed" => self.seed = parse_u64("--seed", value("--seed")?)?,
             "--fixed" => self.cfg.fixed = true,
             "--misaligned" => self.cfg.misaligned = true,
@@ -236,6 +268,7 @@ impl JobSpec {
     pub fn cli_usage() -> &'static str {
         "--workload NAME|litmus:<seed>|litmus+vm:<seed> [--runtime LABEL] [--threads N] \
          [--scale F] [--period N] [--tick-interval N] [--max-ops N] \
+         [--fastpath-tlb BOOL] [--fastpath-dir BOOL] [--sim-threads N] \
          [--seed N] [--fixed] [--misaligned] [--huge-pages] [--spec-trace]"
     }
 }
@@ -321,12 +354,14 @@ mod tests {
                 0u64..1 << 32,
                 any::<bool>(),
             ),
+            (any::<bool>(), any::<bool>(), 1usize..16),
         )
             .prop_map(
                 |(
                     (workload, runtime, threads, scale16),
                     (fixed, misaligned, huge_pages, period),
                     (tick_interval, max_ops, seed, trace),
+                    (fp_tlb, fp_dir, sim_threads),
                 )| {
                     let mut cfg = RunConfig::new(runtime);
                     cfg.threads = threads;
@@ -338,6 +373,9 @@ mod tests {
                     cfg.period = period;
                     cfg.tick_interval = tick_interval;
                     cfg.max_ops = max_ops;
+                    cfg.fast_path.tlb = fp_tlb;
+                    cfg.fast_path.directory = fp_dir;
+                    cfg.sim_threads = sim_threads;
                     JobSpec {
                         workload,
                         cfg,
@@ -372,6 +410,9 @@ mod tests {
                 "--period".to_string(), spec.cfg.period.to_string(),
                 "--tick-interval".to_string(), spec.cfg.tick_interval.to_string(),
                 "--max-ops".to_string(), spec.cfg.max_ops.to_string(),
+                "--fastpath-tlb".to_string(), spec.cfg.fast_path.tlb.to_string(),
+                "--fastpath-dir".to_string(), spec.cfg.fast_path.directory.to_string(),
+                "--sim-threads".to_string(), spec.cfg.sim_threads.to_string(),
                 "--seed".to_string(), spec.seed.to_string(),
             ];
             if spec.cfg.fixed { args.push("--fixed".into()); }

@@ -6,8 +6,10 @@ use tmi_machine::{AccessKind, Machine, MachineConfig, PhysAddr, Width};
 
 fn storm_once(ops: u64, directory: bool) -> f64 {
     const CORES: usize = 32;
-    let mut m = Machine::new(MachineConfig::with_cores(CORES));
-    m.set_directory_enabled(directory);
+    let mut m = Machine::new(MachineConfig {
+        directory,
+        ..MachineConfig::with_cores(CORES)
+    });
     let mut x = 0x9E37_79B9u64;
     let t0 = Instant::now();
     for i in 0..ops {
@@ -35,8 +37,10 @@ fn storm_once(ops: u64, directory: bool) -> f64 {
 }
 
 fn pingpong_once(ops: u64, directory: bool) -> f64 {
-    let mut m = Machine::new(MachineConfig::with_cores(2));
-    m.set_directory_enabled(directory);
+    let mut m = Machine::new(MachineConfig {
+        directory,
+        ..MachineConfig::with_cores(2)
+    });
     let a = PhysAddr::new(0x2000);
     let t0 = Instant::now();
     for i in 0..ops {
@@ -46,8 +50,10 @@ fn pingpong_once(ops: u64, directory: bool) -> f64 {
 }
 
 fn local_once(ops: u64, directory: bool) -> f64 {
-    let mut m = Machine::new(MachineConfig::with_cores(4));
-    m.set_directory_enabled(directory);
+    let mut m = Machine::new(MachineConfig {
+        directory,
+        ..MachineConfig::with_cores(4)
+    });
     let a = PhysAddr::new(0x1000);
     m.access(0, a, AccessKind::Store, Width::W8);
     let t0 = Instant::now();

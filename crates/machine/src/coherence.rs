@@ -22,8 +22,8 @@
 //! reference probes return the *lowest* matching core id, answering from
 //! the bitmap's lowest set bit is exactly equivalent — the directory can
 //! change no observable outcome (latencies, HITM events, stats), only the
-//! host cycles spent finding it. `set_directory_enabled(false)` switches to
-//! the literal broadcast loops for differential testing.
+//! host cycles spent finding it. `MachineConfig { directory: false, .. }`
+//! switches to the literal broadcast loops for differential testing.
 //!
 //! ## Lazy activation
 //!
@@ -110,6 +110,12 @@ pub struct MachineConfig {
     pub llc: CacheConfig,
     /// The latency model.
     pub latency: LatencyModel,
+    /// Whether the sharer/owner directory accelerator answers remote
+    /// queries (`false` forces the reference broadcast-snoop path). On by
+    /// default; machines with more than 64 cores fall back to snooping
+    /// regardless (the sharer bitmap is one `u64`). This is the typed
+    /// replacement for the old process-global `TMI_FASTPATH` toggle.
+    pub directory: bool,
 }
 
 impl MachineConfig {
@@ -120,6 +126,7 @@ impl MachineConfig {
             private_cache: CacheConfig::private_default(),
             llc: CacheConfig::llc_default(),
             latency: LatencyModel::haswell(),
+            directory: true,
         }
     }
 }
@@ -151,10 +158,10 @@ pub struct Machine {
 impl Machine {
     /// Creates a machine with all caches empty.
     ///
-    /// The sharer directory is on by default; set the environment variable
-    /// `TMI_FASTPATH=off` (or call [`Machine::set_directory_enabled`]) to
-    /// force the reference broadcast-snoop path. Machines with more than
-    /// 64 cores fall back to snooping (the sharer bitmap is one `u64`).
+    /// The sharer directory follows [`MachineConfig::directory`] (on by
+    /// default; `false` forces the reference broadcast-snoop path).
+    /// Machines with more than 64 cores fall back to snooping (the sharer
+    /// bitmap is one `u64`).
     ///
     /// # Panics
     ///
@@ -169,7 +176,7 @@ impl Machine {
             stats: MachineStats::default(),
             hitm_streaks: LineTable::default(),
             dir: DirTable::with_capacity(1024),
-            dir_enabled: config.cores <= 64 && !crate::fastpath_disabled_by_env(),
+            dir_enabled: config.directory && config.cores <= 64,
             dir_stats: DirStats::default(),
             config,
         }
@@ -201,13 +208,16 @@ impl Machine {
         self.dir_enabled
     }
 
-    /// Enables or disables the sharer directory at any point in a run.
-    /// Disabling reverts every remote query to the reference broadcast
-    /// snoop; re-enabling rebuilds the directory from the tag arrays (the
-    /// source of truth), so toggling is always safe. The rebuild honors
-    /// lazy activation: only lines already held by three or more caches
-    /// are installed; the rest stay on broadcast until they re-promote.
-    pub fn set_directory_enabled(&mut self, enabled: bool) {
+    /// Enables or disables the sharer directory at any point in a run
+    /// (test-only; production configuration is construction-time via
+    /// [`MachineConfig::directory`]). Disabling reverts every remote query
+    /// to the reference broadcast snoop; re-enabling rebuilds the
+    /// directory from the tag arrays (the source of truth), so toggling is
+    /// always safe. The rebuild honors lazy activation: only lines already
+    /// held by three or more caches are installed; the rest stay on
+    /// broadcast until they re-promote.
+    #[cfg(test)]
+    pub(crate) fn set_directory_enabled(&mut self, enabled: bool) {
         let enabled = enabled && self.config.cores <= 64;
         // Tracked lines carry their HITM streak inside the directory entry;
         // write it back to the broadcast-path table before dropping the
@@ -1034,6 +1044,7 @@ mod tests {
             private_cache: CacheConfig { sets: 1, ways: 1 },
             llc: CacheConfig::llc_default(),
             latency: LatencyModel::haswell(),
+            directory: true,
         };
         let mut m = Machine::new(cfg);
         m.access(0, a(0), AccessKind::Load, Width::W8);
@@ -1066,6 +1077,7 @@ mod tests {
             private_cache: CacheConfig { sets: 2, ways: 2 },
             llc: CacheConfig::llc_default(),
             latency: LatencyModel::haswell(),
+            directory: true,
         };
         let mut m = Machine::new(cfg);
         let mut x = 0x1234_5678u64;

@@ -219,7 +219,9 @@ impl DirTable {
         }
     }
 
-    /// Drops every entry, keeping the allocation.
+    /// Drops every entry, keeping the allocation. Only the test-only
+    /// mid-run directory toggle rebuilds from scratch.
+    #[cfg(test)]
     pub fn clear(&mut self) {
         self.slots.fill(Slot::VACANT);
         self.len = 0;

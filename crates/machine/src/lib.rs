@@ -56,15 +56,3 @@ pub use hitm::HitmEvent;
 pub use latency::LatencyModel;
 pub use physmem::PhysMem;
 pub use stats::{DirStats, MachineStats};
-
-/// True when the environment opts out of the fast-path accelerators
-/// (`TMI_FASTPATH=off|0|false|no`). Checked once per component at
-/// construction time — `Machine::new` (sharer directory) here and
-/// `Kernel::new` (software TLB) in `tmi-os` — so a process-wide toggle
-/// flips every accelerator to its reference path for differential runs.
-pub fn fastpath_disabled_by_env() -> bool {
-    matches!(
-        std::env::var("TMI_FASTPATH").as_deref(),
-        Ok("off") | Ok("0") | Ok("false") | Ok("no")
-    )
-}

@@ -32,7 +32,7 @@ use tmi_faultpoint::{FaultInjector, FaultPlan, FaultStats};
 use tmi_machine::{VAddr, Width};
 use tmi_os::{AsId, MapRequest, ObjId};
 use tmi_program::{width_mask, Op, SequenceProgram};
-use tmi_sim::{Engine, EngineConfig, Halt, TraceStep};
+use tmi_sim::{Engine, EngineConfig, FastPath, Halt, SimTuning, TraceStep};
 
 use crate::interp::Interp;
 use crate::litmus::{self, Coverage, Litmus};
@@ -352,7 +352,16 @@ pub struct RawRun {
 /// except the `os.tlb.*` / `machine.dir.*` counters themselves — the
 /// contract `tests/fastpath_equivalence.rs` enforces.
 pub fn run_seed_raw(seed: u64, fastpath: bool) -> RawRun {
-    run_litmus_raw(&Litmus::generate(seed), fastpath)
+    run_seed_raw_tuned(seed, fastpath, 1)
+}
+
+/// [`run_seed_raw`] with an explicit host-thread count for the engine's
+/// epoch-parallel stepping. The parallel path is required to be
+/// bit-identical to the sequential one, so for any `(seed, fastpath)` the
+/// returned observables must not depend on `host_threads` — the contract
+/// `tests/parallel_equivalence.rs` enforces.
+pub fn run_seed_raw_tuned(seed: u64, fastpath: bool, host_threads: usize) -> RawRun {
+    run_litmus_raw(&Litmus::generate(seed), fastpath, host_threads)
 }
 
 /// [`run_seed_raw`] over the transistency program of `seed`: the same
@@ -360,14 +369,30 @@ pub fn run_seed_raw(seed: u64, fastpath: bool) -> RawRun {
 /// VM operations — whose outcome codes land in the trace value slots and
 /// therefore must also be byte-identical across the two variants.
 pub fn run_transistency_seed_raw(seed: u64, fastpath: bool) -> RawRun {
-    run_litmus_raw(&Litmus::generate_vm(seed), fastpath)
+    run_transistency_seed_raw_tuned(seed, fastpath, 1)
 }
 
-fn run_litmus_raw(lit: &Litmus, fastpath: bool) -> RawRun {
+/// [`run_transistency_seed_raw`] with an explicit host-thread count (see
+/// [`run_seed_raw_tuned`]).
+pub fn run_transistency_seed_raw_tuned(seed: u64, fastpath: bool, host_threads: usize) -> RawRun {
+    run_litmus_raw(&Litmus::generate_vm(seed), fastpath, host_threads)
+}
+
+fn run_litmus_raw(lit: &Litmus, fastpath: bool, host_threads: usize) -> RawRun {
     let cfg = CheckConfig::default();
-    let (mut engine, _aspace) = build_fixture(lit, &cfg, &tmi_telemetry::Tracer::disabled(), None);
-    engine.core_mut().machine.set_directory_enabled(fastpath);
-    engine.core_mut().kernel.set_tlb_enabled(fastpath);
+    let fast_path = if fastpath {
+        FastPath::enabled()
+    } else {
+        FastPath::reference()
+    };
+    let (mut engine, _aspace) = build_fixture(
+        lit,
+        &cfg,
+        &tmi_telemetry::Tracer::disabled(),
+        None,
+        fast_path,
+        SimTuning::with_threads(host_threads),
+    );
     let run = engine.run();
     let trace = engine.take_trace();
     let metrics = engine.metrics("tmi");
@@ -431,11 +456,22 @@ fn build_fixture(
     cfg: &CheckConfig,
     tracer: &tmi_telemetry::Tracer,
     injector: Option<&FaultInjector>,
+    fast_path: FastPath,
+    tuning: SimTuning,
 ) -> (Engine<TmiRuntime>, AsId) {
     let mut ecfg = EngineConfig::with_cores(4);
+    ecfg.fast_path = fast_path;
+    ecfg.tuning = tuning;
     // Litmus runs are far too short for the sampling detector; repair is
     // forced below and the detection thread never ticks.
     ecfg.tick_interval = u64::MAX;
+    if cfg.ablate_shootdown {
+        // The ablation models a forgotten shootdown IPI, which is only
+        // observable if cached translations can actually serve — force
+        // the TLB on (independent of the configured fast path); per-PTE
+        // shootdowns are dropped on the built kernel below.
+        ecfg.fast_path.tlb = true;
+    }
     let layout = AppLayout {
         app_obj: ObjId(0),
         app_start: VAddr::new(litmus::APP_START),
@@ -474,11 +510,6 @@ fn build_fixture(
         k.set_fault_injector(inj.clone());
     }
     if cfg.ablate_shootdown {
-        // The ablation models a forgotten shootdown IPI, which is only
-        // observable if cached translations can actually serve — force the
-        // TLB on (independent of `TMI_FASTPATH`) and drop per-PTE
-        // shootdowns.
-        k.set_tlb_enabled(true);
         k.set_tlb_shootdown(false);
     }
     let app = k.create_object(litmus::APP_LEN);
@@ -531,8 +562,14 @@ fn run_traced(
         let fseed = derive_fault_seed(base, lit.seed);
         (base, fseed, FaultInjector::new(FaultPlan::from_seed(fseed)))
     });
-    let (mut engine, aspace) =
-        build_fixture(lit, cfg, tracer, faults.as_ref().map(|(_, _, inj)| inj));
+    let (mut engine, aspace) = build_fixture(
+        lit,
+        cfg,
+        tracer,
+        faults.as_ref().map(|(_, _, inj)| inj),
+        FastPath::from_env(),
+        SimTuning::from_env(),
+    );
     let run = engine.run();
     let trace = engine.take_trace();
     let steps = trace.len();

@@ -96,26 +96,37 @@ impl Default for Kernel {
             frame_refs: HashMap::new(),
             stats: OsStats::default(),
             faults: None,
-            tlb_enabled: !tmi_machine::fastpath_disabled_by_env(),
+            tlb_enabled: true,
             tlb_precise: true,
         }
     }
 }
 
 impl Kernel {
-    /// Creates an empty kernel. The software TLB is on by default; set the
-    /// environment variable `TMI_FASTPATH=off` (or call
-    /// [`Kernel::set_tlb_enabled`]) to force the reference walk-every-time
-    /// path.
+    /// Creates an empty kernel with the software TLB on. Use
+    /// [`Kernel::with_tlb`] to force the reference walk-every-time path
+    /// (driven by the typed `FastPath` config in `tmi-sim`).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty kernel with the software TLBs of every future
+    /// address space forced on (`true`, the default fast path) or off
+    /// (`false`, the reference walk-every-time path).
+    pub fn with_tlb(enabled: bool) -> Self {
+        Kernel {
+            tlb_enabled: enabled,
+            ..Self::default()
+        }
+    }
+
     /// Enables or disables the software TLBs of every current and future
-    /// address space. Safe at any point in a run: toggling empties each
-    /// TLB, and lookups while disabled always fall through to the page
-    /// table.
-    pub fn set_tlb_enabled(&mut self, enabled: bool) {
+    /// address space (test-only; production configuration is
+    /// construction-time via [`Kernel::with_tlb`]). Safe at any point in a
+    /// run: toggling empties each TLB, and lookups while disabled always
+    /// fall through to the page table.
+    #[cfg(test)]
+    pub(crate) fn set_tlb_enabled(&mut self, enabled: bool) {
         self.tlb_enabled = enabled;
         for a in &self.aspaces {
             a.tlb().set_enabled(enabled);

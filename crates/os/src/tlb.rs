@@ -195,9 +195,11 @@ impl Tlb {
         self.flushes.set(self.flushes.get() + 1);
     }
 
-    /// Enables or disables the TLB. Disabling makes every subsequent
-    /// lookup miss (the reference path); enabling starts from an empty TLB
-    /// via a generation bump (not counted as a flush).
+    /// Enables or disables the TLB (test-only; production configuration
+    /// is construction-time via `Kernel::with_tlb`). Disabling makes
+    /// every subsequent lookup miss (the reference path); enabling starts
+    /// from an empty TLB via a generation bump (not counted as a flush).
+    #[cfg(test)]
     pub(crate) fn set_enabled(&self, enabled: bool) {
         self.gen.set(self.gen.get() + 1);
         self.enabled.set(enabled);

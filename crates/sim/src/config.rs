@@ -1,0 +1,160 @@
+//! Typed engine-tuning configuration.
+//!
+//! Historically the fast-path accelerators (the software TLBs in `tmi-os`
+//! and the sharer/owner directory in `tmi-machine`) were toggled through a
+//! process-global `TMI_FASTPATH` environment variable read independently
+//! by each component at construction time, plus per-component setters for
+//! mid-run flips. That shape cannot be driven safely from concurrent
+//! shards, and mutating the process environment to flip it raced against
+//! every other thread in the process. The typed [`FastPath`] and
+//! [`SimTuning`] structs on [`crate::EngineConfig`] replace both: the
+//! environment is consulted exactly once per process (memoized), at
+//! config construction, purely for CLI compatibility, and everything
+//! downstream passes plain values.
+
+use std::sync::OnceLock;
+
+/// Which accelerator fast paths an engine run uses. Both accelerators are
+/// required to be *behaviorally invisible*: flipping them may only change
+/// the `os.tlb.*` / `machine.dir.*` counters, never a simulated outcome
+/// (the contract `tests/fastpath_equivalence.rs` enforces).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FastPath {
+    /// Per-address-space software TLBs (`tmi-os`). When `false`, every
+    /// translation walks the page table — the reference path.
+    pub tlb: bool,
+    /// The sharer/owner directory over the private caches
+    /// (`tmi-machine`). When `false`, every remote query broadcasts — the
+    /// reference snoop path.
+    pub directory: bool,
+}
+
+impl FastPath {
+    /// Both accelerators on — the production configuration.
+    pub fn enabled() -> Self {
+        FastPath {
+            tlb: true,
+            directory: true,
+        }
+    }
+
+    /// Both accelerators off — the reference paths, for differential runs.
+    pub fn reference() -> Self {
+        FastPath {
+            tlb: false,
+            directory: false,
+        }
+    }
+
+    /// The configuration selected by the environment: `reference()` when
+    /// `TMI_FASTPATH` is `off|0|false|no`, `enabled()` otherwise. The
+    /// variable is read once per process and memoized — this is the *only*
+    /// place in the workspace that reads it, kept solely so existing CLI
+    /// recipes (`TMI_FASTPATH=off run_all`) keep working.
+    pub fn from_env() -> Self {
+        static DISABLED: OnceLock<bool> = OnceLock::new();
+        let disabled = *DISABLED.get_or_init(|| {
+            matches!(
+                std::env::var("TMI_FASTPATH").as_deref(),
+                Ok("off") | Ok("0") | Ok("false") | Ok("no")
+            )
+        });
+        if disabled {
+            Self::reference()
+        } else {
+            Self::enabled()
+        }
+    }
+}
+
+impl Default for FastPath {
+    fn default() -> Self {
+        Self::enabled()
+    }
+}
+
+/// Host-side execution tuning for the engine's epoch-based parallel
+/// stepping (see `engine.rs`): how many host threads walk thread programs
+/// ahead of the serial replay, and how long an epoch is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SimTuning {
+    /// Host worker threads for the parallel prefetch phase. `1` runs the
+    /// prefetch inline. The value can never change a simulated outcome or
+    /// a `sim.par.*` counter — only host wall time.
+    pub threads: usize,
+    /// Epoch length in simulated cycles. Fixed (not environment-tunable):
+    /// the epoch schedule determines the `sim.par.*` counters, which must
+    /// be bit-identical across every host configuration.
+    pub quantum: u64,
+}
+
+impl SimTuning {
+    /// The epoch quantum every configuration uses.
+    pub const QUANTUM: u64 = 100_000;
+
+    /// Single host thread (inline prefetch).
+    pub fn sequential() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// `threads` host worker threads (clamped to at least one).
+    pub fn with_threads(threads: usize) -> Self {
+        SimTuning {
+            threads: threads.max(1),
+            quantum: Self::QUANTUM,
+        }
+    }
+
+    /// The tuning selected by the environment: `TMI_SIM_THREADS=N` picks
+    /// the host thread count (default 1). Read once per process and
+    /// memoized, at config construction, for CLI compatibility.
+    pub fn from_env() -> Self {
+        static THREADS: OnceLock<usize> = OnceLock::new();
+        let threads = *THREADS.get_or_init(|| {
+            std::env::var("TMI_SIM_THREADS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1)
+        });
+        Self::with_threads(threads)
+    }
+}
+
+impl Default for SimTuning {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_path_constructors() {
+        assert_eq!(
+            FastPath::enabled(),
+            FastPath {
+                tlb: true,
+                directory: true
+            }
+        );
+        assert_eq!(
+            FastPath::reference(),
+            FastPath {
+                tlb: false,
+                directory: false
+            }
+        );
+        assert_eq!(FastPath::default(), FastPath::enabled());
+    }
+
+    #[test]
+    fn tuning_clamps_to_one_thread() {
+        assert_eq!(SimTuning::with_threads(0).threads, 1);
+        assert_eq!(SimTuning::with_threads(8).threads, 8);
+        assert_eq!(SimTuning::default(), SimTuning::sequential());
+        assert_eq!(SimTuning::with_threads(4).quantum, SimTuning::QUANTUM);
+    }
+}

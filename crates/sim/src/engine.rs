@@ -7,11 +7,30 @@
 //! conservative oldest-first policy yields a legal fine-grained
 //! interleaving of the threads, so contention phenomena (line ping-pong,
 //! lock convoys) emerge naturally rather than being modeled analytically.
+//!
+//! # Epoch-parallel stepping
+//!
+//! The run loop is organized into fixed-quantum *epochs*: each epoch
+//! first runs a **prefetch phase** that walks every runnable thread's
+//! program ahead of the schedule on up to [`SimTuning::threads`] host
+//! worker threads, then a **serial replay phase** that executes the exact
+//! sequential oldest-first schedule up to the epoch horizon. The prefetch
+//! phase may only buffer consecutive [`Op::Compute`] ops — the sole op
+//! kind that touches no shared state — and parks the first shared-fabric
+//! op (memory access, sync, VM op, kernel entry) for the replay to
+//! execute at the barrier, in the deterministic oldest-clock order. The
+//! prefetch is therefore a pure reordering of `ThreadProgram::next` calls
+//! with identical per-thread argument sequences: results are bit-identical
+//! to the sequential path at any host thread count, and the `sim.par.*`
+//! counters are deterministic functions of the epoch schedule alone.
+
+use std::collections::VecDeque;
 
 use tmi_machine::{AccessKind, Machine, MachineConfig, VAddr, Width};
 use tmi_os::{FaultResolution, Kernel, OsError, Pid, Tid};
 use tmi_program::{CodeRegistry, InstrKind, MemOrder, Op, OpResult, Pc, RmwOp, ThreadProgram};
 
+use crate::config::{FastPath, SimTuning};
 use crate::cost::CostModel;
 use crate::hooks::{AccessInfo, EngineCtl, PreAccess, RegionEvent, Route, RuntimeHooks, SyncEvent};
 use crate::sync::SyncTable;
@@ -34,10 +53,20 @@ pub struct EngineConfig {
     /// *host* time (spin loops execute billions of cheap ops before they
     /// exhaust the cycle budget).
     pub max_ops: u64,
+    /// Which accelerator fast paths (software TLB, sharer directory) the
+    /// run uses. The typed replacement for the old process-global
+    /// `TMI_FASTPATH` toggle; behaviorally invisible by contract.
+    pub fast_path: FastPath,
+    /// Host-parallel stepping knobs (worker threads, epoch quantum).
+    /// Changes host wall time only, never a simulated observable.
+    pub tuning: SimTuning,
 }
 
 impl EngineConfig {
-    /// Default config for `cores` cores.
+    /// Default config for `cores` cores. The fast-path and host-tuning
+    /// knobs are read from the environment exactly once per process
+    /// (`TMI_FASTPATH`, `TMI_SIM_THREADS`) for CLI compatibility;
+    /// override the fields to configure them programmatically.
     pub fn with_cores(cores: usize) -> Self {
         EngineConfig {
             machine: MachineConfig::with_cores(cores),
@@ -45,6 +74,8 @@ impl EngineConfig {
             tick_interval: 3_400_000,
             max_cycles: 40_000_000_000,
             max_ops: 2_000_000_000,
+            fast_path: FastPath::from_env(),
+            tuning: SimTuning::from_env(),
         }
     }
 }
@@ -122,6 +153,46 @@ struct ThreadCtx {
     pending: OpResult,
     asm_depth: u32,
     replay: Option<Op>,
+    /// Cycle deltas of consecutive [`Op::Compute`] ops fetched ahead of
+    /// the serial replay by the epoch prefetch phase, FIFO.
+    prefetch: VecDeque<u64>,
+}
+
+/// Counters for the epoch-parallel stepping path, exported under
+/// `sim.par.`. Every field is a deterministic function of the epoch
+/// schedule, which depends only on simulated thread clocks and program
+/// behavior — never on [`SimTuning::threads`] or the fast-path setting —
+/// so these counters are bit-identical across every host configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ParStats {
+    /// Epochs executed (one conservative barrier each).
+    pub epochs: u64,
+    /// Ops fetched ahead of the serial replay by the prefetch phase.
+    pub prefetched_ops: u64,
+    /// Prefetch visits that sat out an epoch because the thread was
+    /// already waiting on a parked shared-fabric op at the barrier.
+    pub barrier_stalls: u64,
+    /// Shared-fabric ops (memory accesses, sync, VM ops, exits) that
+    /// ended a prefetch run and serialized at the epoch barrier.
+    pub conflicts: u64,
+}
+
+impl ParStats {
+    fn absorb(&mut self, other: ParStats) {
+        self.epochs += other.epochs;
+        self.prefetched_ops += other.prefetched_ops;
+        self.barrier_stalls += other.barrier_stalls;
+        self.conflicts += other.conflicts;
+    }
+}
+
+impl tmi_telemetry::MetricSource for ParStats {
+    fn metrics(&self, out: &mut tmi_telemetry::MetricSink) {
+        out.u64("epochs", self.epochs);
+        out.u64("prefetched_ops", self.prefetched_ops);
+        out.u64("barrier_stalls", self.barrier_stalls);
+        out.u64("conflicts", self.conflicts);
+    }
 }
 
 /// Internal PCs for the engine's own lock/barrier memory traffic (the
@@ -158,6 +229,7 @@ pub struct EngineCore {
     root: Option<Pid>,
     internal_pcs: InternalPcs,
     ops: u64,
+    par: ParStats,
 }
 
 impl EngineCore {
@@ -170,14 +242,23 @@ impl EngineCore {
     /// metrics sink under the `machine.` and `os.` prefixes, plus the
     /// fast-path accelerator counters under `machine.dir.` (sharer/owner
     /// directory) and `os.tlb.` (software TLBs, summed across address
-    /// spaces). The accelerator counters are purely observational: they
+    /// spaces), plus the epoch-parallel stepping counters under
+    /// `sim.par.`. The accelerator counters are purely observational: they
     /// measure absorbed snoops and short-circuited page walks, never a
-    /// behavioral difference.
+    /// behavioral difference. The `sim.par.` counters are deterministic
+    /// functions of the epoch schedule, identical at every host thread
+    /// count.
     pub fn collect_metrics(&self, sink: &mut tmi_telemetry::MetricSink) {
         sink.source("machine", self.machine.stats());
         sink.source("machine.dir", self.machine.dir_stats());
         sink.source("os", self.kernel.stats());
         sink.source("os.tlb", &self.kernel.tlb_stats());
+        sink.source("sim.par", &self.par);
+    }
+
+    /// The epoch-parallel stepping counters accumulated so far.
+    pub fn par_stats(&self) -> &ParStats {
+        &self.par
     }
 
     /// The engine configuration.
@@ -250,7 +331,10 @@ pub struct Engine<R: RuntimeHooks> {
 }
 
 impl<R: RuntimeHooks> Engine<R> {
-    /// Creates an engine with an empty kernel and cold caches.
+    /// Creates an engine with an empty kernel and cold caches. The
+    /// [`FastPath`] on `config` decides, at construction, whether the
+    /// kernel's software TLBs and the machine's sharer directory run
+    /// (the directory additionally requires `config.machine.directory`).
     pub fn new(config: EngineConfig, runtime: R) -> Self {
         let mut code = CodeRegistry::new();
         let internal_pcs = InternalPcs {
@@ -260,10 +344,12 @@ impl<R: RuntimeHooks> Engine<R> {
             spin_rmw: code.atomic_instr("spin::acquire_xchg", InstrKind::Rmw, Width::W4),
             spin_store: code.atomic_instr("spin::release_store", InstrKind::Store, Width::W4),
         };
+        let mut machine_cfg = config.machine;
+        machine_cfg.directory = machine_cfg.directory && config.fast_path.directory;
         Engine {
             core: EngineCore {
-                kernel: Kernel::new(),
-                machine: Machine::new(config.machine),
+                kernel: Kernel::with_tlb(config.fast_path.tlb),
+                machine: Machine::new(machine_cfg),
                 sync: SyncTable::new(),
                 code,
                 config,
@@ -271,6 +357,7 @@ impl<R: RuntimeHooks> Engine<R> {
                 root: None,
                 internal_pcs,
                 ops: 0,
+                par: ParStats::default(),
             },
             programs: Vec::new(),
             runtime,
@@ -372,6 +459,7 @@ impl<R: RuntimeHooks> Engine<R> {
             pending: OpResult::none(),
             asm_depth: 0,
             replay: None,
+            prefetch: VecDeque::new(),
         });
         self.programs.push(program);
         tid
@@ -384,21 +472,30 @@ impl<R: RuntimeHooks> Engine<R> {
     }
 
     /// Runs the simulation to completion, hang, or fault.
+    ///
+    /// The run is structured as fixed-quantum epochs (see the module
+    /// docs): a parallel prefetch phase followed by the serial replay of
+    /// the exact sequential oldest-first schedule up to the epoch
+    /// horizon. The executed schedule, every observable, and the
+    /// `sim.par.*` counters are bit-identical at any
+    /// [`SimTuning::threads`] setting.
     pub fn run(&mut self) -> RunReport {
         self.runtime.on_start(&mut self.core);
         let mut next_tick = self.core.config.tick_interval;
-        let halt = loop {
-            // Pick the runnable thread with the smallest clock.
-            let idx = match self
+        let quantum = self.core.config.tuning.quantum.max(1);
+        let halt = 'run: loop {
+            // Epoch horizon: the oldest runnable clock plus one quantum.
+            // Conservative synchronization — nothing past the horizon runs
+            // before everything under it has serialized.
+            let oldest = match self
                 .core
                 .threads
                 .iter()
-                .enumerate()
-                .filter(|(_, t)| t.state == ThreadState::Runnable)
-                .min_by_key(|(_, t)| t.clock)
-                .map(|(i, _)| i)
+                .filter(|t| t.state == ThreadState::Runnable)
+                .map(|t| t.clock)
+                .min()
             {
-                Some(i) => i,
+                Some(clock) => clock,
                 None => {
                     if self
                         .core
@@ -411,16 +508,39 @@ impl<R: RuntimeHooks> Engine<R> {
                     break Halt::Hang; // deadlock
                 }
             };
-            if let Err(e) = self.step(idx) {
-                break Halt::Fault(e);
-            }
-            let now = self.core.now();
-            if now > self.core.config.max_cycles || self.core.ops > self.core.config.max_ops {
-                break Halt::Hang; // livelock / cycle or op budget exhausted
-            }
-            while now >= next_tick {
-                self.runtime.on_tick(&mut self.core, next_tick);
-                next_tick += self.core.config.tick_interval;
+            let horizon = oldest.saturating_add(quantum);
+            self.core.par.epochs += 1;
+            self.prefetch_epoch(horizon);
+            // Serial replay: the sequential loop, bounded by the horizon.
+            loop {
+                // Pick the runnable thread with the smallest clock.
+                let idx = match self
+                    .core
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.state == ThreadState::Runnable)
+                    .min_by_key(|(_, t)| t.clock)
+                    .map(|(i, _)| i)
+                {
+                    Some(i) if self.core.threads[i].clock < horizon => i,
+                    // Epoch exhausted (or every thread blocked/done): back
+                    // to the barrier, where the outer loop re-evaluates.
+                    _ => break,
+                };
+                if !self.pop_prefetched(idx) {
+                    if let Err(e) = self.step(idx) {
+                        break 'run Halt::Fault(e);
+                    }
+                }
+                let now = self.core.now();
+                if now > self.core.config.max_cycles || self.core.ops > self.core.config.max_ops {
+                    break 'run Halt::Hang; // livelock / budget exhausted
+                }
+                while now >= next_tick {
+                    self.runtime.on_tick(&mut self.core, next_tick);
+                    next_tick += self.core.config.tick_interval;
+                }
             }
         };
         RunReport {
@@ -429,6 +549,143 @@ impl<R: RuntimeHooks> Engine<R> {
             thread_cycles: self.core.threads.iter().map(|t| t.clock).collect(),
             ops: self.core.ops,
         }
+    }
+
+    /// The parallel phase of an epoch: walk every runnable thread's
+    /// program ahead of the serial replay on up to
+    /// [`SimTuning::threads`] host workers, buffering consecutive
+    /// [`Op::Compute`] cycle deltas and parking the first shared-fabric
+    /// op in the thread's replay slot for the barrier to serialize.
+    ///
+    /// The walk is per-thread pure: it only moves `ThreadProgram::next`
+    /// calls earlier, with exactly the argument sequence the serial path
+    /// would use (the thread's pending `OpResult` first, then
+    /// `OpResult::none()` for each subsequent fetch), so running it on 1
+    /// or N host threads cannot change any simulated observable. Counter
+    /// updates are summed in thread-index order, so `sim.par.*` is
+    /// deterministic too.
+    fn prefetch_epoch(&mut self, horizon: u64) {
+        // Workers beyond the epoch's eligible threads (runnable, below
+        // the horizon, no parked replay) would spawn only to return
+        // immediately, so the fan-out is capped by that count — a
+        // host-side dispatch decision only. Every thread still passes
+        // through `prefetch_thread` regardless of the worker count, so
+        // the `sim.par.*` counters and the schedule are unaffected.
+        let eligible = self
+            .core
+            .threads
+            .iter()
+            .filter(|t| t.state == ThreadState::Runnable && t.clock < horizon && t.replay.is_none())
+            .count();
+        let workers = self
+            .core
+            .config
+            .tuning
+            .threads
+            .min(self.core.threads.len())
+            .min(eligible.max(1))
+            .max(1);
+        let mut pairs: Vec<(&mut ThreadCtx, &mut Box<dyn ThreadProgram>)> = self
+            .core
+            .threads
+            .iter_mut()
+            .zip(self.programs.iter_mut())
+            .collect();
+        let fetched = if workers == 1 {
+            let mut stats = ParStats::default();
+            for (t, prog) in &mut pairs {
+                Self::prefetch_thread(t, prog.as_mut(), horizon, &mut stats);
+            }
+            stats
+        } else {
+            let chunk = pairs.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = pairs
+                    .chunks_mut(chunk)
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            let mut stats = ParStats::default();
+                            for (t, prog) in shard {
+                                Self::prefetch_thread(t, prog.as_mut(), horizon, &mut stats);
+                            }
+                            stats
+                        })
+                    })
+                    .collect();
+                // Joining in spawn order keeps the sum order fixed (the
+                // counters are commutative sums anyway; the order
+                // discipline is belt-and-suspenders).
+                let mut stats = ParStats::default();
+                for h in handles {
+                    stats.absorb(h.join().expect("prefetch worker panicked"));
+                }
+                stats
+            })
+        };
+        self.core.par.absorb(fetched);
+    }
+
+    /// Walks one thread's program ahead of the replay for the current
+    /// epoch. Static so host workers can run it without borrowing the
+    /// whole engine.
+    fn prefetch_thread(
+        t: &mut ThreadCtx,
+        prog: &mut dyn ThreadProgram,
+        horizon: u64,
+        stats: &mut ParStats,
+    ) {
+        /// Buffered-op cap per thread per epoch, bounding prefetch memory
+        /// for degenerate all-compute programs. Deterministic constant.
+        const MAX_PREFETCH: usize = 4096;
+        if t.state != ThreadState::Runnable || t.clock >= horizon {
+            return;
+        }
+        if t.replay.is_some() {
+            // A shared-fabric op parked in an earlier epoch has not
+            // serialized yet; the program must not run ahead of it.
+            stats.barrier_stalls += 1;
+            return;
+        }
+        // Projected clock if every already-buffered delta were applied.
+        let mut projected = t.clock + t.prefetch.iter().sum::<u64>();
+        while t.prefetch.len() < MAX_PREFETCH && projected < horizon {
+            let pending = std::mem::take(&mut t.pending);
+            match prog.next(pending) {
+                Op::Compute { cycles } => {
+                    projected += cycles;
+                    t.prefetch.push_back(cycles);
+                    stats.prefetched_ops += 1;
+                }
+                op => {
+                    t.replay = Some(op);
+                    stats.conflicts += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Replays one prefetched compute step for thread `idx`, if any.
+    /// Exactly what [`Self::step`] does for an [`Op::Compute`] whose
+    /// `next()` call already happened: charge the cycles, count the op,
+    /// record the trace step. Returns `false` if nothing was buffered.
+    fn pop_prefetched(&mut self, idx: usize) -> bool {
+        let t = &mut self.core.threads[idx];
+        let Some(cycles) = t.prefetch.pop_front() else {
+            return false;
+        };
+        // The prefetch already consumed `pending` on its first fetch, so
+        // it is `none()` here — the trace value below matches `step()`.
+        t.clock += cycles;
+        self.core.ops += 1;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(TraceStep {
+                thread: idx as u32,
+                op: Op::Compute { cycles },
+                value: None,
+            });
+        }
+        true
     }
 
     fn step(&mut self, idx: usize) -> Result<(), OsError> {
@@ -958,7 +1215,7 @@ mod tests {
         e.add_thread(Box::new(prog));
         let r = e.run();
         assert!(r.completed(), "{:?}", r.halt);
-        assert_eq!(log.borrow().as_slice(), &[None, Some(1234)]);
+        assert_eq!(log.lock().unwrap().as_slice(), &[None, Some(1234)]);
         assert!(r.cycles > 0);
         assert_eq!(r.ops, 3); // store, load, exit
     }
@@ -990,7 +1247,7 @@ mod tests {
         e.add_thread(Box::new(reader));
         let r = e.run();
         assert!(r.completed());
-        assert_eq!(rlog.borrow()[1], Some(7));
+        assert_eq!(rlog.lock().unwrap()[1], Some(7));
     }
 
     #[test]
@@ -1133,7 +1390,7 @@ mod tests {
         assert!(r.completed());
         let _ = aspace;
         for (i, log) in logs.iter().enumerate() {
-            let l = log.borrow();
+            let l = log.lock().unwrap();
             let a = l[2].unwrap();
             let b = l[3].unwrap();
             let expect_a = ((i as u64 + 1) % 3) + 1;
@@ -1395,5 +1652,71 @@ mod tests {
         let costs = CostModel::standard();
         assert!(r.cycles >= costs.cow_base, "COW cost charged");
         assert_eq!(e.core().kernel.stats().cow_breaks, 1);
+    }
+
+    /// The epoch-parallel run must be bit-identical to the sequential
+    /// path: same schedule, same values, same clocks, same `sim.par.*`
+    /// counters — at every host thread count.
+    #[test]
+    fn host_thread_count_never_changes_observables() {
+        let run = |host_threads: usize| {
+            let mut cfg = EngineConfig::with_cores(4);
+            cfg.tuning = crate::SimTuning::with_threads(host_threads);
+            let mut e = Engine::new(cfg, NullRuntime);
+            let obj = e.core_mut().kernel.create_object(64 * FRAME_SIZE);
+            let aspace = e.core_mut().kernel.create_aspace();
+            e.core_mut()
+                .kernel
+                .map(
+                    aspace,
+                    MapRequest::object(VAddr::new(0x10000), 64 * FRAME_SIZE, obj, 0),
+                )
+                .unwrap();
+            e.create_root_process(aspace);
+            let st = e
+                .core_mut()
+                .code
+                .instr("par::st", InstrKind::Store, Width::W8);
+            let ld = e
+                .core_mut()
+                .code
+                .instr("par::ld", InstrKind::Load, Width::W8);
+            let lock = VAddr::new(0x10000);
+            e.enable_trace();
+            // Mixed compute/memory/sync programs with enough compute to
+            // span several 100k-cycle epochs per thread.
+            for i in 0..4u64 {
+                let mut ops = Vec::new();
+                for j in 0..20u64 {
+                    ops.push(Op::Compute {
+                        cycles: 10_000 + i * 1_000 + j * 77,
+                    });
+                    ops.push(Op::SpinLock { lock });
+                    ops.push(Op::Store {
+                        pc: st,
+                        addr: VAddr::new(0x10100 + (i % 2) * 8),
+                        width: Width::W8,
+                        value: i * 100 + j,
+                    });
+                    ops.push(Op::Load {
+                        pc: ld,
+                        addr: VAddr::new(0x10100 + ((i + 1) % 2) * 8),
+                        width: Width::W8,
+                    });
+                    ops.push(Op::SpinUnlock { lock });
+                }
+                e.add_thread(Box::new(SequenceProgram::new(ops)));
+            }
+            let r = e.run();
+            assert!(r.completed(), "{:?}", r.halt);
+            let par = *e.core().par_stats();
+            assert!(par.epochs > 1, "multi-epoch run expected");
+            assert!(par.prefetched_ops > 0, "compute runs were prefetched");
+            (r.cycles, r.thread_cycles, r.ops, e.take_trace(), par)
+        };
+        let baseline = run(1);
+        for host_threads in [2, 4, 8] {
+            assert_eq!(run(host_threads), baseline, "threads={host_threads}");
+        }
     }
 }

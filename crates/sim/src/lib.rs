@@ -35,13 +35,17 @@
 //! # Ok::<(), tmi_os::OsError>(())
 //! ```
 
+pub mod config;
 pub mod cost;
 pub mod engine;
 pub mod hooks;
 pub mod sync;
 
+pub use config::{FastPath, SimTuning};
 pub use cost::CostModel;
-pub use engine::{Engine, EngineConfig, EngineCore, Halt, InternalPcs, RunReport, TraceStep};
+pub use engine::{
+    Engine, EngineConfig, EngineCore, Halt, InternalPcs, ParStats, RunReport, TraceStep,
+};
 pub use hooks::{
     AccessInfo, EngineCtl, NullRuntime, PreAccess, RegionEvent, Route, RuntimeHooks, SyncEvent,
 };

@@ -20,13 +20,24 @@
 #            schema, and the smoke run's Chrome trace must be
 #            structurally valid and contain a full repair episode
 #            (trigger -> T2P -> twin -> commit)
+#   fastpath-env  the typed-config gate: the process environment is read
+#            exactly once, in crates/sim/src/config.rs; any other direct
+#            std::env::var("TMI_FASTPATH") read fails the gate (config
+#            flows through FastPath/SimTuning on EngineConfig)
 #   bench-smoke  the fast-path wall-clock gate: the machine_throughput
 #            criterion benches (compile + a short measured run), then
 #            scripts/bench.sh --quick, which byte-diffs run_all --quick
 #            fast path vs TMI_FASTPATH=off (the accelerators must be
-#            behaviorally invisible) and emits + validates
-#            BENCH_perf.json (speedups there are advisory in CI; a
-#            malformed report or an equivalence failure is what fails)
+#            behaviorally invisible), byte-diffs it again across 1/2/4/8
+#            host threads (TMI_SIM_THREADS sharding must be invisible)
+#            and emits + validates BENCH_perf.json (speedups there are
+#            advisory in CI; a malformed report or an equivalence
+#            failure is what fails)
+#   parallel the epoch-sharded engine gate: run_all --quick at
+#            TMI_SIM_THREADS=1 vs TMI_SIM_THREADS=8 must produce
+#            byte-identical reports, the harness dumps must agree after
+#            masking host-timing fields, and the sim.par.* counters must
+#            be present in the metric stream
 #   service  the job-server determinism proof: boot the tmi_serve daemon
 #            with the seeded service chaos plan (--service-faults 1,
 #            which kills a worker on every second pickup), drive the
@@ -71,6 +82,15 @@ cargo fmt --all -- --check
 
 echo "== clippy"
 cargo clippy --workspace -- -D warnings
+
+echo "== fastpath-env: TMI_FASTPATH is read in exactly one place"
+stray=$(grep -rn --include='*.rs' 'env::var("TMI_FASTPATH")' crates src tests 2>/dev/null \
+  | grep -v '^crates/sim/src/config.rs:' || true)
+[ -z "$stray" ] || {
+  printf '%s\n' "$stray"
+  echo "direct TMI_FASTPATH reads outside crates/sim/src/config.rs — use FastPath on EngineConfig"
+  exit 1
+}
 
 echo "== tier-1 build + test"
 cargo build --release --workspace
@@ -124,6 +144,25 @@ grep -q '"service.job"' "$smoke_dir/service_trace.json" \
 echo "== bench-smoke: throughput benches + fast-path equivalence"
 cargo bench -p tmi-bench --bench machine_throughput
 scripts/bench.sh --quick
+
+echo "== parallel: epoch-sharded engine must be byte-invisible"
+(cd "$smoke_dir" && TMI_SIM_THREADS=1 "$OLDPWD"/target/release/run_all --quick > par_w1.txt)
+mv "$smoke_dir/BENCH_harness.json" "$smoke_dir/par_h1.json"
+(cd "$smoke_dir" && TMI_SIM_THREADS=8 "$OLDPWD"/target/release/run_all --quick > par_w8.txt)
+mv "$smoke_dir/BENCH_harness.json" "$smoke_dir/par_h8.json"
+diff -u "$smoke_dir/par_w1.txt" "$smoke_dir/par_w8.txt" \
+  || { echo "8 host threads changed run_all --quick output — sharding must be invisible"; exit 1; }
+mask_host_time() {
+  sed -E -e 's/"host_seconds": [0-9.eE+-]+/"host_seconds": 0/' \
+         -e 's/"wall_seconds": [0-9.eE+-]+/"wall_seconds": 0/' "$1"
+}
+diff -u <(mask_host_time "$smoke_dir/par_h1.json") <(mask_host_time "$smoke_dir/par_h8.json") \
+  || { echo "8 host threads changed BENCH_harness.json beyond host timing"; exit 1; }
+for counter in '"sim.par.epochs"' '"sim.par.prefetched_ops"' \
+               '"sim.par.barrier_stalls"' '"sim.par.conflicts"'; do
+  grep -qF "$counter" "$smoke_dir/par_h8.json" \
+    || { echo "BENCH_harness.json lacks $counter"; exit 1; }
+done
 
 echo "== crash: seeded kill -9 matrix + byte-identical recovery"
 target/release/crash_matrix --kill-points 8 --data-root "$smoke_dir/crash"
