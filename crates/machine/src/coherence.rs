@@ -44,12 +44,16 @@
 //! Promotion is sticky: once tracked a line stays tracked — through
 //! write ping-pong, invalidation storms, even after every copy evicts (a
 //! drained entry answers "no holders" in O(1)). Machines with at most
-//! two cores skip both triggers; their directory stays empty and every
-//! query broadcasts — exactly the regime where the broadcast wins.
+//! two cores can never fire the holder-count trigger (three sharers need
+//! three cores), so their cleanly-shared lines stay on broadcast — exactly
+//! the regime where the broadcast wins. The streak trigger applies at any
+//! core count: a two-core write ping-pong pays the same per-bounce
+//! broadcast as a large machine, and the tracked M→M handoff (one table
+//! probe) replaces a sibling tag probe plus a streak-table probe.
 
 use crate::addr::{CoreId, LineAddr, PhysAddr, Width};
 use crate::cache::{Cache, CacheConfig, Insertion, LlcTags, MesiState};
-use crate::dirtab::{streak_step, DirEntry, DirTable, NO_HITM, NO_OWNER};
+use crate::dirtab::{streak_step, DirEntry, DirTable, HITM_STREAK_WINDOW, NO_HITM, NO_OWNER};
 use crate::flat::LineTable;
 use crate::hitm::{HitmEvent, HitmKind};
 use crate::latency::LatencyModel;
@@ -672,8 +676,10 @@ impl Machine {
         let penalty = streak_step(seq, &lat, &mut e.0, &mut e.1);
         // Promote exactly at the crossing, not on every later HITM: hot
         // lines keep their streak above the threshold for the whole run
-        // and must not pay a lookup per event.
-        if e.1 == 2 && self.dir_enabled && self.config.cores > 2 {
+        // and must not pay a lookup per event. No core-count gate: a
+        // two-core ping-pong pays the same per-bounce broadcast as a big
+        // machine, and the tracked handoff is strictly cheaper.
+        if e.1 == 2 && self.dir_enabled {
             self.promote_contended(line);
         }
         penalty
@@ -820,23 +826,29 @@ impl Machine {
 
     fn fill_private(&mut self, core: CoreId, line: LineAddr, state: MesiState) {
         self.fill_tags(core, line, state);
-        // Machines with one or two cores can never reach three sharers,
-        // so their directory is permanently empty: skip every probe.
-        if !self.dir_enabled || self.config.cores <= 2 {
+        if !self.dir_enabled {
             return;
         }
-        if let Some(e) = self.dir.get_mut(line) {
-            // Already tracked: update in place.
-            e.sharers |= 1u64 << core;
-            if state == MesiState::Modified {
-                e.owner = core as u8;
+        // Streak promotion works at any core count, so tracked entries
+        // must be maintained whenever the table is non-empty — including
+        // on two-core machines, whose table used to be permanently empty.
+        if !self.dir.is_empty() {
+            if let Some(e) = self.dir.get_mut(line) {
+                // Already tracked: update in place.
+                e.sharers |= 1u64 << core;
+                if state == MesiState::Modified {
+                    e.owner = core as u8;
+                }
+                return;
             }
-        } else if state == MesiState::Shared {
-            // Lazy activation, trigger one: an untracked line is promoted
-            // on the fill that takes its holder count past two. Only a
-            // Shared fill can do that — an Exclusive fill means no other
-            // holder existed and a Modified fill just invalidated every
-            // other copy, so neither pays the scan.
+        }
+        // Lazy activation, trigger one: an untracked line is promoted on
+        // the fill that takes its holder count past two. Only a Shared
+        // fill can do that — an Exclusive fill means no other holder
+        // existed and a Modified fill just invalidated every other copy,
+        // so neither pays the scan. Impossible with fewer than three
+        // cores, so those machines skip the probe entirely.
+        if state == MesiState::Shared && self.config.cores > 2 {
             let e = self.scan_holders(line);
             if e.sharers.count_ones() >= 3 {
                 self.dir.insert(line, e);
@@ -854,6 +866,51 @@ impl Machine {
     /// Read-only view of one core's private cache (tests, memory stats).
     pub fn private_cache(&self, core: CoreId) -> &Cache {
         &self.private[core]
+    }
+
+    /// Speculation probe: is `line` provably private to `core` right now?
+    ///
+    /// Returns the line's MESI state in `core`'s private cache when (a)
+    /// that cache holds the line, (b) no sibling cache holds any copy, and
+    /// (c) the line has had no HITM within the last
+    /// `HITM_STREAK_WINDOW` accesses; `None` otherwise. Under those
+    /// conditions every load and store from `core` resolves entirely in
+    /// its own cache (a sole-held line hits locally in any state, and a
+    /// Shared-state upgrade invalidates zero siblings), so the epoch
+    /// engine may execute the access speculatively in its parallel phase.
+    ///
+    /// The HITM recency veto is load-bearing, not an optimization: in a
+    /// write ping-pong the momentary sole holder would otherwise speculate
+    /// its whole remaining run and erase the modeled contention. A line
+    /// with recent HITM traffic always parks for the serial replay.
+    ///
+    /// Deliberately side-effect-free and fast-path-invariant: only
+    /// [`Cache::peek`] (no stats, no LRU touch) and streak state whose
+    /// *values* are identical with the directory on or off (tracked lines
+    /// keep the streak in their [`DirEntry`], untracked lines in the
+    /// broadcast table, via the same [`streak_step`] math), so the answer
+    /// — and therefore every `sim.par.*` counter derived from it — cannot
+    /// depend on `MachineConfig::directory`.
+    pub fn line_private_to(&self, core: CoreId, line: LineAddr) -> Option<MesiState> {
+        let state = self.private[core].peek(line)?;
+        for c in 0..self.config.cores {
+            if c != core && self.private[c].peek(line).is_some() {
+                return None;
+            }
+        }
+        let last_hitm = match self.dir.get(line) {
+            Some(e) => e.last_hitm,
+            None => self
+                .hitm_streaks
+                .get(line)
+                .map_or(NO_HITM, |&(last, _)| last),
+        };
+        if last_hitm != NO_HITM
+            && self.stats.accesses.saturating_sub(last_hitm) < HITM_STREAK_WINDOW
+        {
+            return None;
+        }
+        Some(state)
     }
 
     /// Asserts that the directory is a consistent *subset* of the tag
@@ -1131,9 +1188,10 @@ mod tests {
     }
 
     #[test]
-    fn two_core_machines_never_promote() {
-        // With at most two cores a line cannot reach three sharers, so the
-        // directory stays empty and every query takes the broadcast path.
+    fn two_core_clean_sharing_never_promotes() {
+        // With at most two cores a line cannot reach three sharers, so
+        // clean read sharing (no HITMs, no streak) leaves the directory
+        // empty and every query takes the broadcast path.
         let mut m = machine(2);
         for i in 0..100u64 {
             let addr = a((i % 8) * 64);
@@ -1144,6 +1202,97 @@ mod tests {
         assert_eq!(m.dir_stats().installs, 0);
         assert_eq!(m.dir_stats().hits, 0);
         m.assert_directory_consistent();
+    }
+
+    #[test]
+    fn two_core_write_ping_pong_promotes_on_streak() {
+        // The streak trigger has no core-count gate: a two-core store
+        // ping-pong proves the broadcast is being paid per bounce, so the
+        // line moves under the directory and later handoffs answer from
+        // the tracked entry.
+        let mut m = machine(2);
+        for _ in 0..4 {
+            m.access(0, a(0xB000), AccessKind::Store, Width::W8);
+            m.access(1, a(0xB008), AccessKind::Store, Width::W8);
+            m.assert_directory_consistent();
+        }
+        assert_eq!(m.dir_stats().promotions, 1);
+        assert!(
+            m.dir_stats().hits > 0,
+            "promoted line never answered a query from the directory"
+        );
+        m.assert_directory_consistent();
+    }
+
+    #[test]
+    fn private_probe_accepts_only_sole_quiet_holders() {
+        let mut m = machine(2);
+        let line = a(0xC000).line();
+        // Unheld line: not private.
+        assert_eq!(m.line_private_to(0, line), None);
+        // Sole holder with no HITM history: private, in its actual state.
+        m.access(0, a(0xC000), AccessKind::Store, Width::W8);
+        assert_eq!(m.line_private_to(0, line), Some(MesiState::Modified));
+        assert_eq!(m.line_private_to(1, line), None);
+        // Both cores hold the line: not private to either.
+        m.access(1, a(0xC000), AccessKind::Load, Width::W8);
+        assert_eq!(m.line_private_to(0, line), None);
+        assert_eq!(m.line_private_to(1, line), None);
+    }
+
+    #[test]
+    fn private_probe_vetoes_recent_hitm_lines() {
+        // After a HITM the momentary sole holder must NOT look private —
+        // speculating through a ping-pong would erase the contention the
+        // simulator exists to model. Quiet lines recover once the streak
+        // window has passed.
+        let mut m = machine(2);
+        m.access(0, a(0xD000), AccessKind::Store, Width::W8);
+        m.access(1, a(0xD000), AccessKind::Store, Width::W8); // HITM handoff
+        let line = a(0xD000).line();
+        assert_eq!(
+            m.line_private_to(1, line),
+            None,
+            "sole holder fresh off a HITM must stay parked"
+        );
+        // Age the HITM out of the window with unrelated traffic.
+        for i in 0..crate::dirtab::HITM_STREAK_WINDOW {
+            m.access(0, a(0x10_0000 + (i % 64) * 64), AccessKind::Load, Width::W8);
+        }
+        assert_eq!(m.line_private_to(1, line), Some(MesiState::Modified));
+    }
+
+    #[test]
+    fn private_probe_is_fastpath_invariant() {
+        // The probe's answer may never depend on the directory toggle:
+        // drive an identical contended stream on both paths and compare
+        // the probe at every step for every core.
+        let mut fast = machine(4);
+        let mut refr = machine(4);
+        refr.set_directory_enabled(false);
+        let mut x = 0xdead_beefu64;
+        for _ in 0..20_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let core = (x % 4) as usize;
+            let addr = a((x >> 8) % 0x4000);
+            let kind = if x % 3 == 0 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            fast.access(core, addr, kind, Width::W8);
+            refr.access(core, addr, kind, Width::W8);
+            let line = addr.line();
+            for c in 0..4 {
+                assert_eq!(
+                    fast.line_private_to(c, line),
+                    refr.line_private_to(c, line),
+                    "probe diverged across fastpath modes for core {c}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -38,6 +38,13 @@ pub(crate) const NO_HITM: u64 = u64::MAX;
 /// divided by the line size, so `u64::MAX` can never be a live key.
 const EMPTY: u64 = u64::MAX;
 
+/// The HITM streak window in accesses: a HITM within this many accesses
+/// of the line's previous one extends the streak; a longer gap resets it.
+/// Also the recency horizon of the speculation probe
+/// ([`crate::Machine::line_private_to`]): a line with a HITM inside the
+/// window is treated as contended even if momentarily sole-held.
+pub(crate) const HITM_STREAK_WINDOW: u64 = 2_000;
+
 /// Grow at 87.5% load, as in [`crate::flat::LineTable`].
 const GROW_NUM: usize = 7;
 const GROW_DEN: usize = 8;
@@ -76,7 +83,7 @@ impl Default for DirEntry {
 pub(crate) fn streak_step(seq: u64, lat: &LatencyModel, last: &mut u64, streak: &mut u64) -> u64 {
     if *last == NO_HITM {
         *streak = 1;
-    } else if seq.saturating_sub(*last) < 2_000 {
+    } else if seq.saturating_sub(*last) < HITM_STREAK_WINDOW {
         *streak += 1;
     } else {
         *streak = 0;

@@ -86,6 +86,22 @@ pub struct SimTuning {
     /// the epoch schedule determines the `sim.par.*` counters, which must
     /// be bit-identical across every host configuration.
     pub quantum: u64,
+    /// Whether the prefetch phase may *speculatively execute* memory ops
+    /// that touch provably-private state (sole-held cache lines with no
+    /// recent HITM, on pages the runtime is not rewriting), instead of
+    /// parking every memory op for the serial replay. Changes the epoch
+    /// schedule — and therefore the `sim.par.*` counters and the exact
+    /// interleaving — deterministically: the flag's value must be part of
+    /// the run configuration, but for a *fixed* value the outcome is
+    /// bit-identical across host thread counts and fast-path modes.
+    pub speculation: bool,
+    /// Test-only fault injection for the demotion path: classify accesses
+    /// exactly as `speculation` would, but demote every would-be
+    /// speculated run back to the replay loop instead of executing it
+    /// (counted in `sim.par.demotions`). A demoted epoch must be
+    /// byte-identical to one that never speculated — the invariant
+    /// `engine::tests` pins down.
+    pub force_demotions: bool,
 }
 
 impl SimTuning {
@@ -102,6 +118,18 @@ impl SimTuning {
         SimTuning {
             threads: threads.max(1),
             quantum: Self::QUANTUM,
+            speculation: true,
+            force_demotions: false,
+        }
+    }
+
+    /// This tuning with speculative execution of private memory ops
+    /// disabled (every memory op parks for the serial replay, the
+    /// pre-speculation engine behavior).
+    pub fn without_speculation(self) -> Self {
+        SimTuning {
+            speculation: false,
+            ..self
         }
     }
 
@@ -156,5 +184,14 @@ mod tests {
         assert_eq!(SimTuning::with_threads(8).threads, 8);
         assert_eq!(SimTuning::default(), SimTuning::sequential());
         assert_eq!(SimTuning::with_threads(4).quantum, SimTuning::QUANTUM);
+    }
+
+    #[test]
+    fn speculation_defaults_on_and_toggles_off() {
+        assert!(SimTuning::default().speculation);
+        assert!(!SimTuning::default().force_demotions);
+        let t = SimTuning::with_threads(4).without_speculation();
+        assert!(!t.speculation);
+        assert_eq!(t.threads, 4);
     }
 }

@@ -39,14 +39,16 @@ pub mod config;
 pub mod cost;
 pub mod engine;
 pub mod hooks;
+pub mod sched;
 pub mod sync;
 
 pub use config::{FastPath, SimTuning};
 pub use cost::CostModel;
 pub use engine::{
-    Engine, EngineConfig, EngineCore, Halt, InternalPcs, ParStats, RunReport, TraceStep,
+    Engine, EngineConfig, EngineCore, Halt, HostPhases, InternalPcs, ParStats, RunReport, TraceStep,
 };
 pub use hooks::{
     AccessInfo, EngineCtl, NullRuntime, PreAccess, RegionEvent, Route, RuntimeHooks, SyncEvent,
 };
+pub use sched::CalendarQueue;
 pub use sync::{BarrierState, MutexState, SyncTable};

@@ -1,0 +1,260 @@
+//! Calendar-queue thread scheduler for the serial replay phase.
+//!
+//! The replay loop needs, per simulated op, the runnable thread with the
+//! smallest clock (smallest thread index breaking ties). The original
+//! implementation was a linear `min_by_key` scan over every thread — O(T)
+//! per op, and the single hottest line of the serial phase once the
+//! parallel phase started absorbing the private-memory ops. This module
+//! replaces the scan with a classic calendar (bucket) queue keyed on
+//! thread clocks: the epoch quantum is split into fixed-width buckets, a
+//! thread is dropped into the bucket its clock falls in, and a monotone
+//! cursor sweeps the calendar once per epoch. Each op then costs O(1)
+//! amortized — one bucket push on reinsert, and a pop that only ever
+//! advances the cursor.
+//!
+//! Correctness leans on two properties of the replay loop:
+//!
+//! - **Monotonicity.** Every clock inserted is ≥ the last popped clock:
+//!   a stepped thread's clock only grows, and a woken thread's clock is
+//!   `max(its own, unlocker's clock + wake cost)`, which is ≥ the clock
+//!   of the thread that did the unlocking — the one just popped. So the
+//!   cursor never needs to move backwards.
+//! - **Lazy validation.** Entries are never deleted; a pop revalidates
+//!   each candidate against the caller's current view (clock unchanged,
+//!   still runnable, still below the horizon) and discards stale ones.
+//!   Duplicate entries for one thread are harmless: at most one matches
+//!   the thread's live clock, and it is the one the scan would pick.
+//!
+//! Within a bucket, candidates are selected lexicographically by
+//! `(clock, index)` — exactly the first-minimal tie-break of
+//! `min_by_key`, which `tests` and the proptest below pin down.
+
+/// Number of buckets the epoch quantum is split into. 1024 buckets over
+/// the standard 100k-cycle quantum gives a width of ~97 cycles — fine
+/// enough that a bucket rarely holds more than a handful of entries,
+/// coarse enough that the calendar itself stays small and cache-warm.
+const BUCKETS: usize = 1024;
+
+/// A calendar (bucket) queue over thread clocks within one epoch.
+///
+/// Entries are `(clock, thread index)` pairs; `pop_min` yields threads in
+/// exactly the order a linear first-minimal `min_by_key` scan over live
+/// clocks would, in O(1) amortized per operation.
+#[derive(Debug)]
+pub struct CalendarQueue {
+    /// `buckets[i]` holds entries with `base + i*width <= clock <
+    /// base + (i+1)*width` (the last bucket additionally absorbs rounding
+    /// slack up to the horizon).
+    buckets: Vec<Vec<(u64, usize)>>,
+    /// Clock at the calendar's left edge.
+    base: u64,
+    /// Exclusive upper bound; clocks at or past it are never admitted.
+    horizon: u64,
+    /// Width of one bucket in cycles (≥ 1).
+    width: u64,
+    /// First bucket that may still hold a valid entry. Monotone within an
+    /// epoch (see the module docs).
+    cursor: usize,
+    /// Live entry count, for a cheap emptiness check.
+    len: usize,
+}
+
+impl CalendarQueue {
+    /// An empty calendar spanning `[base, horizon)`.
+    pub fn new(base: u64, horizon: u64) -> Self {
+        let span = horizon.saturating_sub(base).max(1);
+        CalendarQueue {
+            buckets: vec![Vec::new(); BUCKETS],
+            base,
+            horizon,
+            width: span.div_ceil(BUCKETS as u64).max(1),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// True if no entries are queued (valid or stale).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bucket_of(&self, clock: u64) -> usize {
+        (((clock - self.base) / self.width) as usize).min(BUCKETS - 1)
+    }
+
+    /// Queues thread `idx` at `clock`. Clocks at or beyond the horizon are
+    /// ignored — the replay loop never runs a thread past the epoch end,
+    /// so such an entry could only ever be popped stale.
+    #[inline]
+    pub fn push(&mut self, clock: u64, idx: usize) {
+        if clock >= self.horizon || clock < self.base {
+            return;
+        }
+        let b = self.bucket_of(clock);
+        self.buckets[b].push((clock, idx));
+        self.len += 1;
+    }
+
+    /// Pops the valid entry with the smallest `(clock, index)`.
+    ///
+    /// `valid` maps a thread index to its *current* clock if the thread is
+    /// still eligible to run (runnable, below the horizon), or `None`. An
+    /// entry is live only if its recorded clock matches — entries made
+    /// stale by a reschedule or a state change are discarded on the way.
+    ///
+    /// Requires insertion clocks to be monotone in the popped sequence
+    /// (the replay loop's invariant); the cursor never revisits a bucket.
+    pub fn pop_min(&mut self, mut valid: impl FnMut(usize) -> Option<u64>) -> Option<usize> {
+        while self.cursor < BUCKETS {
+            let bucket = &mut self.buckets[self.cursor];
+            // Purge stale entries in place, then pick the lex-min live
+            // pair — the first-minimal semantics of the linear scan.
+            let mut best: Option<(u64, usize)> = None;
+            let mut i = 0;
+            while i < bucket.len() {
+                let (clock, idx) = bucket[i];
+                if valid(idx) == Some(clock) {
+                    if best.is_none_or(|b| (clock, idx) < b) {
+                        best = Some((clock, idx));
+                    }
+                    i += 1;
+                } else {
+                    bucket.swap_remove(i);
+                    self.len -= 1;
+                }
+            }
+            if let Some((clock, idx)) = best {
+                let pos = bucket
+                    .iter()
+                    .position(|&e| e == (clock, idx))
+                    .expect("winning entry vanished");
+                bucket.swap_remove(pos);
+                self.len -= 1;
+                return Some(idx);
+            }
+            self.cursor += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The reference scheduler the calendar must match: a first-minimal
+    /// linear scan, exactly `min_by_key` over runnable clocks.
+    fn linear_min(clocks: &[u64], runnable: &[bool], horizon: u64) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (idx, (&c, &r)) in clocks.iter().zip(runnable).enumerate() {
+            if r && c < horizon && best.is_none_or(|(bc, _)| c < bc) {
+                best = Some((c, idx));
+            }
+        }
+        best.map(|(_, idx)| idx)
+    }
+
+    #[test]
+    fn pops_in_clock_then_index_order() {
+        let mut q = CalendarQueue::new(0, 100_000);
+        let clocks = [500u64, 100, 100, 99_999, 7];
+        for (idx, &c) in clocks.iter().enumerate() {
+            q.push(c, idx);
+        }
+        let mut order = Vec::new();
+        while let Some(idx) = q.pop_min(|i| Some(clocks[i])) {
+            order.push(idx);
+        }
+        assert_eq!(order, vec![4, 1, 2, 0, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn horizon_clocks_are_never_admitted() {
+        let mut q = CalendarQueue::new(1_000, 2_000);
+        q.push(2_000, 0); // at horizon
+        q.push(5_000, 1); // past horizon
+        assert!(q.is_empty());
+        assert_eq!(q.pop_min(|_| Some(0)), None);
+    }
+
+    #[test]
+    fn stale_entries_are_discarded() {
+        let mut q = CalendarQueue::new(0, 10_000);
+        q.push(10, 0);
+        q.push(20, 1);
+        // Thread 0 was rescheduled to 500 (a fresh entry exists for it);
+        // its old entry must not win.
+        q.push(500, 0);
+        let clocks = [500u64, 20];
+        assert_eq!(q.pop_min(|i| Some(clocks[i])), Some(1));
+        assert_eq!(q.pop_min(|i| Some(clocks[i])), Some(0));
+        assert_eq!(q.pop_min(|i| Some(clocks[i])), None);
+    }
+
+    #[test]
+    fn duplicate_entries_pop_once() {
+        let mut q = CalendarQueue::new(0, 1_000);
+        q.push(42, 3);
+        q.push(42, 3);
+        let mut clocks = [0u64, 0, 0, 42];
+        assert_eq!(q.pop_min(|i| Some(clocks[i])), Some(3));
+        // Once stepped, the duplicate is stale.
+        clocks[3] = 77;
+        q.push(77, 3);
+        assert_eq!(q.pop_min(|i| Some(clocks[i])), Some(3));
+        assert_eq!(q.pop_min(|i| Some(clocks[i])), None);
+    }
+
+    proptest! {
+        /// Drive the calendar and the linear scan over an arbitrary
+        /// mutation schedule — steps of random size, random sleep/wake
+        /// flips — and require the identical pop sequence. This is the
+        /// satellite proof that swapping the scheduler cannot change the
+        /// epoch schedule (and with it any `sim.par.*` counter).
+        #[test]
+        fn matches_linear_min_by_key(
+            start_clocks in proptest::collection::vec(0u64..100_000, 1..12),
+            script in proptest::collection::vec((0u64..4_000, any::<u8>()), 0..200),
+        ) {
+            let horizon = 100_000u64;
+            let n = start_clocks.len();
+            let mut clocks = start_clocks.clone();
+            let mut runnable = vec![true; n];
+            let mut q = CalendarQueue::new(0, horizon);
+            for (idx, &c) in clocks.iter().enumerate() {
+                q.push(c, idx);
+            }
+            for (advance, flip) in script {
+                let expect = linear_min(&clocks, &runnable, horizon);
+                let got = q.pop_min(|i| {
+                    (runnable[i] && clocks[i] < horizon).then(|| clocks[i])
+                });
+                prop_assert_eq!(got, expect);
+                let Some(idx) = got else { break };
+                // "Step" the popped thread: clock grows monotonically.
+                clocks[idx] += advance;
+                // Occasionally block it; occasionally wake a blocked
+                // sibling at a clock ≥ the popped one (the mutex-wake
+                // shape: wakes never move behind the unlocker).
+                if flip % 5 == 0 {
+                    runnable[idx] = false;
+                } else if clocks[idx] < horizon {
+                    q.push(clocks[idx], idx);
+                }
+                if flip % 7 == 0 {
+                    let other = (idx + 1 + (flip as usize % n.max(1))) % n;
+                    if !runnable[other] {
+                        runnable[other] = true;
+                        clocks[other] = clocks[other].max(clocks[idx]);
+                        if clocks[other] < horizon {
+                            q.push(clocks[other], other);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

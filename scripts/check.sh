@@ -38,6 +38,16 @@
 #            byte-identical reports, the harness dumps must agree after
 #            masking host-timing fields, and the sim.par.* counters must
 #            be present in the metric stream
+#   speculation  the speculative-prefetch gate, piggybacking on the
+#            parallel stage's fixed-seed artifacts: the quick suite must
+#            actually speculate (sim.par.speculated_ops > 0 — a silent
+#            classifier regression would otherwise pass every
+#            equivalence diff by speculating nothing), organic
+#            demotions must be zero (the conflict check is a safety
+#            net; any non-forced demotion means the private classifier
+#            lied, see DESIGN.md §12), and the sim.par.* counter values
+#            must be byte-identical across host thread counts (they are
+#            functions of the epoch schedule, not of host parallelism)
 #   service  the job-server determinism proof: boot the tmi_serve daemon
 #            with the seeded service chaos plan (--service-faults 1,
 #            which kills a worker on every second pickup), drive the
@@ -159,10 +169,26 @@ mask_host_time() {
 diff -u <(mask_host_time "$smoke_dir/par_h1.json") <(mask_host_time "$smoke_dir/par_h8.json") \
   || { echo "8 host threads changed BENCH_harness.json beyond host timing"; exit 1; }
 for counter in '"sim.par.epochs"' '"sim.par.prefetched_ops"' \
-               '"sim.par.barrier_stalls"' '"sim.par.conflicts"'; do
+               '"sim.par.barrier_stalls"' '"sim.par.conflicts"' \
+               '"sim.par.speculated_ops"' '"sim.par.demotions"'; do
   grep -qF "$counter" "$smoke_dir/par_h8.json" \
     || { echo "BENCH_harness.json lacks $counter"; exit 1; }
 done
+
+echo "== speculation: private ops speculate, demotions stay forced-only"
+spec_counters() {
+  grep -oE '"sim\.par\.[a-z_]+": [0-9]+' "$1"
+}
+diff -u <(spec_counters "$smoke_dir/par_h1.json") <(spec_counters "$smoke_dir/par_h8.json") \
+  || { echo "sim.par.* counters drifted across host thread counts — they must be functions of the epoch schedule only"; exit 1; }
+spec_total=$(grep -oE '"sim\.par\.speculated_ops": [0-9]+' "$smoke_dir/par_h8.json" \
+  | awk -F': ' '{s += $2} END {print s + 0}')
+[ "$spec_total" -gt 0 ] \
+  || { echo "sim.par.speculated_ops is zero across the quick suite — the private classifier speculated nothing"; exit 1; }
+demo_total=$(grep -oE '"sim\.par\.demotions": [0-9]+' "$smoke_dir/par_h8.json" \
+  | awk -F': ' '{s += $2} END {print s + 0}')
+[ "$demo_total" -eq 0 ] \
+  || { echo "sim.par.demotions = $demo_total without forced demotions — the private classifier admitted a conflicting op"; exit 1; }
 
 echo "== crash: seeded kill -9 matrix + byte-identical recovery"
 target/release/crash_matrix --kill-points 8 --data-root "$smoke_dir/crash"
